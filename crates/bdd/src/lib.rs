@@ -1,0 +1,545 @@
+//! Reduced ordered binary decision diagrams (ROBDD).
+//!
+//! HFTA uses BDDs as a second, independent tautology oracle for XBD0
+//! stability functions (the SAT path is the default; the BDD path
+//! cross-checks it in tests and powers the exact required-time analysis
+//! on small modules, where a canonical representation makes tautology
+//! checking O(1)).
+//!
+//! The implementation is a classic hash-consed ROBDD with an ITE-based
+//! operation set and memoization: [`BddManager`] owns the node store;
+//! [`Bdd`] handles are cheap indices valid for the manager that created
+//! them.
+//!
+//! # Example
+//!
+//! ```
+//! use hfta_bdd::BddManager;
+//!
+//! let mut mgr = BddManager::new();
+//! let a = mgr.var(0);
+//! let b = mgr.var(1);
+//! let ab = mgr.and(a, b);
+//! let or = mgr.or(a, b);
+//! let implication = mgr.implies(ab, or); // (a·b) ⇒ (a+b)
+//! assert!(mgr.is_tautology(implication));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a BDD node owned by a [`BddManager`].
+///
+/// Handles are canonical: two handles from the same manager are equal
+/// if and only if they denote the same Boolean function.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this is one of the two constants.
+    #[must_use]
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+impl fmt::Display for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => write!(f, "false"),
+            Bdd::TRUE => write!(f, "true"),
+            Bdd(i) => write!(f, "bdd#{i}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct IteKey(Bdd, Bdd, Bdd);
+
+/// The BDD node store and operation cache.
+///
+/// Variables are identified by dense `u32` indices whose numeric order
+/// is the (fixed) variable order of the diagrams.
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    ite_cache: HashMap<IteKey, Bdd>,
+}
+
+impl Default for BddManager {
+    /// Equivalent to [`BddManager::new`].
+    fn default() -> BddManager {
+        BddManager::new()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager containing only the two constants.
+    #[must_use]
+    pub fn new() -> BddManager {
+        let sentinel = Node {
+            var: u32::MAX,
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        };
+        BddManager {
+            // Two sentinel slots so node indices line up with handles.
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of live nodes (including the two constants).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The projection function of variable `index`.
+    pub fn var(&mut self, index: u32) -> Bdd {
+        self.mk_node(index, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negated projection function of variable `index`.
+    pub fn nvar(&mut self, index: u32) -> Bdd {
+        self.mk_node(index, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// A constant as a handle.
+    #[must_use]
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    fn mk_node(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let handle = Bdd(u32::try_from(self.nodes.len()).expect("BDD node overflow"));
+        self.nodes.push(node);
+        self.unique.insert(node, handle);
+        handle
+    }
+
+    fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.0 as usize]
+    }
+
+    fn top_var(&self, b: Bdd) -> u32 {
+        if b.is_const() {
+            u32::MAX
+        } else {
+            self.node(b).var
+        }
+    }
+
+    fn cofactors(&self, b: Bdd, var: u32) -> (Bdd, Bdd) {
+        if b.is_const() || self.node(b).var != var {
+            (b, b)
+        } else {
+            let n = self.node(b);
+            (n.lo, n.hi)
+        }
+    }
+
+    /// If-then-else: `f·g + f̄·h`, the universal BDD operation.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f == Bdd::TRUE {
+            return g;
+        }
+        if f == Bdd::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Bdd::TRUE && h == Bdd::FALSE {
+            return f;
+        }
+        let key = IteKey(f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let v = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk_node(v, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.ite(a, b, Bdd::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.ite(a, Bdd::TRUE, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        self.ite(a, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn xnor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let nb = self.not(b);
+        self.ite(a, b, nb)
+    }
+
+    /// Implication `a ⇒ b`.
+    pub fn implies(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.ite(a, b, Bdd::TRUE)
+    }
+
+    /// Conjunction of many functions.
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        fs.iter().fold(Bdd::TRUE, |acc, &f| self.and(acc, f))
+    }
+
+    /// Disjunction of many functions.
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        fs.iter().fold(Bdd::FALSE, |acc, &f| self.or(acc, f))
+    }
+
+    /// Restriction (cofactor): substitutes a constant for a variable.
+    pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            return f; // var does not occur (ordering)
+        }
+        if n.var == var {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, var, value);
+        let hi = self.restrict(n.hi, var, value);
+        self.mk_node(n.var, lo, hi)
+    }
+
+    /// Existential quantification of `var`.
+    pub fn exists(&mut self, f: Bdd, var: u32) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.or(f0, f1)
+    }
+
+    /// Universal quantification of `var`.
+    pub fn forall(&mut self, f: Bdd, var: u32) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.and(f0, f1)
+    }
+
+    /// Returns `true` if `f` is the constant-true function.
+    ///
+    /// Canonicity makes this a handle comparison — the property the
+    /// exact required-time engine exploits for its many tautology
+    /// queries.
+    #[must_use]
+    pub fn is_tautology(&self, f: Bdd) -> bool {
+        f == Bdd::TRUE
+    }
+
+    /// Returns `true` if `f` is satisfiable.
+    #[must_use]
+    pub fn is_satisfiable(&self, f: Bdd) -> bool {
+        f != Bdd::FALSE
+    }
+
+    /// Evaluates `f` under a total assignment (`assignment[i]` is the
+    /// value of variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable of `f` is out of `assignment`'s range.
+    #[must_use]
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            match cur {
+                Bdd::FALSE => return false,
+                Bdd::TRUE => return true,
+                _ => {
+                    let n = self.node(cur);
+                    cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// The set of variables `f` depends on, ascending.
+    #[must_use]
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut vars = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            let n = self.node(b);
+            vars.push(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Number of satisfying assignments over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` mentions a variable `≥ num_vars` or `num_vars > 63`.
+    #[must_use]
+    pub fn sat_count(&self, f: Bdd, num_vars: u32) -> u64 {
+        assert!(num_vars <= 63, "sat_count supports at most 63 variables");
+        fn go(mgr: &BddManager, b: Bdd, num_vars: u32, memo: &mut HashMap<Bdd, u64>) -> u64 {
+            // Count over the variables strictly below top_var(b).
+            match b {
+                Bdd::FALSE => 0,
+                Bdd::TRUE => 1,
+                _ => {
+                    if let Some(&c) = memo.get(&b) {
+                        return c;
+                    }
+                    let n = mgr.node(b);
+                    assert!(n.var < num_vars, "variable out of range");
+                    let lo = go(mgr, n.lo, num_vars, memo);
+                    let hi = go(mgr, n.hi, num_vars, memo);
+                    let lo_gap = mgr.top_var(n.lo).min(num_vars) - n.var - 1;
+                    let hi_gap = mgr.top_var(n.hi).min(num_vars) - n.var - 1;
+                    let c = (lo << lo_gap) + (hi << hi_gap);
+                    memo.insert(b, c);
+                    c
+                }
+            }
+        }
+        let mut memo = HashMap::new();
+        let c = go(self, f, num_vars, &mut memo);
+        let gap = self.top_var(f).min(num_vars);
+        c << gap
+    }
+
+    /// Finds one satisfying assignment (values for variables
+    /// `0..num_vars`; variables not in the support default to `false`).
+    /// Returns `None` for the constant-false function.
+    #[must_use]
+    pub fn pick_sat(&self, f: Bdd, num_vars: u32) -> Option<Vec<bool>> {
+        if f == Bdd::FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; num_vars as usize];
+        let mut cur = f;
+        while cur != Bdd::TRUE {
+            let n = self.node(cur);
+            if n.hi != Bdd::FALSE {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        assert_ne!(a, Bdd::TRUE);
+        assert_ne!(a, Bdd::FALSE);
+        assert!(!a.is_const());
+        assert!(Bdd::TRUE.is_const());
+        // Hash consing: same var twice is the same node.
+        assert_eq!(m.var(0), a);
+    }
+
+    #[test]
+    fn basic_identities() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), Bdd::FALSE);
+        assert_eq!(m.or(a, na), Bdd::TRUE);
+        assert_eq!(m.and(a, Bdd::TRUE), a);
+        assert_eq!(m.or(a, Bdd::FALSE), a);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba, "canonical form is order-insensitive");
+        let not_not_a = {
+            let x = m.not(a);
+            m.not(x)
+        };
+        assert_eq!(not_not_a, a);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let lhs = m.not(ab);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let rhs = m.or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_properties() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let x = m.xor(a, b);
+        assert_eq!(m.xor(x, b), a, "xor cancels");
+        assert_eq!(m.xor(a, a), Bdd::FALSE);
+        let xn = m.xnor(a, b);
+        let nx = m.not(x);
+        assert_eq!(xn, nx);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let bc = m.and(b, c);
+        let f = m.or(a, bc); // a + bc
+        for v in 0u32..8 {
+            let assignment: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            let expect = assignment[0] || (assignment[1] && assignment[2]);
+            assert_eq!(m.eval(f, &assignment), expect, "vector {v:03b}");
+        }
+    }
+
+    #[test]
+    fn restrict_and_quantify() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        assert_eq!(m.restrict(f, 0, false), b);
+        let nb = m.not(b);
+        assert_eq!(m.restrict(f, 0, true), nb);
+        assert_eq!(m.exists(f, 0), Bdd::TRUE);
+        assert_eq!(m.forall(f, 0), Bdd::FALSE);
+        // Restricting an absent variable is identity.
+        assert_eq!(m.restrict(f, 7, true), f);
+    }
+
+    #[test]
+    fn support_lists_dependencies() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.and(a, c);
+        assert_eq!(m.support(f), vec![0, 2]);
+        assert_eq!(m.support(Bdd::TRUE), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.or(a, b);
+        assert_eq!(m.sat_count(f, 2), 3);
+        assert_eq!(m.sat_count(a, 2), 2); // b free
+        assert_eq!(m.sat_count(Bdd::TRUE, 3), 8);
+        assert_eq!(m.sat_count(Bdd::FALSE, 3), 0);
+        let c = m.var(2);
+        let g = m.and(f, c);
+        assert_eq!(m.sat_count(g, 3), 3);
+    }
+
+    #[test]
+    fn pick_sat_finds_model() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let na = m.not(a);
+        let f = m.and(na, b);
+        let model = m.pick_sat(f, 2).unwrap();
+        assert!(m.eval(f, &model));
+        assert_eq!(model, vec![false, true]);
+        assert_eq!(m.pick_sat(Bdd::FALSE, 2), None);
+    }
+
+    #[test]
+    fn majority_of_three() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let maj = m.or_many(&[ab, ac, bc]);
+        assert_eq!(m.sat_count(maj, 3), 4);
+        // Shannon expansion sanity: maj|a=1 = b + c.
+        let cof = m.restrict(maj, 0, true);
+        let or_bc = m.or(b, c);
+        assert_eq!(cof, or_bc);
+    }
+
+    #[test]
+    fn and_many_or_many() {
+        let mut m = BddManager::new();
+        let vs: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
+        let all = m.and_many(&vs);
+        assert_eq!(m.sat_count(all, 4), 1);
+        let any = m.or_many(&vs);
+        assert_eq!(m.sat_count(any, 4), 15);
+        assert_eq!(m.and_many(&[]), Bdd::TRUE);
+        assert_eq!(m.or_many(&[]), Bdd::FALSE);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests: random Boolean expressions evaluated through the
+//! BDD package agree with a direct truth-table oracle, and canonical
+//! handles coincide exactly for semantically equal functions.
+
+use hfta_bdd::{Bdd, BddManager};
+use proptest::prelude::*;
+
+/// A tiny expression AST over `NVARS` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+const NVARS: u32 = 5;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn to_bdd(mgr: &mut BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(i) => mgr.var(*i),
+        Expr::Const(b) => mgr.constant(*b),
+        Expr::Not(a) => {
+            let x = to_bdd(mgr, a);
+            mgr.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (to_bdd(mgr, a), to_bdd(mgr, b));
+            mgr.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (to_bdd(mgr, a), to_bdd(mgr, b));
+            mgr.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (to_bdd(mgr, a), to_bdd(mgr, b));
+            mgr.xor(x, y)
+        }
+        Expr::Ite(a, b, c) => {
+            let (x, y, z) = (to_bdd(mgr, a), to_bdd(mgr, b), to_bdd(mgr, c));
+            mgr.ite(x, y, z)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, env: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => env[*i as usize],
+        Expr::Const(b) => *b,
+        Expr::Not(a) => !eval_expr(a, env),
+        Expr::And(a, b) => eval_expr(a, env) && eval_expr(b, env),
+        Expr::Or(a, b) => eval_expr(a, env) || eval_expr(b, env),
+        Expr::Xor(a, b) => eval_expr(a, env) ^ eval_expr(b, env),
+        Expr::Ite(a, b, c) => {
+            if eval_expr(a, env) {
+                eval_expr(b, env)
+            } else {
+                eval_expr(c, env)
+            }
+        }
+    }
+}
+
+fn truth_table(e: &Expr) -> u32 {
+    let mut table = 0u32;
+    for v in 0u32..(1 << NVARS) {
+        let env: Vec<bool> = (0..NVARS).map(|i| (v >> i) & 1 == 1).collect();
+        if eval_expr(e, &env) {
+            table |= 1 << v;
+        }
+    }
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in expr_strategy()) {
+        let mut mgr = BddManager::new();
+        let f = to_bdd(&mut mgr, &e);
+        for v in 0u32..(1 << NVARS) {
+            let env: Vec<bool> = (0..NVARS).map(|i| (v >> i) & 1 == 1).collect();
+            prop_assert_eq!(mgr.eval(f, &env), eval_expr(&e, &env), "vector {:05b}", v);
+        }
+        // Satisfiability / tautology agree with the table.
+        let table = truth_table(&e);
+        prop_assert_eq!(mgr.is_satisfiable(f), table != 0);
+        prop_assert_eq!(mgr.is_tautology(f), table == u32::MAX >> (32 - (1 << NVARS)));
+        prop_assert_eq!(mgr.sat_count(f, NVARS), u64::from(table.count_ones()));
+    }
+
+    #[test]
+    fn canonical_handles_for_equal_functions(a in expr_strategy(), b in expr_strategy()) {
+        let mut mgr = BddManager::new();
+        let fa = to_bdd(&mut mgr, &a);
+        let fb = to_bdd(&mut mgr, &b);
+        prop_assert_eq!(fa == fb, truth_table(&a) == truth_table(&b));
+    }
+
+    #[test]
+    fn shannon_expansion_holds(e in expr_strategy(), var in 0..NVARS) {
+        let mut mgr = BddManager::new();
+        let f = to_bdd(&mut mgr, &e);
+        let f0 = mgr.restrict(f, var, false);
+        let f1 = mgr.restrict(f, var, true);
+        let x = mgr.var(var);
+        let rebuilt = mgr.ite(x, f1, f0);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn pick_sat_yields_model(e in expr_strategy()) {
+        let mut mgr = BddManager::new();
+        let f = to_bdd(&mut mgr, &e);
+        match mgr.pick_sat(f, NVARS) {
+            Some(model) => prop_assert!(mgr.eval(f, &model)),
+            None => prop_assert_eq!(f, Bdd::FALSE),
+        }
+    }
+}

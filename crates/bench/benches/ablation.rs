@@ -1,0 +1,157 @@
+//! Ablations called out in DESIGN.md:
+//!
+//! 1. **Demand-driven vs full two-step characterization** — the paper's
+//!    Section 5 motivation: the two-step algorithm characterizes every
+//!    pin pair of every module even when never critical.
+//! 2. **Tuple-set size cap** — how many greedy relaxation passes the
+//!    characterization runs (1 tuple vs several incomparable tuples).
+//! 3. **Fixed vs min-cut partitioning** of the Table 2 workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfta_bench::{build_iscas_like, IscasLike};
+use hfta_core::{
+    CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, HierAnalyzer, HierOptions,
+};
+use hfta_netlist::gen::carry_skip_adder;
+use hfta_netlist::partition::{cascade_bipartition, cascade_bipartition_min_cut};
+use hfta_netlist::Time;
+
+fn bench_demand_vs_twostep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_demand_vs_twostep");
+    group.sample_size(10);
+    let design = carry_skip_adder(32, 4, Default::default());
+    let arrivals = vec![Time::ZERO; 65];
+
+    group.bench_function("demand_driven", |b| {
+        b.iter(|| {
+            let mut an =
+                DemandDrivenAnalyzer::new(&design, "csa32.4", DemandOptions::default())
+                    .expect("valid");
+            an.analyze(&arrivals).expect("analyzes").delay
+        });
+    });
+    group.bench_function("two_step_full", |b| {
+        b.iter(|| {
+            let mut an = HierAnalyzer::new(&design, "csa32.4", HierOptions::default())
+                .expect("valid");
+            an.analyze(&arrivals).expect("analyzes").delay
+        });
+    });
+    group.finish();
+}
+
+fn bench_tuple_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tuple_cap");
+    group.sample_size(10);
+    let design = carry_skip_adder(16, 2, Default::default());
+    let arrivals = vec![Time::ZERO; 33];
+    for max_tuples in [1usize, 4] {
+        let opts = HierOptions {
+            characterize: CharacterizeOptions {
+                max_tuples,
+                ..CharacterizeOptions::default()
+            },
+            ..HierOptions::default()
+        };
+        group.bench_function(format!("max_tuples_{max_tuples}"), |b| {
+            b.iter(|| {
+                let mut an =
+                    HierAnalyzer::new(&design, "csa16.2", opts).expect("valid");
+                an.analyze(&arrivals).expect("analyzes").delay
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_partition");
+    group.sample_size(10);
+    let w = IscasLike {
+        name: "c432_like".into(),
+        gates: 160,
+        seed: 432,
+    };
+    let flat = build_iscas_like(&w);
+    let arrivals = vec![Time::ZERO; flat.inputs().len()];
+
+    let fixed = cascade_bipartition(&flat, 0.5).expect("partitions");
+    group.bench_function("fixed_half_split", |b| {
+        b.iter(|| {
+            let mut an = DemandDrivenAnalyzer::new(&fixed, "c432_like_top", Default::default())
+                .expect("valid");
+            an.analyze(&arrivals).expect("analyzes").delay
+        });
+    });
+    let mincut = cascade_bipartition_min_cut(&flat, 0.25, 0.75).expect("partitions");
+    group.bench_function("min_cut_split", |b| {
+        b.iter(|| {
+            let mut an = DemandDrivenAnalyzer::new(&mincut, "c432_like_top", Default::default())
+                .expect("valid");
+            an.analyze(&arrivals).expect("analyzes").delay
+        });
+    });
+    group.finish();
+}
+
+fn bench_parallel_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel_characterize");
+    group.sample_size(10);
+    // A design with four distinct block flavours so the parallel path
+    // has real fan-out.
+    use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+    use hfta_netlist::{Composite, Design};
+    let mut design = Design::new();
+    let mut top = Composite::new("mixed");
+    let mut carry = top.add_input("c_in");
+    for (k, m) in [2usize, 3, 4, 5].iter().enumerate() {
+        let mut block = carry_skip_block(*m, CsaDelays::default());
+        block.set_name(format!("blk{k}"));
+        design.add_leaf(block).expect("fresh design");
+        let mut ins = vec![carry];
+        for i in 0..*m {
+            ins.push(top.add_input(format!("a{k}_{i}")));
+            ins.push(top.add_input(format!("b{k}_{i}")));
+        }
+        let mut outs = Vec::new();
+        for i in 0..*m {
+            let s = top.add_net(format!("s{k}_{i}"));
+            top.mark_output(s);
+            outs.push(s);
+        }
+        let c = top.add_net(format!("c{k}"));
+        outs.push(c);
+        top.add_instance(format!("u{k}"), format!("blk{k}"), &ins, &outs);
+        carry = c;
+    }
+    top.mark_output(carry);
+    let n_inputs = top.inputs().len();
+    design.add_composite(top).expect("fresh design");
+    let arrivals = vec![Time::ZERO; n_inputs];
+
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut an =
+                HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
+            an.analyze(&arrivals).expect("analyzes").delay
+        });
+    });
+    group.bench_function("parallel_4_threads", |b| {
+        b.iter(|| {
+            let mut an =
+                HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
+            an.characterize_all_parallel(4).expect("characterizes");
+            an.analyze(&arrivals).expect("analyzes").delay
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_demand_vs_twostep,
+    bench_tuple_cap,
+    bench_partition_strategy,
+    bench_parallel_characterization
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion timings behind **Table 1**: hierarchical (demand-driven)
+//! vs flat vs topological analysis of carry-skip adder cascades.
+//!
+//! The paper's claim: on regular hierarchical circuits the flat
+//! analyzer's cost explodes with size while hierarchical analysis
+//! amortizes one block characterization across all instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfta_core::{DemandDrivenAnalyzer, DemandOptions};
+use hfta_fta::{DelayAnalyzer, TopoSta};
+use hfta_netlist::gen::carry_skip_adder;
+use hfta_netlist::Time;
+
+fn bench_carry_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_carry_skip");
+    group.sample_size(10);
+    for bits in [8usize, 16, 32] {
+        let name = format!("csa{bits}.2");
+        let design = carry_skip_adder(bits, 2, Default::default());
+        let flat = design.flatten(&name).expect("flattens");
+        let arrivals = vec![Time::ZERO; 2 * bits + 1];
+
+        group.bench_with_input(BenchmarkId::new("hier_demand", bits), &bits, |b, _| {
+            b.iter(|| {
+                let mut an = DemandDrivenAnalyzer::new(&design, &name, DemandOptions::default())
+                    .expect("valid");
+                an.analyze(&arrivals).expect("analyzes").delay
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flat_xbd0", bits), &bits, |b, _| {
+            b.iter(|| {
+                let mut an = DelayAnalyzer::new_sat(&flat, &arrivals).expect("valid");
+                an.circuit_delay()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("topological", bits), &bits, |b, _| {
+            b.iter(|| {
+                let sta = TopoSta::new(&flat).expect("valid");
+                sta.circuit_delay(&arrivals)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_carry_skip);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion timings behind **Table 2**: hierarchical vs flat analysis
+//! of partitioned ISCAS-like circuits.
+//!
+//! The paper's observation at these sizes: flat analysis is fast enough
+//! that hierarchical analysis does not always win on CPU — its
+//! advantage is scalability (false-path analysis runs on single leaf
+//! modules instead of the whole circuit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfta_bench::{build_iscas_like, IscasLike};
+use hfta_core::{DemandDrivenAnalyzer, DemandOptions};
+use hfta_fta::DelayAnalyzer;
+use hfta_netlist::partition::cascade_bipartition_min_cut;
+use hfta_netlist::Time;
+
+fn bench_iscas_like(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_iscas_like");
+    group.sample_size(10);
+    for (gates, seed) in [(160usize, 432u64), (383, 880)] {
+        let w = IscasLike {
+            name: format!("c{seed}_like"),
+            gates,
+            seed,
+        };
+        let flat = build_iscas_like(&w);
+        let design = cascade_bipartition_min_cut(&flat, 0.25, 0.75).expect("partitions");
+        let top = format!("{}_top", w.name);
+        let arrivals = vec![Time::ZERO; flat.inputs().len()];
+
+        group.bench_with_input(BenchmarkId::new("hier_demand", gates), &gates, |b, _| {
+            b.iter(|| {
+                let mut an = DemandDrivenAnalyzer::new(&design, &top, DemandOptions::default())
+                    .expect("valid");
+                an.analyze(&arrivals).expect("analyzes").delay
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flat_xbd0", gates), &gates, |b, _| {
+            b.iter(|| {
+                let mut an = DelayAnalyzer::new_sat(&flat, &arrivals).expect("valid");
+                an.circuit_delay()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iscas_like);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates **Table 1** of the paper: timing analysis of carry-skip
+//! adders, hierarchical (demand-driven, Section 5) vs flat.
+//!
+//! Paper's claims to reproduce: estimated accuracy fully preserved
+//! (hier == flat, both below topological), and significant CPU savings
+//! for hierarchical analysis on these regular circuits.
+//!
+//! Run with: `cargo run --release -p hfta-bench --bin table1`
+
+use hfta_bench::{table1_configs, table1_row, Row};
+
+fn main() {
+    println!("Table 1: carry-skip adders — hierarchical vs flat (all inputs at t = 0)\n");
+    Row::print_header();
+    let mut preserved = true;
+    let mut speedups = Vec::new();
+    for cfg in table1_configs() {
+        let row = table1_row(&cfg);
+        row.print();
+        preserved &= row.hier_delay == row.flat_delay;
+        if row.hier_cpu.as_secs_f64() > 0.0 {
+            speedups.push(row.flat_cpu.as_secs_f64() / row.hier_cpu.as_secs_f64().max(1e-9));
+        }
+    }
+    println!();
+    println!(
+        "accuracy fully preserved: {}",
+        if preserved { "yes (hier == flat on every row)" } else { "NO" }
+    );
+    let gm = geometric_mean(&speedups);
+    println!("geometric-mean CPU ratio flat/hier: {gm:.1}x");
+}
+
+fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}

@@ -1,0 +1,714 @@
+//! The improved, demand-driven hierarchical analysis (Section 5).
+//!
+//! The two-step algorithm characterizes every pin-to-pin delay of every
+//! leaf module even when the pin pair is never critical in any
+//! instance, wasting CPU on accuracy that cannot influence the final
+//! answer. The demand-driven algorithm instead:
+//!
+//! 1. builds a *timing graph* whose vertices are the top-level nets and
+//!    whose edges are the module pin pairs, initially weighted with
+//!    longest topological path lengths;
+//! 2. runs forward (arrival) and backward (required) topological
+//!    propagation, asserting the latest output arrival as the required
+//!    time of every primary output, and computes slacks;
+//! 3. picks *critical* edges (both endpoints at zero slack, edge
+//!    tight) and refines each by one step: probe the next smaller
+//!    distinct topological path length `l′` with a functional
+//!    stability check of the module cone ("others at −lᵢ, the critical
+//!    input at −l′"); accept the smaller weight in **all** instances of
+//!    the module, or mark the edge accurate;
+//! 4. repeats until every critical edge is marked.
+//!
+//! Weights only ever shrink and every accepted weight vector is
+//! validated by a full XBD0 stability check, so the final delay remains
+//! a conservative approximation of flat analysis (Theorem 1) while only
+//! spending characterization effort where it matters.
+
+use std::collections::{HashMap, HashSet};
+
+use hfta_fta::{SatAlg, StabilityAnalyzer, TopoSta};
+use hfta_netlist::{Composite, Design, NetId, Netlist, NetlistError, Time};
+
+/// Options for the demand-driven analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DemandOptions {
+    /// Cap on the per-pin distinct path-length lists.
+    pub lengths_cap: usize,
+    /// Whether an exhausted pin may be probed at `−∞` ("input
+    /// irrelevant").
+    pub try_irrelevant: bool,
+    /// Safety bound on refinement rounds (`None` = until fixpoint).
+    pub max_rounds: Option<usize>,
+}
+
+impl Default for DemandOptions {
+    fn default() -> DemandOptions {
+        DemandOptions {
+            lengths_cap: 32,
+            try_irrelevant: true,
+            max_rounds: None,
+        }
+    }
+}
+
+/// Work counters and result of a demand-driven analysis.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DemandAnalysis {
+    /// Arrival time of every top-level net.
+    pub net_arrivals: Vec<Time>,
+    /// Arrival times of the primary outputs, in output order.
+    pub output_arrivals: Vec<Time>,
+    /// The estimated circuit delay.
+    pub delay: Time,
+    /// Refinement rounds executed.
+    pub rounds: u64,
+    /// Edge-weight reductions accepted.
+    pub refinements: u64,
+    /// Functional stability checks performed.
+    pub checks: u64,
+}
+
+/// Per-(module, output) refinement state.
+#[derive(Debug)]
+struct OutputState {
+    /// The single-output cone of this module output.
+    cone: Netlist,
+    /// For each module input: its position among the cone's inputs, or
+    /// `None` if the input does not reach this output.
+    cone_pos: Vec<Option<usize>>,
+    /// Current edge weights per module input (`−∞` = no influence).
+    weights: Vec<Time>,
+    /// Distinct path lengths per module input, descending.
+    lists: Vec<Vec<Time>>,
+    /// Cursor into `lists` per input (index of the current weight).
+    cursor: Vec<usize>,
+    /// Edges proven accurate (no further probes).
+    marked: Vec<bool>,
+}
+
+/// The Section 5 analyzer.
+///
+/// # Example
+///
+/// ```
+/// use hfta_core::DemandDrivenAnalyzer;
+/// use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+/// use hfta_netlist::Time;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = carry_skip_adder(8, 2, CsaDelays::default());
+/// let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", Default::default())?;
+/// let result = an.analyze(&vec![Time::ZERO; 17])?;
+/// assert_eq!(result.delay, Time::new(16)); // matches flat analysis
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DemandDrivenAnalyzer<'a> {
+    top: &'a Composite,
+    /// Instance order (topological) and resolved module names.
+    order: Vec<usize>,
+    /// Per distinct module name: refinement state per output index.
+    modules: HashMap<String, Vec<OutputState>>,
+    opts: DemandOptions,
+    checks: u64,
+    refinements: u64,
+}
+
+impl<'a> DemandDrivenAnalyzer<'a> {
+    /// Creates an analyzer for module `top` of `design` (depth-1
+    /// hierarchy, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unknown`] for missing/non-leaf modules
+    /// and validation errors.
+    pub fn new(
+        design: &'a Design,
+        top: &str,
+        opts: DemandOptions,
+    ) -> Result<DemandDrivenAnalyzer<'a>, NetlistError> {
+        design.validate()?;
+        let top = design
+            .composite(top)
+            .ok_or_else(|| NetlistError::Unknown {
+                what: "top-level composite module",
+                name: top.to_string(),
+            })?;
+        let order = top.instance_topo_order()?;
+        let mut modules: HashMap<String, Vec<OutputState>> = HashMap::new();
+        for inst in top.instances() {
+            if modules.contains_key(&inst.module) {
+                continue;
+            }
+            let leaf = design
+                .leaf(&inst.module)
+                .ok_or_else(|| NetlistError::Unknown {
+                    what: "leaf module (demand-driven analysis requires depth-1 hierarchy)",
+                    name: inst.module.clone(),
+                })?;
+            let mut states = Vec::with_capacity(leaf.outputs().len());
+            for &out in leaf.outputs() {
+                states.push(OutputState::new(leaf, out, &opts)?);
+            }
+            modules.insert(inst.module.clone(), states);
+        }
+        Ok(DemandDrivenAnalyzer {
+            top,
+            order,
+            modules,
+            opts,
+            checks: 0,
+            refinements: 0,
+        })
+    }
+
+    /// Runs the refinement loop to fixpoint and returns the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns netlist errors from the underlying stability analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the top-level input
+    /// count.
+    pub fn analyze(&mut self, pi_arrivals: &[Time]) -> Result<DemandAnalysis, NetlistError> {
+        assert_eq!(
+            pi_arrivals.len(),
+            self.top.inputs().len(),
+            "arrival vector length mismatch"
+        );
+        let mut rounds = 0u64;
+        loop {
+            let (arrivals, _) = self.forward(pi_arrivals);
+            let required = self.backward(&arrivals);
+            let critical = self.critical_edges(&arrivals, &required);
+            if critical.is_empty() {
+                let output_arrivals: Vec<Time> = self
+                    .top
+                    .outputs()
+                    .iter()
+                    .map(|&n| arrivals[n.index()])
+                    .collect();
+                let delay = output_arrivals
+                    .iter()
+                    .copied()
+                    .fold(Time::NEG_INF, Time::max);
+                return Ok(DemandAnalysis {
+                    net_arrivals: arrivals,
+                    output_arrivals,
+                    delay,
+                    rounds,
+                    refinements: self.refinements,
+                    checks: self.checks,
+                });
+            }
+            for (module, out_idx, in_idx) in critical {
+                self.refine(&module, out_idx, in_idx)?;
+            }
+            rounds += 1;
+            if let Some(max) = self.opts.max_rounds {
+                if rounds as usize >= max {
+                    // Mark everything: report the current (still
+                    // conservative) state.
+                    for states in self.modules.values_mut() {
+                        for s in states {
+                            s.marked.iter_mut().for_each(|m| *m = true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current weight of a module edge (for inspection/tests).
+    #[must_use]
+    pub fn edge_weight(&self, module: &str, out_idx: usize, in_idx: usize) -> Option<Time> {
+        self.modules
+            .get(module)
+            .and_then(|s| s.get(out_idx))
+            .map(|s| s.weights[in_idx])
+    }
+
+    /// A human-readable summary of what refinement did: for every
+    /// module edge whose weight was tightened below its topological
+    /// value, one line `module out<-in: topo -> refined [accurate]`.
+    /// Call after [`DemandDrivenAnalyzer::analyze`].
+    #[must_use]
+    pub fn refinement_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut names: Vec<&String> = self.modules.keys().collect();
+        names.sort();
+        let mut s = String::new();
+        for name in names {
+            for (o, st) in self.modules[name.as_str()].iter().enumerate() {
+                for (j, &w) in st.weights.iter().enumerate() {
+                    let topo = st.lists[j].first().copied().unwrap_or(Time::NEG_INF);
+                    if w < topo {
+                        let _ = writeln!(
+                            s,
+                            "{name} out{o} <- in{j}: {topo} -> {w}{}",
+                            if st.marked[j] { " [accurate]" } else { "" }
+                        );
+                    }
+                }
+            }
+        }
+        if s.is_empty() {
+            s.push_str("no edges refined (topological weights were already accurate)\n");
+        }
+        s
+    }
+
+    /// Forward arrival propagation over the timing graph. Also returns
+    /// per-instance input arrival snapshots (unused by callers today
+    /// but cheap).
+    fn forward(&self, pi_arrivals: &[Time]) -> (Vec<Time>, Vec<Vec<Time>>) {
+        let mut arrivals = vec![Time::NEG_INF; self.top.net_count()];
+        for (k, &pi) in self.top.inputs().iter().enumerate() {
+            arrivals[pi.index()] = pi_arrivals[k];
+        }
+        let mut snapshots = vec![Vec::new(); self.top.instances().len()];
+        for &idx in &self.order {
+            let inst = &self.top.instances()[idx];
+            let states = &self.modules[&inst.module];
+            let in_arr: Vec<Time> = inst.inputs.iter().map(|n| arrivals[n.index()]).collect();
+            for (o, &out_net) in inst.outputs.iter().enumerate() {
+                let mut worst = Time::NEG_INF;
+                for (j, &a) in in_arr.iter().enumerate() {
+                    let w = states[o].weights[j];
+                    if w == Time::NEG_INF {
+                        continue;
+                    }
+                    let term = if a == Time::POS_INF { Time::POS_INF } else { a + w };
+                    worst = worst.max(term);
+                }
+                arrivals[out_net.index()] = worst;
+            }
+            snapshots[idx] = in_arr;
+        }
+        (arrivals, snapshots)
+    }
+
+    /// Backward required-time propagation: the latest output arrival is
+    /// asserted at every primary output.
+    fn backward(&self, arrivals: &[Time]) -> Vec<Time> {
+        let latest = self
+            .top
+            .outputs()
+            .iter()
+            .map(|&n| arrivals[n.index()])
+            .fold(Time::NEG_INF, Time::max);
+        let mut required = vec![Time::POS_INF; self.top.net_count()];
+        for &po in self.top.outputs() {
+            required[po.index()] = required[po.index()].min(latest);
+        }
+        for &idx in self.order.iter().rev() {
+            let inst = &self.top.instances()[idx];
+            let states = &self.modules[&inst.module];
+            for (o, &out_net) in inst.outputs.iter().enumerate() {
+                let r = required[out_net.index()];
+                if r == Time::POS_INF {
+                    continue;
+                }
+                for (j, &in_net) in inst.inputs.iter().enumerate() {
+                    let w = states[o].weights[j];
+                    if w == Time::NEG_INF {
+                        continue;
+                    }
+                    required[in_net.index()] = required[in_net.index()].min(r - w);
+                }
+            }
+        }
+        required
+    }
+
+    /// Critical, unmarked, still-refinable edges, deduplicated at the
+    /// module level: `(module, output index, input index)`.
+    fn critical_edges(
+        &self,
+        arrivals: &[Time],
+        required: &[Time],
+    ) -> Vec<(String, usize, usize)> {
+        let slack_zero = |n: NetId| {
+            arrivals[n.index()].is_finite()
+                && required[n.index()].is_finite()
+                && arrivals[n.index()] == required[n.index()]
+        };
+        let mut seen = HashSet::new();
+        let mut edges = Vec::new();
+        for inst in self.top.instances() {
+            let states = &self.modules[&inst.module];
+            for (o, &out_net) in inst.outputs.iter().enumerate() {
+                if !slack_zero(out_net) {
+                    continue;
+                }
+                for (j, &in_net) in inst.inputs.iter().enumerate() {
+                    let st = &states[o];
+                    if st.marked[j] || st.weights[j] == Time::NEG_INF {
+                        continue;
+                    }
+                    if !slack_zero(in_net) {
+                        continue;
+                    }
+                    // The edge must be tight to lie on a critical path.
+                    if arrivals[in_net.index()] + st.weights[j] != arrivals[out_net.index()] {
+                        continue;
+                    }
+                    let key = (inst.module.clone(), o, j);
+                    if seen.insert(key.clone()) {
+                        edges.push(key);
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// One refinement step of edge `(module, out, in)`: probe the next
+    /// smaller distinct path length; accept or mark accurate.
+    fn refine(&mut self, module: &str, out_idx: usize, in_idx: usize) -> Result<(), NetlistError> {
+        // Determine the candidate without holding a mutable borrow.
+        let (candidate, cone_arrivals, cone_out, target_pos) = {
+            let st = &self.modules[module][out_idx];
+            debug_assert!(!st.marked[in_idx]);
+            let list = &st.lists[in_idx];
+            let next = st.cursor[in_idx] + 1;
+            let candidate = if next < list.len() {
+                Some(list[next])
+            } else if self.opts.try_irrelevant && st.weights[in_idx] != Time::NEG_INF {
+                Some(Time::NEG_INF)
+            } else {
+                None
+            };
+            let Some(candidate) = candidate else {
+                self.modules.get_mut(module).expect("exists")[out_idx].marked[in_idx] = true;
+                return Ok(());
+            };
+            // Build cone arrivals: input j arrives at −w_j, the probed
+            // input at −candidate.
+            let n_cone = st.cone.inputs().len();
+            let mut arrivals = vec![Time::POS_INF; n_cone];
+            for (j, pos) in st.cone_pos.iter().enumerate() {
+                if let Some(p) = *pos {
+                    let w = if j == in_idx { candidate } else { st.weights[j] };
+                    arrivals[p] = -w;
+                }
+            }
+            let cone_out = st.cone.outputs()[0];
+            let target = st.cone_pos[in_idx].expect("edge exists, so input reaches output");
+            (candidate, arrivals, cone_out, target)
+        };
+        let _ = target_pos;
+        self.checks += 1;
+        let st = &self.modules[module][out_idx];
+        let stable = {
+            let mut analyzer = StabilityAnalyzer::new(&st.cone, &cone_arrivals, SatAlg::new())?;
+            analyzer.is_stable_at(cone_out, Time::ZERO)
+        };
+        let st = self.modules.get_mut(module).expect("exists");
+        let st = &mut st[out_idx];
+        if stable {
+            st.weights[in_idx] = candidate;
+            if candidate == Time::NEG_INF {
+                st.marked[in_idx] = true; // nothing below −∞
+            } else {
+                st.cursor[in_idx] += 1;
+            }
+            self.refinements += 1;
+        } else {
+            st.marked[in_idx] = true;
+        }
+        Ok(())
+    }
+}
+
+impl OutputState {
+    fn new(leaf: &Netlist, out: NetId, opts: &DemandOptions) -> Result<OutputState, NetlistError> {
+        let (cone, sources) = leaf.cone(out);
+        let cone_out = cone.outputs()[0];
+        let sta = TopoSta::new(&cone)?;
+        let distinct = sta.distinct_lengths_to(cone_out, opts.lengths_cap);
+        let mut cone_pos = vec![None; leaf.inputs().len()];
+        for (p, src) in sources.iter().enumerate() {
+            let mod_pos = leaf
+                .inputs()
+                .iter()
+                .position(|pi| pi == src)
+                .expect("cone sources are primary inputs");
+            cone_pos[mod_pos] = Some(p);
+        }
+        let mut weights = Vec::with_capacity(leaf.inputs().len());
+        let mut lists = Vec::with_capacity(leaf.inputs().len());
+        for pos in &cone_pos {
+            match pos {
+                Some(p) => {
+                    let list = distinct[cone.inputs()[*p].index()].clone();
+                    weights.push(list.first().copied().unwrap_or(Time::NEG_INF));
+                    lists.push(list);
+                }
+                None => {
+                    weights.push(Time::NEG_INF);
+                    lists.push(Vec::new());
+                }
+            }
+        }
+        let n = leaf.inputs().len();
+        Ok(OutputState {
+            cone,
+            cone_pos,
+            weights,
+            lists,
+            cursor: vec![0; n],
+            marked: vec![false; n],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder, carry_skip_adder_flat, CsaDelays};
+    use hfta_netlist::partition::cascade_bipartition;
+    use hfta_netlist::gen::{random_circuit, RandomCircuitSpec};
+    use hfta_fta::functional_circuit_delay;
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn matches_flat_on_carry_skip_cascades() {
+        for n in [4usize, 8, 12] {
+            let name = format!("csa{n}.2");
+            let design = carry_skip_adder(n, 2, CsaDelays::default());
+            let mut an = DemandDrivenAnalyzer::new(&design, &name, Default::default()).unwrap();
+            let result = an.analyze(&vec![t(0); 2 * n + 1]).unwrap();
+            let flat = carry_skip_adder_flat(n, 2, CsaDelays::default()).unwrap();
+            let exact = functional_circuit_delay(&flat).unwrap();
+            assert_eq!(result.delay, exact, "n={n}");
+            assert!(result.refinements > 0);
+        }
+    }
+
+    #[test]
+    fn refines_only_critical_edges() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", Default::default()).unwrap();
+        let result = an.analyze(&[t(0); 17]).unwrap();
+        // The refined carry edge: c_in (input 0) → c_out (output 2).
+        assert_eq!(an.edge_weight("csa_block2", 2, 0), Some(t(2)));
+        // A never-critical sum edge keeps its topological weight.
+        assert_eq!(an.edge_weight("csa_block2", 0, 0), Some(t(2)));
+        assert_eq!(an.edge_weight("csa_block2", 1, 1), Some(t(6)));
+        // Only a handful of checks were needed (demand-driven!): far
+        // fewer than full characterization of all 15 pin pairs.
+        assert!(result.checks <= 12, "checks = {}", result.checks);
+        // The refinement report names exactly the refined carry edge.
+        let report = an.refinement_report();
+        assert!(report.contains("csa_block2 out2 <- in0: 6 -> 2"), "{report}");
+    }
+
+    #[test]
+    fn conservative_on_partitioned_random_logic() {
+        for seed in 0..4 {
+            let spec = RandomCircuitSpec {
+                inputs: 10,
+                gates: 80,
+                seed,
+                locality: 12,
+                global_fanin_prob: 0.2,
+                mix: Default::default(),
+            };
+            let flat = random_circuit(&format!("r{seed}"), spec);
+            let design = cascade_bipartition(&flat, 0.5).unwrap();
+            let top_name = format!("r{seed}_top");
+            let mut an =
+                DemandDrivenAnalyzer::new(&design, &top_name, Default::default()).unwrap();
+            let top = design.composite(&top_name).unwrap();
+            let result = an.analyze(&vec![t(0); top.inputs().len()]).unwrap();
+            let exact = functional_circuit_delay(&flat).unwrap();
+            assert!(
+                result.delay >= exact,
+                "seed {seed}: demand-driven {} below flat {exact}",
+                result.delay
+            );
+            // And no worse than pure topological analysis.
+            let sta = TopoSta::new(&flat).unwrap();
+            let topo = sta.circuit_delay(&vec![t(0); flat.inputs().len()]);
+            assert!(result.delay <= topo, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn max_rounds_caps_work() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let opts = DemandOptions {
+            max_rounds: Some(1),
+            ..DemandOptions::default()
+        };
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
+        let result = an.analyze(&[t(0); 17]).unwrap();
+        assert!(result.rounds <= 2);
+        // Still conservative (between flat and topological).
+        let flat = carry_skip_adder_flat(8, 2, CsaDelays::default()).unwrap();
+        let exact = functional_circuit_delay(&flat).unwrap();
+        assert!(result.delay >= exact);
+    }
+
+    #[test]
+    fn skewed_arrivals_supported() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa4.2", Default::default()).unwrap();
+        let mut arrivals = vec![t(0); 9];
+        arrivals[0] = t(5); // c_in late, as in Figure 5
+        let result = an.analyze(&arrivals).unwrap();
+        // Flat reference.
+        let flat = carry_skip_adder_flat(4, 2, CsaDelays::default()).unwrap();
+        let mut flat_arr = vec![t(0); 9];
+        flat_arr[0] = t(5);
+        let mut flat_an = hfta_fta::DelayAnalyzer::new_sat(&flat, &flat_arr).unwrap();
+        let exact = flat_an.circuit_delay();
+        assert!(result.delay >= exact);
+        assert_eq!(result.delay, exact, "accuracy preserved on this example");
+    }
+}
+
+#[cfg(test)]
+mod infinite_arrival_tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+
+    #[test]
+    fn pos_inf_arrival_flows_through() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa4.2", Default::default()).unwrap();
+        let mut arrivals = vec![Time::ZERO; 9];
+        arrivals[1] = Time::POS_INF; // a0 never arrives
+        let result = an.analyze(&arrivals).unwrap();
+        // Outputs depending on a0 never stabilize; others stay finite.
+        assert_eq!(result.output_arrivals[0], Time::POS_INF); // s0 needs a0
+        assert_eq!(result.delay, Time::POS_INF);
+        // s3 of the second block depends on the carry chain → +inf too,
+        // but the analysis itself must terminate (this assertion is the
+        // point of the test).
+        assert!(result.rounds < 100);
+    }
+
+    #[test]
+    fn neg_inf_arrival_is_benign() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa4.2", Default::default()).unwrap();
+        let mut arrivals = vec![Time::ZERO; 9];
+        arrivals[0] = Time::NEG_INF; // carry-in settled from forever
+        let result = an.analyze(&arrivals).unwrap();
+        assert!(result.delay.is_finite());
+        // a0/b0 dominate: the usual 12.
+        assert_eq!(result.delay, Time::new(12));
+    }
+}
+
+#[cfg(test)]
+mod reuse_tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder, carry_skip_adder_flat, CsaDelays};
+
+    /// The Section 3.3 benefit applies to demand-driven refinement too:
+    /// an accepted edge weight was validated by a required-time check
+    /// (inputs at the negated weights), which does not depend on the
+    /// top-level arrival condition — so refinement survives across
+    /// `analyze` calls and later analyses start from the sharpened
+    /// graph.
+    #[test]
+    fn refinement_is_reused_across_arrival_conditions() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", Default::default()).unwrap();
+        let first = an.analyze(&[Time::ZERO; 17]).unwrap();
+        assert!(first.checks > 0);
+
+        // Second condition: skewed carry-in. The carry edge is already
+        // refined, so few (often zero) new checks are needed.
+        let mut skewed = vec![Time::ZERO; 17];
+        skewed[0] = Time::new(9);
+        let checks_before = an.checks;
+        let second = an.analyze(&skewed).unwrap();
+        let new_checks = second.checks - checks_before;
+        assert!(
+            new_checks <= first.checks,
+            "reuse failed: {new_checks} new checks vs {} initially",
+            first.checks
+        );
+
+        // And the result is still sandwiched against flat analysis.
+        let flat = carry_skip_adder_flat(8, 2, CsaDelays::default()).unwrap();
+        let mut flat_an = hfta_fta::DelayAnalyzer::new_sat(&flat, &skewed).unwrap();
+        let exact = flat_an.circuit_delay();
+        assert!(second.delay >= exact);
+        let sta = TopoSta::new(&flat).unwrap();
+        assert!(second.delay <= sta.circuit_delay(&skewed));
+    }
+}
+
+impl DemandDrivenAnalyzer<'_> {
+    /// Renders the current timing graph as Graphviz `dot`: one node per
+    /// top-level net, one edge per module pin pair labelled with its
+    /// current weight. Refined edges (below topological) are drawn in
+    /// red; `−∞` edges are omitted.
+    #[must_use]
+    pub fn timing_graph_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.top.name());
+        let _ = writeln!(s, "  rankdir=LR;");
+        for &pi in self.top.inputs() {
+            let _ = writeln!(s, "  \"{}\" [shape=diamond];", self.top.net_name(pi));
+        }
+        for &po in self.top.outputs() {
+            let _ = writeln!(s, "  \"{}\" [shape=doublecircle];", self.top.net_name(po));
+        }
+        for inst in self.top.instances() {
+            let states = &self.modules[&inst.module];
+            for (o, &out_net) in inst.outputs.iter().enumerate() {
+                for (j, &in_net) in inst.inputs.iter().enumerate() {
+                    let st = &states[o];
+                    let w = st.weights[j];
+                    if w == Time::NEG_INF {
+                        continue;
+                    }
+                    let topo = st.lists[j].first().copied().unwrap_or(Time::NEG_INF);
+                    let refined = w < topo;
+                    let _ = writeln!(
+                        s,
+                        "  \"{}\" -> \"{}\" [label=\"{}:{}\"{}];",
+                        self.top.net_name(in_net),
+                        self.top.net_name(out_net),
+                        inst.name,
+                        w,
+                        if refined { ", color=red" } else { "" }
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+
+    #[test]
+    fn timing_graph_dot_marks_refined_edges() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa4.2", Default::default()).unwrap();
+        let _ = an.analyze(&[Time::ZERO; 9]).unwrap();
+        let dot = an.timing_graph_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("color=red"), "refined carry edge flagged:\n{dot}");
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

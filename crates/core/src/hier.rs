@@ -1,0 +1,501 @@
+//! The two-step hierarchical analysis (Section 3 of the paper).
+//!
+//! Step 1 characterizes every *distinct* leaf module once into a
+//! [`ModuleTiming`] (shared by all its instances — the source of the
+//! large CPU savings on regular circuits like the carry-skip adders of
+//! Table 1). Step 2 visits the instances of the top-level composite in
+//! topological order, propagating arrival times through each instance
+//! with the min–max evaluation of its output models.
+//!
+//! Theorem 1: the result is a conservative approximation of the flat
+//! XBD0 delay — never optimistic — and at least as accurate as
+//! hierarchical topological analysis. The integration test-suite checks
+//! both bounds on every workload.
+
+use std::collections::HashMap;
+
+use hfta_fta::CharacterizeOptions;
+use hfta_netlist::{Composite, Design, NetlistError, Time};
+
+use crate::module_timing::{ModelSource, ModuleTiming};
+
+/// Options for hierarchical analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HierOptions {
+    /// Where leaf models come from (functional vs topological).
+    pub source: ModelSource,
+    /// Options of the underlying required-time characterization.
+    pub characterize: CharacterizeOptions,
+}
+
+/// Work counters for the two-step analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HierStats {
+    /// Distinct leaf modules characterized (cache misses).
+    pub modules_characterized: u64,
+    /// Instances propagated through.
+    pub instances_propagated: u64,
+}
+
+/// Result of a hierarchical timing analysis.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HierAnalysis {
+    /// Arrival time of every top-level net (indexed like the
+    /// composite's nets).
+    pub net_arrivals: Vec<Time>,
+    /// Arrival times of the primary outputs, in output order.
+    pub output_arrivals: Vec<Time>,
+    /// The estimated circuit delay: the latest output arrival.
+    pub delay: Time,
+    /// Work counters.
+    pub stats: HierStats,
+}
+
+/// The two-step hierarchical analyzer.
+///
+/// # Example
+///
+/// ```
+/// use hfta_core::{HierAnalyzer, HierOptions};
+/// use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+/// use hfta_netlist::Time;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = carry_skip_adder(4, 2, CsaDelays::default());
+/// let mut hier = HierAnalyzer::new(&design, "csa4.2", HierOptions::default())?;
+/// let analysis = hier.analyze(&vec![Time::ZERO; 9])?;
+/// // The paper's Section 4 example: c4 arrives at 10.
+/// assert_eq!(*analysis.output_arrivals.last().expect("c4"), Time::new(10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HierAnalyzer<'a> {
+    design: &'a Design,
+    top: &'a Composite,
+    opts: HierOptions,
+    cache: HashMap<String, ModuleTiming>,
+    characterized: u64,
+}
+
+impl<'a> HierAnalyzer<'a> {
+    /// Creates an analyzer for module `top` of `design`.
+    ///
+    /// The analysis requires the paper's depth-1 setting: `top` must be
+    /// a composite whose instances all reference leaf modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unknown`] if `top` is missing, is not a
+    /// composite, or instantiates non-leaf modules; plus any design
+    /// validation error.
+    pub fn new(
+        design: &'a Design,
+        top: &str,
+        opts: HierOptions,
+    ) -> Result<HierAnalyzer<'a>, NetlistError> {
+        design.validate()?;
+        let top = design
+            .composite(top)
+            .ok_or_else(|| NetlistError::Unknown {
+                what: "top-level composite module",
+                name: top.to_string(),
+            })?;
+        for inst in top.instances() {
+            if design.leaf(&inst.module).is_none() {
+                return Err(NetlistError::Unknown {
+                    what: "leaf module (hierarchical analysis requires depth-1 hierarchy)",
+                    name: inst.module.clone(),
+                });
+            }
+        }
+        Ok(HierAnalyzer {
+            design,
+            top,
+            opts,
+            cache: HashMap::new(),
+            characterized: 0,
+        })
+    }
+
+    /// Step 1 for all distinct leaf modules referenced by the top
+    /// composite. [`HierAnalyzer::analyze`] calls this lazily; calling
+    /// it eagerly separates characterization cost from propagation cost
+    /// (useful for the paper's "analyze the same circuit under many
+    /// arrival-time conditions" scenario, Section 3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns characterization errors.
+    pub fn characterize_all(&mut self) -> Result<(), NetlistError> {
+        let names: Vec<String> = self
+            .top
+            .instances()
+            .iter()
+            .map(|i| i.module.clone())
+            .collect();
+        for name in names {
+            self.module_timing(&name)?;
+        }
+        Ok(())
+    }
+
+    /// Step 1 in parallel: distinct leaf modules are characterized on
+    /// scoped worker threads (characterizations are independent), then
+    /// installed into the cache. Falls back to serial work for modules
+    /// already cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first characterization error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn characterize_all_parallel(&mut self, threads: usize) -> Result<(), NetlistError> {
+        assert!(threads > 0, "need at least one thread");
+        let mut names: Vec<String> = self
+            .top
+            .instances()
+            .iter()
+            .map(|i| i.module.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names.retain(|n| !self.cache.contains_key(n));
+        if names.is_empty() {
+            return Ok(());
+        }
+        let design = self.design;
+        let opts = self.opts;
+        let results: Vec<(String, Result<ModuleTiming, NetlistError>)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in names.chunks(names.len().div_ceil(threads)) {
+                    handles.push(scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|name| {
+                                let r = match design.leaf(name) {
+                                    Some(nl) => ModuleTiming::characterize(
+                                        nl,
+                                        opts.source,
+                                        opts.characterize,
+                                    ),
+                                    None => Err(NetlistError::Unknown {
+                                        what: "leaf module",
+                                        name: name.clone(),
+                                    }),
+                                };
+                                (name.clone(), r)
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("characterization worker panicked"))
+                    .collect()
+            });
+        for (name, result) in results {
+            let timing = result?;
+            self.characterized += 1;
+            self.cache.insert(name, timing);
+        }
+        Ok(())
+    }
+
+    /// The (cached) timing abstraction of a leaf module.
+    ///
+    /// # Errors
+    ///
+    /// Returns characterization errors.
+    pub fn module_timing(&mut self, name: &str) -> Result<&ModuleTiming, NetlistError> {
+        if !self.cache.contains_key(name) {
+            let netlist = self
+                .design
+                .leaf(name)
+                .ok_or_else(|| NetlistError::Unknown {
+                    what: "leaf module",
+                    name: name.to_string(),
+                })?;
+            let timing =
+                ModuleTiming::characterize(netlist, self.opts.source, self.opts.characterize)?;
+            self.characterized += 1;
+            self.cache.insert(name.to_string(), timing);
+        }
+        Ok(&self.cache[name])
+    }
+
+    /// Injects a pre-built abstraction (e.g. a black-box IP model
+    /// loaded from text), bypassing characterization for that module.
+    pub fn install_model(&mut self, timing: ModuleTiming) {
+        self.cache.insert(timing.module().to_string(), timing);
+    }
+
+    /// Step 2: propagates the given primary-input arrivals through the
+    /// instance DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns characterization or composite-ordering errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the top-level input
+    /// count.
+    pub fn analyze(&mut self, pi_arrivals: &[Time]) -> Result<HierAnalysis, NetlistError> {
+        self.characterize_all()?;
+        let before = self.characterized;
+        let result = propagate(self.top, &self.cache, pi_arrivals)?;
+        debug_assert_eq!(before, self.characterized, "analyze must not characterize");
+        Ok(HierAnalysis {
+            stats: HierStats {
+                modules_characterized: self.characterized,
+                instances_propagated: result.stats.instances_propagated,
+            },
+            ..result
+        })
+    }
+}
+
+/// Pure step-2 propagation given a complete model table.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Unknown`] if a module's model is missing and
+/// composite-ordering errors.
+///
+/// # Panics
+///
+/// Panics if `pi_arrivals.len()` differs from the composite's input
+/// count.
+pub fn propagate(
+    top: &Composite,
+    models: &HashMap<String, ModuleTiming>,
+    pi_arrivals: &[Time],
+) -> Result<HierAnalysis, NetlistError> {
+    assert_eq!(
+        pi_arrivals.len(),
+        top.inputs().len(),
+        "arrival vector length mismatch"
+    );
+    let mut arrivals = vec![Time::NEG_INF; top.net_count()];
+    for (k, &pi) in top.inputs().iter().enumerate() {
+        arrivals[pi.index()] = pi_arrivals[k];
+    }
+    let order = top.instance_topo_order()?;
+    let mut propagated = 0u64;
+    for idx in order {
+        let inst = &top.instances()[idx];
+        let timing = models.get(&inst.module).ok_or_else(|| NetlistError::Unknown {
+            what: "timing model",
+            name: inst.module.clone(),
+        })?;
+        let in_arr: Vec<Time> = inst.inputs.iter().map(|n| arrivals[n.index()]).collect();
+        let out_times = timing.output_stable_times(&in_arr);
+        for (&net, time) in inst.outputs.iter().zip(out_times) {
+            arrivals[net.index()] = time;
+        }
+        propagated += 1;
+    }
+    let output_arrivals: Vec<Time> = top
+        .outputs()
+        .iter()
+        .map(|&n| arrivals[n.index()])
+        .collect();
+    let delay = output_arrivals
+        .iter()
+        .copied()
+        .fold(Time::NEG_INF, Time::max);
+    Ok(HierAnalysis {
+        net_arrivals: arrivals,
+        output_arrivals,
+        delay,
+        stats: HierStats {
+            modules_characterized: 0,
+            instances_propagated: propagated,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    /// The full Section 4 walkthrough: the 4-bit cascade of two 2-bit
+    /// blocks, all inputs at 0.
+    #[test]
+    fn section4_example() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut hier = HierAnalyzer::new(&design, "csa4.2", HierOptions::default()).unwrap();
+        let analysis = hier.analyze(&[t(0); 9]).unwrap();
+        let top = design.composite("csa4.2").unwrap();
+        // Intermediate carry (the paper's tmp) arrives at 8.
+        let tmp = top.find_net("c2").unwrap();
+        assert_eq!(analysis.net_arrivals[tmp.index()], t(8));
+        // c4 arrives at 10, matching flat analysis.
+        let c4 = top.find_net("c4").unwrap();
+        assert_eq!(analysis.net_arrivals[c4.index()], t(10));
+        // One distinct module characterized, two instances propagated.
+        assert_eq!(analysis.stats.modules_characterized, 1);
+        assert_eq!(analysis.stats.instances_propagated, 2);
+    }
+
+    /// Parametric claim: the last carry of an n-block cascade arrives
+    /// at 8 + 2(n−1) — "parametric analysis like this is not possible
+    /// with flat analysis".
+    #[test]
+    fn parametric_carry_formula() {
+        for blocks in 1usize..=8 {
+            let n = blocks * 2;
+            let name = format!("csa{n}.2");
+            let design = carry_skip_adder(n, 2, CsaDelays::default());
+            let mut hier = HierAnalyzer::new(&design, &name, HierOptions::default()).unwrap();
+            let analysis = hier.analyze(&vec![t(0); 2 * n + 1]).unwrap();
+            let top = design.composite(&name).unwrap();
+            let carry = top.find_net(&format!("c{n}")).unwrap();
+            assert_eq!(
+                analysis.net_arrivals[carry.index()],
+                t(8 + 2 * (blocks as i64 - 1)),
+                "blocks={blocks}"
+            );
+        }
+    }
+
+    /// Topological models give the classic (pessimistic) hierarchical
+    /// result.
+    #[test]
+    fn topological_models_are_pessimistic() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let opts = HierOptions {
+            source: ModelSource::Topological,
+            ..HierOptions::default()
+        };
+        let mut hier = HierAnalyzer::new(&design, "csa4.2", opts).unwrap();
+        let analysis = hier.analyze(&[t(0); 9]).unwrap();
+        let top = design.composite("csa4.2").unwrap();
+        let c4 = top.find_net("c4").unwrap();
+        // Topological: c2 at 8, then 6 more through the second block.
+        assert_eq!(analysis.net_arrivals[c4.index()], t(14));
+    }
+
+    /// Installing a black-box model skips characterization entirely.
+    #[test]
+    fn installed_model_bypasses_characterization() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let block = design.leaf("csa_block2").unwrap();
+        let timing = ModuleTiming::characterize(
+            block,
+            ModelSource::Functional,
+            CharacterizeOptions::default(),
+        )
+        .unwrap();
+        let mut hier = HierAnalyzer::new(&design, "csa4.2", HierOptions::default()).unwrap();
+        hier.install_model(timing);
+        let analysis = hier.analyze(&[t(0); 9]).unwrap();
+        assert_eq!(analysis.stats.modules_characterized, 0);
+        assert_eq!(analysis.delay, t(12));
+    }
+
+    #[test]
+    fn non_composite_top_rejected() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let err = HierAnalyzer::new(&design, "csa_block2", HierOptions::default()).unwrap_err();
+        assert!(matches!(err, NetlistError::Unknown { .. }));
+        let err = HierAnalyzer::new(&design, "ghost", HierOptions::default()).unwrap_err();
+        assert!(matches!(err, NetlistError::Unknown { .. }));
+    }
+
+    /// Different arrival-time conditions reuse the characterization
+    /// (Section 3.3, second scenario).
+    #[test]
+    fn characterization_shared_across_arrival_conditions() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let mut hier = HierAnalyzer::new(&design, "csa8.2", HierOptions::default()).unwrap();
+        let a1 = hier.analyze(&[t(0); 17]).unwrap();
+        let mut skewed = vec![t(0); 17];
+        skewed[0] = t(5);
+        let a2 = hier.analyze(&skewed).unwrap();
+        assert_eq!(a1.stats.modules_characterized, 1);
+        assert_eq!(a2.stats.modules_characterized, 1, "no re-characterization");
+        assert!(a2.delay >= a1.delay - t(100)); // both computed fine
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+    use hfta_netlist::{Composite, Design};
+
+    /// A design with several distinct block flavours, to give the
+    /// parallel characterizer real fan-out.
+    fn multi_flavour_design() -> Design {
+        let mut design = Design::new();
+        let flavours = [
+            CsaDelays { and_or: 1, xor: 2, mux: 2 },
+            CsaDelays { and_or: 1, xor: 3, mux: 2 },
+            CsaDelays { and_or: 2, xor: 2, mux: 3 },
+            CsaDelays { and_or: 1, xor: 2, mux: 4 },
+        ];
+        let mut top = Composite::new("mixed");
+        let mut carry = top.add_input("c_in");
+        let mut outputs_so_far = 0usize;
+        for (k, &d) in flavours.iter().enumerate() {
+            let mut block = carry_skip_block(2, d);
+            block.set_name(format!("blk{k}"));
+            design.add_leaf(block).unwrap();
+            let mut ins = vec![carry];
+            for i in 0..2 {
+                ins.push(top.add_input(format!("a{k}_{i}")));
+                ins.push(top.add_input(format!("b{k}_{i}")));
+            }
+            let s0 = top.add_net(format!("s{k}_0"));
+            let s1 = top.add_net(format!("s{k}_1"));
+            let c = top.add_net(format!("c{k}"));
+            top.add_instance(format!("u{k}"), format!("blk{k}"), &ins, &[s0, s1, c]);
+            top.mark_output(s0);
+            top.mark_output(s1);
+            outputs_so_far += 2;
+            carry = c;
+        }
+        top.mark_output(carry);
+        let _ = outputs_so_far;
+        design.add_composite(top).unwrap();
+        design
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let design = multi_flavour_design();
+        let arrivals = vec![Time::ZERO; 17];
+
+        let mut serial = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
+        let s = serial.analyze(&arrivals).unwrap();
+
+        let mut parallel = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
+        parallel.characterize_all_parallel(4).unwrap();
+        let p = parallel.analyze(&arrivals).unwrap();
+
+        assert_eq!(s.delay, p.delay);
+        assert_eq!(s.output_arrivals, p.output_arrivals);
+        assert_eq!(p.stats.modules_characterized, 4);
+    }
+
+    #[test]
+    fn parallel_skips_cached_modules() {
+        let design = multi_flavour_design();
+        let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
+        an.characterize_all_parallel(2).unwrap();
+        // Second call is a no-op.
+        an.characterize_all_parallel(2).unwrap();
+        let analysis = an.analyze(&[Time::ZERO; 17]).unwrap();
+        assert_eq!(analysis.stats.modules_characterized, 4);
+    }
+}

@@ -1,0 +1,238 @@
+//! Incremental re-analysis (Section 3.3).
+//!
+//! Once a leaf module's timing model is computed it stays valid no
+//! matter what changes elsewhere, so a module edit only requires (1)
+//! re-characterizing the edited module and (2) re-running the cheap
+//! top-level propagation. [`IncrementalAnalyzer`] owns the design and a
+//! content-hash-keyed model cache to deliver exactly that contract —
+//! compare with flat analysis, where any edit invalidates everything.
+
+use std::collections::HashMap;
+
+use hfta_netlist::{Design, Netlist, NetlistError, Time};
+
+use crate::hier::{propagate, HierAnalysis, HierOptions, HierStats};
+use crate::module_timing::ModuleTiming;
+
+/// A session of repeated analyses over an evolving design.
+///
+/// # Example
+///
+/// ```
+/// use hfta_core::IncrementalAnalyzer;
+/// use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+/// use hfta_netlist::Time;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = carry_skip_adder(8, 2, CsaDelays::default());
+/// let mut session = IncrementalAnalyzer::new(design, "csa8.2", Default::default())?;
+/// let first = session.analyze(&vec![Time::ZERO; 17])?;
+/// let again = session.analyze(&vec![Time::ZERO; 17])?;
+/// assert_eq!(first.delay, again.delay);
+/// assert_eq!(session.characterizations(), 1); // cache hit on re-run
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct IncrementalAnalyzer {
+    design: Design,
+    top: String,
+    opts: HierOptions,
+    /// Model cache keyed by module name; the hash detects edits.
+    cache: HashMap<String, (u64, ModuleTiming)>,
+    characterizations: u64,
+}
+
+impl IncrementalAnalyzer {
+    /// Creates a session for module `top` of `design` (depth-1
+    /// hierarchy).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors and [`NetlistError::Unknown`] if `top`
+    /// is missing, not a composite, or instantiates non-leaf modules.
+    pub fn new(
+        design: Design,
+        top: impl Into<String>,
+        opts: HierOptions,
+    ) -> Result<IncrementalAnalyzer, NetlistError> {
+        let top = top.into();
+        design.validate()?;
+        let composite = design
+            .composite(&top)
+            .ok_or_else(|| NetlistError::Unknown {
+                what: "top-level composite module",
+                name: top.clone(),
+            })?;
+        for inst in composite.instances() {
+            if design.leaf(&inst.module).is_none() {
+                return Err(NetlistError::Unknown {
+                    what: "leaf module (incremental analysis requires depth-1 hierarchy)",
+                    name: inst.module.clone(),
+                });
+            }
+        }
+        Ok(IncrementalAnalyzer {
+            design,
+            top,
+            opts,
+            cache: HashMap::new(),
+            characterizations: 0,
+        })
+    }
+
+    /// The current design.
+    #[must_use]
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Total characterizations performed across the session — the
+    /// number the incremental contract keeps small.
+    #[must_use]
+    pub fn characterizations(&self) -> u64 {
+        self.characterizations
+    }
+
+    /// Replaces the body of a leaf module (same name, same ports). Its
+    /// stale model is re-characterized on the next [`Self::analyze`];
+    /// all other modules' models stay valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unknown`] if no leaf of that name
+    /// exists.
+    pub fn replace_module(&mut self, netlist: Netlist) -> Result<(), NetlistError> {
+        self.design.replace_leaf(netlist)
+    }
+
+    /// Analyzes the design under the given top-level arrivals, reusing
+    /// every cached model whose module is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns characterization or propagation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the top-level input
+    /// count.
+    pub fn analyze(&mut self, pi_arrivals: &[Time]) -> Result<HierAnalysis, NetlistError> {
+        let composite = self
+            .design
+            .composite(&self.top)
+            .expect("validated in constructor");
+        // Refresh stale / missing models.
+        let mut fresh: HashMap<String, ModuleTiming> = HashMap::new();
+        for inst in composite.instances() {
+            if fresh.contains_key(&inst.module) {
+                continue;
+            }
+            let leaf = self
+                .design
+                .leaf(&inst.module)
+                .ok_or_else(|| NetlistError::Unknown {
+                    what: "leaf module",
+                    name: inst.module.clone(),
+                })?;
+            let hash = leaf.content_hash();
+            let cached = self
+                .cache
+                .get(&inst.module)
+                .filter(|(h, _)| *h == hash)
+                .map(|(_, m)| m.clone());
+            let timing = match cached {
+                Some(m) => m,
+                None => {
+                    let m =
+                        ModuleTiming::characterize(leaf, self.opts.source, self.opts.characterize)?;
+                    self.characterizations += 1;
+                    self.cache
+                        .insert(inst.module.clone(), (hash, m.clone()));
+                    m
+                }
+            };
+            fresh.insert(inst.module.clone(), timing);
+        }
+        let result = propagate(composite, &fresh, pi_arrivals)?;
+        Ok(HierAnalysis {
+            stats: HierStats {
+                modules_characterized: self.characterizations,
+                instances_propagated: result.stats.instances_propagated,
+            },
+            ..result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder, carry_skip_block, CsaDelays};
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn repeated_analysis_hits_cache() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let mut session =
+            IncrementalAnalyzer::new(design, "csa8.2", HierOptions::default()).unwrap();
+        let a = session.analyze(&[t(0); 17]).unwrap();
+        let b = session.analyze(&[t(0); 17]).unwrap();
+        assert_eq!(a.delay, b.delay);
+        assert_eq!(session.characterizations(), 1);
+        // A different arrival condition also reuses the models.
+        let mut skewed = vec![t(0); 17];
+        skewed[0] = t(9);
+        let _ = session.analyze(&skewed).unwrap();
+        assert_eq!(session.characterizations(), 1);
+    }
+
+    #[test]
+    fn module_edit_recharacterizes_only_that_module() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut session =
+            IncrementalAnalyzer::new(design, "csa4.2", HierOptions::default()).unwrap();
+        let before = session.analyze(&[t(0); 9]).unwrap();
+        assert_eq!(session.characterizations(), 1);
+
+        // Edit: a slower block (XOR/MUX delay 3 instead of 2).
+        let slower = CsaDelays {
+            and_or: 1,
+            xor: 3,
+            mux: 3,
+        };
+        let mut block = carry_skip_block(2, slower);
+        block.set_name("csa_block2");
+        session.replace_module(block).unwrap();
+        let after = session.analyze(&[t(0); 9]).unwrap();
+        assert_eq!(session.characterizations(), 2, "exactly one re-characterization");
+        assert!(after.delay > before.delay);
+    }
+
+    #[test]
+    fn unchanged_edit_is_free() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut session =
+            IncrementalAnalyzer::new(design, "csa4.2", HierOptions::default()).unwrap();
+        let _ = session.analyze(&[t(0); 9]).unwrap();
+        // "Replace" with an identical body: the content hash matches,
+        // so no recharacterization happens.
+        let mut block = carry_skip_block(2, CsaDelays::default());
+        block.set_name("csa_block2");
+        session.replace_module(block).unwrap();
+        let _ = session.analyze(&[t(0); 9]).unwrap();
+        assert_eq!(session.characterizations(), 1);
+    }
+
+    #[test]
+    fn replacing_unknown_module_fails() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut session =
+            IncrementalAnalyzer::new(design, "csa4.2", HierOptions::default()).unwrap();
+        let ghost = Netlist::new("ghost");
+        assert!(session.replace_module(ghost).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Pluggable Boolean function representations for stability analysis.
+//!
+//! The XBD0 stability recursion builds Boolean functions over the
+//! primary-input variables and asks tautology questions about them.
+//! [`BoolAlg`] abstracts the function representation so the same
+//! recursion runs over a CNF/SAT encoding (scales to large cones; the
+//! default) or over BDDs (canonical; used for cross-checking and for
+//! the exact required-time engine).
+
+use std::collections::HashMap;
+
+use hfta_bdd::{Bdd, BddManager};
+use hfta_sat::{CnfBuilder, Lit};
+
+/// A Boolean function store supporting construction and tautology
+/// checking.
+///
+/// Implementations must be *consistent*: handles returned by the
+/// constructors denote the obvious functions over the input variables
+/// created by [`BoolAlg::input`].
+pub trait BoolAlg {
+    /// Handle to a function in this representation.
+    type Repr: Copy + Eq + std::fmt::Debug;
+
+    /// The constant-true function.
+    fn top(&mut self) -> Self::Repr;
+    /// The constant-false function.
+    fn bot(&mut self) -> Self::Repr;
+    /// The projection of input variable `i`.
+    fn input(&mut self, i: usize) -> Self::Repr;
+    /// Negation.
+    fn not(&mut self, a: Self::Repr) -> Self::Repr;
+    /// Binary conjunction.
+    fn and(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+    /// Binary disjunction.
+    fn or(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+    /// Is `a` the constant-true function?
+    fn is_tautology(&mut self, a: Self::Repr) -> bool;
+    /// Is `a` satisfiable? Default: `¬a` is not a tautology.
+    fn is_satisfiable(&mut self, a: Self::Repr) -> bool {
+        let na = self.not(a);
+        !self.is_tautology(na)
+    }
+    /// If `a` is not a tautology, a countermodel: values for inputs
+    /// `0..num_inputs` under which `a` evaluates false. Returns `None`
+    /// when `a` is a tautology.
+    fn countermodel(&mut self, a: Self::Repr, num_inputs: usize) -> Option<Vec<bool>>;
+
+    /// Conjunction of a slice.
+    fn and_many(&mut self, xs: &[Self::Repr]) -> Self::Repr {
+        match xs.split_first() {
+            None => self.top(),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &x| self.and(acc, x)),
+        }
+    }
+
+    /// Disjunction of a slice.
+    fn or_many(&mut self, xs: &[Self::Repr]) -> Self::Repr {
+        match xs.split_first() {
+            None => self.bot(),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &x| self.or(acc, x)),
+        }
+    }
+}
+
+/// SAT-backed Boolean algebra: functions are Tseitin-encoded literals in
+/// a growing [`CnfBuilder`]; tautology is decided by refutation.
+///
+/// Constant folding and an operation cache keep the encoding compact
+/// when the stability recursion revisits shared subfunctions.
+#[derive(Debug, Default)]
+pub struct SatAlg {
+    cnf: CnfBuilder,
+    inputs: HashMap<usize, Lit>,
+    and_cache: HashMap<(Lit, Lit), Lit>,
+    tautology_queries: u64,
+}
+
+impl SatAlg {
+    /// Creates an empty SAT algebra.
+    #[must_use]
+    pub fn new() -> SatAlg {
+        SatAlg::default()
+    }
+
+    /// Number of tautology (SAT) queries issued so far.
+    #[must_use]
+    pub fn tautology_queries(&self) -> u64 {
+        self.tautology_queries
+    }
+
+    /// Access to the underlying CNF builder (e.g. for statistics).
+    #[must_use]
+    pub fn cnf(&self) -> &CnfBuilder {
+        &self.cnf
+    }
+}
+
+impl BoolAlg for SatAlg {
+    type Repr = Lit;
+
+    fn top(&mut self) -> Lit {
+        self.cnf.lit_true()
+    }
+
+    fn bot(&mut self) -> Lit {
+        self.cnf.lit_false()
+    }
+
+    fn input(&mut self, i: usize) -> Lit {
+        if let Some(&l) = self.inputs.get(&i) {
+            return l;
+        }
+        let l = self.cnf.new_lit();
+        self.inputs.insert(i, l);
+        l
+    }
+
+    fn not(&mut self, a: Lit) -> Lit {
+        !a
+    }
+
+    fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.top();
+        let f = self.bot();
+        if a == f || b == f || a == !b {
+            return f;
+        }
+        if a == t || a == b {
+            return b;
+        }
+        if b == t {
+            return a;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&z) = self.and_cache.get(&key) {
+            return z;
+        }
+        let z = self.cnf.emit_and(&[a, b]);
+        self.and_cache.insert(key, z);
+        z
+    }
+
+    fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and(na, nb);
+        self.not(n)
+    }
+
+    fn is_tautology(&mut self, a: Lit) -> bool {
+        self.tautology_queries += 1;
+        self.cnf.is_implied(a)
+    }
+
+    fn countermodel(&mut self, a: Lit, num_inputs: usize) -> Option<Vec<bool>> {
+        self.tautology_queries += 1;
+        match self.cnf.solve_with(&[!a]) {
+            hfta_sat::SatResult::Unsat => None,
+            hfta_sat::SatResult::Sat => Some(
+                (0..num_inputs)
+                    .map(|i| {
+                        // Inputs never queried so far are unconstrained.
+                        self.inputs
+                            .get(&i)
+                            .and_then(|&l| self.cnf.lit_model(l))
+                            .unwrap_or(false)
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// BDD-backed Boolean algebra: canonical functions, O(1) tautology.
+#[derive(Debug, Default)]
+pub struct BddAlg {
+    mgr: BddManager,
+    tautology_queries: u64,
+}
+
+impl BddAlg {
+    /// Creates an empty BDD algebra.
+    #[must_use]
+    pub fn new() -> BddAlg {
+        BddAlg::default()
+    }
+
+    /// Number of tautology queries issued so far.
+    #[must_use]
+    pub fn tautology_queries(&self) -> u64 {
+        self.tautology_queries
+    }
+
+    /// Access to the underlying manager.
+    #[must_use]
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// Mutable access to the underlying manager (e.g. to evaluate a
+    /// function on a vector).
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.mgr
+    }
+}
+
+impl BoolAlg for BddAlg {
+    type Repr = Bdd;
+
+    fn top(&mut self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    fn bot(&mut self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    fn input(&mut self, i: usize) -> Bdd {
+        self.mgr.var(u32::try_from(i).expect("input index overflow"))
+    }
+
+    fn not(&mut self, a: Bdd) -> Bdd {
+        self.mgr.not(a)
+    }
+
+    fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.mgr.and(a, b)
+    }
+
+    fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.mgr.or(a, b)
+    }
+
+    fn is_tautology(&mut self, a: Bdd) -> bool {
+        self.tautology_queries += 1;
+        self.mgr.is_tautology(a)
+    }
+
+    fn is_satisfiable(&mut self, a: Bdd) -> bool {
+        self.mgr.is_satisfiable(a)
+    }
+
+    fn countermodel(&mut self, a: Bdd, num_inputs: usize) -> Option<Vec<bool>> {
+        let na = self.mgr.not(a);
+        self.mgr
+            .pick_sat(na, u32::try_from(num_inputs).expect("input count fits"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<A: BoolAlg>(mut alg: A) {
+        let a = alg.input(0);
+        let b = alg.input(1);
+        let na = alg.not(a);
+        let a_or_na = alg.or(a, na);
+        assert!(alg.is_tautology(a_or_na));
+        let a_and_na = alg.and(a, na);
+        assert!(!alg.is_satisfiable(a_and_na));
+        let ab = alg.and(a, b);
+        let a_or_b = alg.or(a, b);
+        let nab = alg.not(ab);
+        let implies = alg.or(nab, a_or_b);
+        assert!(alg.is_tautology(implies));
+        assert!(!alg.is_tautology(ab));
+        assert!(alg.is_satisfiable(ab));
+        let t = alg.top();
+        assert!(alg.is_tautology(t));
+        let f = alg.bot();
+        assert!(!alg.is_satisfiable(f));
+        let many = alg.and_many(&[a, b, t]);
+        assert!(alg.is_satisfiable(many));
+        let none = alg.and_many(&[]);
+        assert!(alg.is_tautology(none));
+        let empty_or = alg.or_many(&[]);
+        assert!(!alg.is_satisfiable(empty_or));
+    }
+
+    #[test]
+    fn sat_alg_semantics() {
+        exercise(SatAlg::new());
+    }
+
+    #[test]
+    fn bdd_alg_semantics() {
+        exercise(BddAlg::new());
+    }
+
+    #[test]
+    fn sat_constant_folding() {
+        let mut alg = SatAlg::new();
+        let a = alg.input(0);
+        let t = alg.top();
+        let f = alg.bot();
+        assert_eq!(alg.and(a, t), a);
+        assert_eq!(alg.and(a, f), f);
+        assert_eq!(alg.and(a, a), a);
+        let na = alg.not(a);
+        assert_eq!(alg.and(a, na), f);
+        // Cache hit: same pair yields same literal.
+        let b = alg.input(1);
+        let x = alg.and(a, b);
+        let y = alg.and(b, a);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,258 @@
+//! Conditional delay models (the paper's footnote 8).
+//!
+//! "If `T_exact` is used instead of `T_approx`, one can construct the
+//! correct conditional delay (Yalcin & Hayes) of the module under the
+//! XBD0 model. In general, each output has more than one conditional
+//! delay unlike the formulation in \[9\]."
+//!
+//! A [`ConditionalModel`] maps each input vector to its Pareto frontier
+//! of valid delay tuples (vectors with identical frontiers share a
+//! case). When the surrounding environment *knows* the input vector —
+//! e.g. under a mode pin held constant — the conditional model is
+//! strictly sharper than the vector-independent one, while its
+//! worst-case over all vectors is never worse.
+
+use std::collections::HashMap;
+
+use hfta_netlist::{NetId, Netlist, Time};
+
+use crate::exact::{exact_vector_relation, ExactError, ExactOptions};
+use crate::model::TimingTuple;
+
+/// One case of a conditional model: the vectors sharing a frontier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConditionalCase {
+    /// Input vectors (bit `i` of each entry is input `i`), ascending.
+    pub vectors: Vec<u64>,
+    /// The Pareto frontier of valid delay tuples under these vectors.
+    /// More than one entry means incomparable conditional delays — the
+    /// phenomenon footnote 8 points out.
+    pub tuples: Vec<TimingTuple>,
+}
+
+/// A per-vector (conditional) timing model of one module output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConditionalModel {
+    num_inputs: usize,
+    cases: Vec<ConditionalCase>,
+    /// vector → case index.
+    index: HashMap<u64, usize>,
+}
+
+impl ConditionalModel {
+    /// Builds the conditional model of `output` by exact per-vector
+    /// required-time analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExactError::TooLarge`] for modules beyond the exact
+    /// engine's limits.
+    pub fn build(
+        netlist: &Netlist,
+        output: NetId,
+        opts: &ExactOptions,
+    ) -> Result<ConditionalModel, ExactError> {
+        let relation = exact_vector_relation(netlist, output, opts)?;
+        Ok(ConditionalModel::from_relation(
+            netlist.inputs().len(),
+            relation,
+        ))
+    }
+
+    /// Groups a per-vector relation into a conditional model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two vectors disagree on tuple arity.
+    #[must_use]
+    pub fn from_relation(
+        num_inputs: usize,
+        relation: Vec<(u64, Vec<TimingTuple>)>,
+    ) -> ConditionalModel {
+        let mut by_frontier: HashMap<Vec<TimingTuple>, Vec<u64>> = HashMap::new();
+        for (vector, tuples) in relation {
+            for t in &tuples {
+                assert_eq!(t.len(), num_inputs, "tuple arity mismatch");
+            }
+            by_frontier.entry(tuples).or_default().push(vector);
+        }
+        let mut cases: Vec<ConditionalCase> = by_frontier
+            .into_iter()
+            .map(|(tuples, mut vectors)| {
+                vectors.sort_unstable();
+                ConditionalCase { vectors, tuples }
+            })
+            .collect();
+        cases.sort_by_key(|c| c.vectors.first().copied().unwrap_or(0));
+        let mut index = HashMap::new();
+        for (i, c) in cases.iter().enumerate() {
+            for &v in &c.vectors {
+                index.insert(v, i);
+            }
+        }
+        ConditionalModel {
+            num_inputs,
+            cases,
+            index,
+        }
+    }
+
+    /// Number of module inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The distinct cases.
+    #[must_use]
+    pub fn cases(&self) -> &[ConditionalCase] {
+        &self.cases
+    }
+
+    /// The frontier for one input vector (`None` if the vector was not
+    /// in the analyzed relation — e.g. out of range).
+    #[must_use]
+    pub fn frontier(&self, vector: u64) -> Option<&[TimingTuple]> {
+        self.index
+            .get(&vector)
+            .map(|&i| self.cases[i].tuples.as_slice())
+    }
+
+    /// The output's stable time when the input *values* are known to be
+    /// `vector` and inputs arrive at `arrivals` (min–max over the
+    /// vector's frontier). [`Time::POS_INF`] for vectors with no valid
+    /// tuple (cannot happen for outputs with finite topological
+    /// arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len()` differs from the input count.
+    #[must_use]
+    pub fn stable_time_for(&self, vector: u64, arrivals: &[Time]) -> Time {
+        assert_eq!(arrivals.len(), self.num_inputs, "arrival vector length");
+        match self.frontier(vector) {
+            Some(tuples) => tuples
+                .iter()
+                .map(|t| t.eval(arrivals))
+                .fold(Time::POS_INF, Time::min),
+            None => Time::POS_INF,
+        }
+    }
+
+    /// The worst stable time over all vectors — the vector-independent
+    /// guarantee this model implies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len()` differs from the input count.
+    #[must_use]
+    pub fn stable_time_worst(&self, arrivals: &[Time]) -> Time {
+        self.cases
+            .iter()
+            .map(|c| {
+                c.tuples
+                    .iter()
+                    .map(|t| t.eval(arrivals))
+                    .fold(Time::POS_INF, Time::min)
+            })
+            .fold(Time::NEG_INF, Time::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_model;
+    use hfta_netlist::GateKind;
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    fn and2() -> (Netlist, NetId) {
+        let mut nl = Netlist::new("and2");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, b], z, 1).unwrap();
+        nl.mark_output(z);
+        (nl, z)
+    }
+
+    /// Footnote 8 made concrete: the AND gate's (0,0) case holds two
+    /// incomparable conditional delays.
+    #[test]
+    fn and_gate_conditional_cases() {
+        let (nl, z) = and2();
+        let m = ConditionalModel::build(&nl, z, &ExactOptions::default()).unwrap();
+        let f00 = m.frontier(0b00).unwrap();
+        assert_eq!(f00.len(), 2, "incomparable conditional delays");
+        let f11 = m.frontier(0b11).unwrap();
+        assert_eq!(f11, &[TimingTuple::new(vec![t(1), t(1)])]);
+        // (a=1, b=0): only b matters.
+        let f01 = m.frontier(0b01).unwrap();
+        assert_eq!(f01, &[TimingTuple::new(vec![Time::NEG_INF, t(1)])]);
+    }
+
+    /// Knowing the vector sharpens the estimate: with a known
+    /// controlling 0 on b, a's lateness is irrelevant.
+    #[test]
+    fn known_vector_beats_vector_independent() {
+        let (nl, z) = and2();
+        let m = ConditionalModel::build(&nl, z, &ExactOptions::default()).unwrap();
+        let arrivals = vec![t(100), t(0)]; // a very late
+        // Vector (a=1, b=0): output is 0 as soon as b settles.
+        assert_eq!(m.stable_time_for(0b01, &arrivals), t(1));
+        // Vector-independent must cover (1,1) too: 101.
+        let vi = exact_model(&nl, z, &ExactOptions::default()).unwrap();
+        assert_eq!(vi.stable_time(&arrivals), t(101));
+        // Worst over vectors of the conditional model agrees.
+        assert_eq!(m.stable_time_worst(&arrivals), t(101));
+    }
+
+    /// The conditional worst case is never worse than the
+    /// vector-independent exact model, on a mux example.
+    #[test]
+    fn mux_conditional_vs_independent() {
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Mux, &[s, a, b], z, 2).unwrap();
+        nl.mark_output(z);
+        let cm = ConditionalModel::build(&nl, z, &ExactOptions::default()).unwrap();
+        let vi = exact_model(&nl, z, &ExactOptions::default()).unwrap();
+        for pattern in [
+            vec![t(0), t(0), t(0)],
+            vec![t(9), t(0), t(0)],
+            vec![t(0), t(7), t(-3)],
+        ] {
+            assert!(cm.stable_time_worst(&pattern) <= vi.stable_time(&pattern));
+            // And per-vector it is at least as sharp as the worst.
+            for v in 0..8u64 {
+                assert!(cm.stable_time_for(v, &pattern) <= cm.stable_time_worst(&pattern));
+            }
+        }
+        // With s known, only the selected side matters.
+        // Vector s=1 (bit0), a=0, b=0 → a's side: late b irrelevant.
+        let arrivals = vec![t(0), t(0), t(50)];
+        assert_eq!(cm.stable_time_for(0b001, &arrivals), t(2));
+    }
+
+    #[test]
+    fn grouping_is_consistent() {
+        let (nl, z) = and2();
+        let m = ConditionalModel::build(&nl, z, &ExactOptions::default()).unwrap();
+        // Every vector 0..4 is indexed, and case vector lists are
+        // disjoint and sorted.
+        let mut seen = std::collections::HashSet::new();
+        for c in m.cases() {
+            assert!(c.vectors.windows(2).all(|w| w[0] < w[1]));
+            for &v in &c.vectors {
+                assert!(seen.insert(v));
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

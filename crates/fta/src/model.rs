@@ -1,0 +1,376 @@
+//! Timing tuples and timing models (the paper's Section 2–3).
+//!
+//! Required-time analysis of a module output yields a set of
+//! *incomparable timing tuples*: each tuple is one permissible
+//! arrival-time pattern at the module inputs under which the output is
+//! guaranteed stable by its required time. Negating required times
+//! turns a tuple into a vector of effective pin-to-pin *delays*; a
+//! [`TimingModel`] is a set of such delay tuples with dominated entries
+//! pruned.
+//!
+//! During hierarchical propagation the stable time of a module output
+//! under arrivals `a` is the paper's min–max:
+//!
+//! ```text
+//! stable(a) = min over tuples t of  max_j (a_j + t_j)
+//! ```
+//!
+//! which [`TimingModel::stable_time`] computes.
+
+use std::fmt;
+
+use hfta_netlist::Time;
+
+/// One timing tuple: an effective delay per module input.
+///
+/// An entry of [`Time::NEG_INF`] means "the stability of this input is
+/// not even required" (the paper writes `∞` for its required time).
+///
+/// # Example
+///
+/// ```
+/// use hfta_fta::TimingTuple;
+/// use hfta_netlist::Time;
+///
+/// // The paper's T_cout for the 2-bit carry-skip block.
+/// let t = TimingTuple::new(vec![
+///     Time::new(2), Time::new(8), Time::new(8), Time::new(6), Time::new(6),
+/// ]);
+/// let arrivals = vec![Time::new(8), Time::ZERO, Time::ZERO, Time::ZERO, Time::ZERO];
+/// assert_eq!(t.eval(&arrivals), Time::new(10)); // the paper's c4 = 10
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimingTuple {
+    delays: Vec<Time>,
+}
+
+impl TimingTuple {
+    /// Creates a tuple from per-input delays.
+    #[must_use]
+    pub fn new(delays: Vec<Time>) -> TimingTuple {
+        TimingTuple { delays }
+    }
+
+    /// The per-input delays.
+    #[must_use]
+    pub fn delays(&self) -> &[Time] {
+        &self.delays
+    }
+
+    /// Number of inputs covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Returns `true` for the zero-input tuple.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// The delay of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn delay(&self, i: usize) -> Time {
+        self.delays[i]
+    }
+
+    /// Returns `true` if `self` dominates `other`: every delay is at
+    /// most the corresponding delay of `other`, so `self` is at least as
+    /// accurate everywhere. (Equal tuples dominate each other.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuples have different lengths.
+    #[must_use]
+    pub fn dominates(&self, other: &TimingTuple) -> bool {
+        assert_eq!(self.len(), other.len(), "tuple length mismatch");
+        self.delays
+            .iter()
+            .zip(&other.delays)
+            .all(|(&a, &b)| a <= b)
+    }
+
+    /// The output stable time under this tuple: `max_j (a_j + d_j)`.
+    ///
+    /// Entries with delay `−∞` are skipped entirely (the input is
+    /// irrelevant, even if it never arrives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len()` differs from the tuple length.
+    #[must_use]
+    pub fn eval(&self, arrivals: &[Time]) -> Time {
+        assert_eq!(arrivals.len(), self.len(), "arrival vector length mismatch");
+        let mut worst = Time::NEG_INF;
+        for (&a, &d) in arrivals.iter().zip(&self.delays) {
+            if d == Time::NEG_INF {
+                continue;
+            }
+            if a == Time::POS_INF {
+                return Time::POS_INF;
+            }
+            worst = worst.max(a + d);
+        }
+        worst
+    }
+}
+
+impl fmt::Display for TimingTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.delays.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A timing model for one module output: a pruned set of incomparable
+/// timing tuples, evaluated by min–max during hierarchical propagation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TimingModel {
+    num_inputs: usize,
+    tuples: Vec<TimingTuple>,
+}
+
+impl TimingModel {
+    /// Builds a model from tuples, pruning dominated entries and
+    /// duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuples` is empty or the tuples have differing
+    /// lengths.
+    #[must_use]
+    pub fn from_tuples(tuples: Vec<TimingTuple>) -> TimingModel {
+        assert!(!tuples.is_empty(), "a timing model needs at least one tuple");
+        let num_inputs = tuples[0].len();
+        let mut kept: Vec<TimingTuple> = Vec::new();
+        for t in tuples {
+            assert_eq!(t.len(), num_inputs, "tuple length mismatch");
+            if kept.iter().any(|k| k.dominates(&t)) {
+                continue;
+            }
+            kept.retain(|k| !t.dominates(k));
+            kept.push(t);
+        }
+        kept.sort();
+        TimingModel { num_inputs, tuples: kept }
+    }
+
+    /// The single-tuple model of topological analysis (longest path per
+    /// pin).
+    #[must_use]
+    pub fn topological(delays: Vec<Time>) -> TimingModel {
+        TimingModel::from_tuples(vec![TimingTuple::new(delays)])
+    }
+
+    /// Number of module inputs covered.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The retained (incomparable) tuples, sorted.
+    #[must_use]
+    pub fn tuples(&self) -> &[TimingTuple] {
+        &self.tuples
+    }
+
+    /// The paper's min–max evaluation: the earliest guaranteed stable
+    /// time of the output under the given input arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len()` differs from [`Self::num_inputs`].
+    #[must_use]
+    pub fn stable_time(&self, arrivals: &[Time]) -> Time {
+        self.tuples
+            .iter()
+            .map(|t| t.eval(arrivals))
+            .fold(Time::POS_INF, Time::min)
+    }
+
+    /// The *functional slack* of input `i`: the largest extra delay that
+    /// can be added to `arrivals[i]` while the output still meets
+    /// `required`. Negative values mean the output is already late
+    /// through this input under every tuple.
+    ///
+    /// Returns [`Time::POS_INF`] when the input is irrelevant (some
+    /// satisfying tuple ignores it) and [`Time::NEG_INF`] when no tuple
+    /// can meet `required` regardless of this input.
+    ///
+    /// This reproduces the paper's Figure 5 observation: the functional
+    /// slack of `c_in` is `+1` where topological analysis reports `−3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `arrivals` has the wrong length.
+    #[must_use]
+    pub fn input_slack(&self, arrivals: &[Time], required: Time, i: usize) -> Time {
+        assert!(i < self.num_inputs, "input index out of range");
+        if required == Time::POS_INF {
+            // No deadline: any additional delay is acceptable.
+            return Time::POS_INF;
+        }
+        let mut best = Time::NEG_INF;
+        for t in &self.tuples {
+            // Lateness through the other inputs is fixed.
+            let mut others = Time::NEG_INF;
+            for (j, (&a, &d)) in arrivals.iter().zip(t.delays()).enumerate() {
+                if j == i || d == Time::NEG_INF {
+                    continue;
+                }
+                let term = if a == Time::POS_INF { Time::POS_INF } else { a + d };
+                others = others.max(term);
+            }
+            if others > required {
+                continue; // this tuple cannot meet the requirement
+            }
+            let slack = if t.delay(i) == Time::NEG_INF {
+                Time::POS_INF
+            } else {
+                required - (arrivals[i] + t.delay(i))
+            };
+            best = best.max(slack);
+        }
+        best
+    }
+}
+
+impl fmt::Display for TimingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    fn tt(vs: &[i64]) -> TimingTuple {
+        TimingTuple::new(vs.iter().map(|&v| Time::new(v)).collect())
+    }
+
+    #[test]
+    fn eval_max_plus() {
+        let tuple = tt(&[2, 8, 8, 6, 6]);
+        let arrivals = vec![t(0); 5];
+        assert_eq!(tuple.eval(&arrivals), t(8));
+        let arrivals = vec![t(8), t(0), t(0), t(0), t(0)];
+        assert_eq!(tuple.eval(&arrivals), t(10));
+    }
+
+    #[test]
+    fn eval_skips_irrelevant_inputs() {
+        let tuple = TimingTuple::new(vec![t(3), Time::NEG_INF]);
+        // Second input never arrives — still fine, it is irrelevant.
+        assert_eq!(tuple.eval(&[t(1), Time::POS_INF]), t(4));
+        // A relevant input that never arrives blocks the output.
+        let tuple = tt(&[3, 1]);
+        assert_eq!(tuple.eval(&[t(1), Time::POS_INF]), Time::POS_INF);
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(tt(&[1, 2]).dominates(&tt(&[2, 2])));
+        assert!(tt(&[1, 2]).dominates(&tt(&[1, 2])));
+        assert!(!tt(&[1, 3]).dominates(&tt(&[2, 2])));
+        assert!(TimingTuple::new(vec![Time::NEG_INF, t(5)]).dominates(&tt(&[0, 5])));
+    }
+
+    #[test]
+    fn model_prunes_dominated() {
+        let m = TimingModel::from_tuples(vec![tt(&[2, 4]), tt(&[1, 4]), tt(&[4, 1])]);
+        assert_eq!(m.tuples().len(), 2);
+        assert!(m.tuples().contains(&tt(&[1, 4])));
+        assert!(m.tuples().contains(&tt(&[4, 1])));
+    }
+
+    #[test]
+    fn model_min_max_uses_best_tuple() {
+        // The AND-gate example of Section 2 (delays, negated required
+        // times): for vector-independent use both tuples are kept.
+        let m = TimingModel::from_tuples(vec![
+            TimingTuple::new(vec![t(1), Time::NEG_INF]),
+            TimingTuple::new(vec![Time::NEG_INF, t(1)]),
+        ]);
+        // First input late, second early: the second tuple wins.
+        assert_eq!(m.stable_time(&[t(100), t(0)]), t(1));
+        assert_eq!(m.stable_time(&[t(0), t(100)]), t(1));
+    }
+
+    #[test]
+    fn paper_figure_5_slack() {
+        // T_cout = {(2, 8, 8, 6, 6)}; arr(c_in)=5, others 0; required 8.
+        let functional = TimingModel::from_tuples(vec![tt(&[2, 8, 8, 6, 6])]);
+        let arrivals = vec![t(5), t(0), t(0), t(0), t(0)];
+        assert_eq!(functional.stable_time(&arrivals), t(8));
+        assert_eq!(functional.input_slack(&arrivals, t(8), 0), t(1));
+        // Topological model says −3.
+        let topo = TimingModel::topological(vec![t(6), t(8), t(8), t(6), t(6)]);
+        assert_eq!(topo.input_slack(&arrivals, t(8), 0), t(-3));
+    }
+
+    #[test]
+    fn slack_of_irrelevant_input_is_inf() {
+        let m = TimingModel::from_tuples(vec![TimingTuple::new(vec![Time::NEG_INF, t(2)])]);
+        assert_eq!(m.input_slack(&[t(0), t(0)], t(5), 0), Time::POS_INF);
+        assert_eq!(m.input_slack(&[t(0), t(0)], t(5), 1), t(3));
+    }
+
+    #[test]
+    fn slack_neg_inf_when_unmeetable() {
+        let m = TimingModel::from_tuples(vec![tt(&[2, 2])]);
+        // Other input alone is already too late.
+        assert_eq!(m.input_slack(&[t(0), t(10)], t(5), 0), Time::NEG_INF);
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = TimingModel::from_tuples(vec![TimingTuple::new(vec![t(2), Time::NEG_INF])]);
+        assert_eq!(m.to_string(), "{(2, -inf)}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn empty_model_rejected() {
+        let _ = TimingModel::from_tuples(vec![]);
+    }
+}
+
+#[cfg(test)]
+mod slack_edge_tests {
+    use super::*;
+
+    /// Regression: input_slack with an unbounded requirement must not
+    /// panic even when the probed arrival is +inf.
+    #[test]
+    fn unbounded_requirement_gives_infinite_slack() {
+        let m = TimingModel::from_tuples(vec![TimingTuple::new(vec![
+            Time::new(2),
+            Time::new(3),
+        ])]);
+        let arrivals = vec![Time::POS_INF, Time::ZERO];
+        assert_eq!(m.input_slack(&arrivals, Time::POS_INF, 0), Time::POS_INF);
+    }
+}

@@ -1,0 +1,385 @@
+//! Approximate required-time analysis (Kukimoto & Brayton, DAC 1997) —
+//! the leaf-module characterization engine.
+//!
+//! Given a module output with required time 0, the analysis finds
+//! maximal (loosest) tuples of input required times under which the
+//! output is still guaranteed stable, expressed as delay tuples (the
+//! negated required times). The approximate algorithm follows the
+//! paper: starting from the topological tuple, each input's delay is
+//! relaxed down the list of *distinct topological path lengths* (then,
+//! optionally, to `−∞` — "not needed at all"), each step validated by
+//! a full XBD0 stability check. Monotone speedup makes each walk
+//! monotone, so the first failure stops it.
+//!
+//! Several greedy passes seeded from different inputs yield the
+//! incomparable tuples the paper exploits (`T` may hold more than one
+//! tuple); dominated results are pruned by
+//! [`TimingModel::from_tuples`].
+
+use hfta_netlist::{NetId, Netlist, NetlistError, Time};
+
+use crate::boolalg::SatAlg;
+use crate::model::{TimingModel, TimingTuple};
+use crate::stability::StabilityAnalyzer;
+use crate::sta::TopoSta;
+
+/// Options for the approximate characterization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CharacterizeOptions {
+    /// Number of greedy relaxation passes (each seeded from a different
+    /// most-critical input). More passes can discover more incomparable
+    /// tuples at proportional cost. `1` reproduces the single-tuple
+    /// models of the paper's Section 4 example.
+    pub max_tuples: usize,
+    /// Cap on the per-pin distinct path-length lists (longest kept).
+    pub lengths_cap: usize,
+    /// Whether to attempt the final relaxation to `−∞` ("input not
+    /// needed at all").
+    pub try_irrelevant: bool,
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> CharacterizeOptions {
+        CharacterizeOptions {
+            max_tuples: 4,
+            lengths_cap: 32,
+            try_irrelevant: true,
+        }
+    }
+}
+
+/// The topological delay tuple of `output`: longest path from every
+/// primary input ([`Time::NEG_INF`] for inputs with no path).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+pub fn topological_delays(netlist: &Netlist, output: NetId) -> Result<Vec<Time>, NetlistError> {
+    let sta = TopoSta::new(netlist)?;
+    let long = sta.longest_to(output);
+    Ok(netlist.inputs().iter().map(|pi| long[pi.index()]).collect())
+}
+
+/// Characterizes module outputs into [`TimingModel`]s via repeated
+/// functional timing analysis.
+///
+/// # Example
+///
+/// ```
+/// use hfta_fta::{Characterizer, CharacterizeOptions};
+/// use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+/// use hfta_netlist::Time;
+///
+/// # fn main() -> Result<(), hfta_netlist::NetlistError> {
+/// let block = carry_skip_block(2, CsaDelays::default());
+/// let mut ch = Characterizer::new(&block, CharacterizeOptions::default());
+/// let c_out = block.find_net("c_out").expect("exists");
+/// let model = ch.output_model(c_out)?;
+/// // The paper's T_cout = {(2, 8, 8, 6, 6)}: the c_in→c_out false path
+/// // is captured (topological delay would be 6).
+/// assert_eq!(model.tuples()[0].delay(0), Time::new(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Characterizer<'a> {
+    netlist: &'a Netlist,
+    opts: CharacterizeOptions,
+    checks: u64,
+}
+
+impl<'a> Characterizer<'a> {
+    /// Creates a characterizer for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, opts: CharacterizeOptions) -> Characterizer<'a> {
+        Characterizer {
+            netlist,
+            opts,
+            checks: 0,
+        }
+    }
+
+    /// Number of stability (validity) checks performed so far.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// The timing model of one output over the module's full input
+    /// list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn output_model(&mut self, output: NetId) -> Result<TimingModel, NetlistError> {
+        let (cone, sources) = self.netlist.cone(output);
+        let cone_out = cone.outputs()[0];
+        let n_cone = cone.inputs().len();
+        if n_cone == 0 {
+            // Constant cone: no input matters.
+            let full = vec![Time::NEG_INF; self.netlist.inputs().len()];
+            return Ok(TimingModel::from_tuples(vec![TimingTuple::new(full)]));
+        }
+        let sta = TopoSta::new(&cone)?;
+        let distinct = sta.distinct_lengths_to(cone_out, self.opts.lengths_cap);
+        let lists: Vec<Vec<Time>> = cone
+            .inputs()
+            .iter()
+            .map(|pi| distinct[pi.index()].clone())
+            .collect();
+        let topo: Vec<Time> = lists
+            .iter()
+            .map(|l| l.first().copied().unwrap_or(Time::NEG_INF))
+            .collect();
+
+        // Input order by descending criticality (topological delay).
+        let mut by_criticality: Vec<usize> = (0..n_cone).collect();
+        by_criticality.sort_by(|&a, &b| topo[b].cmp(&topo[a]));
+
+        let passes = self.opts.max_tuples.max(1).min(n_cone);
+        let mut tuples = Vec::with_capacity(passes + 1);
+        for seed in 0..passes {
+            let mut order = by_criticality.clone();
+            order.rotate_left(seed);
+            tuples.push(self.greedy_pass(&cone, cone_out, &lists, &topo, &order)?);
+        }
+        // The topological tuple is always valid; keep it as a floor (it
+        // will be pruned if any pass improved on it).
+        tuples.push(TimingTuple::new(topo));
+
+        // Expand cone tuples to the module's full input list.
+        let positions: Vec<usize> = sources
+            .iter()
+            .map(|src| {
+                self.netlist
+                    .inputs()
+                    .iter()
+                    .position(|pi| pi == src)
+                    .expect("cone sources are primary inputs")
+            })
+            .collect();
+        let full_len = self.netlist.inputs().len();
+        let expanded = tuples
+            .into_iter()
+            .map(|t| {
+                let mut full = vec![Time::NEG_INF; full_len];
+                for (i, &p) in positions.iter().enumerate() {
+                    full[p] = t.delay(i);
+                }
+                TimingTuple::new(full)
+            })
+            .collect();
+        Ok(TimingModel::from_tuples(expanded))
+    }
+
+    /// One greedy relaxation pass over the cone inputs in `order`.
+    fn greedy_pass(
+        &mut self,
+        cone: &Netlist,
+        cone_out: NetId,
+        lists: &[Vec<Time>],
+        topo: &[Time],
+        order: &[usize],
+    ) -> Result<TimingTuple, NetlistError> {
+        let mut delays: Vec<Time> = topo.to_vec();
+        for &i in order {
+            let list = &lists[i];
+            let mut reached_bottom = true;
+            for &l in &list[1..] {
+                let mut candidate = delays.clone();
+                candidate[i] = l;
+                if self.tuple_is_valid(cone, cone_out, &candidate)? {
+                    delays[i] = l;
+                } else {
+                    reached_bottom = false;
+                    break;
+                }
+            }
+            if reached_bottom && self.opts.try_irrelevant {
+                let mut candidate = delays.clone();
+                candidate[i] = Time::NEG_INF;
+                if self.tuple_is_valid(cone, cone_out, &candidate)? {
+                    delays[i] = Time::NEG_INF;
+                }
+            }
+        }
+        Ok(TimingTuple::new(delays))
+    }
+
+    /// Validity oracle: with required time 0 at the output and inputs
+    /// arriving at `−delay`, is the output stable at 0?
+    fn tuple_is_valid(
+        &mut self,
+        cone: &Netlist,
+        cone_out: NetId,
+        delays: &[Time],
+    ) -> Result<bool, NetlistError> {
+        self.checks += 1;
+        let arrivals: Vec<Time> = delays.iter().map(|&d| -d).collect();
+        let mut analyzer = StabilityAnalyzer::new(cone, &arrivals, SatAlg::new())?;
+        Ok(analyzer.is_stable_at(cone_out, Time::ZERO))
+    }
+}
+
+/// Convenience: characterizes every output of a module.
+///
+/// Returns one model per primary output, in output order.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+pub fn characterize_module(
+    netlist: &Netlist,
+    opts: CharacterizeOptions,
+) -> Result<Vec<TimingModel>, NetlistError> {
+    let mut ch = Characterizer::new(netlist, opts);
+    netlist
+        .outputs()
+        .iter()
+        .map(|&o| ch.output_model(o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+    use hfta_netlist::GateKind;
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    /// Section 4 of the paper: the timing models of the 2-bit
+    /// carry-skip block, inputs ordered c_in < a0 < b0 < a1 < b1.
+    #[test]
+    fn paper_models_for_carry_skip_block() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let models = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
+        // T_s0 = {(2, 4, 4, −∞, −∞)} (topological).
+        let s0 = &models[0];
+        assert_eq!(
+            s0.tuples(),
+            &[TimingTuple::new(vec![
+                t(2),
+                t(4),
+                t(4),
+                Time::NEG_INF,
+                Time::NEG_INF
+            ])]
+        );
+        // T_s1 = {(4, 6, 6, 4, 4)} (topological).
+        let s1 = &models[1];
+        assert_eq!(
+            s1.tuples(),
+            &[TimingTuple::new(vec![t(4), t(6), t(6), t(4), t(4)])]
+        );
+        // T_cout = {(2, 8, 8, 6, 6)}: more accurate than topological
+        // (the longest c_in→c_out path has length 6).
+        let cout = &models[2];
+        assert_eq!(
+            cout.tuples(),
+            &[TimingTuple::new(vec![t(2), t(8), t(8), t(6), t(6)])]
+        );
+    }
+
+    /// Models are conservative: for random arrival patterns the min–max
+    /// stable time is never earlier than the true functional delay.
+    #[test]
+    fn model_is_conservative_vs_flat() {
+        use crate::delay::DelayAnalyzer;
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let models = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
+        let patterns: Vec<Vec<Time>> = vec![
+            vec![t(0); 5],
+            vec![t(8), t(0), t(0), t(0), t(0)],
+            vec![t(5), t(0), t(0), t(0), t(0)],
+            vec![t(0), t(3), t(1), t(-2), t(7)],
+            vec![t(-4), t(2), t(2), t(9), t(0)],
+        ];
+        for arrivals in patterns {
+            let mut flat = DelayAnalyzer::new_sat(&nl, &arrivals).unwrap();
+            for (k, &out) in nl.outputs().iter().enumerate() {
+                let exact = flat.output_arrival(out);
+                let modeled = models[k].stable_time(&arrivals);
+                assert!(
+                    modeled >= exact,
+                    "model optimistic for {} under {:?}: {} < {}",
+                    nl.net_name(out),
+                    arrivals,
+                    modeled,
+                    exact
+                );
+            }
+        }
+    }
+
+    /// The AND-gate warm-up: the vector-independent approximate model
+    /// cannot drop either input (the paper's incomparable tuples are
+    /// per-vector), so it equals topological.
+    #[test]
+    fn and_gate_approximate_model() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, b], z, 1).unwrap();
+        nl.mark_output(z);
+        let models = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
+        assert_eq!(models[0].tuples(), &[TimingTuple::new(vec![t(1), t(1)])]);
+    }
+
+    /// An input that is functionally irrelevant relaxes to −∞.
+    #[test]
+    fn irrelevant_input_dropped() {
+        // z = Mux(s, a, a): s is irrelevant (consensus).
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Mux, &[s, a, a], z, 2).unwrap();
+        nl.mark_output(z);
+        let models = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
+        assert_eq!(
+            models[0].tuples(),
+            &[TimingTuple::new(vec![Time::NEG_INF, t(2)])]
+        );
+    }
+
+    #[test]
+    fn constant_output_has_all_neg_inf() {
+        let mut nl = Netlist::new("m");
+        let _a = nl.add_input("a");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Const1, &[], z, 1).unwrap();
+        nl.mark_output(z);
+        let models = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
+        assert_eq!(
+            models[0].tuples(),
+            &[TimingTuple::new(vec![Time::NEG_INF])]
+        );
+    }
+
+    #[test]
+    fn checks_are_counted() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let mut ch = Characterizer::new(&nl, CharacterizeOptions::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        let _ = ch.output_model(c_out).unwrap();
+        assert!(ch.checks() > 0);
+    }
+
+    /// max_tuples = 1 reproduces the paper's single-tuple models.
+    #[test]
+    fn single_pass_option() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let opts = CharacterizeOptions {
+            max_tuples: 1,
+            ..CharacterizeOptions::default()
+        };
+        let models = characterize_module(&nl, opts).unwrap();
+        for m in &models {
+            assert_eq!(m.tuples().len(), 1);
+        }
+    }
+}

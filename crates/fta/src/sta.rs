@@ -1,0 +1,396 @@
+//! Topological (function-free) static timing analysis.
+//!
+//! Topological STA assumes every path propagates an event — the
+//! baseline the paper improves on, and also the scaffolding the
+//! functional analyses are built from: arrival/required propagation,
+//! slacks, per-pin longest/shortest paths, and the *distinct path
+//! length* lists that drive the demand-driven refinement of Section 5.
+
+use hfta_netlist::{GateId, NetId, Netlist, NetlistError, Time};
+
+/// Cached topological view of a netlist for repeated timing queries.
+#[derive(Debug)]
+pub struct TopoSta<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+}
+
+impl<'a> TopoSta<'a> {
+    /// Prepares the analysis (topological sort).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn new(netlist: &'a Netlist) -> Result<TopoSta<'a>, NetlistError> {
+        let order = netlist.topo_gates()?;
+        Ok(TopoSta { netlist, order })
+    }
+
+    /// The analyzed netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Propagates arrival times from primary inputs to all nets.
+    ///
+    /// `pi_arrivals[k]` is the arrival time of the `k`-th primary
+    /// input. Undriven internal nets and constant gates report
+    /// [`Time::NEG_INF`] plus gate delays (constants are stable from the
+    /// beginning of time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    #[must_use]
+    pub fn arrival_times(&self, pi_arrivals: &[Time]) -> Vec<Time> {
+        assert_eq!(
+            pi_arrivals.len(),
+            self.netlist.inputs().len(),
+            "arrival vector length mismatch"
+        );
+        let mut arr = vec![Time::NEG_INF; self.netlist.net_count()];
+        for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+            arr[pi.index()] = pi_arrivals[k];
+        }
+        for &g in &self.order {
+            let gate = self.netlist.gate(g);
+            let worst = gate
+                .inputs
+                .iter()
+                .map(|n| arr[n.index()])
+                .fold(Time::NEG_INF, Time::max);
+            arr[gate.output.index()] = worst + Time::from(gate.delay);
+        }
+        arr
+    }
+
+    /// Propagates required times from primary outputs back to all nets.
+    ///
+    /// `po_required[k]` is the required time of the `k`-th primary
+    /// output. Nets that reach no constrained output report
+    /// [`Time::POS_INF`] (no requirement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `po_required.len()` differs from the output count.
+    #[must_use]
+    pub fn required_times(&self, po_required: &[Time]) -> Vec<Time> {
+        assert_eq!(
+            po_required.len(),
+            self.netlist.outputs().len(),
+            "required vector length mismatch"
+        );
+        let mut req = vec![Time::POS_INF; self.netlist.net_count()];
+        for (k, &po) in self.netlist.outputs().iter().enumerate() {
+            req[po.index()] = req[po.index()].min(po_required[k]);
+        }
+        for &g in self.order.iter().rev() {
+            let gate = self.netlist.gate(g);
+            let r = req[gate.output.index()];
+            if r == Time::POS_INF {
+                continue;
+            }
+            let at_input = r - Time::from(gate.delay);
+            for &inp in &gate.inputs {
+                req[inp.index()] = req[inp.index()].min(at_input);
+            }
+        }
+        req
+    }
+
+    /// Slack per net: `required − arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have the wrong length.
+    #[must_use]
+    pub fn slacks(&self, arrivals: &[Time], required: &[Time]) -> Vec<Time> {
+        assert_eq!(arrivals.len(), self.netlist.net_count());
+        assert_eq!(required.len(), self.netlist.net_count());
+        arrivals
+            .iter()
+            .zip(required)
+            .map(|(&a, &r)| {
+                if a == Time::NEG_INF || r == Time::POS_INF {
+                    Time::POS_INF
+                } else {
+                    r - a
+                }
+            })
+            .collect()
+    }
+
+    /// The topological delay of the circuit: latest output arrival when
+    /// all inputs arrive at the given times.
+    #[must_use]
+    pub fn circuit_delay(&self, pi_arrivals: &[Time]) -> Time {
+        let arr = self.arrival_times(pi_arrivals);
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|o| arr[o.index()])
+            .fold(Time::NEG_INF, Time::max)
+    }
+
+    /// Longest path delay from every net to `target` (suffix
+    /// distances). Nets with no path to `target` report
+    /// [`Time::NEG_INF`]; `target` itself reports zero.
+    #[must_use]
+    pub fn longest_to(&self, target: NetId) -> Vec<Time> {
+        let mut dist = vec![Time::NEG_INF; self.netlist.net_count()];
+        dist[target.index()] = Time::ZERO;
+        for &g in self.order.iter().rev() {
+            let gate = self.netlist.gate(g);
+            let d = dist[gate.output.index()];
+            if d == Time::NEG_INF {
+                continue;
+            }
+            let through = d + Time::from(gate.delay);
+            for &inp in &gate.inputs {
+                dist[inp.index()] = dist[inp.index()].max(through);
+            }
+        }
+        dist
+    }
+
+    /// Shortest path delay from every net to `target`. Nets with no
+    /// path report [`Time::POS_INF`]; `target` reports zero.
+    #[must_use]
+    pub fn shortest_to(&self, target: NetId) -> Vec<Time> {
+        let mut dist = vec![Time::POS_INF; self.netlist.net_count()];
+        dist[target.index()] = Time::ZERO;
+        for &g in self.order.iter().rev() {
+            let gate = self.netlist.gate(g);
+            let d = dist[gate.output.index()];
+            if d == Time::POS_INF {
+                continue;
+            }
+            let through = d + Time::from(gate.delay);
+            for &inp in &gate.inputs {
+                dist[inp.index()] = dist[inp.index()].min(through);
+            }
+        }
+        dist
+    }
+
+    /// Distinct path lengths from every net to `target`, descending,
+    /// truncated to the `cap` longest values per net.
+    ///
+    /// These lists drive the paper's Section 5 refinement: the
+    /// effective delay of a critical module edge is probed one distinct
+    /// topological length at a time.
+    #[must_use]
+    pub fn distinct_lengths_to(&self, target: NetId, cap: usize) -> Vec<Vec<Time>> {
+        let mut lens: Vec<Vec<Time>> = vec![Vec::new(); self.netlist.net_count()];
+        lens[target.index()] = vec![Time::ZERO];
+        for &g in self.order.iter().rev() {
+            let gate = self.netlist.gate(g);
+            if lens[gate.output.index()].is_empty() {
+                continue;
+            }
+            let out_lens = lens[gate.output.index()].clone();
+            let d = Time::from(gate.delay);
+            for &inp in &gate.inputs {
+                let merged = merge_descending(&lens[inp.index()], &out_lens, d, cap);
+                lens[inp.index()] = merged;
+            }
+        }
+        lens
+    }
+
+    /// One topologically critical path from a primary input to
+    /// `target` under the given arrivals, as a list of nets from input
+    /// to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target`'s arrival is `−∞` (no driving logic).
+    #[must_use]
+    pub fn critical_path(&self, arrivals: &[Time], target: NetId) -> Vec<NetId> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(g) = self.netlist.driver(cur) {
+            let gate = self.netlist.gate(g);
+            let need = arrivals[cur.index()] - Time::from(gate.delay);
+            let prev = gate
+                .inputs
+                .iter()
+                .copied()
+                .find(|n| arrivals[n.index()] == need)
+                .expect("some input realizes the arrival time");
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Merges `existing` (descending) with `incoming + offset` (descending),
+/// dedups, keeps the `cap` largest.
+fn merge_descending(existing: &[Time], incoming: &[Time], offset: Time, cap: usize) -> Vec<Time> {
+    let mut merged = Vec::with_capacity(existing.len() + incoming.len());
+    let mut i = 0;
+    let mut j = 0;
+    while merged.len() < cap && (i < existing.len() || j < incoming.len()) {
+        let a = existing.get(i).copied().unwrap_or(Time::NEG_INF);
+        let b = incoming
+            .get(j)
+            .map(|&t| t + offset)
+            .unwrap_or(Time::NEG_INF);
+        if a == Time::NEG_INF && b == Time::NEG_INF {
+            break;
+        }
+        if a >= b {
+            if a > b {
+                i += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+            if merged.last() != Some(&a) {
+                merged.push(a);
+            }
+        } else {
+            j += 1;
+            if merged.last() != Some(&b) {
+                merged.push(b);
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_netlist::GateKind;
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    /// c = AND(a,b) d1; z = XOR(c, a) d2 — reconvergent.
+    fn diamond() -> Netlist {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_net("c");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, b], c, 1).unwrap();
+        nl.add_gate(GateKind::Xor, &[c, a], z, 2).unwrap();
+        nl.mark_output(z);
+        nl
+    }
+
+    #[test]
+    fn arrivals_take_longest_path() {
+        let nl = diamond();
+        let sta = TopoSta::new(&nl).unwrap();
+        let arr = sta.arrival_times(&[t(0), t(0)]);
+        let z = nl.find_net("z").unwrap();
+        let c = nl.find_net("c").unwrap();
+        assert_eq!(arr[c.index()], t(1));
+        assert_eq!(arr[z.index()], t(3));
+        assert_eq!(sta.circuit_delay(&[t(0), t(0)]), t(3));
+        // Skewed arrivals.
+        assert_eq!(sta.circuit_delay(&[t(5), t(0)]), t(8));
+    }
+
+    #[test]
+    fn required_times_back_propagate() {
+        let nl = diamond();
+        let sta = TopoSta::new(&nl).unwrap();
+        let req = sta.required_times(&[t(0)]);
+        let a = nl.find_net("a").unwrap();
+        let b = nl.find_net("b").unwrap();
+        let c = nl.find_net("c").unwrap();
+        assert_eq!(req[c.index()], t(-2));
+        // a reaches z via XOR directly (-2) and via AND (-3): min.
+        assert_eq!(req[a.index()], t(-3));
+        assert_eq!(req[b.index()], t(-3));
+    }
+
+    #[test]
+    fn slack_zero_on_critical_path() {
+        let nl = diamond();
+        let sta = TopoSta::new(&nl).unwrap();
+        let arr = sta.arrival_times(&[t(0), t(0)]);
+        let req = sta.required_times(&[t(3)]);
+        let slacks = sta.slacks(&arr, &req);
+        let a = nl.find_net("a").unwrap();
+        let z = nl.find_net("z").unwrap();
+        assert_eq!(slacks[a.index()], t(0));
+        assert_eq!(slacks[z.index()], t(0));
+    }
+
+    #[test]
+    fn longest_and_shortest_suffix() {
+        let nl = diamond();
+        let sta = TopoSta::new(&nl).unwrap();
+        let z = nl.find_net("z").unwrap();
+        let a = nl.find_net("a").unwrap();
+        let b = nl.find_net("b").unwrap();
+        let long = sta.longest_to(z);
+        let short = sta.shortest_to(z);
+        assert_eq!(long[a.index()], t(3)); // via AND then XOR
+        assert_eq!(short[a.index()], t(2)); // direct into XOR
+        assert_eq!(long[b.index()], t(3));
+        assert_eq!(short[b.index()], t(3));
+        assert_eq!(long[z.index()], Time::ZERO);
+    }
+
+    #[test]
+    fn distinct_lengths_descending() {
+        let nl = diamond();
+        let sta = TopoSta::new(&nl).unwrap();
+        let z = nl.find_net("z").unwrap();
+        let a = nl.find_net("a").unwrap();
+        let lens = sta.distinct_lengths_to(z, 16);
+        assert_eq!(lens[a.index()], vec![t(3), t(2)]);
+        // Capping keeps the largest.
+        let lens = sta.distinct_lengths_to(z, 1);
+        assert_eq!(lens[a.index()], vec![t(3)]);
+    }
+
+    #[test]
+    fn critical_path_traced() {
+        let nl = diamond();
+        let sta = TopoSta::new(&nl).unwrap();
+        let z = nl.find_net("z").unwrap();
+        let arr = sta.arrival_times(&[t(0), t(0)]);
+        let path = sta.critical_path(&arr, z);
+        let names: Vec<&str> = path.iter().map(|&n| nl.net_name(n)).collect();
+        assert_eq!(names.last(), Some(&"z"));
+        assert_eq!(names[0], "a"); // either PI works; a found first via AND
+        assert!(names.contains(&"c"));
+    }
+
+    #[test]
+    fn neg_inf_arrival_means_always_there() {
+        let nl = diamond();
+        let sta = TopoSta::new(&nl).unwrap();
+        let delay = sta.circuit_delay(&[Time::NEG_INF, t(0)]);
+        // b at 0 through AND (1) then XOR (2) = 3; a contributes nothing.
+        assert_eq!(delay, t(3));
+    }
+
+    #[test]
+    fn unconstrained_net_has_inf_slack() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_net("z");
+        let dangle = nl.add_net("dangle");
+        nl.add_gate(GateKind::Not, &[a], z, 1).unwrap();
+        nl.add_gate(GateKind::Not, &[b], dangle, 1).unwrap();
+        nl.mark_output(z);
+        let sta = TopoSta::new(&nl).unwrap();
+        let arr = sta.arrival_times(&[t(0), t(0)]);
+        let req = sta.required_times(&[t(5)]);
+        let slacks = sta.slacks(&arr, &req);
+        assert_eq!(slacks[dangle.index()], Time::POS_INF);
+        assert_eq!(slacks[z.index()], t(4));
+    }
+}

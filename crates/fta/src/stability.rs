@@ -1,0 +1,533 @@
+//! XBD0 stability characteristic functions.
+//!
+//! The fundamental query of functional timing analysis: *is net `n`
+//! guaranteed stable by time `t`, for every input vector, given the
+//! primary-input arrival times?* Following the XBD0 delay model (McGeer,
+//! Saldanha, Brayton, Sangiovanni-Vincentelli), we compute two
+//! characteristic functions per (net, time) pair:
+//!
+//! * `S1(n, t)` — the set of input vectors under which `n` is stable at
+//!   value 1 by time `t`;
+//! * `S0(n, t)` — likewise for value 0.
+//!
+//! For a primary input with arrival `a`: `S1 = x` if `t ≥ a` else `⊥`.
+//! For a gate with delay `d` the functions follow the *all primes* rule
+//! — e.g. for `z = Mux(s, a, b) = s·a + s̄·b` the primes of the function
+//! are `{s·a, s̄·b, a·b}` (including the consensus term), giving
+//!
+//! ```text
+//! S1(z,t) = S1(s,t−d)·S1(a,t−d) + S0(s,t−d)·S1(b,t−d) + S1(a,t−d)·S1(b,t−d)
+//! ```
+//!
+//! The consensus term is what gives XBD0 the *monotone speedup*
+//! property: earlier inputs can never destabilize an output, so
+//! stability is monotone in `t` and delays can be binary searched.
+//!
+//! `n` is stable at `t` iff `S0(n,t) ∨ S1(n,t)` is a tautology, decided
+//! by the pluggable [`BoolAlg`] backend.
+
+use std::collections::HashMap;
+
+use hfta_netlist::{GateKind, NetId, Netlist, NetlistError, Time};
+
+use crate::boolalg::BoolAlg;
+use crate::sta::TopoSta;
+
+/// Work counters for a [`StabilityAnalyzer`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StabilityStats {
+    /// Number of `is_stable_at` queries answered.
+    pub queries: u64,
+    /// Queries answered by the topological upper bound without touching
+    /// the Boolean backend.
+    pub topological_hits: u64,
+    /// Number of (net, time) pairs whose characteristic functions were
+    /// built.
+    pub nodes_built: u64,
+}
+
+/// Builds and queries XBD0 stability functions for one netlist under
+/// fixed primary-input arrival times.
+///
+/// The analyzer memoizes characteristic functions per `(net, time)`
+/// pair, so repeated queries (the binary search of delay computation,
+/// the probes of required-time analysis) share work.
+#[derive(Debug)]
+pub struct StabilityAnalyzer<'a, A: BoolAlg> {
+    netlist: &'a Netlist,
+    alg: A,
+    /// Arrival time per primary input (by input position).
+    arrivals: Vec<Time>,
+    /// Maps nets to primary-input positions.
+    pi_position: Vec<Option<usize>>,
+    /// Topological arrival time per net (stability upper bound).
+    topo_arrival: Vec<Time>,
+    /// Earliest conceivable stabilization per net (lower-bound prune).
+    earliest: Vec<Time>,
+    memo: HashMap<(NetId, Time), (A::Repr, A::Repr)>,
+    /// Time-independent settled function per net (used when
+    /// `t ≥ topo_arrival`).
+    func_memo: HashMap<NetId, A::Repr>,
+    stats: StabilityStats,
+}
+
+impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
+    /// Prepares an analyzer for `netlist` with the given arrivals (one
+    /// per primary input, in input order) over backend `alg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    pub fn new(netlist: &'a Netlist, pi_arrivals: &[Time], alg: A) -> Result<Self, NetlistError> {
+        assert_eq!(
+            pi_arrivals.len(),
+            netlist.inputs().len(),
+            "arrival vector length mismatch"
+        );
+        let sta = TopoSta::new(netlist)?;
+        let topo_arrival = sta.arrival_times(pi_arrivals);
+        // Earliest conceivable stabilization: min-propagation.
+        let mut earliest = vec![Time::POS_INF; netlist.net_count()];
+        let mut pi_position = vec![None; netlist.net_count()];
+        for (k, &pi) in netlist.inputs().iter().enumerate() {
+            earliest[pi.index()] = pi_arrivals[k];
+            pi_position[pi.index()] = Some(k);
+        }
+        for &g in &netlist.topo_gates()? {
+            let gate = netlist.gate(g);
+            let best = gate
+                .inputs
+                .iter()
+                .map(|n| earliest[n.index()])
+                .fold(Time::POS_INF, Time::min);
+            let best = if gate.inputs.is_empty() {
+                // Constants are stable from the beginning of time.
+                Time::NEG_INF
+            } else {
+                best
+            };
+            earliest[gate.output.index()] = best + Time::from(gate.delay);
+        }
+        Ok(StabilityAnalyzer {
+            netlist,
+            alg,
+            arrivals: pi_arrivals.to_vec(),
+            pi_position,
+            topo_arrival,
+            earliest,
+            memo: HashMap::new(),
+            func_memo: HashMap::new(),
+            stats: StabilityStats::default(),
+        })
+    }
+
+    /// The analyzed netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The arrival times this analyzer was built with.
+    #[must_use]
+    pub fn arrivals(&self) -> &[Time] {
+        &self.arrivals
+    }
+
+    /// Work counters.
+    #[must_use]
+    pub fn stats(&self) -> StabilityStats {
+        self.stats
+    }
+
+    /// Access to the Boolean backend.
+    pub fn alg_mut(&mut self) -> &mut A {
+        &mut self.alg
+    }
+
+    /// Is `net` guaranteed stable (at either value, for every input
+    /// vector) by time `t` under the XBD0 model?
+    pub fn is_stable_at(&mut self, net: NetId, t: Time) -> bool {
+        self.stats.queries += 1;
+        if t >= self.topo_arrival[net.index()] {
+            // Topological analysis already guarantees stability.
+            self.stats.topological_hits += 1;
+            return true;
+        }
+        if t < self.earliest[net.index()] {
+            return false;
+        }
+        let (s0, s1) = self.s01(net, t);
+        let settled = self.alg.or(s0, s1);
+        self.alg.is_tautology(settled)
+    }
+
+    /// The pair `(S0, S1)` of characteristic functions of `net` at `t`.
+    pub fn characteristic(&mut self, net: NetId, t: Time) -> (A::Repr, A::Repr) {
+        self.s01(net, t)
+    }
+
+    /// If `net` is *not* guaranteed stable by `t`, an input vector
+    /// under which it is still unsettled — the sensitizing vector of a
+    /// true critical path, extracted from the Boolean backend's
+    /// countermodel. Returns `None` when the net is stable at `t`.
+    pub fn instability_witness(&mut self, net: NetId, t: Time) -> Option<Vec<bool>> {
+        self.stats.queries += 1;
+        if t >= self.topo_arrival[net.index()] {
+            self.stats.topological_hits += 1;
+            return None;
+        }
+        let (s0, s1) = self.s01(net, t);
+        let settled = self.alg.or(s0, s1);
+        self.alg.countermodel(settled, self.arrivals.len())
+    }
+
+    fn s01(&mut self, net: NetId, t: Time) -> (A::Repr, A::Repr) {
+        // Prunes first: settled region and impossible region.
+        if t >= self.topo_arrival[net.index()] {
+            let f = self.settled_function(net);
+            let nf = self.alg.not(f);
+            return (nf, f);
+        }
+        if t < self.earliest[net.index()] {
+            let b = self.alg.bot();
+            return (b, b);
+        }
+        if let Some(&pair) = self.memo.get(&(net, t)) {
+            return pair;
+        }
+        self.stats.nodes_built += 1;
+        let pair = if let Some(k) = self.pi_position[net.index()] {
+            if t >= self.arrivals[k] {
+                let x = self.alg.input(k);
+                let nx = self.alg.not(x);
+                (nx, x)
+            } else {
+                let b = self.alg.bot();
+                (b, b)
+            }
+        } else if let Some(g) = self.netlist.driver(net) {
+            let gate = self.netlist.gate(g).clone();
+            let td = t - Time::from(gate.delay);
+            self.gate_s01(gate.kind, &gate.inputs, td)
+        } else {
+            // Floating net: never stable (conservative).
+            let b = self.alg.bot();
+            (b, b)
+        };
+        self.memo.insert((net, t), pair);
+        pair
+    }
+
+    /// All-primes stability rules per gate kind. `td` is the query time
+    /// minus the gate delay.
+    fn gate_s01(&mut self, kind: GateKind, inputs: &[NetId], td: Time) -> (A::Repr, A::Repr) {
+        match kind {
+            GateKind::Const0 => {
+                let t0 = self.alg.top();
+                let b = self.alg.bot();
+                (t0, b)
+            }
+            GateKind::Const1 => {
+                let t1 = self.alg.top();
+                let b = self.alg.bot();
+                (b, t1)
+            }
+            GateKind::Buf => self.s01(inputs[0], td),
+            GateKind::Not => {
+                let (s0, s1) = self.s01(inputs[0], td);
+                (s1, s0)
+            }
+            GateKind::And | GateKind::Nand => {
+                let pairs: Vec<_> = inputs.iter().map(|&n| self.s01(n, td)).collect();
+                let ones: Vec<_> = pairs.iter().map(|&(_, s1)| s1).collect();
+                let zeros: Vec<_> = pairs.iter().map(|&(s0, _)| s0).collect();
+                let s1 = self.alg.and_many(&ones);
+                let s0 = self.alg.or_many(&zeros);
+                if kind == GateKind::Nand {
+                    (s1, s0)
+                } else {
+                    (s0, s1)
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let pairs: Vec<_> = inputs.iter().map(|&n| self.s01(n, td)).collect();
+                let ones: Vec<_> = pairs.iter().map(|&(_, s1)| s1).collect();
+                let zeros: Vec<_> = pairs.iter().map(|&(s0, _)| s0).collect();
+                let s1 = self.alg.or_many(&ones);
+                let s0 = self.alg.and_many(&zeros);
+                if kind == GateKind::Nor {
+                    (s1, s0)
+                } else {
+                    (s0, s1)
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let (a0, a1) = self.s01(inputs[0], td);
+                let (b0, b1) = self.s01(inputs[1], td);
+                // Parity has no consensus terms: both inputs are always
+                // observable, so stability needs both stable.
+                let p = self.alg.and(a1, b0);
+                let q = self.alg.and(a0, b1);
+                let s1 = self.alg.or(p, q);
+                let p = self.alg.and(a1, b1);
+                let q = self.alg.and(a0, b0);
+                let s0 = self.alg.or(p, q);
+                if kind == GateKind::Xnor {
+                    (s1, s0)
+                } else {
+                    (s0, s1)
+                }
+            }
+            GateKind::Mux => {
+                let (s_0, s_1) = self.s01(inputs[0], td);
+                let (a_0, a_1) = self.s01(inputs[1], td);
+                let (b_0, b_1) = self.s01(inputs[2], td);
+                // primes of s·a + s̄·b: {s·a, s̄·b, a·b}
+                let p = self.alg.and(s_1, a_1);
+                let q = self.alg.and(s_0, b_1);
+                let r = self.alg.and(a_1, b_1);
+                let pq = self.alg.or(p, q);
+                let s1 = self.alg.or(pq, r);
+                // primes of s·ā + s̄·b̄: {s·ā, s̄·b̄, ā·b̄}
+                let p = self.alg.and(s_1, a_0);
+                let q = self.alg.and(s_0, b_0);
+                let r = self.alg.and(a_0, b_0);
+                let pq = self.alg.or(p, q);
+                let s0 = self.alg.or(pq, r);
+                (s0, s1)
+            }
+        }
+    }
+
+    /// The (time-independent) Boolean function of `net` in terms of the
+    /// primary inputs — the value it settles to.
+    fn settled_function(&mut self, net: NetId) -> A::Repr {
+        if let Some(&f) = self.func_memo.get(&net) {
+            return f;
+        }
+        let f = if let Some(k) = self.pi_position[net.index()] {
+            self.alg.input(k)
+        } else if let Some(g) = self.netlist.driver(net) {
+            let gate = self.netlist.gate(g).clone();
+            let ins: Vec<A::Repr> = gate.inputs.iter().map(|&n| self.settled_function(n)).collect();
+            match gate.kind {
+                GateKind::Const0 => self.alg.bot(),
+                GateKind::Const1 => self.alg.top(),
+                GateKind::Buf => ins[0],
+                GateKind::Not => self.alg.not(ins[0]),
+                GateKind::And => self.alg.and_many(&ins),
+                GateKind::Nand => {
+                    let x = self.alg.and_many(&ins);
+                    self.alg.not(x)
+                }
+                GateKind::Or => self.alg.or_many(&ins),
+                GateKind::Nor => {
+                    let x = self.alg.or_many(&ins);
+                    self.alg.not(x)
+                }
+                GateKind::Xor => {
+                    let nb = self.alg.not(ins[1]);
+                    let na = self.alg.not(ins[0]);
+                    let p = self.alg.and(ins[0], nb);
+                    let q = self.alg.and(na, ins[1]);
+                    self.alg.or(p, q)
+                }
+                GateKind::Xnor => {
+                    let nb = self.alg.not(ins[1]);
+                    let na = self.alg.not(ins[0]);
+                    let p = self.alg.and(ins[0], ins[1]);
+                    let q = self.alg.and(na, nb);
+                    self.alg.or(p, q)
+                }
+                GateKind::Mux => {
+                    let ns = self.alg.not(ins[0]);
+                    let p = self.alg.and(ins[0], ins[1]);
+                    let q = self.alg.and(ns, ins[2]);
+                    self.alg.or(p, q)
+                }
+            }
+        } else {
+            // Floating nets settle to an arbitrary constant; pick 0.
+            self.alg.bot()
+        };
+        self.func_memo.insert(net, f);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolalg::{BddAlg, SatAlg};
+    use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    /// z = AND(a, b), delay 1, both inputs at 0.
+    #[test]
+    fn and_gate_stabilizes_at_one() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, b], z, 1).unwrap();
+        nl.mark_output(z);
+        let mut an =
+            StabilityAnalyzer::new(&nl, &[Time::ZERO, Time::ZERO], SatAlg::new()).unwrap();
+        assert!(!an.is_stable_at(z, t(0)));
+        assert!(an.is_stable_at(z, t(1)));
+        assert!(an.is_stable_at(z, t(100)));
+    }
+
+    /// Static-1 hazard: z = a + ā is a tautology but not stable before
+    /// both paths settle.
+    #[test]
+    fn constant_function_still_waits_for_hazards() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let na = nl.add_net("na");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Not, &[a], na, 1).unwrap();
+        nl.add_gate(GateKind::Or, &[a, na], z, 1).unwrap();
+        nl.mark_output(z);
+        let mut an = StabilityAnalyzer::new(&nl, &[Time::ZERO], SatAlg::new()).unwrap();
+        assert!(!an.is_stable_at(z, t(1))); // direct path settled, inverted not
+        assert!(an.is_stable_at(z, t(2)));
+    }
+
+    /// A constant gate is stable at any time.
+    #[test]
+    fn constants_always_stable() {
+        let mut nl = Netlist::new("m");
+        let _a = nl.add_input("a");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Const1, &[], z, 3).unwrap();
+        nl.mark_output(z);
+        let mut an = StabilityAnalyzer::new(&nl, &[Time::ZERO], SatAlg::new()).unwrap();
+        assert!(an.is_stable_at(z, t(-1000)));
+    }
+
+    /// The paper's false path: in the 2-bit carry-skip block with all
+    /// inputs at 0, c_out is functionally stable at 3 even though the
+    /// topological delay is 6. (With inputs at 0 the skip mux's select
+    /// P settles at 3, a/b paths at 6; delay from c_in alone is 2.)
+    #[test]
+    fn carry_skip_false_path_detected_sat() {
+        carry_skip_false_path(SatAlg::new());
+    }
+
+    #[test]
+    fn carry_skip_false_path_detected_bdd() {
+        carry_skip_false_path(BddAlg::new());
+    }
+
+    fn carry_skip_false_path<A: BoolAlg>(alg: A) {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        // Only c_in arrives late (at 0); a/b pins effectively settled
+        // long ago (−10). Topologically c_out would need 0+6; the XBD0
+        // analysis sees the false path and needs only 0+2.
+        let arrivals = vec![t(0), t(-10), t(-10), t(-10), t(-10)];
+        let mut an = StabilityAnalyzer::new(&nl, &arrivals, alg).unwrap();
+        assert!(an.is_stable_at(c_out, t(2)));
+        assert!(!an.is_stable_at(c_out, t(1)));
+    }
+
+    /// Monotone speedup: stability is monotone in t.
+    #[test]
+    fn stability_is_monotone_in_time() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        let arrivals = vec![t(3), t(0), t(1), t(-2), t(0)];
+        let mut an = StabilityAnalyzer::new(&nl, &arrivals, SatAlg::new()).unwrap();
+        let mut prev = false;
+        for time in -5..15 {
+            let now = an.is_stable_at(c_out, t(time));
+            assert!(!prev || now, "stability regressed at t={time}");
+            prev = now;
+        }
+        assert!(prev, "stable by the topological bound");
+    }
+
+    /// Inputs that never arrive (+∞) block stability unless masked.
+    #[test]
+    fn unavailable_input_blocks_unless_masked() {
+        // z = AND(a, b): if b never arrives, z never stabilizes…
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, b], z, 1).unwrap();
+        nl.mark_output(z);
+        let mut an =
+            StabilityAnalyzer::new(&nl, &[Time::ZERO, Time::POS_INF], SatAlg::new()).unwrap();
+        assert!(!an.is_stable_at(z, t(1_000_000)));
+
+        // …but z = AND(a, a) stabilizes fine without b.
+        let mut nl = Netlist::new("m2");
+        let a = nl.add_input("a");
+        let _b = nl.add_input("b");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, a], z, 1).unwrap();
+        nl.mark_output(z);
+        let mut an =
+            StabilityAnalyzer::new(&nl, &[Time::ZERO, Time::POS_INF], SatAlg::new()).unwrap();
+        assert!(an.is_stable_at(z, t(1)));
+    }
+
+    /// The MUX consensus term: with both data inputs equal and settled,
+    /// the output is stable even while the select is still unknown.
+    #[test]
+    fn mux_consensus_term() {
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let z = nl.add_net("z");
+        // z = Mux(s, a, a)
+        nl.add_gate(GateKind::Mux, &[s, a, a], z, 1).unwrap();
+        nl.mark_output(z);
+        // Select arrives very late; data at 0.
+        let mut an =
+            StabilityAnalyzer::new(&nl, &[t(1000), Time::ZERO], SatAlg::new()).unwrap();
+        assert!(an.is_stable_at(z, t(1)));
+    }
+
+    /// SAT and BDD backends agree on a batch of queries.
+    #[test]
+    fn backends_agree() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let arrivals = vec![t(5), t(0), t(0), t(0), t(0)];
+        let mut sat = StabilityAnalyzer::new(&nl, &arrivals, SatAlg::new()).unwrap();
+        let mut bdd = StabilityAnalyzer::new(&nl, &arrivals, BddAlg::new()).unwrap();
+        for &out in nl.outputs() {
+            for time in -2..14 {
+                assert_eq!(
+                    sat.is_stable_at(out, t(time)),
+                    bdd.is_stable_at(out, t(time)),
+                    "net {} at t={time}",
+                    nl.net_name(out)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        let mut an =
+            StabilityAnalyzer::new(&nl, &[t(0); 5], SatAlg::new()).unwrap();
+        let _ = an.is_stable_at(c_out, t(100)); // topological hit
+        let _ = an.is_stable_at(c_out, t(5));
+        let s = an.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.topological_hits, 1);
+        assert!(s.nodes_built > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the timing-tuple algebra: dominance is a partial
+//! order, pruning is sound for min–max evaluation, and evaluation is
+//! monotone in arrivals — the laws hierarchical propagation relies on.
+
+use hfta_fta::{TimingModel, TimingTuple};
+use hfta_netlist::Time;
+use proptest::prelude::*;
+
+const N: usize = 4;
+
+fn time_strategy() -> impl Strategy<Value = Time> {
+    prop_oneof![
+        4 => (-20i64..40).prop_map(Time::new),
+        1 => Just(Time::NEG_INF),
+    ]
+}
+
+fn tuple_strategy() -> impl Strategy<Value = TimingTuple> {
+    prop::collection::vec(time_strategy(), N).prop_map(TimingTuple::new)
+}
+
+fn arrivals_strategy() -> impl Strategy<Value = Vec<Time>> {
+    prop::collection::vec((-10i64..30).prop_map(Time::new), N)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dominance is reflexive and transitive; antisymmetry up to
+    /// equality.
+    #[test]
+    fn dominance_partial_order(
+        a in tuple_strategy(),
+        b in tuple_strategy(),
+        c in tuple_strategy(),
+    ) {
+        prop_assert!(a.dominates(&a));
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// A dominating tuple never evaluates later.
+    #[test]
+    fn dominance_implies_earlier_eval(
+        a in tuple_strategy(),
+        b in tuple_strategy(),
+        arrivals in arrivals_strategy(),
+    ) {
+        if a.dominates(&b) {
+            prop_assert!(a.eval(&arrivals) <= b.eval(&arrivals));
+        }
+    }
+
+    /// Pruning dominated tuples never changes the min–max result.
+    #[test]
+    fn pruning_preserves_stable_time(
+        tuples in prop::collection::vec(tuple_strategy(), 1..8),
+        arrivals in arrivals_strategy(),
+    ) {
+        let model = TimingModel::from_tuples(tuples.clone());
+        let unpruned = tuples
+            .iter()
+            .map(|t| t.eval(&arrivals))
+            .fold(Time::POS_INF, Time::min);
+        prop_assert_eq!(model.stable_time(&arrivals), unpruned);
+    }
+
+    /// Evaluation is monotone in arrivals (monotone speedup at the
+    /// model level): delaying any input never makes the output earlier.
+    #[test]
+    fn eval_monotone_in_arrivals(
+        tuples in prop::collection::vec(tuple_strategy(), 1..6),
+        arrivals in arrivals_strategy(),
+        bump_index in 0..N,
+        bump in 1i64..10,
+    ) {
+        let model = TimingModel::from_tuples(tuples);
+        let before = model.stable_time(&arrivals);
+        let mut later = arrivals.clone();
+        later[bump_index] = later[bump_index] + Time::new(bump);
+        prop_assert!(model.stable_time(&later) >= before);
+    }
+
+    /// Shift invariance: moving every arrival by c moves the result by
+    /// c (for finite results).
+    #[test]
+    fn eval_shift_invariant(
+        tuples in prop::collection::vec(tuple_strategy(), 1..6),
+        arrivals in arrivals_strategy(),
+        shift in -10i64..10,
+    ) {
+        let model = TimingModel::from_tuples(tuples);
+        let base = model.stable_time(&arrivals);
+        let shifted: Vec<Time> = arrivals.iter().map(|&a| a + Time::new(shift)).collect();
+        let moved = model.stable_time(&shifted);
+        if base.is_finite() {
+            prop_assert_eq!(moved, base + Time::new(shift));
+        } else {
+            prop_assert_eq!(moved, base);
+        }
+    }
+
+    /// from_tuples keeps only non-dominated tuples, and every original
+    /// tuple is dominated by some kept tuple.
+    #[test]
+    fn pruning_is_a_frontier(tuples in prop::collection::vec(tuple_strategy(), 1..8)) {
+        let model = TimingModel::from_tuples(tuples.clone());
+        for kept in model.tuples() {
+            for other in model.tuples() {
+                if kept != other {
+                    prop_assert!(!kept.dominates(other));
+                }
+            }
+        }
+        for t in &tuples {
+            prop_assert!(
+                model.tuples().iter().any(|k| k.dominates(t)),
+                "tuple {:?} not covered",
+                t
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net already has a driver and a second gate tried to drive it.
+    MultipleDrivers {
+        /// Name of the doubly-driven net.
+        net: String,
+    },
+    /// A gate was created with an illegal number of inputs for its kind.
+    BadArity {
+        /// The offending gate kind name.
+        kind: &'static str,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// The combinational netlist contains a cycle.
+    CombinationalCycle {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// A referenced name (net, module, instance…) does not exist.
+    Unknown {
+        /// What category of object was looked up.
+        what: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A name was defined twice.
+    Duplicate {
+        /// What category of object was defined.
+        what: &'static str,
+        /// The duplicated name.
+        name: String,
+    },
+    /// An instance's connection list does not match the module's ports.
+    PortMismatch {
+        /// Instance name.
+        instance: String,
+        /// Referenced module name.
+        module: String,
+        /// Expected number of connections (inputs + outputs).
+        expected: usize,
+        /// Supplied number of connections.
+        got: usize,
+    },
+    /// The module hierarchy is recursive.
+    RecursiveHierarchy {
+        /// Name of a module on the instantiation cycle.
+        module: String,
+    },
+    /// A parse error in one of the text formats.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "gate kind `{kind}` cannot take {got} inputs")
+            }
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            NetlistError::Unknown { what, name } => write!(f, "unknown {what} `{name}`"),
+            NetlistError::Duplicate { what, name } => write!(f, "duplicate {what} `{name}`"),
+            NetlistError::PortMismatch {
+                instance,
+                module,
+                expected,
+                got,
+            } => write!(
+                f,
+                "instance `{instance}` of `{module}` has {got} connections, expected {expected}"
+            ),
+            NetlistError::RecursiveHierarchy { module } => {
+                write!(f, "recursive instantiation of module `{module}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::MultipleDrivers { net: "z".into() };
+        assert_eq!(e.to_string(), "net `z` has multiple drivers");
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = NetlistError::PortMismatch {
+            instance: "u1".into(),
+            module: "adder".into(),
+            expected: 5,
+            got: 4,
+        };
+        assert!(e.to_string().contains("u1"));
+        assert!(e.to_string().contains("expected 5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

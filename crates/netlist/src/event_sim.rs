@@ -1,0 +1,296 @@
+//! Event-driven timing simulation (transport-delay model).
+//!
+//! An independent witness for the timing analyses: simulating an input
+//! transition with the *nominal* gate delays yields one concrete
+//! settling waveform, and under the XBD0 model (which quantifies over
+//! all delay assignments up to nominal) the analytical stable time must
+//! upper-bound every simulated settle time. The test-suite exploits
+//! this: for random circuits and random vector pairs,
+//!
+//! ```text
+//! simulated settle(o) ≤ functional arrival(o) ≤ topological arrival(o)
+//! ```
+//!
+//! The simulator uses transport-delay semantics: every input change is
+//! propagated to the output after the gate delay, so glitches are
+//! modelled (and counted — useful in its own right for hazard
+//! analysis).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{sim, NetId, Netlist, NetlistError, Time};
+
+/// Result of simulating one input transition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransitionOutcome {
+    /// Final value of every net.
+    pub final_values: Vec<bool>,
+    /// Per primary output: the time of its *last* value change, or
+    /// [`Time::NEG_INF`] if it never changed.
+    pub output_settle: Vec<Time>,
+    /// The latest change time on any primary output.
+    pub settle: Time,
+    /// Total net value changes processed (≥ the number of nets that
+    /// changed; the excess counts glitches).
+    pub events: u64,
+    /// Events on primary outputs beyond their final transition —
+    /// observable output glitches.
+    pub output_glitches: u64,
+}
+
+/// Simulates the transition `from → to` with per-input switch times.
+///
+/// All nets start at their steady state under `from`. At `arrivals[i]`
+/// (which must be finite) input `i` switches to `to[i]` (no event if
+/// the two values agree). Gate outputs follow with transport delay.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+///
+/// # Panics
+///
+/// Panics if the vector lengths do not match the input count or an
+/// arrival is infinite.
+///
+/// # Example
+///
+/// ```
+/// use hfta_netlist::{event_sim, GateKind, Netlist, Time};
+///
+/// # fn main() -> Result<(), hfta_netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let a = nl.add_input("a");
+/// let z = nl.add_net("z");
+/// nl.add_gate(GateKind::Not, &[a], z, 3)?;
+/// nl.mark_output(z);
+/// let out = event_sim::simulate_transition(
+///     &nl, &[false], &[true], &[Time::new(5)])?;
+/// assert_eq!(out.settle, Time::new(8)); // switch at 5 + delay 3
+/// assert_eq!(out.final_values[z.index()], false);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_transition(
+    netlist: &Netlist,
+    from: &[bool],
+    to: &[bool],
+    arrivals: &[Time],
+) -> Result<TransitionOutcome, NetlistError> {
+    let n_in = netlist.inputs().len();
+    assert_eq!(from.len(), n_in, "`from` vector length mismatch");
+    assert_eq!(to.len(), n_in, "`to` vector length mismatch");
+    assert_eq!(arrivals.len(), n_in, "arrival vector length mismatch");
+    for &a in arrivals {
+        assert!(a.is_finite(), "event simulation needs finite arrivals");
+    }
+
+    let mut values = sim::eval_all(netlist, from)?;
+    let fanouts = netlist.fanouts();
+
+    // Min-heap of (time, sequence, net, value). The sequence number
+    // makes processing deterministic for simultaneous events.
+    let mut queue: BinaryHeap<Reverse<(Time, u64, u32, bool)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (k, &pi) in netlist.inputs().iter().enumerate() {
+        if from[k] != to[k] {
+            queue.push(Reverse((arrivals[k], seq, pi.0, to[k])));
+            seq += 1;
+        }
+    }
+
+    let mut events = 0u64;
+    let mut last_change = vec![Time::NEG_INF; netlist.net_count()];
+    let mut output_events = vec![0u64; netlist.net_count()];
+
+    while let Some(Reverse((t, _, net_raw, value))) = queue.pop() {
+        let net = NetId(net_raw);
+        if values[net.index()] == value {
+            continue; // superseded by an earlier opposite event
+        }
+        values[net.index()] = value;
+        last_change[net.index()] = t;
+        events += 1;
+        if netlist.is_output(net) {
+            output_events[net.index()] += 1;
+        }
+        for &g in &fanouts[net.index()] {
+            let gate = netlist.gate(g);
+            let ins: Vec<bool> = gate.inputs.iter().map(|n| values[n.index()]).collect();
+            let out_val = gate.kind.eval(&ins);
+            // Transport delay: schedule unconditionally; stale events
+            // are filtered by the value check above.
+            queue.push(Reverse((t + Time::from(gate.delay), seq, gate.output.0, out_val)));
+            seq += 1;
+        }
+    }
+
+    let output_settle: Vec<Time> = netlist
+        .outputs()
+        .iter()
+        .map(|o| last_change[o.index()])
+        .collect();
+    let settle = output_settle
+        .iter()
+        .copied()
+        .fold(Time::NEG_INF, Time::max);
+    let output_glitches = netlist
+        .outputs()
+        .iter()
+        .map(|o| output_events[o.index()].saturating_sub(1))
+        .sum();
+    Ok(TransitionOutcome {
+        final_values: values,
+        output_settle,
+        settle,
+        events,
+        output_glitches,
+    })
+}
+
+/// Monte-Carlo settle-time estimation: simulates `samples` random
+/// vector pairs (seeded) and returns, per output, the worst observed
+/// settle time. This is a *lower bound* on the true worst-case delay —
+/// the analytical engines must dominate it.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+///
+/// # Panics
+///
+/// Panics if `arrivals` has the wrong length or contains infinities.
+pub fn monte_carlo_settle(
+    netlist: &Netlist,
+    arrivals: &[Time],
+    samples: usize,
+    seed: u64,
+) -> Result<Vec<Time>, NetlistError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = netlist.inputs().len();
+    let mut worst = vec![Time::NEG_INF; netlist.outputs().len()];
+    for _ in 0..samples {
+        let from: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let to: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let outcome = simulate_transition(netlist, &from, &to, arrivals)?;
+        for (w, &s) in worst.iter_mut().zip(&outcome.output_settle) {
+            *w = (*w).max(s);
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{carry_skip_block, CsaDelays};
+    use crate::GateKind;
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn single_gate_transition() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, b], z, 2).unwrap();
+        nl.mark_output(z);
+        // 10 -> 11: output rises 2 after b switches.
+        let out =
+            simulate_transition(&nl, &[true, false], &[true, true], &[t(0), t(3)]).unwrap();
+        assert_eq!(out.settle, t(5));
+        assert!(out.final_values[z.index()]);
+        assert_eq!(out.output_glitches, 0);
+    }
+
+    #[test]
+    fn no_change_means_no_events() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Buf, &[a], z, 1).unwrap();
+        nl.mark_output(z);
+        let out = simulate_transition(&nl, &[true], &[true], &[t(0)]).unwrap();
+        assert_eq!(out.settle, Time::NEG_INF);
+        assert_eq!(out.events, 0);
+    }
+
+    #[test]
+    fn static_hazard_produces_glitch() {
+        // z = a + ā with unequal path delays. On a 1→0 transition of
+        // `a` (falling at t=0): the OR momentarily sees (0, 0) and
+        // drops z at t=1; the inverter raises ā at t=1 and the OR
+        // restores z at t=2 — a static-1 hazard.
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let na = nl.add_net("na");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Not, &[a], na, 1).unwrap();
+        nl.add_gate(GateKind::Or, &[a, na], z, 1).unwrap();
+        nl.mark_output(z);
+        let out = simulate_transition(&nl, &[true], &[false], &[t(0)]).unwrap();
+        assert!(out.final_values[z.index()]);
+        assert_eq!(out.settle, t(2));
+        assert_eq!(out.output_glitches, 1, "static-1 hazard observed");
+    }
+
+    #[test]
+    fn final_values_match_steady_state() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let from = vec![false, true, false, true, true];
+        let to = vec![true, true, true, false, true];
+        let arrivals = vec![t(0); 5];
+        let out = simulate_transition(&nl, &from, &to, &arrivals).unwrap();
+        let steady = sim::eval_all(&nl, &to).unwrap();
+        assert_eq!(out.final_values, steady);
+    }
+
+    #[test]
+    fn settle_bounded_by_topological_delay() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let arrivals = vec![t(0); 5];
+        // Topological bound: c_out at 8 (worst output).
+        let worst = monte_carlo_settle(&nl, &arrivals, 64, 1).unwrap();
+        for &w in &worst {
+            assert!(w <= t(8), "settle {w} above topological bound");
+        }
+        // Something must actually switch across 64 random pairs.
+        assert!(worst.iter().any(|&w| w > Time::NEG_INF));
+    }
+
+    #[test]
+    fn skip_path_settles_fast_when_only_cin_switches() {
+        // Only c_in changes: the ripple chain may wobble, but when the
+        // skip condition holds (p0 = p1 = 1), c_out follows c_in in 2.
+        let nl = carry_skip_block(2, CsaDelays::default());
+        // a = 01, b = 10 -> p0 = p1 = 1.
+        let from = vec![false, true, false, false, true];
+        let to = vec![true, true, false, false, true];
+        let out = simulate_transition(&nl, &from, &to, &[t(0); 5]).unwrap();
+        let c_out_pos = nl.outputs().len() - 1;
+        assert_eq!(out.output_settle[c_out_pos], t(2));
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let a = monte_carlo_settle(&nl, &[t(0); 5], 16, 9).unwrap();
+        let b = monte_carlo_settle(&nl, &[t(0); 5], 16, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite arrivals")]
+    fn infinite_arrival_rejected() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        nl.mark_output(a);
+        let _ = simulate_transition(&nl, &[false], &[true], &[Time::POS_INF]);
+    }
+}

@@ -1,0 +1,281 @@
+use std::fmt;
+
+/// Identifier of a net (signal) within a single module.
+///
+/// `NetId`s are dense indices assigned in creation order; they are only
+/// meaningful relative to the [`Netlist`](crate::Netlist) or
+/// [`Composite`](crate::Composite) that created them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the dense index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NetId` from a dense index.
+    ///
+    /// Useful when iterating `0..netlist.net_count()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> NetId {
+        NetId(u32::try_from(index).expect("net index overflow"))
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a gate within a single [`Netlist`](crate::Netlist).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Returns the dense index of this gate.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `GateId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> GateId {
+        GateId(u32::try_from(index).expect("gate index overflow"))
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The primitive gate library.
+///
+/// The library is deliberately the one needed by the DAC 1998
+/// experiments: simple gates plus a 2:1 multiplexer (the carry-skip
+/// adder's skip mux). [`GateKind::Mux`] takes its select as the first
+/// input: `Mux(s, a, b) = s·a + s̄·b`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GateKind {
+    /// Constant 0 (no inputs).
+    Const0,
+    /// Constant 1 (no inputs).
+    Const1,
+    /// Buffer (one input).
+    Buf,
+    /// Inverter (one input).
+    Not,
+    /// AND of two or more inputs.
+    And,
+    /// OR of two or more inputs.
+    Or,
+    /// NAND of two or more inputs.
+    Nand,
+    /// NOR of two or more inputs.
+    Nor,
+    /// Exclusive-OR of exactly two inputs.
+    Xor,
+    /// Exclusive-NOR of exactly two inputs.
+    Xnor,
+    /// 2:1 multiplexer `Mux(s, a, b) = s·a + s̄·b` (exactly three inputs).
+    Mux,
+}
+
+impl GateKind {
+    /// Returns the permitted input-count range `(min, max)` for this kind.
+    #[must_use]
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => (0, 0),
+            GateKind::Buf | GateKind::Not => (1, 1),
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => (2, usize::MAX),
+            GateKind::Xor | GateKind::Xnor => (2, 2),
+            GateKind::Mux => (3, 3),
+        }
+    }
+
+    /// Returns `true` if `n` is a legal number of inputs for this kind.
+    #[must_use]
+    pub fn accepts_arity(self, n: usize) -> bool {
+        let (lo, hi) = self.arity();
+        n >= lo && n <= hi
+    }
+
+    /// Evaluates the gate function on Boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a legal arity for this kind.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.accepts_arity(inputs.len()),
+            "{self:?} cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&v| v),
+            GateKind::Or => inputs.iter().any(|&v| v),
+            GateKind::Nand => !inputs.iter().all(|&v| v),
+            GateKind::Nor => !inputs.iter().any(|&v| v),
+            GateKind::Xor => inputs[0] ^ inputs[1],
+            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux => {
+                if inputs[0] {
+                    inputs[1]
+                } else {
+                    inputs[2]
+                }
+            }
+        }
+    }
+
+    /// The canonical lower-case name used by the text formats.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux => "mux",
+        }
+    }
+
+    /// Parses a gate kind from its canonical name (case-insensitive).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<GateKind> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "const0" | "gnd" => GateKind::Const0,
+            "const1" | "vdd" => GateKind::Const1,
+            "buf" | "buff" => GateKind::Buf,
+            "not" | "inv" => GateKind::Not,
+            "and" => GateKind::And,
+            "or" => GateKind::Or,
+            "nand" => GateKind::Nand,
+            "nor" => GateKind::Nor,
+            "xor" => GateKind::Xor,
+            "xnor" => GateKind::Xnor,
+            "mux" => GateKind::Mux,
+            _ => return None,
+        })
+    }
+
+    /// All gate kinds, in declaration order.
+    #[must_use]
+    pub fn all() -> &'static [GateKind] {
+        &[
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Mux,
+        ]
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single-output gate instance in a [`Netlist`](crate::Netlist).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Gate {
+    /// The gate function.
+    pub kind: GateKind,
+    /// Input nets, in positional order (Mux: select first).
+    pub inputs: Vec<NetId>,
+    /// The single output net driven by this gate.
+    pub output: NetId,
+    /// Pin-to-pin propagation delay (same for all pins), `≥ 0`.
+    pub delay: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::And.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(5));
+        assert!(!GateKind::And.accepts_arity(1));
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::Mux.accepts_arity(3));
+        assert!(!GateKind::Xor.accepts_arity(3));
+        assert!(GateKind::Const1.accepts_arity(0));
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(GateKind::Or.eval(&[true, false]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(!GateKind::Nor.eval(&[true, false]));
+        assert!(GateKind::Xor.eval(&[true, false]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(GateKind::Const1.eval(&[]));
+        assert!(!GateKind::Const0.eval(&[]));
+        // Mux(s, a, b): s=1 selects a, s=0 selects b.
+        assert!(GateKind::Mux.eval(&[true, true, false]));
+        assert!(!GateKind::Mux.eval(&[true, false, true]));
+        assert!(GateKind::Mux.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for &kind in GateKind::all() {
+            assert_eq!(GateKind::from_name(kind.name()), Some(kind));
+            assert_eq!(
+                GateKind::from_name(&kind.name().to_ascii_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(GateKind::from_name("frob"), None);
+        assert_eq!(GateKind::from_name("inv"), Some(GateKind::Not));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(NetId::from_index(42).index(), 42);
+        assert_eq!(GateId::from_index(7).index(), 7);
+        assert_eq!(NetId::from_index(3).to_string(), "n3");
+        assert_eq!(GateId::from_index(3).to_string(), "g3");
+    }
+}

@@ -1,0 +1,306 @@
+//! Carry-skip and ripple-carry adder generators.
+//!
+//! [`carry_skip_block`] reproduces the 2-bit carry-skip adder of the
+//! paper's Figure 1 (generalized to `m` bits), and [`carry_skip_adder`]
+//! the cascade of Figure 2 — the `csa n.m` circuits of Table 1. The
+//! classic false path runs from `c_in` through the ripple chain to
+//! `c_out`: whenever the carry would ripple all the way (all propagate
+//! signals high), the skip multiplexer selects `c_in` directly, so the
+//! long path is never sensitized.
+
+use crate::{Composite, Design, GateKind, Netlist, NetlistError};
+
+/// Gate delays for the carry-skip adder family.
+///
+/// The paper's Section 4 example uses delay 1 for AND/OR and delay 2 for
+/// XOR/MUX, which is [`CsaDelays::default`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CsaDelays {
+    /// Delay of AND and OR gates.
+    pub and_or: u32,
+    /// Delay of XOR gates.
+    pub xor: u32,
+    /// Delay of the skip multiplexer.
+    pub mux: u32,
+}
+
+impl Default for CsaDelays {
+    fn default() -> CsaDelays {
+        CsaDelays {
+            and_or: 1,
+            xor: 2,
+            mux: 2,
+        }
+    }
+}
+
+/// Builds an `m`-bit carry-skip adder block (Figure 1 for `m = 2`).
+///
+/// Ports, in order:
+/// * inputs: `c_in, a0, b0, a1, b1, …, a{m-1}, b{m-1}`
+/// * outputs: `s0, …, s{m-1}, c_out`
+///
+/// With the default delays and `m = 2` the module reproduces the
+/// paper's timing models exactly: the topological `c_in → c_out` delay
+/// is 6 but the functional (XBD0) delay is 2.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn carry_skip_block(m: usize, delays: CsaDelays) -> Netlist {
+    assert!(m > 0, "block width must be positive");
+    let mut nl = Netlist::new(format!("csa_block{m}"));
+    let c_in = nl.add_input("c_in");
+    let mut a = Vec::with_capacity(m);
+    let mut b = Vec::with_capacity(m);
+    for i in 0..m {
+        a.push(nl.add_input(format!("a{i}")));
+        b.push(nl.add_input(format!("b{i}")));
+    }
+    let mut sums = Vec::with_capacity(m);
+    let mut carry = c_in;
+    let mut props = Vec::with_capacity(m);
+    for i in 0..m {
+        let p = nl.add_net(format!("p{i}"));
+        let g = nl.add_net(format!("g{i}"));
+        let s = nl.add_net(format!("s{i}"));
+        let t = nl.add_net(format!("t{i}"));
+        let c = nl.add_net(format!("c{}", i + 1));
+        nl.add_gate(GateKind::Xor, &[a[i], b[i]], p, delays.xor)
+            .expect("generator invariant");
+        nl.add_gate(GateKind::And, &[a[i], b[i]], g, delays.and_or)
+            .expect("generator invariant");
+        nl.add_gate(GateKind::Xor, &[p, carry], s, delays.xor)
+            .expect("generator invariant");
+        nl.add_gate(GateKind::And, &[p, carry], t, delays.and_or)
+            .expect("generator invariant");
+        nl.add_gate(GateKind::Or, &[g, t], c, delays.and_or)
+            .expect("generator invariant");
+        props.push(p);
+        sums.push(s);
+        carry = c;
+    }
+    // Skip logic: P = p0·p1·…·p{m-1}; c_out = Mux(P, c_in, ripple carry).
+    let big_p = if m == 1 {
+        props[0]
+    } else {
+        let p = nl.add_net("P");
+        nl.add_gate(GateKind::And, &props, p, delays.and_or)
+            .expect("generator invariant");
+        p
+    };
+    let c_out = nl.add_net("c_out");
+    nl.add_gate(GateKind::Mux, &[big_p, c_in, carry], c_out, delays.mux)
+        .expect("generator invariant");
+    for s in sums {
+        nl.mark_output(s);
+    }
+    nl.mark_output(c_out);
+    nl
+}
+
+/// Builds the `csa n.m` cascade of Table 1: an `n`-bit adder structured
+/// as `n / m` cascaded `m`-bit carry-skip blocks (Figure 2 shows
+/// `n = 4, m = 2`).
+///
+/// The returned design contains the leaf block `csa_block{m}` and a
+/// composite `csa{n}.{m}` whose ports are:
+/// * inputs: `c_in, a0, b0, …, a{n-1}, b{n-1}`
+/// * outputs: `s0, …, s{n-1}, c{n}`
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m` does not divide `n`.
+#[must_use]
+pub fn carry_skip_adder(n: usize, m: usize, delays: CsaDelays) -> Design {
+    assert!(m > 0 && n.is_multiple_of(m), "m must divide n");
+    let blocks = n / m;
+    let block = carry_skip_block(m, delays);
+    let block_name = block.name().to_string();
+    let mut top = Composite::new(format!("csa{n}.{m}"));
+    let c_in = top.add_input("c_in");
+    let mut ab = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = top.add_input(format!("a{i}"));
+        let b = top.add_input(format!("b{i}"));
+        ab.push((a, b));
+    }
+    let mut sums = Vec::with_capacity(n);
+    let mut carry = c_in;
+    for blk in 0..blocks {
+        let mut inputs = vec![carry];
+        for i in 0..m {
+            let (a, b) = ab[blk * m + i];
+            inputs.push(a);
+            inputs.push(b);
+        }
+        let mut outputs = Vec::with_capacity(m + 1);
+        for i in 0..m {
+            outputs.push(top.add_net(format!("s{}", blk * m + i)));
+        }
+        let next_carry = top.add_net(format!("c{}", (blk + 1) * m));
+        outputs.push(next_carry);
+        top.add_instance(format!("blk{blk}"), &block_name, &inputs, &outputs);
+        sums.extend_from_slice(&outputs[..m]);
+        carry = next_carry;
+    }
+    for s in sums {
+        top.mark_output(s);
+    }
+    top.mark_output(carry);
+    let mut design = Design::new();
+    design.add_leaf(block).expect("fresh design");
+    design.add_composite(top).expect("fresh design");
+    design
+}
+
+/// Builds a flat `n`-bit ripple-carry adder (no skip logic): the
+/// straightforward baseline whose topological and functional delays
+/// coincide.
+///
+/// Ports: inputs `c_in, a0, b0, …`; outputs `s0, …, s{n-1}, c_out`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ripple_carry_adder(n: usize, delays: CsaDelays) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("rca{n}"));
+    let c_in = nl.add_input("c_in");
+    let mut carry = c_in;
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = nl.add_input(format!("a{i}"));
+        let b = nl.add_input(format!("b{i}"));
+        let p = nl.add_net(format!("p{i}"));
+        let g = nl.add_net(format!("g{i}"));
+        let s = nl.add_net(format!("s{i}"));
+        let t = nl.add_net(format!("t{i}"));
+        let c = nl.add_net(format!("c{}", i + 1));
+        nl.add_gate(GateKind::Xor, &[a, b], p, delays.xor).unwrap();
+        nl.add_gate(GateKind::And, &[a, b], g, delays.and_or)
+            .unwrap();
+        nl.add_gate(GateKind::Xor, &[p, carry], s, delays.xor)
+            .unwrap();
+        nl.add_gate(GateKind::And, &[p, carry], t, delays.and_or)
+            .unwrap();
+        nl.add_gate(GateKind::Or, &[g, t], c, delays.and_or)
+            .unwrap();
+        sums.push(s);
+        carry = c;
+    }
+    for s in sums {
+        nl.mark_output(s);
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// Convenience: flattens `csa n.m` into a single netlist (what the
+/// paper's *flat* analysis consumes).
+///
+/// # Errors
+///
+/// Propagates flattening errors (none occur for generator output).
+pub fn carry_skip_adder_flat(
+    n: usize,
+    m: usize,
+    delays: CsaDelays,
+) -> Result<Netlist, NetlistError> {
+    let design = carry_skip_adder(n, m, delays);
+    design.flatten(&format!("csa{n}.{m}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    /// Interprets generator port order to compute `a + b + c_in`.
+    fn add_via_netlist(nl: &Netlist, n: usize, a: u64, b: u64, c_in: bool) -> (u64, bool) {
+        let mut inputs = vec![c_in];
+        for i in 0..n {
+            inputs.push((a >> i) & 1 == 1);
+            inputs.push((b >> i) & 1 == 1);
+        }
+        let out = sim::eval(nl, &inputs).unwrap();
+        let mut sum = 0u64;
+        for (i, &bit) in out[..n].iter().enumerate() {
+            if bit {
+                sum |= 1 << i;
+            }
+        }
+        (sum, out[n])
+    }
+
+    #[test]
+    fn block_is_a_correct_adder() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        nl.validate().unwrap();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                for c in [false, true] {
+                    let (s, cout) = add_via_netlist(&nl, 2, a, b, c);
+                    let expect = a + b + u64::from(c);
+                    assert_eq!(s, expect & 3, "a={a} b={b} c={c}");
+                    assert_eq!(cout, expect >= 4, "a={a} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_gate_count_matches_figure_1() {
+        // 2 bits × (XOR,AND,XOR,AND,OR) + skip AND + MUX = 12 gates.
+        let nl = carry_skip_block(2, CsaDelays::default());
+        assert_eq!(nl.gate_count(), 12);
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 3);
+    }
+
+    #[test]
+    fn cascade_adds_correctly() {
+        let flat = carry_skip_adder_flat(8, 2, CsaDelays::default()).unwrap();
+        for (a, b, c) in [(0, 0, false), (255, 1, false), (170, 85, true), (200, 100, false)] {
+            let (s, cout) = add_via_netlist(&flat, 8, a, b, c);
+            let expect = a + b + u64::from(c);
+            assert_eq!(s, expect & 0xff);
+            assert_eq!(cout, expect > 0xff);
+        }
+    }
+
+    #[test]
+    fn cascade_matches_ripple_carry() {
+        let csa = carry_skip_adder_flat(4, 2, CsaDelays::default()).unwrap();
+        let rca = ripple_carry_adder(4, CsaDelays::default());
+        assert!(sim::equivalent_exhaustive(&csa, &rca, 9).unwrap());
+    }
+
+    #[test]
+    fn wider_blocks_work() {
+        let flat = carry_skip_adder_flat(8, 4, CsaDelays::default()).unwrap();
+        let rca = ripple_carry_adder(8, CsaDelays::default());
+        for (a, b, c) in [(0u64, 0u64, true), (255, 255, true), (90, 165, false)] {
+            assert_eq!(
+                add_via_netlist(&flat, 8, a, b, c),
+                add_via_netlist(&rca, 8, a, b, c)
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_block_skips_and_gate() {
+        let nl = carry_skip_block(1, CsaDelays::default());
+        nl.validate().unwrap();
+        // p0 doubles as P: XOR,AND,XOR,AND,OR,MUX = 6 gates.
+        assert_eq!(nl.gate_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must divide n")]
+    fn indivisible_width_panics() {
+        let _ = carry_skip_adder(10, 4, CsaDelays::default());
+    }
+}

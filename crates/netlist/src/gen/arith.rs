@@ -1,0 +1,510 @@
+//! Additional arithmetic generators: richer workloads for tests and
+//! benchmarks.
+//!
+//! * [`carry_select_adder`] — each block precomputes both carry cases
+//!   and a mux chain selects. An instructive contrast to carry-skip:
+//!   the spec-chain→mux-cascade path is *sensitizable* (when the two
+//!   speculative carries differ the mux genuinely follows its select),
+//!   so functional delay equals topological here.
+//! * [`carry_lookahead_adder`] — flat two-level carry logic (wide
+//!   gates); essentially no false paths.
+//! * [`parity_tree`] — an XOR reduction tree; XOR never masks, so
+//!   functional delay equals topological delay (a useful negative
+//!   control).
+//! * [`array_multiplier`] — an n×n array multiplier built from ripple
+//!   adders; a quickly-growing stress workload.
+
+use crate::gen::adders::CsaDelays;
+use crate::{GateKind, NetId, Netlist};
+
+/// Builds an `n`-bit carry-select adder of `m`-bit blocks.
+///
+/// Ports: inputs `c_in, a0, b0, …`; outputs `s0…s{n-1}, c_out`.
+/// Each block computes its sums and carry for both carry-in values
+/// using two ripple chains seeded by constants, then 2:1 muxes pick the
+/// real case — so the incoming carry only traverses one mux per block.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m` does not divide `n`.
+#[must_use]
+pub fn carry_select_adder(n: usize, m: usize, delays: CsaDelays) -> Netlist {
+    assert!(m > 0 && n.is_multiple_of(m), "m must divide n");
+    let mut nl = Netlist::new(format!("csel{n}.{m}"));
+    let c_in = nl.add_input("c_in");
+    let mut ab = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = nl.add_input(format!("a{i}"));
+        let b = nl.add_input(format!("b{i}"));
+        ab.push((a, b));
+    }
+    let mut carry = c_in;
+    let mut sums = Vec::with_capacity(n);
+    for blk in 0..(n / m) {
+        // Two speculative ripple chains.
+        let mut chain = |tag: &str, seed_one: bool| -> (Vec<NetId>, NetId) {
+            let seed = nl.add_net(format!("blk{blk}_{tag}_seed"));
+            nl.add_gate(
+                if seed_one { GateKind::Const1 } else { GateKind::Const0 },
+                &[],
+                seed,
+                0,
+            )
+            .expect("generator invariant");
+            let mut c = seed;
+            let mut ss = Vec::with_capacity(m);
+            for i in 0..m {
+                let (a, b) = ab[blk * m + i];
+                let p = nl.add_net(format!("blk{blk}_{tag}_p{i}"));
+                let g = nl.add_net(format!("blk{blk}_{tag}_g{i}"));
+                let s = nl.add_net(format!("blk{blk}_{tag}_s{i}"));
+                let t = nl.add_net(format!("blk{blk}_{tag}_t{i}"));
+                let nc = nl.add_net(format!("blk{blk}_{tag}_c{i}"));
+                nl.add_gate(GateKind::Xor, &[a, b], p, delays.xor).expect("ok");
+                nl.add_gate(GateKind::And, &[a, b], g, delays.and_or).expect("ok");
+                nl.add_gate(GateKind::Xor, &[p, c], s, delays.xor).expect("ok");
+                nl.add_gate(GateKind::And, &[p, c], t, delays.and_or).expect("ok");
+                nl.add_gate(GateKind::Or, &[g, t], nc, delays.and_or).expect("ok");
+                ss.push(s);
+                c = nc;
+            }
+            (ss, c)
+        };
+        let (s0, c0) = chain("c0", false);
+        let (s1, c1) = chain("c1", true);
+        // Select by the incoming carry.
+        for i in 0..m {
+            let s = nl.add_net(format!("s{}", blk * m + i));
+            nl.add_gate(GateKind::Mux, &[carry, s1[i], s0[i]], s, delays.mux)
+                .expect("ok");
+            sums.push(s);
+        }
+        let next = nl.add_net(format!("c{}", (blk + 1) * m));
+        nl.add_gate(GateKind::Mux, &[carry, c1, c0], next, delays.mux)
+            .expect("ok");
+        carry = next;
+    }
+    for s in sums {
+        nl.mark_output(s);
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// Builds an `n`-bit single-level carry-lookahead adder.
+///
+/// Carries are computed by two-level AND–OR logic over the propagate
+/// and generate signals (wide gates, unit delays), so the carry depth
+/// is constant in `n`.
+///
+/// Ports: inputs `c_in, a0, b0, …`; outputs `s0…s{n-1}, c_out`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn carry_lookahead_adder(n: usize, delays: CsaDelays) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("cla{n}"));
+    let c_in = nl.add_input("c_in");
+    let mut p = Vec::with_capacity(n);
+    let mut g = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = nl.add_input(format!("a{i}"));
+        let b = nl.add_input(format!("b{i}"));
+        let pi = nl.add_net(format!("p{i}"));
+        let gi = nl.add_net(format!("g{i}"));
+        nl.add_gate(GateKind::Xor, &[a, b], pi, delays.xor).expect("ok");
+        nl.add_gate(GateKind::And, &[a, b], gi, delays.and_or).expect("ok");
+        p.push(pi);
+        g.push(gi);
+    }
+    // c_{i+1} = g_i + p_i·g_{i-1} + … + p_i·…·p_0·c_in
+    let mut carries = vec![c_in];
+    for i in 0..n {
+        let mut terms: Vec<NetId> = Vec::with_capacity(i + 2);
+        terms.push(g[i]);
+        for j in (0..i).rev() {
+            // p_i · p_{i-1} · … · p_{j+1} · g_j
+            let mut lits: Vec<NetId> = ((j + 1)..=i).map(|k| p[k]).collect();
+            lits.push(g[j]);
+            let t = nl.add_net(format!("c{}_t{j}", i + 1));
+            nl.add_gate(GateKind::And, &lits, t, delays.and_or).expect("ok");
+            terms.push(t);
+        }
+        // p_i · … · p_0 · c_in
+        let mut lits: Vec<NetId> = (0..=i).map(|k| p[k]).collect();
+        lits.push(c_in);
+        let t = nl.add_net(format!("c{}_tc", i + 1));
+        nl.add_gate(GateKind::And, &lits, t, delays.and_or).expect("ok");
+        terms.push(t);
+        let c = nl.add_net(format!("c{}", i + 1));
+        if terms.len() == 1 {
+            nl.add_gate(GateKind::Buf, &[terms[0]], c, delays.and_or).expect("ok");
+        } else {
+            nl.add_gate(GateKind::Or, &terms, c, delays.and_or).expect("ok");
+        }
+        carries.push(c);
+    }
+    for i in 0..n {
+        let s = nl.add_net(format!("s{i}"));
+        nl.add_gate(GateKind::Xor, &[p[i], carries[i]], s, delays.xor)
+            .expect("ok");
+        nl.mark_output(s);
+    }
+    nl.mark_output(carries[n]);
+    nl
+}
+
+/// Builds an `n`-input XOR reduction tree (`z = x0 ⊕ … ⊕ x{n-1}`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn parity_tree(n: usize, xor_delay: u32) -> Netlist {
+    assert!(n > 0, "parity needs at least one input");
+    let mut nl = Netlist::new(format!("parity{n}"));
+    let mut layer: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (k, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let z = nl.add_net(format!("l{level}_{k}"));
+                nl.add_gate(GateKind::Xor, &[pair[0], pair[1]], z, xor_delay)
+                    .expect("ok");
+                next.push(z);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    nl.mark_output(layer[0]);
+    nl
+}
+
+/// Builds an `n × n` array multiplier (`p = a × b`, 2n product bits)
+/// from AND partial products and ripple-carry rows.
+///
+/// Ports: inputs `a0…a{n-1}, b0…b{n-1}`; outputs `p0…p{2n-1}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn array_multiplier(n: usize, delays: CsaDelays) -> Netlist {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("mul{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    // Partial products.
+    let mut pp = vec![vec![NetId::from_index(0); n]; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let net = nl.add_net(format!("pp{i}_{j}"));
+            nl.add_gate(GateKind::And, &[ai, bj], net, delays.and_or)
+                .expect("ok");
+            pp[i][j] = net;
+        }
+    }
+    // Full adder helper.
+    let full_adder = |nl: &mut Netlist, x: NetId, y: NetId, c: NetId, tag: String| {
+        let p = nl.add_net(format!("{tag}_p"));
+        let s = nl.add_net(format!("{tag}_s"));
+        let g = nl.add_net(format!("{tag}_g"));
+        let t = nl.add_net(format!("{tag}_t"));
+        let co = nl.add_net(format!("{tag}_c"));
+        nl.add_gate(GateKind::Xor, &[x, y], p, delays.xor).expect("ok");
+        nl.add_gate(GateKind::Xor, &[p, c], s, delays.xor).expect("ok");
+        nl.add_gate(GateKind::And, &[x, y], g, delays.and_or).expect("ok");
+        nl.add_gate(GateKind::And, &[p, c], t, delays.and_or).expect("ok");
+        nl.add_gate(GateKind::Or, &[g, t], co, delays.and_or).expect("ok");
+        (s, co)
+    };
+    let zero = {
+        let z = nl.add_net("zero");
+        nl.add_gate(GateKind::Const0, &[], z, 0).expect("ok");
+        z
+    };
+    // Row-by-row accumulation: row i adds pp[*][i] shifted by i.
+    let mut acc: Vec<NetId> = pp.iter().map(|row| row[0]).collect(); // a_i·b_0
+    let mut outputs = Vec::with_capacity(2 * n);
+    outputs.push(acc[0]); // p0
+    let mut acc_rest: Vec<NetId> = acc[1..].to_vec();
+    #[allow(clippy::needless_range_loop)] // j is the partial-product column
+    for j in 1..n {
+        // Add the j-th partial-product row to acc_rest.
+        let mut carry = zero;
+        let mut new_acc = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // i indexes two parallel arrays
+        for i in 0..n {
+            let x = if i < acc_rest.len() { acc_rest[i] } else { zero };
+            let y = pp[i][j];
+            let (s, c) = full_adder(&mut nl, x, y, carry, format!("fa{j}_{i}"));
+            new_acc.push(s);
+            carry = c;
+        }
+        outputs.push(new_acc[0]); // p_j
+        acc_rest = new_acc[1..].to_vec();
+        acc_rest.push(carry);
+        acc = acc_rest.clone();
+    }
+    // Remaining bits.
+    for &bit in &acc {
+        outputs.push(bit);
+    }
+    for o in outputs {
+        nl.mark_output(o);
+    }
+    nl
+}
+
+/// Builds an `n`-bit Kogge–Stone adder: a logarithmic-depth
+/// parallel-prefix carry network over (generate, propagate) pairs.
+///
+/// Ports: inputs `c_in, a0, b0, …`; outputs `s0…s{n-1}, c_out`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn kogge_stone_adder(n: usize, delays: CsaDelays) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("ks{n}"));
+    let c_in = nl.add_input("c_in");
+    // Level-0 (g, p) per bit; treat c_in as bit −1 with g = c_in, p = 0.
+    let mut g: Vec<NetId> = Vec::with_capacity(n + 1);
+    let mut p: Vec<NetId> = Vec::with_capacity(n + 1);
+    let zero = {
+        let z = nl.add_net("zero");
+        nl.add_gate(GateKind::Const0, &[], z, 0).expect("ok");
+        z
+    };
+    g.push(c_in);
+    p.push(zero);
+    let mut half_sum = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = nl.add_input(format!("a{i}"));
+        let b = nl.add_input(format!("b{i}"));
+        let gi = nl.add_net(format!("g0_{i}"));
+        let pi = nl.add_net(format!("p0_{i}"));
+        nl.add_gate(GateKind::And, &[a, b], gi, delays.and_or).expect("ok");
+        nl.add_gate(GateKind::Xor, &[a, b], pi, delays.xor).expect("ok");
+        g.push(gi);
+        p.push(pi);
+        half_sum.push(pi);
+    }
+    // Prefix network over indices 0..=n (index 0 = the c_in slot):
+    // (g, p)[i] ∘ (g, p)[i - 2^k] with ∘ = (g + p·g', p·p').
+    let mut level = 0usize;
+    let mut dist = 1usize;
+    while dist <= n {
+        let mut ng = g.clone();
+        let mut np = p.clone();
+        for i in dist..=n {
+            let t = nl.add_net(format!("ks{level}_{i}_t"));
+            nl.add_gate(GateKind::And, &[p[i], g[i - dist]], t, delays.and_or)
+                .expect("ok");
+            let gi = nl.add_net(format!("ks{level}_{i}_g"));
+            nl.add_gate(GateKind::Or, &[g[i], t], gi, delays.and_or)
+                .expect("ok");
+            ng[i] = gi;
+            if i > dist {
+                // p of the c_in slot never matters past its own column.
+                let pi = nl.add_net(format!("ks{level}_{i}_p"));
+                nl.add_gate(GateKind::And, &[p[i], p[i - dist]], pi, delays.and_or)
+                    .expect("ok");
+                np[i] = pi;
+            } else {
+                np[i] = zero;
+            }
+        }
+        g = ng;
+        p = np;
+        level += 1;
+        dist *= 2;
+    }
+    // Sums: s_i = halfsum_i ⊕ carry_i where carry_i = prefix g at slot i.
+    for i in 0..n {
+        let s = nl.add_net(format!("s{i}"));
+        nl.add_gate(GateKind::Xor, &[half_sum[i], g[i]], s, delays.xor)
+            .expect("ok");
+        nl.mark_output(s);
+    }
+    nl.mark_output(g[n]);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ripple_carry_adder;
+    use crate::sim;
+
+    fn add_via(nl: &Netlist, n: usize, a: u64, b: u64, c: bool) -> (u64, bool) {
+        let mut inputs = vec![c];
+        for i in 0..n {
+            inputs.push((a >> i) & 1 == 1);
+            inputs.push((b >> i) & 1 == 1);
+        }
+        let out = sim::eval(nl, &inputs).unwrap();
+        let mut sum = 0u64;
+        for (i, &bit) in out[..n].iter().enumerate() {
+            if bit {
+                sum |= 1 << i;
+            }
+        }
+        (sum, out[n])
+    }
+
+    #[test]
+    fn carry_select_adds() {
+        let nl = carry_select_adder(6, 2, CsaDelays::default());
+        nl.validate().unwrap();
+        for (a, b, c) in [(0u64, 0u64, false), (63, 1, false), (42, 21, true), (33, 31, false)] {
+            let expect = a + b + u64::from(c);
+            let (s, cout) = add_via(&nl, 6, a, b, c);
+            assert_eq!(s, expect & 63, "a={a} b={b} c={c}");
+            assert_eq!(cout, expect > 63);
+        }
+    }
+
+    #[test]
+    fn carry_select_matches_ripple_exhaustively() {
+        let csel = carry_select_adder(4, 2, CsaDelays::default());
+        let rca = ripple_carry_adder(4, CsaDelays::default());
+        assert!(sim::equivalent_exhaustive(&csel, &rca, 9).unwrap());
+    }
+
+    #[test]
+    fn cla_matches_ripple_exhaustively() {
+        let cla = carry_lookahead_adder(4, CsaDelays::default());
+        let rca = ripple_carry_adder(4, CsaDelays::default());
+        assert!(sim::equivalent_exhaustive(&cla, &rca, 9).unwrap());
+    }
+
+    #[test]
+    fn cla_carry_depth_is_constant() {
+        // Longest c_in→c_out path (gate-delay sum) is width-independent.
+        fn carry_depth(n: usize) -> i64 {
+            let nl = carry_lookahead_adder(n, CsaDelays::default());
+            let c_out = nl.outputs()[n];
+            let c_in = nl.inputs()[0];
+            // Backward longest-path DP from c_out.
+            let mut dist = vec![i64::MIN; nl.net_count()];
+            dist[c_out.index()] = 0;
+            let mut order = nl.topo_gates().unwrap();
+            order.reverse();
+            for g in order {
+                let gate = nl.gate(g);
+                let d = dist[gate.output.index()];
+                if d == i64::MIN {
+                    continue;
+                }
+                for &inp in &gate.inputs {
+                    dist[inp.index()] = dist[inp.index()].max(d + i64::from(gate.delay));
+                }
+            }
+            dist[c_in.index()]
+        }
+        assert_eq!(carry_depth(4), carry_depth(8));
+        assert_eq!(carry_depth(4), 2); // AND then OR
+    }
+
+    #[test]
+    fn parity_tree_is_parity() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let nl = parity_tree(n, 2);
+            nl.validate().unwrap();
+            for v in 0u64..(1 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+                let expect = v.count_ones() % 2 == 1;
+                assert_eq!(sim::eval(&nl, &bits).unwrap(), vec![expect], "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        for n in [2usize, 3, 4] {
+            let nl = array_multiplier(n, CsaDelays::default());
+            nl.validate().unwrap();
+            assert_eq!(nl.outputs().len(), 2 * n);
+            for a in 0u64..(1 << n) {
+                for b in 0u64..(1 << n) {
+                    let mut inputs = Vec::new();
+                    for i in 0..n {
+                        inputs.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..n {
+                        inputs.push((b >> i) & 1 == 1);
+                    }
+                    let out = sim::eval(&nl, &inputs).unwrap();
+                    let mut p = 0u64;
+                    for (i, &bit) in out.iter().enumerate() {
+                        if bit {
+                            p |= 1 << i;
+                        }
+                    }
+                    assert_eq!(p, a * b, "n={n} a={a} b={b}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod kogge_stone_tests {
+    use super::*;
+    use crate::gen::ripple_carry_adder;
+    use crate::sim;
+
+    #[test]
+    fn kogge_stone_matches_ripple_exhaustively() {
+        let ks = kogge_stone_adder(4, CsaDelays::default());
+        ks.validate().unwrap();
+        let rca = ripple_carry_adder(4, CsaDelays::default());
+        assert!(sim::equivalent_exhaustive(&ks, &rca, 9).unwrap());
+    }
+
+    #[test]
+    fn kogge_stone_depth_is_logarithmic() {
+        fn depth(nl: &Netlist) -> usize {
+            let mut d = vec![0usize; nl.net_count()];
+            for g in nl.topo_gates().unwrap() {
+                let gate = nl.gate(g);
+                let m = gate.inputs.iter().map(|n| d[n.index()]).max().unwrap_or(0);
+                d[gate.output.index()] = m + 1;
+            }
+            d.into_iter().max().unwrap_or(0)
+        }
+        let d8 = depth(&kogge_stone_adder(8, CsaDelays::default()));
+        let d16 = depth(&kogge_stone_adder(16, CsaDelays::default()));
+        // Logarithmic growth: doubling width adds ~2 levels, far from
+        // the ripple adder's linear depth.
+        assert!(d16 <= d8 + 3, "d8={d8} d16={d16}");
+        let ripple16 = depth(&ripple_carry_adder(16, CsaDelays::default()));
+        assert!(depth(&kogge_stone_adder(16, CsaDelays::default())) < ripple16 / 2);
+    }
+
+    #[test]
+    fn kogge_stone_wide_check() {
+        let ks = kogge_stone_adder(10, CsaDelays::default());
+        let rca = ripple_carry_adder(10, CsaDelays::default());
+        for (a, b, c) in [(1023u64, 1u64, false), (512, 511, true), (682, 341, false)] {
+            let mut inputs = vec![c];
+            for i in 0..10 {
+                inputs.push((a >> i) & 1 == 1);
+                inputs.push((b >> i) & 1 == 1);
+            }
+            assert_eq!(
+                sim::eval(&ks, &inputs).unwrap(),
+                sim::eval(&rca, &inputs).unwrap(),
+                "a={a} b={b} c={c}"
+            );
+        }
+    }
+}

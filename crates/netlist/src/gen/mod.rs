@@ -1,0 +1,19 @@
+//! Circuit generators for the paper's experiments.
+//!
+//! * [`adders`] — the carry-skip adder family of Figures 1–2 (the
+//!   Table 1 workload) and a ripple-carry baseline.
+//! * [`random`] — seeded ISCAS-like random multilevel logic (the
+//!   Table 2 workload substitute; see DESIGN.md for the substitution
+//!   rationale).
+
+pub mod adders;
+pub mod arith;
+pub mod random;
+
+pub use adders::{
+    carry_skip_adder, carry_skip_adder_flat, carry_skip_block, ripple_carry_adder, CsaDelays,
+};
+pub use arith::{
+    array_multiplier, carry_lookahead_adder, carry_select_adder, kogge_stone_adder, parity_tree,
+};
+pub use random::{random_circuit, GateMix, RandomCircuitSpec};

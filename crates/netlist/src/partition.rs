@@ -1,0 +1,439 @@
+//! Cascade bipartitioning of flat circuits.
+//!
+//! The paper's Table 2 experiment creates hierarchical test cases by
+//! partitioning a flat benchmark circuit "into two circuits in a
+//! cascade structure so that one circuit drives the other", then
+//! treating each part as a leaf module. [`cascade_bipartition`]
+//! implements exactly that: gates are split by topological position, so
+//! all cut nets flow from the first part to the second and the result
+//! is a depth-1 hierarchy with no glue logic.
+
+use std::collections::HashMap;
+
+use crate::{Composite, Design, NetId, Netlist, NetlistError};
+
+/// Splits `flat` into a two-module cascade design.
+///
+/// The first `⌈fraction·gates⌉` gates (in topological order) form the
+/// leaf module `{name}_head`, the rest `{name}_tail`; a composite
+/// `{name}_top` instantiates both. Primary inputs consumed by either
+/// part are routed to it directly; nets crossing the cut become
+/// head outputs / tail inputs.
+///
+/// Returns the design; the top module is named `{name}_top` where
+/// `name` is the flat netlist's module name.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if `flat` is cyclic.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not within `(0, 1)` or `flat` has no gates.
+pub fn cascade_bipartition(flat: &Netlist, fraction: f64) -> Result<Design, NetlistError> {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be in (0, 1)"
+    );
+    assert!(flat.gate_count() > 0, "cannot partition an empty netlist");
+    let order = flat.topo_gates()?;
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let split = ((flat.gate_count() as f64 * fraction).ceil() as usize)
+        .clamp(1, flat.gate_count() - 1);
+    bipartition_at(flat, &order, split)
+}
+
+/// Like [`cascade_bipartition`], but sweeps the split point over
+/// `[min_fraction, max_fraction]` of the gates (topological order) and
+/// picks the position with the *narrowest cut* — the fewest nets
+/// crossing from head to tail.
+///
+/// Real designs are partitioned at natural module boundaries where few,
+/// weakly correlated signals cross; this sweep recovers that behaviour
+/// on flat circuits and markedly improves hierarchical accuracy (a wide
+/// correlated cut hides global false paths from the per-module
+/// analysis).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if `flat` is cyclic.
+///
+/// # Panics
+///
+/// Panics unless `0 < min_fraction ≤ max_fraction < 1` or if `flat` has
+/// fewer than two gates.
+pub fn cascade_bipartition_min_cut(
+    flat: &Netlist,
+    min_fraction: f64,
+    max_fraction: f64,
+) -> Result<Design, NetlistError> {
+    assert!(
+        min_fraction > 0.0 && min_fraction <= max_fraction && max_fraction < 1.0,
+        "need 0 < min_fraction <= max_fraction < 1"
+    );
+    assert!(flat.gate_count() > 1, "cannot partition fewer than two gates");
+    let order = flat.topo_gates()?;
+    let n = flat.gate_count();
+    // Topological position of each gate.
+    let mut pos = vec![0usize; n];
+    for (p, &g) in order.iter().enumerate() {
+        pos[g.index()] = p;
+    }
+    // cut(k) = #nets whose driver is at position < k with a reader at
+    // position ≥ k. Build via a difference array.
+    let mut diff = vec![0i64; n + 2];
+    let fanouts = flat.fanouts();
+    for net in flat.net_ids() {
+        let Some(driver) = flat.driver(net) else {
+            continue;
+        };
+        let d = pos[driver.index()];
+        let last_reader = fanouts[net.index()]
+            .iter()
+            .map(|g| pos[g.index()])
+            .max();
+        if let Some(r) = last_reader {
+            if r > d {
+                // The net crosses every split k with d < k <= r.
+                diff[d + 1] += 1;
+                diff[r + 1] -= 1;
+            }
+        }
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let lo = ((n as f64 * min_fraction).ceil() as usize).clamp(1, n - 1);
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let hi = ((n as f64 * max_fraction).floor() as usize).clamp(lo, n - 1);
+    let mut cut = 0i64;
+    let mut best = (i64::MAX, lo);
+    #[allow(clippy::needless_range_loop)] // k is the split position, not just an index
+    for k in 1..=hi {
+        cut += diff[k];
+        if k >= lo && cut < best.0 {
+            best = (cut, k);
+        }
+    }
+    bipartition_at(flat, &order, best.1)
+}
+
+fn bipartition_at(
+    flat: &Netlist,
+    order: &[crate::GateId],
+    split: usize,
+) -> Result<Design, NetlistError> {
+
+    // side[gate] = true if the gate belongs to the head.
+    let mut head_gate = vec![false; flat.gate_count()];
+    for &g in &order[..split] {
+        head_gate[g.index()] = true;
+    }
+
+    let fanouts = flat.fanouts();
+    // Classify each net.
+    let driven_by_head = |n: NetId| {
+        flat.driver(n)
+            .map(|g| head_gate[g.index()])
+            .unwrap_or(false)
+    };
+    let read_by = |n: NetId, head: bool| {
+        fanouts[n.index()]
+            .iter()
+            .any(|g| head_gate[g.index()] == head)
+    };
+
+    let name = flat.name();
+    let mut head = Netlist::new(format!("{name}_head"));
+    let mut tail = Netlist::new(format!("{name}_tail"));
+    let mut head_map: HashMap<NetId, NetId> = HashMap::new();
+    let mut tail_map: HashMap<NetId, NetId> = HashMap::new();
+
+    // Module inputs. Order: PIs first (in flat order), then cut nets
+    // (for the tail).
+    let mut head_inputs: Vec<NetId> = Vec::new();
+    let mut tail_inputs: Vec<NetId> = Vec::new();
+    for &pi in flat.inputs() {
+        if read_by(pi, true) {
+            head_map.insert(pi, head.add_input(flat.net_name(pi)));
+            head_inputs.push(pi);
+        }
+        if read_by(pi, false) || flat.is_output(pi) {
+            // PIs that are also POs are exported through the tail
+            // (regardless of who reads them), so the top-level output
+            // stays driven.
+            tail_map.insert(pi, tail.add_input(flat.net_name(pi)));
+            tail_inputs.push(pi);
+        }
+    }
+    // Cut nets: head-driven nets read by the tail (or that are POs —
+    // those are exported from the head directly).
+    let mut cut_nets: Vec<NetId> = Vec::new();
+    for n in flat.net_ids() {
+        if driven_by_head(n) && read_by(n, false) {
+            cut_nets.push(n);
+        }
+    }
+    for &n in &cut_nets {
+        tail_map.insert(n, tail.add_input(flat.net_name(n)));
+        tail_inputs.push(n);
+    }
+
+    // Internal nets and gates.
+    for n in flat.net_ids() {
+        if let Some(g) = flat.driver(n) {
+            if head_gate[g.index()] {
+                head_map
+                    .entry(n)
+                    .or_insert_with(|| head.add_net(flat.net_name(n)));
+            } else {
+                tail_map
+                    .entry(n)
+                    .or_insert_with(|| tail.add_net(flat.net_name(n)));
+            }
+        }
+    }
+    for &g in order {
+        let gate = flat.gate(g);
+        let (module, map) = if head_gate[g.index()] {
+            (&mut head, &head_map)
+        } else {
+            (&mut tail, &tail_map)
+        };
+        let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
+        module.add_gate(gate.kind, &inputs, map[&gate.output], gate.delay)?;
+    }
+
+    // Module outputs. Head: cut nets plus head-driven POs. Tail:
+    // tail-driven POs plus passthrough PIs that are POs.
+    let mut head_outputs: Vec<NetId> = Vec::new();
+    for &n in &cut_nets {
+        head.mark_output(head_map[&n]);
+        head_outputs.push(n);
+    }
+    for &po in flat.outputs() {
+        if driven_by_head(po) && !cut_nets.contains(&po) {
+            head.mark_output(head_map[&po]);
+            head_outputs.push(po);
+        }
+    }
+    let mut tail_outputs: Vec<NetId> = Vec::new();
+    for &po in flat.outputs() {
+        if !driven_by_head(po) {
+            tail.mark_output(tail_map[&po]);
+            tail_outputs.push(po);
+        }
+    }
+
+    // Top-level composite.
+    let mut top = Composite::new(format!("{name}_top"));
+    let mut top_map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in flat.inputs() {
+        top_map.insert(pi, top.add_input(flat.net_name(pi)));
+    }
+    for &n in cut_nets
+        .iter()
+        .chain(head_outputs.iter())
+        .chain(tail_outputs.iter())
+    {
+        top_map
+            .entry(n)
+            .or_insert_with(|| top.add_net(flat.net_name(n)));
+    }
+    // Primary inputs that are also primary outputs pass through the
+    // tail module; their exported copy needs a fresh top-level net
+    // (an instance cannot drive an input net).
+    let mut po_override: HashMap<NetId, NetId> = HashMap::new();
+    for &po in flat.outputs() {
+        if flat.is_input(po) {
+            let fresh = top.add_net(flat.net_name(po));
+            po_override.insert(po, fresh);
+        }
+    }
+    let bind = |nets: &[NetId],
+                map: &HashMap<NetId, NetId>,
+                overrides: Option<&HashMap<NetId, NetId>>|
+     -> Vec<NetId> {
+        nets.iter()
+            .map(|n| {
+                overrides
+                    .and_then(|o| o.get(n))
+                    .copied()
+                    .unwrap_or(map[n])
+            })
+            .collect()
+    };
+    top.add_instance(
+        "head",
+        head.name().to_string(),
+        &bind(&head_inputs, &top_map, None),
+        &bind(&head_outputs, &top_map, None),
+    );
+    top.add_instance(
+        "tail",
+        tail.name().to_string(),
+        &bind(&tail_inputs, &top_map, None),
+        &bind(&tail_outputs, &top_map, Some(&po_override)),
+    );
+    for &po in flat.outputs() {
+        top.mark_output(po_override.get(&po).copied().unwrap_or(top_map[&po]));
+    }
+
+    let mut design = Design::new();
+    design.add_leaf(head)?;
+    design.add_leaf(tail)?;
+    design.add_composite(top)?;
+    design.validate()?;
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_circuit, ripple_carry_adder, CsaDelays, RandomCircuitSpec};
+    use crate::sim;
+
+    #[test]
+    fn partition_preserves_function_rca() {
+        let flat = ripple_carry_adder(3, CsaDelays::default());
+        let design = cascade_bipartition(&flat, 0.5).unwrap();
+        let reflat = design.flatten("rca3_top").unwrap();
+        assert_eq!(flat.inputs().len(), reflat.inputs().len());
+        assert_eq!(flat.outputs().len(), reflat.outputs().len());
+        // Port order may differ, so compare by name-keyed exhaustive sim.
+        for v in 0u64..(1 << flat.inputs().len()) {
+            let vec_flat: Vec<bool> = (0..flat.inputs().len()).map(|i| (v >> i) & 1 == 1).collect();
+            let out_flat = sim::eval(&flat, &vec_flat).unwrap();
+            // Build reflat's input vector by matching names.
+            let mut vec2 = vec![false; reflat.inputs().len()];
+            for (k, &pi) in reflat.inputs().iter().enumerate() {
+                let name = reflat.net_name(pi);
+                let idx = flat
+                    .inputs()
+                    .iter()
+                    .position(|&p| flat.net_name(p) == name)
+                    .unwrap();
+                vec2[k] = vec_flat[idx];
+            }
+            let out2 = sim::eval(&reflat, &vec2).unwrap();
+            for (k, &po) in reflat.outputs().iter().enumerate() {
+                let name = reflat.net_name(po);
+                let idx = flat
+                    .outputs()
+                    .iter()
+                    .position(|&p| flat.net_name(p) == name)
+                    .unwrap();
+                assert_eq!(out2[k], out_flat[idx], "output {name} vector {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_preserves_function_random() {
+        let spec = RandomCircuitSpec {
+            inputs: 6,
+            gates: 60,
+            seed: 11,
+            locality: 8,
+            global_fanin_prob: 0.2,
+                mix: Default::default(),
+        };
+        let flat = random_circuit("r60", spec);
+        let design = cascade_bipartition(&flat, 0.5).unwrap();
+        let reflat = design.flatten("r60_top").unwrap();
+        for v in 0u64..(1 << 6) {
+            let vector: Vec<bool> = (0..6).map(|i| (v >> i) & 1 == 1).collect();
+            let a = sim::eval(&flat, &vector).unwrap();
+            // The generators keep PI order, so direct eval is safe here;
+            // output order matches flat.outputs() order by construction.
+            let mut vec2 = vec![false; reflat.inputs().len()];
+            for (k, &pi) in reflat.inputs().iter().enumerate() {
+                let name = reflat.net_name(pi);
+                let idx = flat
+                    .inputs()
+                    .iter()
+                    .position(|&p| flat.net_name(p) == name)
+                    .unwrap();
+                vec2[k] = vector[idx];
+            }
+            let b = sim::eval(&reflat, &vec2).unwrap();
+            for (k, &po) in reflat.outputs().iter().enumerate() {
+                let name = reflat.net_name(po);
+                let idx = flat
+                    .outputs()
+                    .iter()
+                    .position(|&p| flat.net_name(p) == name)
+                    .unwrap();
+                assert_eq!(b[k], a[idx], "output {name} vector {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_a_true_cascade() {
+        let spec = RandomCircuitSpec {
+            inputs: 8,
+            gates: 120,
+            seed: 3,
+            locality: 12,
+            global_fanin_prob: 0.2,
+                mix: Default::default(),
+        };
+        let flat = random_circuit("c", spec);
+        let design = cascade_bipartition(&flat, 0.4).unwrap();
+        let top = design.composite("c_top").unwrap();
+        assert_eq!(top.instances().len(), 2);
+        // Topological order must put head before tail.
+        let order = top.instance_topo_order().unwrap();
+        assert_eq!(order, vec![0, 1]);
+        // Both leaves are nonempty.
+        assert!(design.leaf("c_head").unwrap().gate_count() > 0);
+        assert!(design.leaf("c_tail").unwrap().gate_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let flat = ripple_carry_adder(2, CsaDelays::default());
+        let _ = cascade_bipartition(&flat, 1.5);
+    }
+}
+
+#[cfg(test)]
+mod passthrough_tests {
+    use super::*;
+    use crate::{GateKind, Netlist};
+
+    /// A primary input that is also a primary output (legal in .bench
+    /// files) must survive bipartitioning even when head gates read it.
+    #[test]
+    fn pi_that_is_po_survives_partitioning() {
+        let mut nl = Netlist::new("pp");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.add_net("t");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::And, &[a, b], t, 1).unwrap();
+        nl.add_gate(GateKind::Not, &[t], z, 1).unwrap();
+        nl.mark_output(z);
+        nl.mark_output(a); // passthrough output
+        let design = cascade_bipartition(&nl, 0.5).unwrap();
+        let flat = design.flatten("pp_top").unwrap();
+        assert_eq!(flat.outputs().len(), 2);
+        // Function preserved (match outputs by name).
+        for v in 0u64..4 {
+            let vector = vec![v & 1 == 1, v & 2 == 2];
+            let expect = crate::sim::eval(&nl, &vector).unwrap();
+            let mut vec2 = vec![false; 2];
+            for (k, &pi) in flat.inputs().iter().enumerate() {
+                let idx = nl
+                    .inputs()
+                    .iter()
+                    .position(|&p| nl.net_name(p) == flat.net_name(pi))
+                    .unwrap();
+                vec2[k] = vector[idx];
+            }
+            let got = crate::sim::eval(&flat, &vec2).unwrap();
+            // Output order is preserved by the partitioner.
+            assert_eq!(got, expect, "v={v}");
+        }
+    }
+}

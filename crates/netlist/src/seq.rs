@@ -1,0 +1,278 @@
+//! Sequential circuits with edge-triggered registers.
+//!
+//! The paper's analyses are stated for combinational circuits but, as
+//! its footnote 3 notes, "clearly apply to sequential circuits with
+//! edge-triggered latches": timing is analyzed on the combinational
+//! core between register boundaries, with register outputs acting as
+//! primary inputs (arriving at clock-to-q) and register inputs as
+//! primary outputs (required by period − setup).
+//!
+//! [`SeqCircuit`] packages a combinational [`Netlist`] with its
+//! registers; `hfta-fta`'s sequential analysis consumes it.
+
+use crate::{NetId, Netlist, NetlistError};
+
+/// An edge-triggered register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Register {
+    /// The data input: a net of the combinational core (captured at the
+    /// clock edge; must be a primary output of the core).
+    pub d: NetId,
+    /// The register output: a primary input of the combinational core.
+    pub q: NetId,
+    /// Clock-to-q delay.
+    pub clk_to_q: u32,
+    /// Setup time required before the capturing edge.
+    pub setup: u32,
+}
+
+/// A sequential circuit: a combinational core plus registers.
+///
+/// Core primary inputs that are not register `q` pins are the
+/// circuit's true primary inputs; core primary outputs that are not
+/// register `d` pins are its true primary outputs.
+///
+/// # Example
+///
+/// ```
+/// use hfta_netlist::{GateKind, Netlist, SeqCircuit};
+///
+/// # fn main() -> Result<(), hfta_netlist::NetlistError> {
+/// // A 1-bit toggle: q -> NOT -> d, registered.
+/// let mut core = Netlist::new("toggle");
+/// let q = core.add_input("q");
+/// let d = core.add_net("d");
+/// core.add_gate(GateKind::Not, &[q], d, 2)?;
+/// core.mark_output(d);
+/// let seq = SeqCircuit::new(core, vec![(d, q, 1, 1)])?;
+/// assert_eq!(seq.registers().len(), 1);
+/// assert!(seq.primary_inputs().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeqCircuit {
+    core: Netlist,
+    registers: Vec<Register>,
+}
+
+impl SeqCircuit {
+    /// Builds a sequential circuit. Each register is given as
+    /// `(d, q, clk_to_q, setup)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Unknown`] if a `q` net is not a core
+    /// primary input or a `d` net is not a core primary output, and
+    /// [`NetlistError::Duplicate`] if a pin is used by two registers.
+    pub fn new(
+        core: Netlist,
+        registers: Vec<(NetId, NetId, u32, u32)>,
+    ) -> Result<SeqCircuit, NetlistError> {
+        core.validate()?;
+        let mut seen_q = std::collections::HashSet::new();
+        let mut seen_d = std::collections::HashSet::new();
+        let mut regs = Vec::with_capacity(registers.len());
+        for (d, q, clk_to_q, setup) in registers {
+            if !core.is_input(q) {
+                return Err(NetlistError::Unknown {
+                    what: "register q pin (must be a core primary input)",
+                    name: core.net_name(q).to_string(),
+                });
+            }
+            if !core.is_output(d) {
+                return Err(NetlistError::Unknown {
+                    what: "register d pin (must be a core primary output)",
+                    name: core.net_name(d).to_string(),
+                });
+            }
+            if !seen_q.insert(q) {
+                return Err(NetlistError::Duplicate {
+                    what: "register q pin",
+                    name: core.net_name(q).to_string(),
+                });
+            }
+            if !seen_d.insert(d) {
+                return Err(NetlistError::Duplicate {
+                    what: "register d pin",
+                    name: core.net_name(d).to_string(),
+                });
+            }
+            regs.push(Register {
+                d,
+                q,
+                clk_to_q,
+                setup,
+            });
+        }
+        Ok(SeqCircuit {
+            core,
+            registers: regs,
+        })
+    }
+
+    /// The combinational core.
+    #[must_use]
+    pub fn core(&self) -> &Netlist {
+        &self.core
+    }
+
+    /// The registers.
+    #[must_use]
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// The register driven by core output `d`, if any.
+    #[must_use]
+    pub fn register_for_d(&self, d: NetId) -> Option<&Register> {
+        self.registers.iter().find(|r| r.d == d)
+    }
+
+    /// The register feeding core input `q`, if any.
+    #[must_use]
+    pub fn register_for_q(&self, q: NetId) -> Option<&Register> {
+        self.registers.iter().find(|r| r.q == q)
+    }
+
+    /// True primary inputs: core inputs not driven by a register.
+    #[must_use]
+    pub fn primary_inputs(&self) -> Vec<NetId> {
+        self.core
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|&n| self.register_for_q(n).is_none())
+            .collect()
+    }
+
+    /// True primary outputs: core outputs not captured by a register.
+    #[must_use]
+    pub fn primary_outputs(&self) -> Vec<NetId> {
+        self.core
+            .outputs()
+            .iter()
+            .copied()
+            .filter(|&n| self.register_for_d(n).is_none())
+            .collect()
+    }
+
+    /// Cycle-accurate simulation: steps the circuit `cycles` times from
+    /// the all-zero register state, applying `inputs[c]` at cycle `c`.
+    /// Returns the true-primary-output values per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input vector has the wrong length.
+    pub fn simulate(&self, inputs: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, NetlistError> {
+        let pis = self.primary_inputs();
+        let pos = self.primary_outputs();
+        let mut state: std::collections::HashMap<NetId, bool> =
+            self.registers.iter().map(|r| (r.q, false)).collect();
+        let mut trace = Vec::with_capacity(inputs.len());
+        for vector in inputs {
+            assert_eq!(vector.len(), pis.len(), "input vector length mismatch");
+            let full: Vec<bool> = self
+                .core
+                .inputs()
+                .iter()
+                .map(|n| {
+                    state.get(n).copied().unwrap_or_else(|| {
+                        let k = pis.iter().position(|p| p == n).expect("true PI");
+                        vector[k]
+                    })
+                })
+                .collect();
+            let values = crate::sim::eval_all(&self.core, &full)?;
+            trace.push(pos.iter().map(|&o| values[o.index()]).collect());
+            for r in &self.registers {
+                state.insert(r.q, values[r.d.index()]);
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn toggle() -> SeqCircuit {
+        let mut core = Netlist::new("toggle");
+        let q = core.add_input("q");
+        let d = core.add_net("d");
+        let out = core.add_net("out");
+        core.add_gate(GateKind::Not, &[q], d, 2).unwrap();
+        core.add_gate(GateKind::Buf, &[q], out, 1).unwrap();
+        core.mark_output(d);
+        core.mark_output(out);
+        SeqCircuit::new(core, vec![(d, q, 1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn toggle_oscillates() {
+        let seq = toggle();
+        let trace = seq.simulate(&vec![vec![]; 4]).unwrap();
+        // out observes q: 0, 1, 0, 1.
+        assert_eq!(trace, vec![vec![false], vec![true], vec![false], vec![true]]);
+    }
+
+    #[test]
+    fn pin_classification() {
+        let seq = toggle();
+        assert!(seq.primary_inputs().is_empty());
+        assert_eq!(seq.primary_outputs().len(), 1);
+        let d = seq.core().find_net("d").unwrap();
+        let q = seq.core().find_net("q").unwrap();
+        assert!(seq.register_for_d(d).is_some());
+        assert!(seq.register_for_q(q).is_some());
+        assert!(seq.register_for_d(q).is_none());
+    }
+
+    #[test]
+    fn bad_q_pin_rejected() {
+        let mut core = Netlist::new("m");
+        let a = core.add_input("a");
+        let z = core.add_net("z");
+        core.add_gate(GateKind::Not, &[a], z, 1).unwrap();
+        core.mark_output(z);
+        // z is not an input, so it cannot be a q pin.
+        let err = SeqCircuit::new(core, vec![(z, z, 1, 1)]).unwrap_err();
+        assert!(matches!(err, NetlistError::Unknown { .. }));
+    }
+
+    #[test]
+    fn duplicate_register_pin_rejected() {
+        let mut core = Netlist::new("m");
+        let q = core.add_input("q");
+        let d = core.add_net("d");
+        core.add_gate(GateKind::Not, &[q], d, 1).unwrap();
+        core.mark_output(d);
+        let err = SeqCircuit::new(core, vec![(d, q, 1, 1), (d, q, 1, 1)]).unwrap_err();
+        assert!(matches!(err, NetlistError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn counter_with_external_enable() {
+        // d = q XOR en; out = q.
+        let mut core = Netlist::new("cnt");
+        let q = core.add_input("q");
+        let en = core.add_input("en");
+        let d = core.add_net("d");
+        core.add_gate(GateKind::Xor, &[q, en], d, 2).unwrap();
+        core.mark_output(d);
+        let seq = SeqCircuit::new(core, vec![(d, q, 1, 1)]).unwrap();
+        assert_eq!(seq.primary_inputs().len(), 1);
+        // Enable pattern 1,1,0,1: q toggles on enabled cycles.
+        let trace = seq
+            .simulate(&[vec![true], vec![true], vec![false], vec![true]])
+            .unwrap();
+        // No true POs here (d is registered), so traces are empty rows.
+        assert_eq!(trace.len(), 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! Structural circuit statistics and Graphviz export.
+//!
+//! [`NetlistStats::collect`] summarizes a netlist (gate histogram,
+//! logic depth, fanout distribution) for reports and sanity checks;
+//! [`to_dot`] renders the gate graph for visual inspection of small
+//! circuits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{GateKind, Netlist, NetlistError};
+
+/// Structural summary of a netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetlistStats {
+    /// Module name.
+    pub module: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of gates.
+    pub gates: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Gates per kind, by canonical name.
+    pub by_kind: BTreeMap<&'static str, usize>,
+    /// Maximum logic depth in gate counts (not delay).
+    pub depth: usize,
+    /// Largest fanout of any net.
+    pub max_fanout: usize,
+    /// Sum of all gate delays along the topologically longest path.
+    pub max_delay_depth: u64,
+}
+
+impl NetlistStats {
+    /// Collects statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
+    /// netlists.
+    pub fn collect(netlist: &Netlist) -> Result<NetlistStats, NetlistError> {
+        let order = netlist.topo_gates()?;
+        let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for g in netlist.gates() {
+            *by_kind.entry(g.kind.name()).or_insert(0) += 1;
+        }
+        // Depth (gate count) and delay depth per net.
+        let mut depth = vec![0usize; netlist.net_count()];
+        let mut ddepth = vec![0u64; netlist.net_count()];
+        for &g in &order {
+            let gate = netlist.gate(g);
+            let d = gate.inputs.iter().map(|n| depth[n.index()]).max().unwrap_or(0);
+            let dd = gate.inputs.iter().map(|n| ddepth[n.index()]).max().unwrap_or(0);
+            depth[gate.output.index()] = d + 1;
+            ddepth[gate.output.index()] = dd + u64::from(gate.delay);
+        }
+        let fanouts = netlist.fanouts();
+        Ok(NetlistStats {
+            module: netlist.name().to_string(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            gates: netlist.gate_count(),
+            nets: netlist.net_count(),
+            by_kind,
+            depth: depth.iter().copied().max().unwrap_or(0),
+            max_fanout: fanouts.iter().map(Vec::len).max().unwrap_or(0),
+            max_delay_depth: ddepth.iter().copied().max().unwrap_or(0),
+        })
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "module {}: {} gates, {} nets, {} inputs, {} outputs",
+            self.module, self.gates, self.nets, self.inputs, self.outputs
+        )?;
+        writeln!(
+            f,
+            "depth {} gates ({} delay units), max fanout {}",
+            self.depth, self.max_delay_depth, self.max_fanout
+        )?;
+        write!(f, "kinds:")?;
+        for (kind, count) in &self.by_kind {
+            write!(f, " {kind}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders the netlist as a Graphviz `dot` digraph: primary inputs as
+/// diamonds, gates as boxes labelled `kind/delay`, primary outputs
+/// double-circled.
+#[must_use]
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(s, "  rankdir=LR;");
+    for &pi in netlist.inputs() {
+        let _ = writeln!(
+            s,
+            "  \"{}\" [shape=diamond];",
+            netlist.net_name(pi)
+        );
+    }
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let gid = format!("g{i}");
+        let _ = writeln!(
+            s,
+            "  \"{gid}\" [shape=box, label=\"{}/{}\"];",
+            g.kind.name(),
+            g.delay
+        );
+        for &inp in &g.inputs {
+            let src = match netlist.driver(inp) {
+                Some(d) => format!("g{}", d.index()),
+                None => netlist.net_name(inp).to_string(),
+            };
+            let _ = writeln!(s, "  \"{src}\" -> \"{gid}\";");
+        }
+        if netlist.is_output(g.output) {
+            let name = netlist.net_name(g.output);
+            let _ = writeln!(s, "  \"{name}\" [shape=doublecircle];");
+            let _ = writeln!(s, "  \"{gid}\" -> \"{name}\";");
+        }
+    }
+    // Passthrough outputs (PO == PI).
+    for &po in netlist.outputs() {
+        if netlist.driver(po).is_none() {
+            let name = netlist.net_name(po);
+            let _ = writeln!(s, "  \"{name}\" [shape=doublecircle];");
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Kind histogram helper for gate mixes (e.g. to verify generator
+/// distributions).
+#[must_use]
+pub fn kind_fraction(netlist: &Netlist, kind: GateKind) -> f64 {
+    if netlist.gate_count() == 0 {
+        return 0.0;
+    }
+    let count = netlist.gates().iter().filter(|g| g.kind == kind).count();
+    #[allow(clippy::cast_precision_loss)]
+    {
+        count as f64 / netlist.gate_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{carry_skip_block, parity_tree, random_circuit, CsaDelays, GateMix,
+        RandomCircuitSpec};
+
+    #[test]
+    fn block_stats() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let stats = NetlistStats::collect(&nl).unwrap();
+        assert_eq!(stats.gates, 12);
+        assert_eq!(stats.inputs, 5);
+        assert_eq!(stats.outputs, 3);
+        assert_eq!(stats.by_kind["xor"], 4);
+        assert_eq!(stats.by_kind["mux"], 1);
+        assert_eq!(stats.max_delay_depth, 8); // the ripple chain
+        assert!(stats.depth >= 5);
+        let text = stats.to_string();
+        assert!(text.contains("12 gates"));
+        assert!(text.contains("mux=1"));
+    }
+
+    #[test]
+    fn parity_depth_is_logarithmic() {
+        let nl = parity_tree(16, 1);
+        let stats = NetlistStats::collect(&nl).unwrap();
+        assert_eq!(stats.depth, 4);
+        assert_eq!(stats.gates, 15);
+    }
+
+    #[test]
+    fn dot_output_shapes() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let dot = to_dot(&nl);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("mux/2"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn xor_heavy_mix_is_xor_heavy() {
+        let spec = RandomCircuitSpec {
+            inputs: 16,
+            gates: 400,
+            seed: 5,
+            locality: 40,
+            global_fanin_prob: 0.05,
+            mix: GateMix::XorHeavy,
+        };
+        let nl = random_circuit("x", spec);
+        let xor_like = kind_fraction(&nl, GateKind::Xor) + kind_fraction(&nl, GateKind::Xnor);
+        assert!(xor_like > 0.4, "xor fraction {xor_like}");
+    }
+}

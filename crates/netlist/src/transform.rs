@@ -1,0 +1,196 @@
+//! Structural netlist transforms.
+//!
+//! * [`decompose_mux`] — expands every MUX primitive into
+//!   AND–OR–NOT logic. Functionally equivalent, but *timing-model
+//!   relevant*: the decomposed form loses the mux's consensus prime
+//!   (`a·b`), so under XBD0 it genuinely suffers the static hazard a
+//!   complex-gate mux filters out — a hands-on demonstration that
+//!   sensitization accuracy depends on gate granularity.
+//! * [`strip_buffers`] — removes zero-delay buffers by rewiring their
+//!   readers (primary-output buffers are kept, since the output net
+//!   must stay driven).
+
+use crate::{GateKind, NetId, Netlist};
+
+/// Returns a copy of `netlist` with every [`GateKind::Mux`] expanded
+/// into `z = (s·a) + (s̄·b)`: an inverter (delay 0), two ANDs carrying
+/// the mux delay, and a zero-delay OR, preserving every pin-to-pin
+/// topological delay.
+#[must_use]
+pub fn decompose_mux(netlist: &Netlist) -> Netlist {
+    let mut out = Netlist::new(format!("{}_demuxed", netlist.name()));
+    // Copy nets in order so NetIds line up.
+    for n in netlist.net_ids() {
+        if netlist.is_input(n) {
+            out.add_input(netlist.net_name(n));
+        } else {
+            out.add_net(netlist.net_name(n));
+        }
+    }
+    for g in netlist.gates() {
+        if g.kind == GateKind::Mux {
+            let (s, a, b) = (g.inputs[0], g.inputs[1], g.inputs[2]);
+            let ns = out.add_net(format!("{}_ns", netlist.net_name(g.output)));
+            let u = out.add_net(format!("{}_u", netlist.net_name(g.output)));
+            let v = out.add_net(format!("{}_v", netlist.net_name(g.output)));
+            out.add_gate(GateKind::Not, &[s], ns, 0).expect("transform invariant");
+            out.add_gate(GateKind::And, &[s, a], u, g.delay)
+                .expect("transform invariant");
+            out.add_gate(GateKind::And, &[ns, b], v, g.delay)
+                .expect("transform invariant");
+            out.add_gate(GateKind::Or, &[u, v], g.output, 0)
+                .expect("transform invariant");
+        } else {
+            out.add_gate(g.kind, &g.inputs, g.output, g.delay)
+                .expect("transform invariant");
+        }
+    }
+    for &po in netlist.outputs() {
+        out.mark_output(po);
+    }
+    out
+}
+
+/// Returns a copy of `netlist` with zero-delay buffers removed: each
+/// reader of a stripped buffer's output reads the buffer's input
+/// directly. Buffers driving primary outputs, and buffers with nonzero
+/// delay, are kept.
+#[must_use]
+pub fn strip_buffers(netlist: &Netlist) -> Netlist {
+    // Resolve aliases: the representative of a stripped buffer's
+    // output is (transitively) its input.
+    let mut alias: Vec<NetId> = netlist.net_ids().collect();
+    let mut stripped = vec![false; netlist.gate_count()];
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if g.kind == GateKind::Buf && g.delay == 0 && !netlist.is_output(g.output) {
+            alias[g.output.index()] = g.inputs[0];
+            stripped[i] = true;
+        }
+    }
+    let resolve = |mut n: NetId, alias: &[NetId]| {
+        while alias[n.index()] != n {
+            n = alias[n.index()];
+        }
+        n
+    };
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+    for n in netlist.net_ids() {
+        if resolve(n, &alias) != n {
+            continue; // aliased away
+        }
+        let id = if netlist.is_input(n) {
+            out.add_input(netlist.net_name(n))
+        } else {
+            out.add_net(netlist.net_name(n))
+        };
+        map[n.index()] = Some(id);
+    }
+    let lookup = |n: NetId, map: &[Option<NetId>], alias: &[NetId]| {
+        map[resolve(n, alias).index()].expect("representative mapped")
+    };
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if stripped[i] {
+            continue;
+        }
+        let ins: Vec<NetId> = g
+            .inputs
+            .iter()
+            .map(|&n| lookup(n, &map, &alias))
+            .collect();
+        out.add_gate(g.kind, &ins, lookup(g.output, &map, &alias), g.delay)
+            .expect("transform invariant");
+    }
+    for &po in netlist.outputs() {
+        out.mark_output(lookup(po, &map, &alias));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{carry_skip_block, CsaDelays};
+    use crate::sim;
+
+    #[test]
+    fn decompose_preserves_function() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let de = decompose_mux(&nl);
+        assert!(sim::equivalent_exhaustive(&nl, &de, 8).unwrap());
+        // One mux became four gates.
+        assert_eq!(de.gate_count(), nl.gate_count() + 3);
+        de.validate().unwrap();
+    }
+
+    #[test]
+    fn decompose_preserves_pin_delays() {
+        // Longest-path delays from every input to every output match.
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let de = decompose_mux(&nl);
+        fn longest(nl: &Netlist, target: NetId) -> Vec<i64> {
+            let mut dist = vec![i64::MIN; nl.net_count()];
+            dist[target.index()] = 0;
+            let mut order = nl.topo_gates().unwrap();
+            order.reverse();
+            for g in order {
+                let gate = nl.gate(g);
+                let d = dist[gate.output.index()];
+                if d == i64::MIN {
+                    continue;
+                }
+                for &inp in &gate.inputs {
+                    dist[inp.index()] = dist[inp.index()].max(d + i64::from(gate.delay));
+                }
+            }
+            nl.inputs().iter().map(|pi| dist[pi.index()]).collect()
+        }
+        for (k, (&o1, &o2)) in nl.outputs().iter().zip(de.outputs()).enumerate() {
+            assert_eq!(longest(&nl, o1), longest(&de, o2), "output {k}");
+        }
+    }
+
+    #[test]
+    fn strip_buffers_removes_zero_delay_bufs() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Buf, &[a], b, 0).unwrap();
+        nl.add_gate(GateKind::Buf, &[b], c, 2).unwrap(); // delayed: kept
+        nl.add_gate(GateKind::Not, &[c], z, 1).unwrap();
+        nl.mark_output(z);
+        let stripped = strip_buffers(&nl);
+        assert_eq!(stripped.gate_count(), 2);
+        assert!(sim::equivalent_exhaustive(&nl, &stripped, 4).unwrap());
+    }
+
+    #[test]
+    fn strip_keeps_output_buffers() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Buf, &[a], z, 0).unwrap();
+        nl.mark_output(z);
+        let stripped = strip_buffers(&nl);
+        assert_eq!(stripped.gate_count(), 1, "PO buffer must stay");
+        assert!(sim::equivalent_exhaustive(&nl, &stripped, 2).unwrap());
+    }
+
+    #[test]
+    fn strip_chains_of_buffers() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        let z = nl.add_net("z");
+        nl.add_gate(GateKind::Buf, &[a], b, 0).unwrap();
+        nl.add_gate(GateKind::Buf, &[b], c, 0).unwrap();
+        nl.add_gate(GateKind::Not, &[c], z, 1).unwrap();
+        nl.mark_output(z);
+        let stripped = strip_buffers(&nl);
+        assert_eq!(stripped.gate_count(), 1);
+        assert!(sim::equivalent_exhaustive(&nl, &stripped, 2).unwrap());
+    }
+}

@@ -1,0 +1,285 @@
+use crate::{Lit, SatResult, Solver, Var};
+
+/// Incremental Tseitin-style CNF construction over a [`Solver`].
+///
+/// `CnfBuilder` owns a solver and offers gate-level constraints: each
+/// `emit_*` method allocates clauses asserting that an output literal
+/// equals a Boolean function of input literals. The timing engine uses
+/// it to encode stability characteristic functions.
+///
+/// # Example
+///
+/// ```
+/// use hfta_sat::{CnfBuilder, SatResult};
+///
+/// let mut cnf = CnfBuilder::new();
+/// let a = cnf.new_lit();
+/// let b = cnf.new_lit();
+/// let z = cnf.emit_and(&[a, b]);
+/// // z & !a is unsatisfiable.
+/// assert_eq!(cnf.solve_with(&[z, !a]), SatResult::Unsat);
+/// assert_eq!(cnf.solve_with(&[z]), SatResult::Sat);
+/// ```
+#[derive(Debug, Default)]
+pub struct CnfBuilder {
+    solver: Solver,
+    const_true: Option<Lit>,
+}
+
+impl CnfBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> CnfBuilder {
+        CnfBuilder {
+            solver: Solver::new(),
+            const_true: None,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        self.solver.new_var()
+    }
+
+    /// Allocates a fresh variable and returns its positive literal.
+    pub fn new_lit(&mut self) -> Lit {
+        self.solver.new_var().positive()
+    }
+
+    /// A literal constrained to be true (allocated lazily, shared).
+    pub fn lit_true(&mut self) -> Lit {
+        if let Some(t) = self.const_true {
+            return t;
+        }
+        let t = self.new_lit();
+        self.solver.add_clause(&[t]);
+        self.const_true = Some(t);
+        t
+    }
+
+    /// A literal constrained to be false.
+    pub fn lit_false(&mut self) -> Lit {
+        !self.lit_true()
+    }
+
+    /// Adds a raw clause.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.solver.add_clause(lits);
+    }
+
+    /// Emits `z ⇔ AND(inputs)` and returns `z`.
+    ///
+    /// Degenerate cases are simplified: an empty conjunction is the
+    /// constant true, a singleton is returned unchanged.
+    pub fn emit_and(&mut self, inputs: &[Lit]) -> Lit {
+        match inputs {
+            [] => self.lit_true(),
+            [single] => *single,
+            _ => {
+                let z = self.new_lit();
+                // z -> each input
+                for &i in inputs {
+                    self.solver.add_clause(&[!z, i]);
+                }
+                // all inputs -> z
+                let mut clause: Vec<Lit> = inputs.iter().map(|&i| !i).collect();
+                clause.push(z);
+                self.solver.add_clause(&clause);
+                z
+            }
+        }
+    }
+
+    /// Emits `z ⇔ OR(inputs)` and returns `z`.
+    pub fn emit_or(&mut self, inputs: &[Lit]) -> Lit {
+        let negs: Vec<Lit> = inputs.iter().map(|&i| !i).collect();
+        !self.emit_and(&negs)
+    }
+
+    /// Emits `z ⇔ a ⊕ b` and returns `z`.
+    pub fn emit_xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let z = self.new_lit();
+        self.solver.add_clause(&[!z, a, b]);
+        self.solver.add_clause(&[!z, !a, !b]);
+        self.solver.add_clause(&[z, !a, b]);
+        self.solver.add_clause(&[z, a, !b]);
+        z
+    }
+
+    /// Emits `z ⇔ (s ? a : b)` and returns `z`.
+    pub fn emit_mux(&mut self, s: Lit, a: Lit, b: Lit) -> Lit {
+        let z = self.new_lit();
+        self.solver.add_clause(&[!s, !a, z]);
+        self.solver.add_clause(&[!s, a, !z]);
+        self.solver.add_clause(&[s, !b, z]);
+        self.solver.add_clause(&[s, b, !z]);
+        // Redundant consensus clauses help propagation.
+        self.solver.add_clause(&[!a, !b, z]);
+        self.solver.add_clause(&[a, b, !z]);
+        z
+    }
+
+    /// Emits `a ⇔ b`.
+    pub fn emit_equal(&mut self, a: Lit, b: Lit) {
+        self.solver.add_clause(&[!a, b]);
+        self.solver.add_clause(&[a, !b]);
+    }
+
+    /// Emits `a ⇒ b`.
+    pub fn emit_implies(&mut self, a: Lit, b: Lit) {
+        self.solver.add_clause(&[!a, b]);
+    }
+
+    /// Asserts that `l` holds.
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.solver.add_clause(&[l]);
+    }
+
+    /// Solves the accumulated formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solver.solve()
+    }
+
+    /// Solves under assumptions.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solver.solve_with(assumptions)
+    }
+
+    /// Returns `true` if `l` holds in every satisfying assignment
+    /// (decided by refuting `¬l`).
+    pub fn is_implied(&mut self, l: Lit) -> bool {
+        self.solver.solve_with(&[!l]) == SatResult::Unsat
+    }
+
+    /// The value of a literal in the most recent model.
+    #[must_use]
+    pub fn lit_model(&self, l: Lit) -> Option<bool> {
+        self.solver.lit_model(l)
+    }
+
+    /// Access to the underlying solver.
+    #[must_use]
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Mutable access to the underlying solver.
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Consumes the builder, returning the solver.
+    #[must_use]
+    pub fn into_solver(self) -> Solver {
+        self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks `f(inputs) == expected_gate_output` over all input
+    /// assignments by SAT-querying each row.
+    fn check_truth_table<F>(n: usize, build: F, spec: fn(&[bool]) -> bool)
+    where
+        F: Fn(&mut CnfBuilder, &[Lit]) -> Lit,
+    {
+        let mut cnf = CnfBuilder::new();
+        let ins: Vec<Lit> = (0..n).map(|_| cnf.new_lit()).collect();
+        let z = build(&mut cnf, &ins);
+        for row in 0u32..(1 << n) {
+            let vals: Vec<bool> = (0..n).map(|i| (row >> i) & 1 == 1).collect();
+            let mut assumptions: Vec<Lit> = ins
+                .iter()
+                .zip(&vals)
+                .map(|(&l, &v)| if v { l } else { !l })
+                .collect();
+            let expect = spec(&vals);
+            assumptions.push(if expect { z } else { !z });
+            assert_eq!(
+                cnf.solve_with(&assumptions),
+                SatResult::Sat,
+                "row {row:b} should force z={expect}"
+            );
+            let mut bad = assumptions;
+            let last = bad.len() - 1;
+            bad[last] = !bad[last];
+            assert_eq!(cnf.solve_with(&bad), SatResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn and_gate() {
+        check_truth_table(3, |c, i| c.emit_and(i), |v| v.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn or_gate() {
+        check_truth_table(3, |c, i| c.emit_or(i), |v| v.iter().any(|&x| x));
+    }
+
+    #[test]
+    fn xor_gate() {
+        check_truth_table(2, |c, i| c.emit_xor(i[0], i[1]), |v| v[0] ^ v[1]);
+    }
+
+    #[test]
+    fn mux_gate() {
+        check_truth_table(
+            3,
+            |c, i| c.emit_mux(i[0], i[1], i[2]),
+            |v| if v[0] { v[1] } else { v[2] },
+        );
+    }
+
+    #[test]
+    fn constants() {
+        let mut cnf = CnfBuilder::new();
+        let t = cnf.lit_true();
+        let f = cnf.lit_false();
+        assert_eq!(cnf.solve_with(&[t]), SatResult::Sat);
+        assert_eq!(cnf.solve_with(&[f]), SatResult::Unsat);
+        // Shared representation.
+        assert_eq!(cnf.lit_true(), t);
+    }
+
+    #[test]
+    fn empty_and_is_true() {
+        let mut cnf = CnfBuilder::new();
+        let z = cnf.emit_and(&[]);
+        assert!(cnf.is_implied(z));
+    }
+
+    #[test]
+    fn singleton_and_passthrough() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_lit();
+        assert_eq!(cnf.emit_and(&[a]), a);
+    }
+
+    #[test]
+    fn is_implied_detects_tautology() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_lit();
+        let na = !a;
+        let z = cnf.emit_or(&[a, na]);
+        assert!(cnf.is_implied(z));
+        let w = cnf.emit_and(&[a, na]);
+        assert!(cnf.is_implied(!w));
+        assert!(!cnf.is_implied(a));
+    }
+
+    #[test]
+    fn equal_and_implies() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_lit();
+        let b = cnf.new_lit();
+        cnf.emit_equal(a, b);
+        assert_eq!(cnf.solve_with(&[a, !b]), SatResult::Unsat);
+        assert_eq!(cnf.solve_with(&[!a, !b]), SatResult::Sat);
+        let c = cnf.new_lit();
+        cnf.emit_implies(b, c);
+        assert_eq!(cnf.solve_with(&[a, !c]), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,208 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard exchange format for SAT instances:
+//!
+//! ```text
+//! c a comment
+//! p cnf 3 2
+//! 1 -2 0
+//! 2 3 0
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{Lit, Solver, Var};
+
+/// Errors from [`parse`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseDimacsError {
+    /// The `p cnf` header line is missing or malformed.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A token could not be read as a literal.
+    BadLiteral {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A literal references a variable beyond the header's count.
+    VariableOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range variable (1-based, as written).
+        var: i64,
+    },
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader { line } => {
+                write!(f, "missing or malformed `p cnf` header at line {line}")
+            }
+            ParseDimacsError::BadLiteral { line, token } => {
+                write!(f, "bad literal `{token}` at line {line}")
+            }
+            ParseDimacsError::VariableOutOfRange { line, var } => {
+                write!(f, "variable {var} out of declared range at line {line}")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into a fresh [`Solver`].
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] on malformed input.
+pub fn parse(text: &str) -> Result<Solver, ParseDimacsError> {
+    let mut solver = Solver::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut clause: Vec<Lit> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut it = line.split_whitespace();
+            let _p = it.next();
+            if it.next() != Some("cnf") {
+                return Err(ParseDimacsError::BadHeader { line: lineno });
+            }
+            let nv: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(ParseDimacsError::BadHeader { line: lineno })?;
+            let _nc = it.next();
+            for _ in 0..nv {
+                solver.new_var();
+            }
+            declared_vars = Some(nv);
+            continue;
+        }
+        let nv = declared_vars.ok_or(ParseDimacsError::BadHeader { line: lineno })?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| ParseDimacsError::BadLiteral {
+                line: lineno,
+                token: tok.to_string(),
+            })?;
+            if v == 0 {
+                solver.add_clause(&clause);
+                clause.clear();
+            } else {
+                let var_index = v.unsigned_abs() as usize - 1;
+                if var_index >= nv {
+                    return Err(ParseDimacsError::VariableOutOfRange { line: lineno, var: v });
+                }
+                let var = Var::from_index(var_index);
+                clause.push(var.lit(v > 0));
+            }
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(&clause);
+    }
+    Ok(solver)
+}
+
+/// Serializes a clause set to DIMACS CNF text.
+///
+/// `num_vars` is the declared variable count; clauses are slices of
+/// literals.
+#[must_use]
+pub fn write(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "p cnf {} {}", num_vars, clauses.len());
+    for c in clauses {
+        for &l in c {
+            let v = l.var().index() + 1;
+            if l.is_positive() {
+                let _ = write!(s, "{v} ");
+            } else {
+                let _ = write!(s, "-{v} ");
+            }
+        }
+        let _ = writeln!(s, "0");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SatResult;
+
+    #[test]
+    fn parse_and_solve() {
+        let text = "c demo\np cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n";
+        let mut s = parse(text).unwrap();
+        assert_eq!(s.num_vars(), 3);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // -1 forces x1 false; 1 -2 forces x2 false; 2 3 forces x3 true.
+        assert_eq!(s.value(Var::from_index(0)), Some(false));
+        assert_eq!(s.value(Var::from_index(1)), Some(false));
+        assert_eq!(s.value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn parse_unsat() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let mut s = parse(text).unwrap();
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let text = "p cnf 2 1\n1\n2 0\n";
+        let mut s = parse(text).unwrap();
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            parse("1 2 0\n"),
+            Err(ParseDimacsError::BadHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_literal_rejected() {
+        assert!(matches!(
+            parse("p cnf 2 1\n1 x 0\n"),
+            Err(ParseDimacsError::BadLiteral { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            parse("p cnf 1 1\n2 0\n"),
+            Err(ParseDimacsError::VariableOutOfRange { line: 2, var: 2 })
+        ));
+    }
+
+    #[test]
+    fn write_round_trip() {
+        let v: Vec<Var> = (0..3).map(Var::from_index).collect();
+        let clauses = vec![
+            vec![v[0].positive(), v[1].negative()],
+            vec![v[1].positive(), v[2].positive()],
+        ];
+        let text = write(3, &clauses);
+        let mut s = parse(&text).unwrap();
+        assert_eq!(s.num_vars(), 3);
+        assert_eq!(s.num_clauses(), 2);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+}

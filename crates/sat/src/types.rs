@@ -1,0 +1,145 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+///
+/// Variables are dense indices created by
+/// [`Solver::new_var`](crate::Solver::new_var) or
+/// [`CnfBuilder::new_var`](crate::CnfBuilder::new_var).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the dense index of this variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index overflow"))
+    }
+
+    /// The positive literal of this variable.
+    #[must_use]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[must_use]
+    pub fn negative(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given polarity
+    /// (`true` ⇒ positive).
+    #[must_use]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var << 1 | sign` (sign bit set ⇒ negated), the classic
+/// MiniSat layout, so a literal indexes watch lists directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a positive (unnegated) literal.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense code of the literal (`var << 1 | sign`), usable as an
+    /// array index.
+    #[must_use]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` does not fit in `u32`.
+    #[must_use]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(u32::try_from(code).expect("literal code overflow"))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var::from_index(3);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+        assert!(v.positive().is_positive());
+        assert!(!v.negative().is_positive());
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        let l = Var::from_index(5).negative();
+        assert_eq!(Lit::from_code(l.code()), l);
+        assert_eq!(l.code(), 11);
+    }
+
+    #[test]
+    fn display() {
+        let v = Var::from_index(0);
+        assert_eq!(v.positive().to_string(), "x1");
+        assert_eq!(v.negative().to_string(), "!x1");
+    }
+}

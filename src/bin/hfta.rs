@@ -1,0 +1,415 @@
+//! `hfta` — command-line hierarchical functional timing analysis.
+//!
+//! ```text
+//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]...
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--arrival PIN=T]...
+//! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]
+//! hfta sim <file> --from BITS --to BITS
+//! hfta check <file> [--module NAME]
+//! hfta dot <file> [--module NAME] [-o GRAPH.dot]
+//! hfta verify <file> --model MODEL.hfta [--module NAME]
+//! hfta flatten <file.hnl> --top NAME [-o FLAT.bench]
+//! hfta convert <file> -o OUT.{bench|blif}
+//! ```
+//!
+//! `.bench` files hold a single flat module; `.hnl` files hold
+//! hierarchical designs (see the `hfta_netlist::hnl` docs). Unlisted
+//! arrivals default to `t = 0`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use hfta::fta::TimingReport;
+use hfta::netlist::event_sim::simulate_transition;
+use hfta::netlist::stats::{to_dot, NetlistStats};
+use hfta::netlist::{bench_format, blif, hnl};
+use hfta::{
+    CharacterizeOptions, Design, DemandDrivenAnalyzer, HierAnalyzer, HierOptions, ModelSource,
+    ModuleTiming, Netlist, Time,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "report" => cmd_report(rest),
+        "hier" => cmd_hier(rest),
+        "characterize" => cmd_characterize(rest),
+        "sim" => cmd_sim(rest),
+        "check" => cmd_check(rest),
+        "dot" => cmd_dot(rest),
+        "verify" => cmd_verify(rest),
+        "flatten" => cmd_flatten(rest),
+        "convert" => cmd_convert(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     hfta report <file> [--module NAME] [--arrival PIN=T]...\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--arrival PIN=T]...\n  \
+     hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]\n  \
+     hfta sim <file> --from BITS --to BITS\n  \
+     hfta check <file> [--module NAME]\n  \
+     hfta dot <file> [--module NAME] [-o GRAPH.dot]\n  \
+     hfta verify <file> --model MODEL.hfta [--module NAME]\n  \
+     hfta flatten <file.hnl> --top NAME [-o FLAT.bench]\n  \
+     hfta convert <file> -o OUT.{bench|blif}"
+        .to_string()
+}
+
+/// Minimal flag parser: positionals + `--key value` + `--flag`.
+struct Opts {
+    positionals: Vec<String>,
+    values: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+const VALUE_FLAGS: &[&str] = &[
+    "--module", "--top", "--algo", "--arrival", "-o", "--from", "--to", "--model",
+];
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        positionals: Vec::new(),
+        values: HashMap::new(),
+        flags: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("flag `{a}` needs a value"))?;
+            opts.values.entry(a.clone()).or_default().push(v.clone());
+        } else if a.starts_with('-') {
+            opts.flags.push(a.clone());
+        } else {
+            opts.positionals.push(a.clone());
+        }
+    }
+    Ok(opts)
+}
+
+impl Opts {
+    fn value(&self, key: &str) -> Option<&str> {
+        self.values.get(key).and_then(|v| v.first()).map(String::as_str)
+    }
+
+    fn values_of(&self, key: &str) -> &[String] {
+        self.values.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Loads a file as (design, default module name). `.hnl` files hold
+/// hierarchical designs; `.blif` and `.bench` files hold one flat
+/// module (BLIF latches are rejected here — use the library's
+/// `SeqCircuit` API for sequential analysis).
+fn load(path: &str) -> Result<(Design, Option<String>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".hnl") {
+        return hnl::parse(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    let nl = if path.ends_with(".blif") {
+        let seq = blif::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        if !seq.registers().is_empty() {
+            return Err(format!(
+                "{path}: has {} latches; the CLI analyzes combinational cores only",
+                seq.registers().len()
+            ));
+        }
+        seq.core().clone()
+    } else {
+        bench_format::parse(&text, stem).map_err(|e| format!("{path}: {e}"))?
+    };
+    let name = nl.name().to_string();
+    let mut design = Design::new();
+    design.add_leaf(nl).map_err(|e| e.to_string())?;
+    Ok((design, Some(name)))
+}
+
+fn pick_leaf<'a>(design: &'a Design, opts: &Opts, default: Option<&str>) -> Result<&'a Netlist, String> {
+    let name = opts
+        .value("--module")
+        .or(default)
+        .ok_or("no module named; pass --module NAME")?;
+    design
+        .leaf(name)
+        .ok_or_else(|| format!("no leaf module `{name}` in the design"))
+}
+
+fn arrivals_for(netlist: &Netlist, opts: &Opts) -> Result<Vec<Time>, String> {
+    let mut arrivals = vec![Time::ZERO; netlist.inputs().len()];
+    for spec in opts.values_of("--arrival") {
+        let (pin, t) = parse_arrival(spec)?;
+        let pos = netlist
+            .inputs()
+            .iter()
+            .position(|&n| netlist.net_name(n) == pin)
+            .ok_or_else(|| format!("no primary input `{pin}`"))?;
+        arrivals[pos] = t;
+    }
+    Ok(arrivals)
+}
+
+fn parse_arrival(spec: &str) -> Result<(String, Time), String> {
+    let (pin, t) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("bad --arrival `{spec}` (want PIN=T)"))?;
+    let t: i64 = t
+        .parse()
+        .map_err(|_| format!("bad arrival time `{t}` in `{spec}`"))?;
+    Ok((pin.to_string(), Time::new(t)))
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (design, default) = load(path)?;
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
+    let arrivals = arrivals_for(nl, &opts)?;
+
+    println!(
+        "module {} — {} gates, {} inputs, {} outputs",
+        nl.name(),
+        nl.gate_count(),
+        nl.inputs().len(),
+        nl.outputs().len()
+    );
+    // First pass determines the functional circuit delay; the report
+    // computes slacks against it (zero worst slack).
+    let probe = TimingReport::generate(nl, &arrivals, Time::ZERO).map_err(|e| e.to_string())?;
+    let report = TimingReport::generate(nl, &arrivals, probe.circuit_functional)
+        .map_err(|e| e.to_string())?;
+    print!("{report}");
+    println!(
+        "\ncircuit delay: topological {}, functional {}",
+        report.circuit_topological, report.circuit_functional
+    );
+    Ok(())
+}
+
+fn cmd_hier(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (design, default_top) = load(path)?;
+    let top = opts
+        .value("--top")
+        .map(str::to_string)
+        .or(default_top)
+        .ok_or("no top module; pass --top NAME")?;
+    let composite = design
+        .composite(&top)
+        .ok_or_else(|| format!("`{top}` is not a composite module"))?;
+    let mut arrivals = vec![Time::ZERO; composite.inputs().len()];
+    for spec in opts.values_of("--arrival") {
+        let (pin, t) = parse_arrival(spec)?;
+        let pos = composite
+            .inputs()
+            .iter()
+            .position(|&n| composite.net_name(n) == pin)
+            .ok_or_else(|| format!("no primary input `{pin}`"))?;
+        arrivals[pos] = t;
+    }
+    let algo = opts.value("--algo").unwrap_or("demand");
+    let (label, output_arrivals, delay) = match algo {
+        "two-step" => {
+            let mut an = HierAnalyzer::new(&design, &top, HierOptions::default())
+                .map_err(|e| e.to_string())?;
+            let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
+            ("two-step", r.output_arrivals, r.delay)
+        }
+        "demand" => {
+            let mut an = DemandDrivenAnalyzer::new(&design, &top, Default::default())
+                .map_err(|e| e.to_string())?;
+            let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
+            println!(
+                "demand-driven: {} refinement rounds, {} stability checks, {} refinements",
+                r.rounds, r.checks, r.refinements
+            );
+            ("demand", r.output_arrivals, r.delay)
+        }
+        other => return Err(format!("unknown --algo `{other}` (two-step|demand)")),
+    };
+    println!("hierarchical analysis ({label}) of `{top}`:");
+    for (k, &po) in composite.outputs().iter().enumerate() {
+        println!("  {:<20} {}", composite.net_name(po), output_arrivals[k]);
+    }
+    println!("estimated delay: {delay}");
+    Ok(())
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (design, default) = load(path)?;
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
+    let source = if opts.has_flag("--topological") {
+        ModelSource::Topological
+    } else {
+        ModelSource::Functional
+    };
+    let timing = ModuleTiming::characterize(nl, source, CharacterizeOptions::default())
+        .map_err(|e| e.to_string())?;
+    let text = timing.to_text();
+    match opts.value("-o") {
+        Some(out) => {
+            std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (design, default) = load(path)?;
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
+    let from = parse_bits(opts.value("--from").ok_or("missing --from BITS")?, nl)?;
+    let to = parse_bits(opts.value("--to").ok_or("missing --to BITS")?, nl)?;
+    let arrivals = vec![Time::ZERO; nl.inputs().len()];
+    let out = simulate_transition(nl, &from, &to, &arrivals).map_err(|e| e.to_string())?;
+    println!("settle time: {}", out.settle);
+    println!("events: {}, output glitches: {}", out.events, out.output_glitches);
+    for (k, &po) in nl.outputs().iter().enumerate() {
+        println!(
+            "  {:<20} -> {}  (last change {})",
+            nl.net_name(po),
+            u8::from(out.final_values[po.index()]),
+            out.output_settle[k]
+        );
+    }
+    Ok(())
+}
+
+fn parse_bits(bits: &str, nl: &Netlist) -> Result<Vec<bool>, String> {
+    if bits.len() != nl.inputs().len() {
+        return Err(format!(
+            "vector `{bits}` has {} bits; module has {} inputs",
+            bits.len(),
+            nl.inputs().len()
+        ));
+    }
+    bits.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("bad bit `{other}` in `{bits}`")),
+        })
+        .collect()
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (design, default) = load(path)?;
+    design.validate().map_err(|e| e.to_string())?;
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
+    nl.validate().map_err(|e| e.to_string())?;
+    let stats = NetlistStats::collect(nl).map_err(|e| e.to_string())?;
+    println!("{stats}");
+    println!("\nvalidation: OK");
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (design, default) = load(path)?;
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
+    let dot = to_dot(nl);
+    match opts.value("-o") {
+        Some(out) => {
+            std::fs::write(out, &dot).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let model_path = opts.value("--model").ok_or("missing --model MODEL.hfta")?;
+    let (design, default) = load(path)?;
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
+    let text = std::fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let timing = ModuleTiming::from_text(&text).map_err(|e| e.to_string())?;
+    let violations = timing.verify(nl).map_err(|e| e.to_string())?;
+    if violations.is_empty() {
+        println!("model `{model_path}` VERIFIED against `{}`", nl.name());
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("{} violation(s) found", violations.len()))
+    }
+}
+
+fn cmd_flatten(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (design, default_top) = load(path)?;
+    let top = opts
+        .value("--top")
+        .map(str::to_string)
+        .or(default_top)
+        .ok_or("no top module; pass --top NAME")?;
+    let flat = design.flatten(&top).map_err(|e| e.to_string())?;
+    let text = bench_format::write(&flat);
+    match opts.value("-o") {
+        Some(out) => {
+            std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {out} ({} gates)", flat.gate_count());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let out = opts.value("-o").ok_or("missing -o OUT.{bench|blif}")?;
+    let (design, default) = load(path)?;
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
+    let text = if out.ends_with(".blif") {
+        blif::write(nl)
+    } else if out.ends_with(".bench") {
+        bench_format::write(nl)
+    } else {
+        return Err(format!("output `{out}` must end in .bench or .blif"));
+    };
+    std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}

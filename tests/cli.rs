@@ -1,0 +1,255 @@
+//! End-to-end tests of the `hfta` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hfta_bin() -> PathBuf {
+    // target/debug/hfta, located relative to the test binary.
+    let mut p = PathBuf::from(env!("CARGO_BIN_EXE_hfta"));
+    assert!(p.exists(), "CLI binary missing at {}", p.display());
+    p = p.canonicalize().expect("canonical path");
+    p
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hfta-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const BENCH: &str = "\
+INPUT(c)
+INPUT(a0)
+INPUT(a1)
+OUTPUT(z)
+p0 = XOR(a0, a1) # delay=2
+t0 = AND(p0, c)
+g0 = AND(a0, a1)
+k1 = OR(g0, t0)
+t1 = AND(p0, k1)
+k2 = OR(g0, t1)
+z  = MUX(p0, c, k2) # delay=2
+";
+
+const HNL: &str = "\
+module blk
+  input c a b
+  output s z
+  gate xor p a b delay=2
+  gate and t p c
+  gate and g a b
+  gate or  k g t
+  gate xor s p c delay=2
+  gate mux z p c k delay=2
+endmodule
+
+module top
+  input cin a0 b0 a1 b1
+  output s0 s1 zout
+  net mid
+  inst u0 blk cin a0 b0 -> s0 mid
+  inst u1 blk mid a1 b1 -> s1 zout
+endmodule
+
+top top
+";
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(hfta_bin())
+        .args(args)
+        .output()
+        .expect("spawn CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn report_finds_false_path() {
+    let path = write_temp("report.bench", BENCH);
+    let (ok, stdout, _) = run(&["report", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("topological 8"), "{stdout}");
+    assert!(stdout.contains("functional 6"), "{stdout}");
+    assert!(stdout.contains("[false]"), "false path flagged: {stdout}");
+    assert!(stdout.contains("->"), "critical path shown: {stdout}");
+}
+
+#[test]
+fn report_with_arrival_override() {
+    let path = write_temp("report2.bench", BENCH);
+    let (ok, stdout, _) = run(&["report", path.to_str().unwrap(), "--arrival", "c=5"]);
+    assert!(ok);
+    assert!(stdout.contains("topological 11"), "{stdout}");
+    assert!(stdout.contains("functional 7"), "{stdout}");
+}
+
+#[test]
+fn hier_both_algorithms_agree() {
+    let path = write_temp("hier.hnl", HNL);
+    let (ok, demand, _) = run(&["hier", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(demand.contains("estimated delay: 8"), "{demand}");
+    let (ok, twostep, _) = run(&["hier", path.to_str().unwrap(), "--algo", "two-step"]);
+    assert!(ok);
+    assert!(twostep.contains("estimated delay: 8"), "{twostep}");
+}
+
+#[test]
+fn characterize_round_trips() {
+    let path = write_temp("char.bench", BENCH);
+    let model_path = std::env::temp_dir().join("hfta-cli-tests/model.hfta");
+    let (ok, _, _) = run(&[
+        "characterize",
+        path.to_str().unwrap(),
+        "-o",
+        model_path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&model_path).expect("model written");
+    assert!(text.contains("hfta-timing-model v1"));
+    assert!(text.contains("tuple 2 6 6"), "false-path-aware tuple: {text}");
+    // And it parses back.
+    let parsed = hfta::ModuleTiming::from_text(&text).expect("parses");
+    assert_eq!(parsed.module(), "char");
+}
+
+#[test]
+fn sim_reports_settle() {
+    let path = write_temp("sim.bench", BENCH);
+    let (ok, stdout, _) = run(&[
+        "sim",
+        path.to_str().unwrap(),
+        "--from",
+        "000",
+        "--to",
+        "110",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("settle time:"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported() {
+    let (ok, _, stderr) = run(&["report", "/nonexistent/file.bench"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"), "{stderr}");
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    let path = write_temp("err.bench", BENCH);
+    let (ok, _, stderr) = run(&["sim", path.to_str().unwrap(), "--from", "0", "--to", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("bits"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+}
+
+#[test]
+fn check_reports_stats() {
+    let path = write_temp("check.bench", BENCH);
+    let (ok, stdout, _) = run(&["check", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("7 gates"), "{stdout}");
+    assert!(stdout.contains("validation: OK"), "{stdout}");
+}
+
+#[test]
+fn dot_renders_graph() {
+    let path = write_temp("dot.bench", BENCH);
+    let (ok, stdout, _) = run(&["dot", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    assert!(stdout.contains("mux/2"), "{stdout}");
+}
+
+#[test]
+fn blif_input_supported() {
+    let blif = "\
+.model maj
+.inputs a b c
+.outputs z
+.names a b c z
+11- 1
+1-1 1
+-11 1
+.end
+";
+    let path = write_temp("maj.blif", blif);
+    let (ok, stdout, _) = run(&["report", path.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("module maj"), "{stdout}");
+}
+
+#[test]
+fn verify_accepts_honest_and_rejects_forged_models() {
+    let path = write_temp("verify.bench", BENCH);
+    let model_path = std::env::temp_dir().join("hfta-cli-tests/verify_model.hfta");
+    let (ok, _, _) = run(&[
+        "characterize",
+        path.to_str().unwrap(),
+        "-o",
+        model_path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let (ok, stdout, _) = run(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--model",
+        model_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("VERIFIED"), "{stdout}");
+
+    // Forge: claim the c pin delay is 1 instead of 2.
+    let text = std::fs::read_to_string(&model_path).unwrap();
+    let forged = text.replace("tuple 2 6 6", "tuple 1 6 6");
+    assert_ne!(text, forged);
+    let forged_path = std::env::temp_dir().join("hfta-cli-tests/forged_model.hfta");
+    std::fs::write(&forged_path, forged).unwrap();
+    let (ok, _, stderr) = run(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--model",
+        forged_path.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("optimistic"), "{stderr}");
+}
+
+#[test]
+fn flatten_and_convert() {
+    let path = write_temp("flat.hnl", HNL);
+    let out = std::env::temp_dir().join("hfta-cli-tests/flat.bench");
+    let (ok, stdout, _) = run(&[
+        "flatten",
+        path.to_str().unwrap(),
+        "-o",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("12 gates"), "{stdout}");
+    // The flattened file is a valid .bench and converts to BLIF.
+    let blif_out = std::env::temp_dir().join("hfta-cli-tests/flat.blif");
+    let (ok, _, _) = run(&[
+        "convert",
+        out.to_str().unwrap(),
+        "-o",
+        blif_out.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&blif_out).unwrap();
+    assert!(text.starts_with(".model"));
+    // And the BLIF loads back.
+    let (ok, stdout, _) = run(&["check", blif_out.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+}

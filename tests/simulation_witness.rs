@@ -1,0 +1,97 @@
+//! Empirical validation: event-driven timing simulation (one concrete
+//! delay assignment — the nominal one) can never settle later than the
+//! XBD0 functional arrival, which in turn never exceeds the
+//! topological arrival. Monte-Carlo over random circuits and vector
+//! pairs.
+
+use hfta::netlist::event_sim::monte_carlo_settle;
+use hfta::netlist::gen::{
+    carry_skip_adder_flat, random_circuit, CsaDelays, GateMix, RandomCircuitSpec,
+};
+use hfta::{DelayAnalyzer, Time, TopoSta};
+
+fn t(v: i64) -> Time {
+    Time::new(v)
+}
+
+fn check_sandwich(nl: &hfta::Netlist, samples: usize, seed: u64) {
+    let arrivals = vec![t(0); nl.inputs().len()];
+    let observed = monte_carlo_settle(nl, &arrivals, samples, seed).expect("simulates");
+    let mut an = DelayAnalyzer::new_sat(nl, &arrivals).expect("valid");
+    let sta = TopoSta::new(nl).expect("valid");
+    let topo = sta.arrival_times(&arrivals);
+    for (k, &out) in nl.outputs().iter().enumerate() {
+        let functional = an.output_arrival(out);
+        assert!(
+            observed[k] <= functional,
+            "{}: simulated settle {} exceeds functional arrival {}",
+            nl.net_name(out),
+            observed[k],
+            functional
+        );
+        assert!(
+            functional <= topo[out.index()],
+            "{}: functional {} exceeds topological {}",
+            nl.net_name(out),
+            functional,
+            topo[out.index()]
+        );
+    }
+}
+
+#[test]
+fn random_circuits_nand_heavy() {
+    for seed in 0..5 {
+        let spec = RandomCircuitSpec {
+            inputs: 8,
+            gates: 60,
+            seed,
+            locality: 10,
+            global_fanin_prob: 0.2,
+            mix: GateMix::NandHeavy,
+        };
+        let nl = random_circuit("w", spec);
+        check_sandwich(&nl, 40, seed * 13 + 1);
+    }
+}
+
+#[test]
+fn random_circuits_xor_heavy() {
+    for seed in 10..14 {
+        let spec = RandomCircuitSpec {
+            inputs: 8,
+            gates: 60,
+            seed,
+            locality: 10,
+            global_fanin_prob: 0.05,
+            mix: GateMix::XorHeavy,
+        };
+        let nl = random_circuit("w", spec);
+        check_sandwich(&nl, 40, seed * 7 + 3);
+    }
+}
+
+#[test]
+fn carry_skip_adder_witness() {
+    let flat = carry_skip_adder_flat(8, 2, CsaDelays::default()).expect("flattens");
+    check_sandwich(&flat, 64, 99);
+}
+
+/// Tightness witness: on the 2-bit block some simulated transition
+/// actually achieves the functional arrival of each sum output (the
+/// analytical bound is not vacuous).
+#[test]
+fn simulation_achieves_functional_bound_on_block() {
+    use hfta::netlist::gen::carry_skip_block;
+    let nl = carry_skip_block(2, CsaDelays::default());
+    let arrivals = vec![t(0); 5];
+    let observed = monte_carlo_settle(&nl, &arrivals, 512, 5).expect("simulates");
+    let mut an = DelayAnalyzer::new_sat(&nl, &arrivals).expect("valid");
+    // s0 (functional arrival 4) and s1 (6) are reached by simulation.
+    let s0 = nl.outputs()[0];
+    let s1 = nl.outputs()[1];
+    assert_eq!(an.output_arrival(s0), t(4));
+    assert_eq!(observed[0], t(4));
+    assert_eq!(an.output_arrival(s1), t(6));
+    assert_eq!(observed[1], t(6));
+}

@@ -3,7 +3,7 @@
 //! handles coincide exactly for semantically equal functions.
 
 use hfta_bdd::{Bdd, BddManager};
-use proptest::prelude::*;
+use hfta_testkit::{from_fn_with_shrink, prop, Rng, Strategy};
 
 /// A tiny expression AST over `NVARS` variables.
 #[derive(Clone, Debug)]
@@ -19,24 +19,56 @@ enum Expr {
 
 const NVARS: u32 = 5;
 
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    // Leaves only at depth 0; inner nodes pick any operator.
+    let choice = if depth == 0 { rng.gen_range(0..2) } else { rng.gen_range(0..7) };
+    match choice {
+        0 => Expr::Var(rng.gen_range(0..NVARS)),
+        1 => Expr::Const(rng.next_bool()),
+        2 => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+        3 => Expr::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        4 => Expr::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        5 => Expr::Xor(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Ite(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
+}
+
+/// Shrink an expression to its immediate subexpressions and to the
+/// constants — a failing compound expression reduces to the smallest
+/// subtree still exhibiting the failure.
+fn shrink_expr(e: &Expr) -> Vec<Expr> {
+    let mut out = vec![Expr::Const(false), Expr::Const(true)];
+    match e {
+        Expr::Var(_) | Expr::Const(_) => return Vec::new(),
+        Expr::Not(a) => out.push((**a).clone()),
+        Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+        Expr::Ite(a, b, c) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            out.push((**c).clone());
+        }
+    }
+    out
+}
+
 fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
-    })
+    from_fn_with_shrink(|rng: &mut Rng| gen_expr(rng, 4), shrink_expr)
 }
 
 fn to_bdd(mgr: &mut BddManager, e: &Expr) -> Bdd {
@@ -95,50 +127,45 @@ fn truth_table(e: &Expr) -> u32 {
     table
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bdd_matches_truth_table(e in expr_strategy()) {
-        let mut mgr = BddManager::new();
-        let f = to_bdd(&mut mgr, &e);
-        for v in 0u32..(1 << NVARS) {
-            let env: Vec<bool> = (0..NVARS).map(|i| (v >> i) & 1 == 1).collect();
-            prop_assert_eq!(mgr.eval(f, &env), eval_expr(&e, &env), "vector {:05b}", v);
-        }
-        // Satisfiability / tautology agree with the table.
-        let table = truth_table(&e);
-        prop_assert_eq!(mgr.is_satisfiable(f), table != 0);
-        prop_assert_eq!(mgr.is_tautology(f), table == u32::MAX >> (32 - (1 << NVARS)));
-        prop_assert_eq!(mgr.sat_count(f, NVARS), u64::from(table.count_ones()));
+prop!(cases = 128, fn bdd_matches_truth_table(e in expr_strategy()) {
+    let mut mgr = BddManager::new();
+    let f = to_bdd(&mut mgr, &e);
+    for v in 0u32..(1 << NVARS) {
+        let env: Vec<bool> = (0..NVARS).map(|i| (v >> i) & 1 == 1).collect();
+        assert_eq!(mgr.eval(f, &env), eval_expr(&e, &env), "vector {v:05b}");
     }
+    // Satisfiability / tautology agree with the table.
+    let table = truth_table(&e);
+    assert_eq!(mgr.is_satisfiable(f), table != 0);
+    assert_eq!(mgr.is_tautology(f), table == u32::MAX >> (32 - (1 << NVARS)));
+    assert_eq!(mgr.sat_count(f, NVARS), u64::from(table.count_ones()));
+});
 
-    #[test]
-    fn canonical_handles_for_equal_functions(a in expr_strategy(), b in expr_strategy()) {
-        let mut mgr = BddManager::new();
-        let fa = to_bdd(&mut mgr, &a);
-        let fb = to_bdd(&mut mgr, &b);
-        prop_assert_eq!(fa == fb, truth_table(&a) == truth_table(&b));
-    }
+prop!(cases = 128, fn canonical_handles_for_equal_functions(
+    a in expr_strategy(),
+    b in expr_strategy(),
+) {
+    let mut mgr = BddManager::new();
+    let fa = to_bdd(&mut mgr, &a);
+    let fb = to_bdd(&mut mgr, &b);
+    assert_eq!(fa == fb, truth_table(&a) == truth_table(&b));
+});
 
-    #[test]
-    fn shannon_expansion_holds(e in expr_strategy(), var in 0..NVARS) {
-        let mut mgr = BddManager::new();
-        let f = to_bdd(&mut mgr, &e);
-        let f0 = mgr.restrict(f, var, false);
-        let f1 = mgr.restrict(f, var, true);
-        let x = mgr.var(var);
-        let rebuilt = mgr.ite(x, f1, f0);
-        prop_assert_eq!(rebuilt, f);
-    }
+prop!(cases = 128, fn shannon_expansion_holds(e in expr_strategy(), var in 0..NVARS) {
+    let mut mgr = BddManager::new();
+    let f = to_bdd(&mut mgr, &e);
+    let f0 = mgr.restrict(f, var, false);
+    let f1 = mgr.restrict(f, var, true);
+    let x = mgr.var(var);
+    let rebuilt = mgr.ite(x, f1, f0);
+    assert_eq!(rebuilt, f);
+});
 
-    #[test]
-    fn pick_sat_yields_model(e in expr_strategy()) {
-        let mut mgr = BddManager::new();
-        let f = to_bdd(&mut mgr, &e);
-        match mgr.pick_sat(f, NVARS) {
-            Some(model) => prop_assert!(mgr.eval(f, &model)),
-            None => prop_assert_eq!(f, Bdd::FALSE),
-        }
+prop!(cases = 128, fn pick_sat_yields_model(e in expr_strategy()) {
+    let mut mgr = BddManager::new();
+    let f = to_bdd(&mut mgr, &e);
+    match mgr.pick_sat(f, NVARS) {
+        Some(model) => assert!(mgr.eval(f, &model)),
+        None => assert_eq!(f, Bdd::FALSE),
     }
-}
+});

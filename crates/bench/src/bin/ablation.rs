@@ -6,8 +6,11 @@
 //! 2. **Tuple-set size cap** — how many greedy relaxation passes the
 //!    characterization runs (1 tuple vs several incomparable tuples).
 //! 3. **Fixed vs min-cut partitioning** of the Table 2 workloads.
+//! 4. **Serial vs parallel characterization** of a mixed design.
+//!
+//! Run with `cargo run --release -p hfta-bench --bin ablation`; see
+//! [`hfta_testkit::Harness`] for the environment knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hfta_bench::{build_iscas_like, IscasLike};
 use hfta_core::{
     CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, HierAnalyzer, HierOptions,
@@ -15,34 +18,28 @@ use hfta_core::{
 use hfta_netlist::gen::carry_skip_adder;
 use hfta_netlist::partition::{cascade_bipartition, cascade_bipartition_min_cut};
 use hfta_netlist::Time;
+use hfta_testkit::Harness;
 
-fn bench_demand_vs_twostep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_demand_vs_twostep");
-    group.sample_size(10);
+fn bench_demand_vs_twostep(harness: &mut Harness) {
+    let mut group = harness.group("ablation_demand_vs_twostep");
     let design = carry_skip_adder(32, 4, Default::default());
     let arrivals = vec![Time::ZERO; 65];
 
-    group.bench_function("demand_driven", |b| {
-        b.iter(|| {
-            let mut an =
-                DemandDrivenAnalyzer::new(&design, "csa32.4", DemandOptions::default())
-                    .expect("valid");
-            an.analyze(&arrivals).expect("analyzes").delay
-        });
-    });
-    group.bench_function("two_step_full", |b| {
-        b.iter(|| {
-            let mut an = HierAnalyzer::new(&design, "csa32.4", HierOptions::default())
+    group.bench("demand_driven", || {
+        let mut an =
+            DemandDrivenAnalyzer::new(&design, "csa32.4", DemandOptions::default())
                 .expect("valid");
-            an.analyze(&arrivals).expect("analyzes").delay
-        });
+        an.analyze(&arrivals).expect("analyzes").delay
     });
-    group.finish();
+    group.bench("two_step_full", || {
+        let mut an = HierAnalyzer::new(&design, "csa32.4", HierOptions::default())
+            .expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
+    });
 }
 
-fn bench_tuple_cap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_tuple_cap");
-    group.sample_size(10);
+fn bench_tuple_cap(harness: &mut Harness) {
+    let mut group = harness.group("ablation_tuple_cap");
     let design = carry_skip_adder(16, 2, Default::default());
     let arrivals = vec![Time::ZERO; 33];
     for max_tuples in [1usize, 4] {
@@ -53,20 +50,15 @@ fn bench_tuple_cap(c: &mut Criterion) {
             },
             ..HierOptions::default()
         };
-        group.bench_function(format!("max_tuples_{max_tuples}"), |b| {
-            b.iter(|| {
-                let mut an =
-                    HierAnalyzer::new(&design, "csa16.2", opts).expect("valid");
-                an.analyze(&arrivals).expect("analyzes").delay
-            });
+        group.bench(&format!("max_tuples_{max_tuples}"), || {
+            let mut an = HierAnalyzer::new(&design, "csa16.2", opts).expect("valid");
+            an.analyze(&arrivals).expect("analyzes").delay
         });
     }
-    group.finish();
 }
 
-fn bench_partition_strategy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_partition");
-    group.sample_size(10);
+fn bench_partition_strategy(harness: &mut Harness) {
+    let mut group = harness.group("ablation_partition");
     let w = IscasLike {
         name: "c432_like".into(),
         gates: 160,
@@ -76,27 +68,20 @@ fn bench_partition_strategy(c: &mut Criterion) {
     let arrivals = vec![Time::ZERO; flat.inputs().len()];
 
     let fixed = cascade_bipartition(&flat, 0.5).expect("partitions");
-    group.bench_function("fixed_half_split", |b| {
-        b.iter(|| {
-            let mut an = DemandDrivenAnalyzer::new(&fixed, "c432_like_top", Default::default())
-                .expect("valid");
-            an.analyze(&arrivals).expect("analyzes").delay
-        });
+    group.bench("fixed_half_split", || {
+        let mut an = DemandDrivenAnalyzer::new(&fixed, "c432_like_top", Default::default())
+            .expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
     });
     let mincut = cascade_bipartition_min_cut(&flat, 0.25, 0.75).expect("partitions");
-    group.bench_function("min_cut_split", |b| {
-        b.iter(|| {
-            let mut an = DemandDrivenAnalyzer::new(&mincut, "c432_like_top", Default::default())
-                .expect("valid");
-            an.analyze(&arrivals).expect("analyzes").delay
-        });
+    group.bench("min_cut_split", || {
+        let mut an = DemandDrivenAnalyzer::new(&mincut, "c432_like_top", Default::default())
+            .expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
     });
-    group.finish();
 }
 
-fn bench_parallel_characterization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_parallel_characterize");
-    group.sample_size(10);
+fn bench_parallel_characterization(harness: &mut Harness) {
     // A design with four distinct block flavours so the parallel path
     // has real fan-out.
     use hfta_netlist::gen::{carry_skip_block, CsaDelays};
@@ -129,29 +114,25 @@ fn bench_parallel_characterization(c: &mut Criterion) {
     design.add_composite(top).expect("fresh design");
     let arrivals = vec![Time::ZERO; n_inputs];
 
-    group.bench_function("serial", |b| {
-        b.iter(|| {
-            let mut an =
-                HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
-            an.analyze(&arrivals).expect("analyzes").delay
-        });
+    let mut group = harness.group("ablation_parallel_characterize");
+    group.bench("serial", || {
+        let mut an =
+            HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
     });
-    group.bench_function("parallel_4_threads", |b| {
-        b.iter(|| {
-            let mut an =
-                HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
-            an.characterize_all_parallel(4).expect("characterizes");
-            an.analyze(&arrivals).expect("analyzes").delay
-        });
+    group.bench("parallel_4_threads", || {
+        let mut an =
+            HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
+        an.characterize_all_parallel(4).expect("characterizes");
+        an.analyze(&arrivals).expect("analyzes").delay
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_demand_vs_twostep,
-    bench_tuple_cap,
-    bench_partition_strategy,
-    bench_parallel_characterization
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("ablation");
+    bench_demand_vs_twostep(&mut harness);
+    bench_tuple_cap(&mut harness);
+    bench_partition_strategy(&mut harness);
+    bench_parallel_characterization(&mut harness);
+    harness.finish();
+}

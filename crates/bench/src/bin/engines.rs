@@ -1,43 +1,41 @@
 //! Engine-level benchmarks: the SAT vs BDD tautology backends for
 //! stability checks (a DESIGN.md ablation), plus raw solver/BDD
 //! throughput on classic workloads.
+//!
+//! Run with `cargo run --release -p hfta-bench --bin engines`; see
+//! [`hfta_testkit::Harness`] for the environment knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hfta_bdd::BddManager;
 use hfta_fta::{BddAlg, SatAlg, StabilityAnalyzer};
 use hfta_netlist::gen::{carry_skip_block, CsaDelays};
 use hfta_netlist::Time;
 use hfta_sat::{SatResult, Solver};
+use hfta_testkit::Harness;
 
-fn bench_stability_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stability_backend");
-    group.sample_size(20);
-    let block = carry_skip_block(4, CsaDelays::default());
-    let arrivals = vec![Time::ZERO; block.inputs().len()];
-    let c_out = block.find_net("c_out").expect("exists");
+fn main() {
+    let mut harness = Harness::new("engines");
 
-    group.bench_function("sat", |b| {
-        b.iter(|| {
+    {
+        let mut group = harness.group("stability_backend");
+        let block = carry_skip_block(4, CsaDelays::default());
+        let arrivals = vec![Time::ZERO; block.inputs().len()];
+        let c_out = block.find_net("c_out").expect("exists");
+
+        group.bench("sat", || {
             let mut an =
                 StabilityAnalyzer::new(&block, &arrivals, SatAlg::new()).expect("valid");
             (0..14).filter(|&t| an.is_stable_at(c_out, Time::new(t))).count()
         });
-    });
-    group.bench_function("bdd", |b| {
-        b.iter(|| {
+        group.bench("bdd", || {
             let mut an =
                 StabilityAnalyzer::new(&block, &arrivals, BddAlg::new()).expect("valid");
             (0..14).filter(|&t| an.is_stable_at(c_out, Time::new(t))).count()
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_sat_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_solver");
-    group.sample_size(20);
-    group.bench_function("pigeonhole_7_into_6", |b| {
-        b.iter(|| {
+    {
+        let mut group = harness.group("sat_solver");
+        group.bench("pigeonhole_7_into_6", || {
             let n = 7;
             let m = 6;
             let mut s = Solver::new();
@@ -58,15 +56,11 @@ fn bench_sat_solver(c: &mut Criterion) {
             }
             assert_eq!(s.solve(), SatResult::Unsat);
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_bdd_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bdd");
-    group.sample_size(20);
-    group.bench_function("parity_16", |b| {
-        b.iter(|| {
+    {
+        let mut group = harness.group("bdd");
+        group.bench("parity_16", || {
             let mut m = BddManager::new();
             let mut acc = m.constant(false);
             for i in 0..16 {
@@ -75,9 +69,7 @@ fn bench_bdd_ops(c: &mut Criterion) {
             }
             assert_eq!(m.sat_count(acc, 16), 1 << 15);
         });
-    });
-    group.finish();
-}
+    }
 
-criterion_group!(benches, bench_stability_backends, bench_sat_solver, bench_bdd_ops);
-criterion_main!(benches);
+    harness.finish();
+}

@@ -8,8 +8,11 @@
 //! * `figures` — the Section 4 figures (timing-model polygon, stacked
 //!   propagation, Figure 5 slacks, parametric delay series).
 //!
-//! The Criterion benches in `benches/` measure the same workloads plus
-//! the ablations called out in DESIGN.md.
+//! The micro-benchmark binaries `carry_skip`, `iscas_like`, `engines`,
+//! and `ablation` (also in `src/bin/`, built on
+//! [`hfta_testkit::Harness`]) measure the same workloads plus the
+//! ablations called out in DESIGN.md; run them with
+//! `cargo run --release -p hfta-bench --bin <name>`.
 
 use std::time::{Duration, Instant};
 

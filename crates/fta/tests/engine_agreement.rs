@@ -5,72 +5,66 @@
 use hfta_fta::{BddAlg, DelayAnalyzer};
 use hfta_netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
 use hfta_netlist::Time;
-use proptest::prelude::*;
+use hfta_testkit::{any_bool, prop, vec_of};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn sat_and_bdd_agree_on_arrivals(
-        seed in any::<u64>(),
-        inputs in 3usize..7,
-        gates in 5usize..30,
-        xor in any::<bool>(),
-        raw_arrivals in prop::collection::vec(-5i64..15, 7),
-    ) {
-        let spec = RandomCircuitSpec {
-            inputs,
-            gates,
-            seed,
-            locality: 6,
-            global_fanin_prob: 0.25,
-            mix: if xor { GateMix::XorHeavy } else { GateMix::NandHeavy },
-        };
-        let nl = random_circuit("fz", spec);
-        let arrivals: Vec<Time> = raw_arrivals[..inputs]
-            .iter()
-            .map(|&v| Time::new(v))
-            .collect();
-        let mut sat = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
-        let mut bdd = DelayAnalyzer::new(&nl, &arrivals, BddAlg::new()).expect("acyclic");
-        for &o in nl.outputs() {
-            prop_assert_eq!(
-                sat.output_arrival(o),
-                bdd.output_arrival(o),
-                "output {} seed {}",
-                nl.net_name(o),
-                seed
-            );
-        }
+prop!(cases = 64, fn sat_and_bdd_agree_on_arrivals(
+    seed in 0u64..=u64::MAX,
+    inputs in 3usize..7,
+    gates in 5usize..30,
+    xor in any_bool(),
+    raw_arrivals in vec_of(-5i64..15, 7..=7),
+) {
+    let spec = RandomCircuitSpec {
+        inputs,
+        gates,
+        seed,
+        locality: 6,
+        global_fanin_prob: 0.25,
+        mix: if xor { GateMix::XorHeavy } else { GateMix::NandHeavy },
+    };
+    let nl = random_circuit("fz", spec);
+    let arrivals: Vec<Time> = raw_arrivals[..inputs]
+        .iter()
+        .map(|&v| Time::new(v))
+        .collect();
+    let mut sat = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
+    let mut bdd = DelayAnalyzer::new(&nl, &arrivals, BddAlg::new()).expect("acyclic");
+    for &o in nl.outputs() {
+        assert_eq!(
+            sat.output_arrival(o),
+            bdd.output_arrival(o),
+            "output {} seed {}",
+            nl.net_name(o),
+            seed
+        );
     }
+});
 
-    #[test]
-    fn infinite_arrivals_agree_too(
-        seed in any::<u64>(),
-        which in 0usize..4,
-    ) {
-        let spec = RandomCircuitSpec {
-            inputs: 4,
-            gates: 12,
-            seed,
-            locality: 5,
-            global_fanin_prob: 0.3,
-            mix: GateMix::NandHeavy,
-        };
-        let nl = random_circuit("fz", spec);
-        let mut arrivals = vec![Time::ZERO; 4];
-        arrivals[which] = Time::POS_INF;
-        let mut sat = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
-        let mut bdd = DelayAnalyzer::new(&nl, &arrivals, BddAlg::new()).expect("acyclic");
-        for &o in nl.outputs() {
-            prop_assert_eq!(sat.output_arrival(o), bdd.output_arrival(o));
-        }
-        let mut arrivals = vec![Time::ZERO; 4];
-        arrivals[which] = Time::NEG_INF;
-        let mut sat = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
-        let mut bdd = DelayAnalyzer::new(&nl, &arrivals, BddAlg::new()).expect("acyclic");
-        for &o in nl.outputs() {
-            prop_assert_eq!(sat.output_arrival(o), bdd.output_arrival(o));
-        }
+prop!(cases = 64, fn infinite_arrivals_agree_too(
+    seed in 0u64..=u64::MAX,
+    which in 0usize..4,
+) {
+    let spec = RandomCircuitSpec {
+        inputs: 4,
+        gates: 12,
+        seed,
+        locality: 5,
+        global_fanin_prob: 0.3,
+        mix: GateMix::NandHeavy,
+    };
+    let nl = random_circuit("fz", spec);
+    let mut arrivals = vec![Time::ZERO; 4];
+    arrivals[which] = Time::POS_INF;
+    let mut sat = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
+    let mut bdd = DelayAnalyzer::new(&nl, &arrivals, BddAlg::new()).expect("acyclic");
+    for &o in nl.outputs() {
+        assert_eq!(sat.output_arrival(o), bdd.output_arrival(o));
     }
-}
+    let mut arrivals = vec![Time::ZERO; 4];
+    arrivals[which] = Time::NEG_INF;
+    let mut sat = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
+    let mut bdd = DelayAnalyzer::new(&nl, &arrivals, BddAlg::new()).expect("acyclic");
+    for &o in nl.outputs() {
+        assert_eq!(sat.output_arrival(o), bdd.output_arrival(o));
+    }
+});

@@ -4,124 +4,162 @@
 
 use hfta_fta::{TimingModel, TimingTuple};
 use hfta_netlist::Time;
-use proptest::prelude::*;
+use hfta_testkit::{from_fn_with_shrink, prop, vec_of, Rng, Strategy};
 
 const N: usize = 4;
 
+/// Mostly-finite times in [-20, 40), occasionally −∞ (an unconnected
+/// pin). Shrinks toward 0 / −∞ staying in range.
 fn time_strategy() -> impl Strategy<Value = Time> {
-    prop_oneof![
-        4 => (-20i64..40).prop_map(Time::new),
-        1 => Just(Time::NEG_INF),
-    ]
+    from_fn_with_shrink(
+        |rng: &mut Rng| {
+            if rng.gen_range(0..5) < 4 {
+                Time::new(rng.gen_range(-20i64..40))
+            } else {
+                Time::NEG_INF
+            }
+        },
+        |t: &Time| {
+            let mut out = vec![Time::NEG_INF];
+            if let Some(v) = t.finite() {
+                if v != 0 {
+                    out.push(Time::ZERO);
+                    out.push(Time::new(v / 2));
+                }
+            }
+            out.retain(|c| c != t);
+            out
+        },
+    )
 }
 
 fn tuple_strategy() -> impl Strategy<Value = TimingTuple> {
-    prop::collection::vec(time_strategy(), N).prop_map(TimingTuple::new)
+    from_fn_with_shrink(
+        |rng: &mut Rng| {
+            let s = time_strategy();
+            TimingTuple::new((0..N).map(|_| s.generate(rng)).collect())
+        },
+        |t: &TimingTuple| {
+            // Shrink one coordinate at a time.
+            let s = time_strategy();
+            let times: Vec<Time> = t.delays().to_vec();
+            let mut out = Vec::new();
+            for i in 0..times.len() {
+                for cand in s.shrink(&times[i]) {
+                    let mut w = times.clone();
+                    w[i] = cand;
+                    out.push(TimingTuple::new(w));
+                }
+            }
+            out
+        },
+    )
 }
 
 fn arrivals_strategy() -> impl Strategy<Value = Vec<Time>> {
-    prop::collection::vec((-10i64..30).prop_map(Time::new), N)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Dominance is reflexive and transitive; antisymmetry up to
-    /// equality.
-    #[test]
-    fn dominance_partial_order(
-        a in tuple_strategy(),
-        b in tuple_strategy(),
-        c in tuple_strategy(),
-    ) {
-        prop_assert!(a.dominates(&a));
-        if a.dominates(&b) && b.dominates(&c) {
-            prop_assert!(a.dominates(&c));
-        }
-        if a.dominates(&b) && b.dominates(&a) {
-            prop_assert_eq!(&a, &b);
-        }
-    }
-
-    /// A dominating tuple never evaluates later.
-    #[test]
-    fn dominance_implies_earlier_eval(
-        a in tuple_strategy(),
-        b in tuple_strategy(),
-        arrivals in arrivals_strategy(),
-    ) {
-        if a.dominates(&b) {
-            prop_assert!(a.eval(&arrivals) <= b.eval(&arrivals));
-        }
-    }
-
-    /// Pruning dominated tuples never changes the min–max result.
-    #[test]
-    fn pruning_preserves_stable_time(
-        tuples in prop::collection::vec(tuple_strategy(), 1..8),
-        arrivals in arrivals_strategy(),
-    ) {
-        let model = TimingModel::from_tuples(tuples.clone());
-        let unpruned = tuples
-            .iter()
-            .map(|t| t.eval(&arrivals))
-            .fold(Time::POS_INF, Time::min);
-        prop_assert_eq!(model.stable_time(&arrivals), unpruned);
-    }
-
-    /// Evaluation is monotone in arrivals (monotone speedup at the
-    /// model level): delaying any input never makes the output earlier.
-    #[test]
-    fn eval_monotone_in_arrivals(
-        tuples in prop::collection::vec(tuple_strategy(), 1..6),
-        arrivals in arrivals_strategy(),
-        bump_index in 0..N,
-        bump in 1i64..10,
-    ) {
-        let model = TimingModel::from_tuples(tuples);
-        let before = model.stable_time(&arrivals);
-        let mut later = arrivals.clone();
-        later[bump_index] = later[bump_index] + Time::new(bump);
-        prop_assert!(model.stable_time(&later) >= before);
-    }
-
-    /// Shift invariance: moving every arrival by c moves the result by
-    /// c (for finite results).
-    #[test]
-    fn eval_shift_invariant(
-        tuples in prop::collection::vec(tuple_strategy(), 1..6),
-        arrivals in arrivals_strategy(),
-        shift in -10i64..10,
-    ) {
-        let model = TimingModel::from_tuples(tuples);
-        let base = model.stable_time(&arrivals);
-        let shifted: Vec<Time> = arrivals.iter().map(|&a| a + Time::new(shift)).collect();
-        let moved = model.stable_time(&shifted);
-        if base.is_finite() {
-            prop_assert_eq!(moved, base + Time::new(shift));
-        } else {
-            prop_assert_eq!(moved, base);
-        }
-    }
-
-    /// from_tuples keeps only non-dominated tuples, and every original
-    /// tuple is dominated by some kept tuple.
-    #[test]
-    fn pruning_is_a_frontier(tuples in prop::collection::vec(tuple_strategy(), 1..8)) {
-        let model = TimingModel::from_tuples(tuples.clone());
-        for kept in model.tuples() {
-            for other in model.tuples() {
-                if kept != other {
-                    prop_assert!(!kept.dominates(other));
+    from_fn_with_shrink(
+        |rng: &mut Rng| (0..N).map(|_| Time::new(rng.gen_range(-10i64..30))).collect(),
+        |v: &Vec<Time>| {
+            let mut out = Vec::new();
+            for i in 0..v.len() {
+                if v[i] != Time::ZERO {
+                    let mut w = v.clone();
+                    w[i] = Time::ZERO;
+                    out.push(w);
                 }
             }
-        }
-        for t in &tuples {
-            prop_assert!(
-                model.tuples().iter().any(|k| k.dominates(t)),
-                "tuple {:?} not covered",
-                t
-            );
+            out
+        },
+    )
+}
+
+// Dominance is reflexive and transitive; antisymmetry up to equality.
+prop!(cases = 256, fn dominance_partial_order(
+    a in tuple_strategy(),
+    b in tuple_strategy(),
+    c in tuple_strategy(),
+) {
+    assert!(a.dominates(&a));
+    if a.dominates(&b) && b.dominates(&c) {
+        assert!(a.dominates(&c));
+    }
+    if a.dominates(&b) && b.dominates(&a) {
+        assert_eq!(&a, &b);
+    }
+});
+
+// A dominating tuple never evaluates later.
+prop!(cases = 256, fn dominance_implies_earlier_eval(
+    a in tuple_strategy(),
+    b in tuple_strategy(),
+    arrivals in arrivals_strategy(),
+) {
+    if a.dominates(&b) {
+        assert!(a.eval(&arrivals) <= b.eval(&arrivals));
+    }
+});
+
+// Pruning dominated tuples never changes the min–max result.
+prop!(cases = 256, fn pruning_preserves_stable_time(
+    tuples in vec_of(tuple_strategy(), 1..8),
+    arrivals in arrivals_strategy(),
+) {
+    let model = TimingModel::from_tuples(tuples.clone());
+    let unpruned = tuples
+        .iter()
+        .map(|t| t.eval(&arrivals))
+        .fold(Time::POS_INF, Time::min);
+    assert_eq!(model.stable_time(&arrivals), unpruned);
+});
+
+// Evaluation is monotone in arrivals (monotone speedup at the model
+// level): delaying any input never makes the output earlier.
+prop!(cases = 256, fn eval_monotone_in_arrivals(
+    tuples in vec_of(tuple_strategy(), 1..6),
+    arrivals in arrivals_strategy(),
+    bump_index in 0..N,
+    bump in 1i64..10,
+) {
+    let model = TimingModel::from_tuples(tuples);
+    let before = model.stable_time(&arrivals);
+    let mut later = arrivals.clone();
+    later[bump_index] = later[bump_index] + Time::new(bump);
+    assert!(model.stable_time(&later) >= before);
+});
+
+// Shift invariance: moving every arrival by c moves the result by c
+// (for finite results).
+prop!(cases = 256, fn eval_shift_invariant(
+    tuples in vec_of(tuple_strategy(), 1..6),
+    arrivals in arrivals_strategy(),
+    shift in -10i64..10,
+) {
+    let model = TimingModel::from_tuples(tuples);
+    let base = model.stable_time(&arrivals);
+    let shifted: Vec<Time> = arrivals.iter().map(|&a| a + Time::new(shift)).collect();
+    let moved = model.stable_time(&shifted);
+    if base.is_finite() {
+        assert_eq!(moved, base + Time::new(shift));
+    } else {
+        assert_eq!(moved, base);
+    }
+});
+
+// from_tuples keeps only non-dominated tuples, and every original
+// tuple is dominated by some kept tuple.
+prop!(cases = 256, fn pruning_is_a_frontier(tuples in vec_of(tuple_strategy(), 1..8)) {
+    let model = TimingModel::from_tuples(tuples.clone());
+    for kept in model.tuples() {
+        for other in model.tuples() {
+            if kept != other {
+                assert!(!kept.dominates(other));
+            }
         }
     }
-}
+    for t in &tuples {
+        assert!(
+            model.tuples().iter().any(|k| k.dominates(t)),
+            "tuple {t:?} not covered"
+        );
+    }
+});

@@ -8,8 +8,7 @@
 //! generator is fully determined by its [`RandomCircuitSpec`], so every
 //! experiment is reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hfta_testkit::Rng;
 
 use crate::{GateKind, NetId, Netlist};
 
@@ -83,7 +82,7 @@ impl RandomCircuitSpec {
 pub fn random_circuit(name: &str, spec: RandomCircuitSpec) -> Netlist {
     assert!(spec.inputs > 0, "need at least one input");
     assert!(spec.gates > 0, "need at least one gate");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut nl = Netlist::new(name);
     let mut pool: Vec<NetId> = (0..spec.inputs).map(|i| nl.add_input(format!("i{i}"))).collect();
 
@@ -141,7 +140,7 @@ pub fn random_circuit(name: &str, spec: RandomCircuitSpec) -> Netlist {
     nl
 }
 
-fn pick_kind(rng: &mut StdRng, mix: GateMix) -> GateKind {
+fn pick_kind(rng: &mut Rng, mix: GateMix) -> GateKind {
     match mix {
         GateMix::NandHeavy => match rng.gen_range(0..100) {
             0..=29 => GateKind::Nand,
@@ -165,7 +164,7 @@ fn pick_kind(rng: &mut StdRng, mix: GateMix) -> GateKind {
     }
 }
 
-fn pick_net(rng: &mut StdRng, pool: &[NetId], locality: usize, global_prob: f64) -> NetId {
+fn pick_net(rng: &mut Rng, pool: &[NetId], locality: usize, global_prob: f64) -> NetId {
     // Mostly the recent window (depth + local reconvergence); rarely
     // anywhere (global reconvergence across distant levels).
     if !rng.gen_bool(global_prob) && pool.len() > locality {
@@ -279,5 +278,58 @@ mod tests {
         let nl = random_circuit("tiny", spec);
         nl.validate().unwrap();
         assert!(!nl.outputs().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod golden {
+    use super::*;
+
+    /// Golden-value regression pin: the generator's output for a fixed
+    /// seed is part of the reproducibility contract (every experiment
+    /// and failure report quotes a seed). If an intentional generator
+    /// or PRNG change breaks these, update the constants *and* say so
+    /// in the changelog — old seeds stop reproducing old circuits.
+    #[test]
+    fn pinned_netlists_per_seed() {
+        let cases: [(usize, u64, usize, usize, u64); 3] = [
+            // (gates, seed, inputs, outputs, content_hash)
+            (50, 42, 8, 7, 0x4b68_a86a_3a0d_6894),
+            (200, 7, 25, 28, 0x16f4_c677_36f2_5cf9),
+            (160, 432, 20, 14, 0xcedc_11fb_6669_8e82),
+        ];
+        for (gates, seed, inputs, outputs, hash) in cases {
+            let nl = random_circuit("g", RandomCircuitSpec::iscas_like(gates, seed));
+            assert_eq!(nl.gate_count(), gates, "gates={gates} seed={seed}");
+            assert_eq!(nl.inputs().len(), inputs, "gates={gates} seed={seed}");
+            assert_eq!(nl.outputs().len(), outputs, "gates={gates} seed={seed}");
+            assert_eq!(nl.content_hash(), hash, "gates={gates} seed={seed}");
+        }
+    }
+
+    /// Same pin for the NAND-heavy mix (a different draw path through
+    /// the generator).
+    #[test]
+    fn pinned_nand_heavy_netlists() {
+        let cases: [(usize, u64, usize, u64); 3] = [
+            // (gates, seed, outputs, content_hash)
+            (50, 42, 10, 0x3025_7cd5_ec25_7873),
+            (200, 7, 20, 0xe1e7_d6ae_0036_41d4),
+            (160, 432, 21, 0x3561_51e2_680a_a518),
+        ];
+        for (gates, seed, outputs, hash) in cases {
+            let spec = RandomCircuitSpec {
+                inputs: 10,
+                gates,
+                seed,
+                locality: 8,
+                global_fanin_prob: 0.2,
+                mix: GateMix::NandHeavy,
+            };
+            let nl = random_circuit("g", spec);
+            assert_eq!(nl.gate_count(), gates, "gates={gates} seed={seed}");
+            assert_eq!(nl.outputs().len(), outputs, "gates={gates} seed={seed}");
+            assert_eq!(nl.content_hash(), hash, "gates={gates} seed={seed}");
+        }
     }
 }

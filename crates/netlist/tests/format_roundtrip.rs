@@ -4,66 +4,72 @@
 
 use hfta_netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
 use hfta_netlist::{bench_format, blif, hnl, sim, Design};
-use proptest::prelude::*;
+use hfta_testkit::{from_fn_with_shrink, prop, Rng, Strategy};
 
+/// Small random circuits; shrinking reduces gate and input counts so a
+/// failing round-trip pins to a minimal netlist.
 fn small_spec() -> impl Strategy<Value = RandomCircuitSpec> {
-    (2usize..7, 3usize..25, any::<u64>(), prop::bool::ANY).prop_map(
-        |(inputs, gates, seed, xor)| RandomCircuitSpec {
-            inputs,
-            gates,
-            seed,
+    from_fn_with_shrink(
+        |rng: &mut Rng| RandomCircuitSpec {
+            inputs: rng.gen_range(2usize..7),
+            gates: rng.gen_range(3usize..25),
+            seed: rng.next_u64(),
             locality: 6,
             global_fanin_prob: 0.25,
-            mix: if xor { GateMix::XorHeavy } else { GateMix::NandHeavy },
+            mix: if rng.next_bool() { GateMix::XorHeavy } else { GateMix::NandHeavy },
+        },
+        |spec: &RandomCircuitSpec| {
+            let mut out = Vec::new();
+            if spec.gates > 3 {
+                out.push(RandomCircuitSpec { gates: 3.max(spec.gates / 2), ..*spec });
+                out.push(RandomCircuitSpec { gates: spec.gates - 1, ..*spec });
+            }
+            if spec.inputs > 2 {
+                out.push(RandomCircuitSpec { inputs: spec.inputs - 1, ..*spec });
+            }
+            if spec.seed != 0 {
+                out.push(RandomCircuitSpec { seed: 0, ..*spec });
+            }
+            out
         },
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bench_round_trip(spec in small_spec()) {
-        let nl = random_circuit("rt", spec);
-        let text = bench_format::write(&nl);
-        let parsed = bench_format::parse(&text, "rt").expect("parses");
-        prop_assert!(sim::equivalent_exhaustive(&nl, &parsed, 8).expect("simulates"));
-        // Delays survive too.
-        for (a, b) in nl.gates().iter().zip(parsed.gates()) {
-            prop_assert_eq!(a.delay, b.delay);
-        }
+prop!(cases = 64, fn bench_round_trip(spec in small_spec()) {
+    let nl = random_circuit("rt", spec);
+    let text = bench_format::write(&nl);
+    let parsed = bench_format::parse(&text, "rt").expect("parses");
+    assert!(sim::equivalent_exhaustive(&nl, &parsed, 8).expect("simulates"));
+    // Delays survive too.
+    for (a, b) in nl.gates().iter().zip(parsed.gates()) {
+        assert_eq!(a.delay, b.delay);
     }
+});
 
-    #[test]
-    fn hnl_round_trip(spec in small_spec()) {
-        let nl = random_circuit("rt", spec);
-        let mut design = Design::new();
-        design.add_leaf(nl.clone()).expect("fresh design");
-        let text = hnl::write(&design, None);
-        let (parsed, _) = hnl::parse(&text).expect("parses");
-        let parsed_nl = parsed.leaf("rt").expect("same module");
-        prop_assert!(sim::equivalent_exhaustive(&nl, parsed_nl, 8).expect("simulates"));
-    }
+prop!(cases = 64, fn hnl_round_trip(spec in small_spec()) {
+    let nl = random_circuit("rt", spec);
+    let mut design = Design::new();
+    design.add_leaf(nl.clone()).expect("fresh design");
+    let text = hnl::write(&design, None);
+    let (parsed, _) = hnl::parse(&text).expect("parses");
+    let parsed_nl = parsed.leaf("rt").expect("same module");
+    assert!(sim::equivalent_exhaustive(&nl, parsed_nl, 8).expect("simulates"));
+});
 
-    #[test]
-    fn blif_round_trip_preserves_function(spec in small_spec()) {
-        let nl = random_circuit("rt", spec);
-        let text = blif::write(&nl);
-        let parsed = blif::parse(&text).expect("parses");
-        prop_assert!(parsed.registers().is_empty());
-        prop_assert!(
-            sim::equivalent_exhaustive(&nl, parsed.core(), 8).expect("simulates")
-        );
-    }
+prop!(cases = 64, fn blif_round_trip_preserves_function(spec in small_spec()) {
+    let nl = random_circuit("rt", spec);
+    let text = blif::write(&nl);
+    let parsed = blif::parse(&text).expect("parses");
+    assert!(parsed.registers().is_empty());
+    assert!(sim::equivalent_exhaustive(&nl, parsed.core(), 8).expect("simulates"));
+});
 
-    /// Flatten(partition(x)) ≡ x was covered elsewhere; here:
-    /// flatten is idempotent on leaf modules.
-    #[test]
-    fn flatten_leaf_is_identity(spec in small_spec()) {
-        let nl = random_circuit("rt", spec);
-        let mut design = Design::new();
-        design.add_leaf(nl.clone()).expect("fresh design");
-        let flat = design.flatten("rt").expect("flattens");
-        prop_assert_eq!(flat.content_hash(), nl.content_hash());
-    }
-}
+// Flatten(partition(x)) ≡ x was covered elsewhere; here:
+// flatten is idempotent on leaf modules.
+prop!(cases = 64, fn flatten_leaf_is_identity(spec in small_spec()) {
+    let nl = random_circuit("rt", spec);
+    let mut design = Design::new();
+    design.add_leaf(nl.clone()).expect("fresh design");
+    let flat = design.flatten("rt").expect("flattens");
+    assert_eq!(flat.content_hash(), nl.content_hash());
+});

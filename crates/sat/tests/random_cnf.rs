@@ -3,11 +3,12 @@
 //! the formula.
 
 use hfta_sat::{Lit, SatResult, Solver, Var};
-use proptest::prelude::*;
+use hfta_testkit::{any_bool, prop, vec_of};
 
-/// A random clause: non-empty set of literals over `nv` variables.
-fn clause_strategy(nv: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
-    prop::collection::vec((0..nv, any::<bool>()), 1..=4)
+/// A random raw clause: non-empty set of (variable, polarity) pairs
+/// over up to 8 variables (folded into range by the properties).
+fn clause_strategy() -> impl hfta_testkit::Strategy<Value = Vec<(usize, bool)>> {
+    vec_of((0usize..8, any_bool()), 1..=4)
 }
 
 fn brute_force_sat(nv: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
@@ -36,64 +37,57 @@ fn build_solver(nv: usize, clauses: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>)
     (s, vars)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn cdcl_matches_brute_force(
-        nv in 1usize..8,
-        raw_clauses in prop::collection::vec(clause_strategy(8), 0..24),
-    ) {
-        let clauses: Vec<Vec<(usize, bool)>> = raw_clauses
-            .into_iter()
-            .map(|c| c.into_iter().map(|(v, p)| (v % nv, p)).collect())
-            .collect();
-        let expected = brute_force_sat(nv, &clauses);
-        let (mut solver, vars) = build_solver(nv, &clauses);
-        let got = solver.solve();
-        prop_assert_eq!(got == SatResult::Sat, expected);
-        if got == SatResult::Sat {
-            // The returned model must satisfy every clause.
-            for clause in &clauses {
-                let ok = clause.iter().any(|&(v, pos)| {
-                    solver.value(vars[v]) == Some(pos)
-                });
-                prop_assert!(ok, "model violates clause {:?}", clause);
-            }
+prop!(cases = 256, fn cdcl_matches_brute_force(
+    nv in 1usize..8,
+    raw_clauses in vec_of(clause_strategy(), 0..24),
+) {
+    let clauses: Vec<Vec<(usize, bool)>> = raw_clauses
+        .into_iter()
+        .map(|c| c.into_iter().map(|(v, p)| (v % nv, p)).collect())
+        .collect();
+    let expected = brute_force_sat(nv, &clauses);
+    let (mut solver, vars) = build_solver(nv, &clauses);
+    let got = solver.solve();
+    assert_eq!(got == SatResult::Sat, expected);
+    if got == SatResult::Sat {
+        // The returned model must satisfy every clause.
+        for clause in &clauses {
+            let ok = clause.iter().any(|&(v, pos)| {
+                solver.value(vars[v]) == Some(pos)
+            });
+            assert!(ok, "model violates clause {clause:?}");
         }
     }
+});
 
-    #[test]
-    fn assumptions_equal_added_units(
-        nv in 2usize..7,
-        raw_clauses in prop::collection::vec(clause_strategy(7), 0..16),
-        assumed in prop::collection::vec((0usize..7, any::<bool>()), 0..3),
-    ) {
-        let clauses: Vec<Vec<(usize, bool)>> = raw_clauses
-            .into_iter()
-            .map(|c| c.into_iter().map(|(v, p)| (v % nv, p)).collect())
-            .collect();
-        let assumed: Vec<(usize, bool)> =
-            assumed.into_iter().map(|(v, p)| (v % nv, p)).collect();
+prop!(cases = 256, fn assumptions_equal_added_units(
+    nv in 2usize..7,
+    raw_clauses in vec_of(clause_strategy(), 0..16),
+    assumed in vec_of((0usize..7, any_bool()), 0..3),
+) {
+    let clauses: Vec<Vec<(usize, bool)>> = raw_clauses
+        .into_iter()
+        .map(|c| c.into_iter().map(|(v, p)| (v % nv, p)).collect())
+        .collect();
+    let assumed: Vec<(usize, bool)> =
+        assumed.into_iter().map(|(v, p)| (v % nv, p)).collect();
 
-        // Solve once with assumptions…
-        let (mut s1, vars1) = build_solver(nv, &clauses);
-        let assumptions: Vec<Lit> =
-            assumed.iter().map(|&(v, p)| vars1[v].lit(p)).collect();
-        let with_assumptions = s1.solve_with(&assumptions);
+    // Solve once with assumptions…
+    let (mut s1, vars1) = build_solver(nv, &clauses);
+    let assumptions: Vec<Lit> =
+        assumed.iter().map(|&(v, p)| vars1[v].lit(p)).collect();
+    let with_assumptions = s1.solve_with(&assumptions);
 
-        // …and once with the assumptions added as unit clauses.
-        let mut all = clauses.clone();
-        for &(v, p) in &assumed {
-            all.push(vec![(v, p)]);
-        }
-        let (mut s2, _) = build_solver(nv, &all);
-        let with_units = s2.solve();
-
-        prop_assert_eq!(with_assumptions, with_units);
-        // Assumption solving must not poison later queries.
-        let plain = s1.solve();
-        prop_assert_eq!(plain == SatResult::Sat, brute_force_sat(nv, &clauses));
-        let _ = plain;
+    // …and once with the assumptions added as unit clauses.
+    let mut all = clauses.clone();
+    for &(v, p) in &assumed {
+        all.push(vec![(v, p)]);
     }
-}
+    let (mut s2, _) = build_solver(nv, &all);
+    let with_units = s2.solve();
+
+    assert_eq!(with_assumptions, with_units);
+    // Assumption solving must not poison later queries.
+    let plain = s1.solve();
+    assert_eq!(plain == SatResult::Sat, brute_force_sat(nv, &clauses));
+});

@@ -1,0 +1,247 @@
+//! A micro-benchmark timer harness.
+//!
+//! Replaces the `criterion` dependency for this workspace. Each
+//! benchmark runs a closure for a few warmup iterations, then times a
+//! batch of iterations individually and reports min / mean / median /
+//! p95 wall times. Results print as a human-readable table line and,
+//! when requested, append as JSON lines to a `BENCH_<harness>.json`
+//! file so runs can be diffed and plotted.
+//!
+//! Environment knobs:
+//!
+//! * `HFTA_BENCH_WARMUP` — warmup iterations per benchmark (default 3).
+//! * `HFTA_BENCH_ITERS` — timed iterations per benchmark (default 15).
+//! * `HFTA_BENCH_JSON` — when set, the directory to write
+//!   `BENCH_<harness>.json` into (`1` or an empty value means the
+//!   current directory).
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Group name (e.g. `table1_carry_skip`).
+    pub group: String,
+    /// Benchmark id within the group (e.g. `hier_demand/8`).
+    pub id: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Median iteration time.
+    pub median: Duration,
+    /// 95th-percentile iteration time.
+    pub p95: Duration,
+}
+
+impl Record {
+    /// The record as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"id\":\"{}\",\"iters\":{},\
+             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{}}}",
+            escape(&self.group),
+            escape(&self.id),
+            self.iters,
+            self.min.as_nanos(),
+            self.mean.as_nanos(),
+            self.median.as_nanos(),
+            self.p95.as_nanos(),
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of benchmark groups; writes the JSON report on
+/// [`finish`](Harness::finish).
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    warmup: u32,
+    iters: u32,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Creates a harness named `name` (the `BENCH_<name>.json` stem),
+    /// reading iteration counts from the environment.
+    #[must_use]
+    pub fn new(name: &str) -> Harness {
+        let warmup = env_u32("HFTA_BENCH_WARMUP", 3);
+        let iters = env_u32("HFTA_BENCH_ITERS", 15).max(1);
+        Harness { name: name.to_string(), warmup, iters, records: Vec::new() }
+    }
+
+    /// Opens a benchmark group; measurements print as they complete.
+    pub fn group(&mut self, group: &str) -> Group<'_> {
+        println!("\n== {} ==", group);
+        Group { harness: self, group: group.to_string() }
+    }
+
+    /// All measurements so far.
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Prints the summary and writes `BENCH_<name>.json` if
+    /// `HFTA_BENCH_JSON` is set. Returns the records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the JSON file cannot be written.
+    pub fn finish(self) -> Vec<Record> {
+        if let Ok(dir) = std::env::var("HFTA_BENCH_JSON") {
+            let dir = if dir.is_empty() || dir == "1" { ".".to_string() } else { dir };
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            for r in &self.records {
+                writeln!(f, "{}", r.to_json()).expect("write JSON line");
+            }
+            println!("\nwrote {} record(s) to {}", self.records.len(), path.display());
+        }
+        self.records
+    }
+
+    fn run_one<T>(&mut self, group: &str, id: &str, mut f: impl FnMut() -> T) -> Record {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples: Vec<Duration> = (0..self.iters)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let n = samples.len();
+        let total: Duration = samples.iter().sum();
+        let record = Record {
+            group: group.to_string(),
+            id: id.to_string(),
+            iters: self.iters,
+            min: samples[0],
+            mean: total / self.iters,
+            median: samples[n / 2],
+            p95: samples[(n * 95).div_ceil(100).saturating_sub(1).min(n - 1)],
+        };
+        println!(
+            "{:<36} median {:>9}  p95 {:>9}  min {:>9}  (n={})",
+            format!("{}/{}", group, id),
+            fmt_duration(record.median),
+            fmt_duration(record.p95),
+            fmt_duration(record.min),
+            record.iters,
+        );
+        self.records.push(record.clone());
+        record
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    group: String,
+}
+
+impl Group<'_> {
+    /// Times `f` and records the measurement under `id`.
+    pub fn bench<T>(&mut self, id: &str, f: impl FnMut() -> T) -> Record {
+        let group = self.group.clone();
+        self.harness.run_one(&group, id, f)
+    }
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v} is not a valid integer")),
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_monotone_sane() {
+        let mut h = Harness::new("selftest");
+        h.warmup = 1;
+        h.iters = 9;
+        let mut g = h.group("sanity");
+        let r = g.bench("spin", || {
+            // A workload long enough to rise above timer resolution.
+            let mut acc = 0u64;
+            for i in 0..20_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(r.min > Duration::ZERO);
+        assert!(r.min <= r.median);
+        assert!(r.median <= r.p95);
+        assert!(r.mean >= r.min && r.mean <= r.p95.max(r.mean));
+        assert_eq!(r.iters, 9);
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let r = Record {
+            group: "g".into(),
+            id: "id/2".into(),
+            iters: 5,
+            min: Duration::from_nanos(100),
+            mean: Duration::from_nanos(150),
+            median: Duration::from_nanos(140),
+            p95: Duration::from_nanos(200),
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in ["\"group\":\"g\"", "\"id\":\"id/2\"", "\"iters\":5", "\"median_ns\":140"] {
+            assert!(j.contains(key), "{j} missing {key}");
+        }
+    }
+
+    #[test]
+    fn harness_collects_records() {
+        let mut h = Harness::new("selftest2");
+        h.warmup = 0;
+        h.iters = 3;
+        {
+            let mut g = h.group("a");
+            g.bench("x", || 1 + 1);
+            g.bench("y", || 2 + 2);
+        }
+        let records = h.records().to_vec();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].group, "a");
+        assert_eq!(records[1].id, "y");
+    }
+}

@@ -1,0 +1,32 @@
+//! Self-contained test infrastructure for the HFTA workspace.
+//!
+//! The build environment for this repository is **hermetic**: no crate
+//! downloads are available, so the usual `rand` / `proptest` /
+//! `criterion` stack cannot be used. This crate vendors the small
+//! slices of those libraries the workspace actually needs:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64 seeding a
+//!   xoshiro256++ core) with `gen_range` / `gen_bool` / `shuffle`;
+//!   used by the netlist generators and the Monte-Carlo simulator, and
+//!   by every randomized test.
+//! * [`prop`] — a property-testing harness: [`check_named`] /
+//!   [`check`] runners, the [`prop!`](crate::prop!) macro, and
+//!   [`Strategy`] combinators with input shrinking on failure.
+//!   Controlled by `HFTA_PROP_CASES` / `HFTA_PROP_SEED`.
+//! * [`bench`] — a micro-benchmark timer (warmup + timed iterations,
+//!   median/p95, JSON-lines `BENCH_*.json` reports). Controlled by
+//!   `HFTA_BENCH_ITERS` / `HFTA_BENCH_WARMUP` / `HFTA_BENCH_JSON`.
+//!
+//! Everything is dependency-free and deterministic; see DESIGN.md's
+//! "Hermetic build policy" section for the rationale.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{Group, Harness, Record};
+pub use prop::{
+    any_bool, case_count, check, check_named, from_fn, from_fn_with_shrink, vec_of, AnyBool,
+    FnStrategy, Just, LenRange, Strategy, VecStrategy,
+};
+pub use rng::{Rng, SampleRange, SplitMix64};

@@ -1,0 +1,661 @@
+//! A minimal property-testing harness with input shrinking.
+//!
+//! Replaces the `proptest` dependency for this workspace. The model is
+//! deliberately simple:
+//!
+//! * a [`Strategy`] generates random values and proposes *simpler*
+//!   variants of a failing value ([`Strategy::shrink`]);
+//! * [`check_named`] runs a property over many generated cases, and on
+//!   the first failure greedily shrinks the counterexample before
+//!   panicking with a reproducible report;
+//! * the [`prop!`](crate::prop!) macro wraps all of that into a
+//!   `#[test]` function, so property files read much like the
+//!   `proptest!` blocks they replace.
+//!
+//! Environment knobs (read per test at runtime):
+//!
+//! * `HFTA_PROP_CASES` — overrides the per-test case count (e.g. `16`
+//!   for a fast smoke pass, `4096` for a soak).
+//! * `HFTA_PROP_SEED` — overrides the base seed; failure reports print
+//!   the seed to paste here for deterministic replay.
+//!
+//! Properties signal failure by panicking (plain `assert!` /
+//! `assert_eq!` work) or by returning `Err(String)`. Panics raised
+//! while the harness probes candidate inputs are silenced so a
+//! shrinking run does not flood the test log.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Once, OnceLock};
+
+use crate::rng::{Rng, SplitMix64};
+
+/// Generates random values and proposes simpler variants of a value.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one random value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly-simpler candidates for `v`, simplest first.
+    /// An empty vector means `v` is fully shrunk.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, v: &$ty) -> Vec<$ty> {
+                shrink_int(self.start as i128, *v as i128)
+                    .into_iter()
+                    .map(|x| x as $ty)
+                    .collect()
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, v: &$ty) -> Vec<$ty> {
+                shrink_int(*self.start() as i128, *v as i128)
+                    .into_iter()
+                    .map(|x| x as $ty)
+                    .collect()
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Shrink candidates for an integer toward the range start: the start
+/// itself, then values approaching `v` by halved deltas (ending at
+/// `v - 1`). Greedy adoption of the first failing candidate gives a
+/// binary descent to the smallest failing value.
+fn shrink_int(start: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v == start {
+        return out;
+    }
+    out.push(start);
+    let mut delta = (v - start) / 2;
+    while delta > 0 {
+        let cand = v - delta;
+        if cand != start {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    out
+}
+
+/// Strategy for a uniformly random `bool`; `true` shrinks to `false`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+/// A uniformly random `bool`.
+#[must_use]
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.next_bool()
+    }
+
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Always yields a clone of the given value; never shrinks.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Inclusive length bounds for [`vec_of`].
+#[derive(Clone, Copy, Debug)]
+pub struct LenRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<core::ops::Range<usize>> for LenRange {
+    fn from(r: core::ops::Range<usize>) -> LenRange {
+        assert!(r.start < r.end, "empty length range");
+        LenRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for LenRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> LenRange {
+        assert!(r.start() <= r.end(), "empty length range");
+        LenRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with length drawn from a range.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: LenRange,
+}
+
+/// A vector of values from `elem` with length in `len`.
+///
+/// Shrinking first tries dropping halves, then single elements, then
+/// shrinking individual elements — always respecting the minimum
+/// length.
+pub fn vec_of<S: Strategy>(elem: S, len: impl Into<LenRange>) -> VecStrategy<S> {
+    VecStrategy { elem, len: len.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.min..=self.len.max);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let n = v.len();
+        let half = n / 2;
+        if half >= self.len.min && half < n {
+            out.push(v[..half].to_vec());
+            out.push(v[n - half..].to_vec());
+        }
+        if n > self.len.min {
+            for i in 0..n {
+                let mut w = v.clone();
+                w.remove(i);
+                out.push(w);
+            }
+        }
+        for i in 0..n {
+            for cand in self.elem.shrink(&v[i]) {
+                let mut w = v.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+);
+
+/// Strategy defined by a pair of closures: a generator and an optional
+/// shrinker. The escape hatch for domain types (netlist specs,
+/// expression trees, …).
+#[derive(Clone)]
+pub struct FnStrategy<G, K> {
+    generate: G,
+    shrink: K,
+}
+
+/// A strategy from a generator closure; values never shrink.
+pub fn from_fn<V, G>(generate: G) -> FnStrategy<G, fn(&V) -> Vec<V>>
+where
+    V: Clone + Debug,
+    G: Fn(&mut Rng) -> V,
+{
+    FnStrategy { generate, shrink: |_| Vec::new() }
+}
+
+/// A strategy from a generator closure plus a shrinker proposing
+/// simpler candidates for a failing value.
+pub fn from_fn_with_shrink<V, G, K>(generate: G, shrink: K) -> FnStrategy<G, K>
+where
+    V: Clone + Debug,
+    G: Fn(&mut Rng) -> V,
+    K: Fn(&V) -> Vec<V>,
+{
+    FnStrategy { generate, shrink }
+}
+
+impl<V, G, K> Strategy for FnStrategy<G, K>
+where
+    V: Clone + Debug,
+    G: Fn(&mut Rng) -> V,
+    K: Fn(&V) -> Vec<V>,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut Rng) -> V {
+        (self.generate)(rng)
+    }
+
+    fn shrink(&self, v: &V) -> Vec<V> {
+        (self.shrink)(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Cap on greedy shrink iterations (each step re-runs the property once
+/// per candidate, so this bounds worst-case shrink cost).
+const MAX_SHRINK_STEPS: usize = 4096;
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>;
+
+static PREV_HOOK: OnceLock<PanicHook> = OnceLock::new();
+static HOOK_INIT: Once = Once::new();
+
+/// Installs (once) a panic hook that stays silent on the threads where
+/// the harness is probing expected-to-fail inputs.
+fn install_quiet_hook() {
+    HOOK_INIT.call_once(|| {
+        let prev = panic::take_hook();
+        let _ = PREV_HOOK.set(prev);
+        panic::set_hook(Box::new(|info| {
+            if QUIET_PANICS.with(Cell::get) {
+                return;
+            }
+            if let Some(prev) = PREV_HOOK.get() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs the property once, converting a panic into `Err(message)`.
+fn run_once<V>(
+    prop: &impl Fn(&V) -> Result<(), String>,
+    value: &V,
+) -> Result<(), String> {
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw} is not a valid integer"),
+    }
+}
+
+/// The case count for a property with the given default, honoring
+/// `HFTA_PROP_CASES`.
+#[must_use]
+pub fn case_count(default_cases: u32) -> u32 {
+    env_u64("HFTA_PROP_CASES").map_or(default_cases, |v| v.max(1) as u32)
+}
+
+/// FNV-1a, used to derive a stable per-test default seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `prop` on `cases` values drawn from `strat`; on failure shrinks
+/// the counterexample and panics with a replayable report.
+///
+/// The base seed defaults to a hash of `name` (so distinct properties
+/// explore distinct streams) and is overridden by `HFTA_PROP_SEED`;
+/// the case count is overridden by `HFTA_PROP_CASES`.
+///
+/// # Panics
+///
+/// Panics — that is the point — when the property fails, with the
+/// minimal shrunk counterexample, the error, and the seed to replay.
+pub fn check_named<S: Strategy>(
+    name: &str,
+    default_cases: u32,
+    strat: S,
+    prop: impl Fn(&S::Value) -> Result<(), String>,
+) {
+    let cases = case_count(default_cases);
+    let seed = env_u64("HFTA_PROP_SEED").unwrap_or_else(|| fnv1a(name.as_bytes()));
+    let mut seq = SplitMix64::new(seed);
+    for case in 0..cases {
+        let mut rng = Rng::seed_from_u64(seq.next_u64());
+        let value = strat.generate(&mut rng);
+        if let Err(first_err) = run_once(&prop, &value) {
+            let (min, err, steps) = shrink_failure(&strat, value, first_err, &prop);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, base seed {seed:#x})\n\
+                 minimal counterexample after {steps} shrink step(s):\n  {min:?}\n\
+                 error: {err}\n\
+                 replay with: HFTA_PROP_SEED={seed:#x} (and HFTA_PROP_CASES={cases})"
+            );
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly adopt the first simpler candidate that
+/// still fails, until none fails or the step budget runs out.
+fn shrink_failure<S: Strategy>(
+    strat: &S,
+    start: S::Value,
+    start_err: String,
+    prop: &impl Fn(&S::Value) -> Result<(), String>,
+) -> (S::Value, String, usize) {
+    let mut cur = start;
+    let mut cur_err = start_err;
+    let mut steps = 0usize;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in strat.shrink(&cur) {
+            if let Err(e) = run_once(prop, &cand) {
+                cur = cand;
+                cur_err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (cur, cur_err, steps)
+}
+
+/// Runs a free-form randomized check: `cases` invocations of `body`,
+/// each with an independent deterministically-seeded [`Rng`].
+///
+/// The lightweight entry point when there is no structured input to
+/// shrink — the body draws whatever it needs from the provided
+/// generator. Honors `HFTA_PROP_CASES` and `HFTA_PROP_SEED`.
+///
+/// # Panics
+///
+/// Panics when `body` panics, reporting the case index and seed.
+pub fn check(seed: u64, cases: u32, mut body: impl FnMut(&mut Rng)) {
+    let cases = case_count(cases);
+    let seed = env_u64("HFTA_PROP_SEED").unwrap_or(seed);
+    let mut seq = SplitMix64::new(seed);
+    for case in 0..cases {
+        let case_seed = seq.next_u64();
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            panic!(
+                "randomized check failed at case {case}/{cases} \
+                 (base seed {seed:#x}, case seed {case_seed:#x}): {}",
+                panic_message(payload.as_ref())
+            );
+        }
+    }
+}
+
+/// Declares a property test: a `#[test]` function running a property
+/// over random inputs with shrinking on failure.
+///
+/// ```
+/// use hfta_testkit::{prop, vec_of};
+///
+/// prop!(cases = 64, fn sum_is_commutative(a in 0i64..100, b in 0i64..100) {
+///     assert_eq!(a + b, b + a);
+/// });
+///
+/// prop!(fn reverse_twice_is_identity(v in vec_of(0u32..10, 0..8)) {
+///     let mut w = v.clone();
+///     w.reverse();
+///     w.reverse();
+///     assert_eq!(v, w);
+/// });
+/// ```
+#[macro_export]
+macro_rules! prop {
+    (cases = $cases:expr, fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block) => {
+        #[test]
+        fn $name() {
+            let __strategy = ($($strat,)+);
+            $crate::check_named(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cases,
+                __strategy,
+                |__value| {
+                    let ($($arg,)+) = __value.clone();
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+    };
+    (fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block) => {
+        $crate::prop!(cases = 64, fn $name($($arg in $strat),+) $body);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Catches an expected panic while keeping the hook silent, so the
+    /// suite's own negative tests do not flood the log.
+    fn quiet_catch<R>(f: impl FnOnce() -> R) -> std::thread::Result<R> {
+        install_quiet_hook();
+        QUIET_PANICS.with(|q| q.set(true));
+        let r = panic::catch_unwind(AssertUnwindSafe(f));
+        QUIET_PANICS.with(|q| q.set(false));
+        r
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check_named("passing", 100, 0u32..10, |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        // HFTA_PROP_CASES may legitimately override the default.
+        assert_eq!(counter.get(), case_count(100));
+    }
+
+    #[test]
+    fn shrinking_finds_minimal_int_counterexample() {
+        // Planted failure: fails iff v >= 500. The minimal failing
+        // value in 0..10_000 is exactly 500 — greedy binary descent
+        // must land on it.
+        let err = quiet_catch(|| {
+            check_named("planted_int", 200, (0u32..10_000,), |&(v,)| {
+                if v >= 500 {
+                    return Err(format!("too big: {v}"));
+                }
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("(500,)"), "report should pin 500: {msg}");
+        assert!(msg.contains("too big: 500"), "error from minimal case: {msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vectors() {
+        // Fails when the vector contains an element >= 7; minimal
+        // counterexample is the single-element vector [7].
+        let err = quiet_catch(|| {
+            check_named("planted_vec", 200, (vec_of(0u32..100, 0..12),), |(v,)| {
+                assert!(v.iter().all(|&x| x < 7), "bad element in {v:?}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("([7],)"), "minimal vector should be [7]: {msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_reported() {
+        let err = quiet_catch(|| {
+            check_named("panicking", 10, (0u32..10,), |_| -> Result<(), String> {
+                panic!("boom from property");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("boom from property"), "{msg}");
+    }
+
+    #[test]
+    fn tuple_shrinking_shrinks_each_component() {
+        let err = quiet_catch(|| {
+            check_named(
+                "planted_tuple",
+                300,
+                (0u32..50, any_bool(), vec_of(0u32..9, 0..6)),
+                |&(a, b, ref v)| {
+                    // Fails whenever a >= 3, regardless of b and v:
+                    // both should shrink to their minimal forms.
+                    if a >= 3 {
+                        return Err("a too big".into());
+                    }
+                    let _ = (b, v);
+                    Ok(())
+                },
+            );
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("(3, false, [])"), "fully shrunk tuple: {msg}");
+    }
+
+    #[test]
+    fn check_is_deterministic_per_seed() {
+        let mut a = Vec::new();
+        check(77, 20, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        check(77, 20, |rng| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+    }
+
+    prop!(cases = 64, fn prop_macro_compiles(a in 0i64..100, b in -5i64..=5) {
+        assert!((a - b) <= a + 5);
+    });
+
+    prop!(fn prop_macro_default_cases(v in vec_of(any_bool(), 0..10)) {
+        assert!(v.len() < 10);
+    });
+
+    #[test]
+    fn custom_strategy_shrinks_through_from_fn() {
+        // Domain strategy with a custom shrinker: pairs (x, y) with
+        // x <= y; shrink moves both toward zero keeping the invariant.
+        let strat = from_fn_with_shrink(
+            |rng: &mut Rng| {
+                let x = rng.gen_range(0u32..50);
+                let y = rng.gen_range(x..100);
+                (x, y)
+            },
+            |&(x, y): &(u32, u32)| {
+                let mut out = Vec::new();
+                if x > 0 {
+                    out.push((x / 2, y));
+                }
+                if y > x {
+                    out.push((x, x + (y - x) / 2));
+                    out.push((x, y - 1));
+                }
+                out
+            },
+        );
+        let err = quiet_catch(|| {
+            check_named("planted_pair", 300, (strat,), |&((x, y),)| {
+                if y - x >= 10 {
+                    return Err("spread too wide".into());
+                }
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("((0, 10),)"), "minimal spread pair: {msg}");
+    }
+}

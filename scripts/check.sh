@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, lint, and a fast property
+# pass. This is the hermetic-build gate — it must succeed on a cold
+# checkout with no network access (see README "Hermetic builds").
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== clippy =="
+# Clippy may be absent on minimal toolchains; lint when available.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "cargo-clippy not installed; skipping"
+fi
+
+echo "== fast property pass (HFTA_PROP_CASES=16) =="
+HFTA_PROP_CASES=16 cargo test -q --offline --workspace
+
+echo "All checks passed."

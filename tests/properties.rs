@@ -4,114 +4,122 @@ use hfta::netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
 use hfta::netlist::partition::cascade_bipartition;
 use hfta::netlist::sim;
 use hfta::{DelayAnalyzer, DemandDrivenAnalyzer, StabilityAnalyzer, Time, TopoSta};
-use proptest::prelude::*;
+use hfta_testkit::{from_fn_with_shrink, prop, Rng, Strategy};
 
+/// Random flat circuits; shrinking reduces gate and input counts so a
+/// failing invariant pins to a minimal netlist.
 fn spec_strategy() -> impl Strategy<Value = RandomCircuitSpec> {
-    (2usize..8, 5usize..40, any::<u64>(), 4usize..12, prop::bool::ANY).prop_map(
-        |(inputs, gates, seed, locality, xor)| RandomCircuitSpec {
-            inputs,
-            gates,
-            seed,
-            locality,
+    from_fn_with_shrink(
+        |rng: &mut Rng| RandomCircuitSpec {
+            inputs: rng.gen_range(2usize..8),
+            gates: rng.gen_range(5usize..40),
+            seed: rng.next_u64(),
+            locality: rng.gen_range(4usize..12),
             global_fanin_prob: 0.2,
-            mix: if xor { GateMix::XorHeavy } else { GateMix::NandHeavy },
+            mix: if rng.next_bool() { GateMix::XorHeavy } else { GateMix::NandHeavy },
+        },
+        |spec: &RandomCircuitSpec| {
+            let mut out = Vec::new();
+            if spec.gates > 5 {
+                out.push(RandomCircuitSpec { gates: 5.max(spec.gates / 2), ..*spec });
+                out.push(RandomCircuitSpec { gates: spec.gates - 1, ..*spec });
+            }
+            if spec.inputs > 2 {
+                out.push(RandomCircuitSpec { inputs: spec.inputs - 1, ..*spec });
+            }
+            if spec.seed != 0 {
+                out.push(RandomCircuitSpec { seed: 0, ..*spec });
+            }
+            out
         },
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+// The functional delay never exceeds the topological delay and is
+// realized at a time where the circuit is actually stable.
+prop!(cases = 64, fn functional_delay_bounded_by_topological(spec in spec_strategy()) {
+    let nl = random_circuit("p", spec);
+    let arrivals = vec![Time::ZERO; nl.inputs().len()];
+    let sta = TopoSta::new(&nl).expect("acyclic");
+    let topo = sta.circuit_delay(&arrivals);
+    let mut an = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
+    let functional = an.circuit_delay();
+    assert!(functional <= topo);
+    // Every output must be stable at the functional circuit delay.
+    let mut stab = StabilityAnalyzer::new(&nl, &arrivals, hfta::fta::SatAlg::new())
+        .expect("acyclic");
+    for &o in nl.outputs() {
+        assert!(stab.is_stable_at(o, functional));
+    }
+});
 
-    /// The functional delay never exceeds the topological delay and is
-    /// realized at a time where the circuit is actually stable.
-    #[test]
-    fn functional_delay_bounded_by_topological(spec in spec_strategy()) {
-        let nl = random_circuit("p", spec);
-        let arrivals = vec![Time::ZERO; nl.inputs().len()];
-        let sta = TopoSta::new(&nl).expect("acyclic");
-        let topo = sta.circuit_delay(&arrivals);
-        let mut an = DelayAnalyzer::new_sat(&nl, &arrivals).expect("acyclic");
-        let functional = an.circuit_delay();
-        prop_assert!(functional <= topo);
-        // Every output must be stable at the functional circuit delay.
-        let mut stab = StabilityAnalyzer::new(&nl, &arrivals, hfta::fta::SatAlg::new())
-            .expect("acyclic");
-        for &o in nl.outputs() {
-            prop_assert!(stab.is_stable_at(o, functional));
+// Stability is monotone in time (monotone speedup property).
+prop!(cases = 64, fn stability_monotone(spec in spec_strategy()) {
+    let nl = random_circuit("p", spec);
+    let arrivals = vec![Time::ZERO; nl.inputs().len()];
+    let out = nl.outputs()[0];
+    let mut stab = StabilityAnalyzer::new(&nl, &arrivals, hfta::fta::SatAlg::new())
+        .expect("acyclic");
+    let mut prev = false;
+    for time in 0..=12 {
+        let now = stab.is_stable_at(out, Time::new(time));
+        assert!(!prev || now, "stability regressed at t={time}");
+        prev = now;
+    }
+});
+
+// Flattening a bipartitioned design preserves the Boolean functions
+// (checked by exhaustive simulation).
+prop!(cases = 64, fn partition_flatten_roundtrip(spec in spec_strategy()) {
+    let flat = random_circuit("p", spec);
+    if flat.gate_count() < 2 {
+        return Ok(());
+    }
+    let design = cascade_bipartition(&flat, 0.5).expect("partitions");
+    let reflat = design.flatten("p_top").expect("flattens");
+    let n = flat.inputs().len();
+    for v in 0u64..(1 << n) {
+        let vector: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+        let a = sim::eval(&flat, &vector).expect("simulates");
+        let mut vec2 = vec![false; reflat.inputs().len()];
+        for (k, &pi) in reflat.inputs().iter().enumerate() {
+            let name = reflat.net_name(pi);
+            let idx = flat
+                .inputs()
+                .iter()
+                .position(|&p| flat.net_name(p) == name)
+                .expect("same inputs");
+            vec2[k] = vector[idx];
+        }
+        let b = sim::eval(&reflat, &vec2).expect("simulates");
+        for (k, &po) in reflat.outputs().iter().enumerate() {
+            let name = reflat.net_name(po);
+            let idx = flat
+                .outputs()
+                .iter()
+                .position(|&p| flat.net_name(p) == name)
+                .expect("same outputs");
+            assert_eq!(b[k], a[idx], "output {name} vector {v}");
         }
     }
+});
 
-    /// Stability is monotone in time (monotone speedup property).
-    #[test]
-    fn stability_monotone(spec in spec_strategy()) {
-        let nl = random_circuit("p", spec);
-        let arrivals = vec![Time::ZERO; nl.inputs().len()];
-        let out = nl.outputs()[0];
-        let mut stab = StabilityAnalyzer::new(&nl, &arrivals, hfta::fta::SatAlg::new())
-            .expect("acyclic");
-        let mut prev = false;
-        for time in 0..=12 {
-            let now = stab.is_stable_at(out, Time::new(time));
-            prop_assert!(!prev || now, "stability regressed at t={time}");
-            prev = now;
-        }
+// Theorem 1 on random partitioned circuits, demand-driven.
+prop!(cases = 64, fn demand_driven_conservative(spec in spec_strategy()) {
+    let flat = random_circuit("p", spec);
+    if flat.gate_count() < 2 {
+        return Ok(());
     }
+    let arrivals = vec![Time::ZERO; flat.inputs().len()];
+    let mut an = DelayAnalyzer::new_sat(&flat, &arrivals).expect("acyclic");
+    let exact = an.circuit_delay();
+    let sta = TopoSta::new(&flat).expect("acyclic");
+    let topo = sta.circuit_delay(&arrivals);
 
-    /// Flattening a bipartitioned design preserves the Boolean
-    /// functions (checked by exhaustive simulation).
-    #[test]
-    fn partition_flatten_roundtrip(spec in spec_strategy()) {
-        let flat = random_circuit("p", spec);
-        if flat.gate_count() < 2 {
-            return Ok(());
-        }
-        let design = cascade_bipartition(&flat, 0.5).expect("partitions");
-        let reflat = design.flatten("p_top").expect("flattens");
-        let n = flat.inputs().len();
-        for v in 0u64..(1 << n) {
-            let vector: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
-            let a = sim::eval(&flat, &vector).expect("simulates");
-            let mut vec2 = vec![false; reflat.inputs().len()];
-            for (k, &pi) in reflat.inputs().iter().enumerate() {
-                let name = reflat.net_name(pi);
-                let idx = flat
-                    .inputs()
-                    .iter()
-                    .position(|&p| flat.net_name(p) == name)
-                    .expect("same inputs");
-                vec2[k] = vector[idx];
-            }
-            let b = sim::eval(&reflat, &vec2).expect("simulates");
-            for (k, &po) in reflat.outputs().iter().enumerate() {
-                let name = reflat.net_name(po);
-                let idx = flat
-                    .outputs()
-                    .iter()
-                    .position(|&p| flat.net_name(p) == name)
-                    .expect("same outputs");
-                prop_assert_eq!(b[k], a[idx], "output {} vector {}", name, v);
-            }
-        }
-    }
-
-    /// Theorem 1 on random partitioned circuits, demand-driven.
-    #[test]
-    fn demand_driven_conservative(spec in spec_strategy()) {
-        let flat = random_circuit("p", spec);
-        if flat.gate_count() < 2 {
-            return Ok(());
-        }
-        let arrivals = vec![Time::ZERO; flat.inputs().len()];
-        let mut an = DelayAnalyzer::new_sat(&flat, &arrivals).expect("acyclic");
-        let exact = an.circuit_delay();
-        let sta = TopoSta::new(&flat).expect("acyclic");
-        let topo = sta.circuit_delay(&arrivals);
-
-        let design = cascade_bipartition(&flat, 0.5).expect("partitions");
-        let mut dd = DemandDrivenAnalyzer::new(&design, "p_top", Default::default())
-            .expect("valid");
-        let est = dd.analyze(&arrivals).expect("analyzes").delay;
-        prop_assert!(est >= exact, "optimistic: {} < {}", est, exact);
-        prop_assert!(est <= topo, "worse than topological: {} > {}", est, topo);
-    }
-}
+    let design = cascade_bipartition(&flat, 0.5).expect("partitions");
+    let mut dd = DemandDrivenAnalyzer::new(&design, "p_top", Default::default())
+        .expect("valid");
+    let est = dd.analyze(&arrivals).expect("analyzes").delay;
+    assert!(est >= exact, "optimistic: {est} < {exact}");
+    assert!(est <= topo, "worse than topological: {est} > {topo}");
+});

@@ -7,9 +7,15 @@
 //!    characterization runs (1 tuple vs several incomparable tuples).
 //! 3. **Fixed vs min-cut partitioning** of the Table 2 workloads.
 //! 4. **Serial vs parallel characterization** of a mixed design.
+//! 5. **Fresh solver per probe vs persistent stability oracle** — the
+//!    demand-driven refinement loop answers many stability queries per
+//!    cone; the oracle keeps one incremental SAT solver (plus the
+//!    `(net, t)` memo and learnt clauses) alive across all of them.
 //!
 //! Run with `cargo run --release -p hfta-bench --bin ablation`; see
-//! [`hfta_testkit::Harness`] for the environment knobs.
+//! [`hfta_testkit::Harness`] for the environment knobs. Setting
+//! `HFTA_ABLATION_SMOKE` shrinks the workload and runs only the oracle
+//! ablation — a seconds-long sanity pass used by `scripts/check.sh`.
 
 use hfta_bench::{build_iscas_like, IscasLike};
 use hfta_core::{
@@ -128,11 +134,54 @@ fn bench_parallel_characterization(harness: &mut Harness) {
     });
 }
 
+fn smoke() -> bool {
+    std::env::var_os("HFTA_ABLATION_SMOKE").is_some()
+}
+
+fn bench_stability_oracle(harness: &mut Harness) {
+    let mut group = harness.group("ablation_stability_oracle");
+    let (bits, blocks, top) = if smoke() {
+        (8usize, 2usize, "csa8.2")
+    } else {
+        (32, 4, "csa32.4")
+    };
+    let design = carry_skip_adder(bits, blocks, Default::default());
+    let arrivals = vec![Time::ZERO; 2 * bits + 1];
+
+    let fresh = DemandOptions {
+        reuse_oracle: false,
+        ..DemandOptions::default()
+    };
+    group.bench("fresh_solver_per_probe", || {
+        let mut an = DemandDrivenAnalyzer::new(&design, top, fresh).expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
+    });
+    group.bench("persistent_oracle", || {
+        let mut an =
+            DemandDrivenAnalyzer::new(&design, top, DemandOptions::default()).expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
+    });
+    let threaded = DemandOptions {
+        threads: 4,
+        ..DemandOptions::default()
+    };
+    group.bench("persistent_oracle_4_threads", || {
+        let mut an = DemandDrivenAnalyzer::new(&design, top, threaded).expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
+    });
+}
+
 fn main() {
     let mut harness = Harness::new("ablation");
+    if smoke() {
+        bench_stability_oracle(&mut harness);
+        harness.finish();
+        return;
+    }
     bench_demand_vs_twostep(&mut harness);
     bench_tuple_cap(&mut harness);
     bench_partition_strategy(&mut harness);
     bench_parallel_characterization(&mut harness);
+    bench_stability_oracle(&mut harness);
     harness.finish();
 }

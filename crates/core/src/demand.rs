@@ -23,10 +23,22 @@
 //! validated by a full XBD0 stability check, so the final delay remains
 //! a conservative approximation of flat analysis (Theorem 1) while only
 //! spending characterization effort where it matters.
+//!
+//! Probes against one `(module, output)` cone go through a persistent
+//! [`StabilityOracle`] owned by that cone's refinement state, so the
+//! SAT solver, its learnt clauses, and the settled-function caches are
+//! shared by every probe of that cone — across rounds and across
+//! `analyze` calls. Independent cones are probed in parallel when
+//! [`DemandOptions::threads`] allows: a round's critical edges are
+//! grouped by `(module, output)` (probes of one group interact through
+//! its shared weights and must stay ordered; groups touch disjoint
+//! state), and groups are distributed over scoped worker threads. The
+//! grouping preserves the serial probe order within each cone, so the
+//! parallel analysis is bit-identical to the serial one.
 
 use std::collections::{HashMap, HashSet};
 
-use hfta_fta::{SatAlg, StabilityAnalyzer, TopoSta};
+use hfta_fta::{SatAlg, StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta};
 use hfta_netlist::{Composite, Design, NetId, Netlist, NetlistError, Time};
 
 /// Options for the demand-driven analysis.
@@ -39,6 +51,16 @@ pub struct DemandOptions {
     pub try_irrelevant: bool,
     /// Safety bound on refinement rounds (`None` = until fixpoint).
     pub max_rounds: Option<usize>,
+    /// Keep one persistent [`StabilityOracle`] per `(module, output)`
+    /// cone, reusing solver state across probes (the default). When
+    /// `false`, every probe builds a fresh solver — the configuration
+    /// the `ablation` benchmark compares against.
+    pub reuse_oracle: bool,
+    /// Worker threads for each refinement round's independent critical
+    /// -edge probes. `1` (the default) probes serially; higher values
+    /// distribute per-`(module, output)` probe groups over scoped
+    /// threads. Results are identical either way.
+    pub threads: usize,
 }
 
 impl Default for DemandOptions {
@@ -47,6 +69,8 @@ impl Default for DemandOptions {
             lengths_cap: 32,
             try_irrelevant: true,
             max_rounds: None,
+            reuse_oracle: true,
+            threads: 1,
         }
     }
 }
@@ -66,6 +90,10 @@ pub struct DemandAnalysis {
     pub refinements: u64,
     /// Functional stability checks performed.
     pub checks: u64,
+    /// Stability/solver work aggregated over every cone's engine,
+    /// cumulative across `analyze` calls on one analyzer (persistent
+    /// oracles live as long as the analyzer).
+    pub stability: StabilityStats,
 }
 
 /// Per-(module, output) refinement state.
@@ -84,6 +112,18 @@ struct OutputState {
     cursor: Vec<usize>,
     /// Edges proven accurate (no further probes).
     marked: Vec<bool>,
+    /// Persistent stability oracle for this cone (lazily created on
+    /// first probe when [`DemandOptions::reuse_oracle`] is set).
+    oracle: Option<StabilityOracle<SatAlg>>,
+    /// Stability work of fresh (non-oracle) probes of this cone.
+    fresh_stats: StabilityStats,
+}
+
+/// Outcome of one cone's probes within a refinement round.
+#[derive(Clone, Copy, Default)]
+struct RoundWork {
+    checks: u64,
+    refinements: u64,
 }
 
 /// The Section 5 analyzer.
@@ -108,8 +148,15 @@ pub struct DemandDrivenAnalyzer<'a> {
     top: &'a Composite,
     /// Instance order (topological) and resolved module names.
     order: Vec<usize>,
-    /// Per distinct module name: refinement state per output index.
-    modules: HashMap<String, Vec<OutputState>>,
+    /// Interned module names, index-aligned with `modules`.
+    module_names: Vec<String>,
+    /// Name → index into `module_names`/`modules`.
+    module_index: HashMap<String, usize>,
+    /// Per instance (by position in `top.instances()`): its module
+    /// index.
+    inst_module: Vec<usize>,
+    /// Per distinct module: refinement state per output index.
+    modules: Vec<Vec<OutputState>>,
     opts: DemandOptions,
     checks: u64,
     refinements: u64,
@@ -136,9 +183,13 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                 name: top.to_string(),
             })?;
         let order = top.instance_topo_order()?;
-        let mut modules: HashMap<String, Vec<OutputState>> = HashMap::new();
+        let mut module_names: Vec<String> = Vec::new();
+        let mut module_index: HashMap<String, usize> = HashMap::new();
+        let mut modules: Vec<Vec<OutputState>> = Vec::new();
+        let mut inst_module = Vec::with_capacity(top.instances().len());
         for inst in top.instances() {
-            if modules.contains_key(&inst.module) {
+            if let Some(&mi) = module_index.get(&inst.module) {
+                inst_module.push(mi);
                 continue;
             }
             let leaf = design
@@ -151,11 +202,18 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             for &out in leaf.outputs() {
                 states.push(OutputState::new(leaf, out, &opts)?);
             }
-            modules.insert(inst.module.clone(), states);
+            let mi = modules.len();
+            module_index.insert(inst.module.clone(), mi);
+            module_names.push(inst.module.clone());
+            modules.push(states);
+            inst_module.push(mi);
         }
         Ok(DemandDrivenAnalyzer {
             top,
             order,
+            module_names,
+            module_index,
+            inst_module,
             modules,
             opts,
             checks: 0,
@@ -180,54 +238,70 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             "arrival vector length mismatch"
         );
         let mut rounds = 0u64;
-        loop {
+        let arrivals = loop {
             let (arrivals, _) = self.forward(pi_arrivals);
             let required = self.backward(&arrivals);
             let critical = self.critical_edges(&arrivals, &required);
             if critical.is_empty() {
-                let output_arrivals: Vec<Time> = self
-                    .top
-                    .outputs()
-                    .iter()
-                    .map(|&n| arrivals[n.index()])
-                    .collect();
-                let delay = output_arrivals
-                    .iter()
-                    .copied()
-                    .fold(Time::NEG_INF, Time::max);
-                return Ok(DemandAnalysis {
-                    net_arrivals: arrivals,
-                    output_arrivals,
-                    delay,
-                    rounds,
-                    refinements: self.refinements,
-                    checks: self.checks,
-                });
+                break arrivals;
             }
-            for (module, out_idx, in_idx) in critical {
-                self.refine(&module, out_idx, in_idx)?;
-            }
-            rounds += 1;
-            if let Some(max) = self.opts.max_rounds {
-                if rounds as usize >= max {
-                    // Mark everything: report the current (still
-                    // conservative) state.
-                    for states in self.modules.values_mut() {
-                        for s in states {
-                            s.marked.iter_mut().for_each(|m| *m = true);
-                        }
+            if self.opts.max_rounds.is_some_and(|max| rounds as usize >= max) {
+                // Cap hit: freeze the graph in its current (still
+                // conservative) state — no further probes, this call
+                // or later ones.
+                for states in &mut self.modules {
+                    for s in states {
+                        s.marked.iter_mut().for_each(|m| *m = true);
                     }
                 }
+                break arrivals;
+            }
+            self.refine_round(&critical)?;
+            rounds += 1;
+        };
+        let output_arrivals: Vec<Time> = self
+            .top
+            .outputs()
+            .iter()
+            .map(|&n| arrivals[n.index()])
+            .collect();
+        let delay = output_arrivals
+            .iter()
+            .copied()
+            .fold(Time::NEG_INF, Time::max);
+        Ok(DemandAnalysis {
+            net_arrivals: arrivals,
+            output_arrivals,
+            delay,
+            rounds,
+            refinements: self.refinements,
+            checks: self.checks,
+            stability: self.stability_stats(),
+        })
+    }
+
+    /// Stability/solver work aggregated across every cone's engines
+    /// (persistent oracles plus any fresh per-probe analyzers).
+    #[must_use]
+    pub fn stability_stats(&self) -> StabilityStats {
+        let mut total = StabilityStats::default();
+        for states in &self.modules {
+            for st in states {
+                if let Some(oracle) = &st.oracle {
+                    total.merge(&oracle.stats());
+                }
+                total.merge(&st.fresh_stats);
             }
         }
+        total
     }
 
     /// The current weight of a module edge (for inspection/tests).
     #[must_use]
     pub fn edge_weight(&self, module: &str, out_idx: usize, in_idx: usize) -> Option<Time> {
-        self.modules
+        self.module_index
             .get(module)
-            .and_then(|s| s.get(out_idx))
+            .and_then(|&mi| self.modules[mi].get(out_idx))
             .map(|s| s.weights[in_idx])
     }
 
@@ -238,11 +312,12 @@ impl<'a> DemandDrivenAnalyzer<'a> {
     #[must_use]
     pub fn refinement_report(&self) -> String {
         use std::fmt::Write as _;
-        let mut names: Vec<&String> = self.modules.keys().collect();
+        let mut names: Vec<(&String, usize)> =
+            self.module_names.iter().enumerate().map(|(i, n)| (n, i)).collect();
         names.sort();
         let mut s = String::new();
-        for name in names {
-            for (o, st) in self.modules[name.as_str()].iter().enumerate() {
+        for (name, mi) in names {
+            for (o, st) in self.modules[mi].iter().enumerate() {
                 for (j, &w) in st.weights.iter().enumerate() {
                     let topo = st.lists[j].first().copied().unwrap_or(Time::NEG_INF);
                     if w < topo {
@@ -272,7 +347,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         let mut snapshots = vec![Vec::new(); self.top.instances().len()];
         for &idx in &self.order {
             let inst = &self.top.instances()[idx];
-            let states = &self.modules[&inst.module];
+            let states = &self.modules[self.inst_module[idx]];
             let in_arr: Vec<Time> = inst.inputs.iter().map(|n| arrivals[n.index()]).collect();
             for (o, &out_net) in inst.outputs.iter().enumerate() {
                 let mut worst = Time::NEG_INF;
@@ -306,7 +381,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         }
         for &idx in self.order.iter().rev() {
             let inst = &self.top.instances()[idx];
-            let states = &self.modules[&inst.module];
+            let states = &self.modules[self.inst_module[idx]];
             for (o, &out_net) in inst.outputs.iter().enumerate() {
                 let r = required[out_net.index()];
                 if r == Time::POS_INF {
@@ -325,12 +400,12 @@ impl<'a> DemandDrivenAnalyzer<'a> {
     }
 
     /// Critical, unmarked, still-refinable edges, deduplicated at the
-    /// module level: `(module, output index, input index)`.
+    /// module level: `(module index, output index, input index)`.
     fn critical_edges(
         &self,
         arrivals: &[Time],
         required: &[Time],
-    ) -> Vec<(String, usize, usize)> {
+    ) -> Vec<(usize, usize, usize)> {
         let slack_zero = |n: NetId| {
             arrivals[n.index()].is_finite()
                 && required[n.index()].is_finite()
@@ -338,8 +413,9 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         };
         let mut seen = HashSet::new();
         let mut edges = Vec::new();
-        for inst in self.top.instances() {
-            let states = &self.modules[&inst.module];
+        for (idx, inst) in self.top.instances().iter().enumerate() {
+            let mi = self.inst_module[idx];
+            let states = &self.modules[mi];
             for (o, &out_net) in inst.outputs.iter().enumerate() {
                 if !slack_zero(out_net) {
                     continue;
@@ -356,8 +432,8 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                     if arrivals[in_net.index()] + st.weights[j] != arrivals[out_net.index()] {
                         continue;
                     }
-                    let key = (inst.module.clone(), o, j);
-                    if seen.insert(key.clone()) {
+                    let key = (mi, o, j);
+                    if seen.insert(key) {
                         edges.push(key);
                     }
                 }
@@ -366,59 +442,57 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         edges
     }
 
-    /// One refinement step of edge `(module, out, in)`: probe the next
-    /// smaller distinct path length; accept or mark accurate.
-    fn refine(&mut self, module: &str, out_idx: usize, in_idx: usize) -> Result<(), NetlistError> {
-        // Determine the candidate without holding a mutable borrow.
-        let (candidate, cone_arrivals, cone_out, target_pos) = {
-            let st = &self.modules[module][out_idx];
-            debug_assert!(!st.marked[in_idx]);
-            let list = &st.lists[in_idx];
-            let next = st.cursor[in_idx] + 1;
-            let candidate = if next < list.len() {
-                Some(list[next])
-            } else if self.opts.try_irrelevant && st.weights[in_idx] != Time::NEG_INF {
-                Some(Time::NEG_INF)
-            } else {
-                None
-            };
-            let Some(candidate) = candidate else {
-                self.modules.get_mut(module).expect("exists")[out_idx].marked[in_idx] = true;
-                return Ok(());
-            };
-            // Build cone arrivals: input j arrives at −w_j, the probed
-            // input at −candidate.
-            let n_cone = st.cone.inputs().len();
-            let mut arrivals = vec![Time::POS_INF; n_cone];
-            for (j, pos) in st.cone_pos.iter().enumerate() {
-                if let Some(p) = *pos {
-                    let w = if j == in_idx { candidate } else { st.weights[j] };
-                    arrivals[p] = -w;
+    /// Probes one round's critical edges. Edges are grouped by
+    /// `(module, output)` — probes within a group read each other's
+    /// accepted weights and stay in their serial order; distinct groups
+    /// touch disjoint state and run on worker threads when
+    /// [`DemandOptions::threads`] `> 1`. Either way the outcome is the
+    /// same as probing all edges serially in `critical` order.
+    fn refine_round(&mut self, critical: &[(usize, usize, usize)]) -> Result<(), NetlistError> {
+        // Group edge probes per (module, output), preserving order.
+        let mut group_edges: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut group_order: Vec<(usize, usize)> = Vec::new();
+        for &(mi, o, j) in critical {
+            let entry = group_edges.entry((mi, o)).or_default();
+            if entry.is_empty() {
+                group_order.push((mi, o));
+            }
+            entry.push(j);
+        }
+        // Collect disjoint mutable borrows of exactly the cones probed
+        // this round.
+        let mut work: Vec<(&mut OutputState, Vec<usize>)> = Vec::with_capacity(group_order.len());
+        for (mi, states) in self.modules.iter_mut().enumerate() {
+            for (o, st) in states.iter_mut().enumerate() {
+                if let Some(edges) = group_edges.remove(&(mi, o)) {
+                    work.push((st, edges));
                 }
             }
-            let cone_out = st.cone.outputs()[0];
-            let target = st.cone_pos[in_idx].expect("edge exists, so input reaches output");
-            (candidate, arrivals, cone_out, target)
-        };
-        let _ = target_pos;
-        self.checks += 1;
-        let st = &self.modules[module][out_idx];
-        let stable = {
-            let mut analyzer = StabilityAnalyzer::new(&st.cone, &cone_arrivals, SatAlg::new())?;
-            analyzer.is_stable_at(cone_out, Time::ZERO)
-        };
-        let st = self.modules.get_mut(module).expect("exists");
-        let st = &mut st[out_idx];
-        if stable {
-            st.weights[in_idx] = candidate;
-            if candidate == Time::NEG_INF {
-                st.marked[in_idx] = true; // nothing below −∞
+        }
+        let opts = self.opts;
+        let outcomes: Vec<Result<RoundWork, NetlistError>> =
+            if opts.threads > 1 && work.len() > 1 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = work
+                        .into_iter()
+                        .map(|(st, edges)| {
+                            scope.spawn(move || st.refine_edges(&edges, &opts))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("refinement worker panicked"))
+                        .collect()
+                })
             } else {
-                st.cursor[in_idx] += 1;
-            }
-            self.refinements += 1;
-        } else {
-            st.marked[in_idx] = true;
+                work.into_iter()
+                    .map(|(st, edges)| st.refine_edges(&edges, &opts))
+                    .collect()
+            };
+        for outcome in outcomes {
+            let w = outcome?;
+            self.checks += w.checks;
+            self.refinements += w.refinements;
         }
         Ok(())
     }
@@ -462,7 +536,85 @@ impl OutputState {
             lists,
             cursor: vec![0; n],
             marked: vec![false; n],
+            oracle: None,
+            fresh_stats: StabilityStats::default(),
         })
+    }
+
+    /// Probes the given edges of this cone, in order, accepting or
+    /// marking each. Returns the work done.
+    fn refine_edges(
+        &mut self,
+        in_indices: &[usize],
+        opts: &DemandOptions,
+    ) -> Result<RoundWork, NetlistError> {
+        let mut round = RoundWork::default();
+        for &j in in_indices {
+            self.refine_edge(j, opts, &mut round)?;
+        }
+        Ok(round)
+    }
+
+    /// One refinement step of the edge into input `in_idx`: probe the
+    /// next smaller distinct path length; accept or mark accurate.
+    fn refine_edge(
+        &mut self,
+        in_idx: usize,
+        opts: &DemandOptions,
+        round: &mut RoundWork,
+    ) -> Result<(), NetlistError> {
+        debug_assert!(!self.marked[in_idx]);
+        let list = &self.lists[in_idx];
+        let next = self.cursor[in_idx] + 1;
+        let candidate = if next < list.len() {
+            Some(list[next])
+        } else if opts.try_irrelevant && self.weights[in_idx] != Time::NEG_INF {
+            Some(Time::NEG_INF)
+        } else {
+            None
+        };
+        let Some(candidate) = candidate else {
+            self.marked[in_idx] = true;
+            return Ok(());
+        };
+        // Build cone arrivals: input j arrives at −w_j, the probed
+        // input at −candidate.
+        let n_cone = self.cone.inputs().len();
+        let mut cone_arrivals = vec![Time::POS_INF; n_cone];
+        for (j, pos) in self.cone_pos.iter().enumerate() {
+            if let Some(p) = *pos {
+                let w = if j == in_idx { candidate } else { self.weights[j] };
+                cone_arrivals[p] = -w;
+            }
+        }
+        let cone_out = self.cone.outputs()[0];
+        round.checks += 1;
+        let stable = if opts.reuse_oracle {
+            if self.oracle.is_none() {
+                self.oracle =
+                    Some(StabilityOracle::new_sat(self.cone.clone(), &cone_arrivals)?);
+            }
+            let oracle = self.oracle.as_mut().expect("just created");
+            oracle.query(&cone_arrivals, cone_out, Time::ZERO)
+        } else {
+            let mut analyzer =
+                StabilityAnalyzer::new(&self.cone, &cone_arrivals, SatAlg::new())?;
+            let stable = analyzer.is_stable_at(cone_out, Time::ZERO);
+            self.fresh_stats.merge(&analyzer.stats());
+            stable
+        };
+        if stable {
+            self.weights[in_idx] = candidate;
+            if candidate == Time::NEG_INF {
+                self.marked[in_idx] = true; // nothing below −∞
+            } else {
+                self.cursor[in_idx] += 1;
+            }
+            round.refinements += 1;
+        } else {
+            self.marked[in_idx] = true;
+        }
+        Ok(())
     }
 }
 
@@ -508,6 +660,9 @@ mod tests {
         // The refinement report names exactly the refined carry edge.
         let report = an.refinement_report();
         assert!(report.contains("csa_block2 out2 <- in0: 6 -> 2"), "{report}");
+        // The persistent oracle saw every probe.
+        assert_eq!(result.stability.queries, result.checks);
+        assert!(result.stability.sat_queries > 0);
     }
 
     #[test]
@@ -557,6 +712,42 @@ mod tests {
         assert!(result.delay >= exact);
     }
 
+    /// Regression for the `max_rounds` fall-through: once the cap is
+    /// hit the loop must stop probing, so `checks` stops growing — at
+    /// the cap itself and on every later `analyze` call.
+    #[test]
+    fn max_rounds_stops_checks_deterministically() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+
+        // Cap 0: the graph is frozen before any probe.
+        let opts = DemandOptions { max_rounds: Some(0), ..DemandOptions::default() };
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
+        let result = an.analyze(&[t(0); 17]).unwrap();
+        assert_eq!(result.checks, 0);
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.refinements, 0);
+
+        // Cap 1: exactly one round of probes, then frozen — a second
+        // analyze adds no checks.
+        let opts = DemandOptions { max_rounds: Some(1), ..DemandOptions::default() };
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
+        let first = an.analyze(&[t(0); 17]).unwrap();
+        assert!(first.checks > 0);
+        assert_eq!(first.rounds, 1);
+        let second = an.analyze(&[t(0); 17]).unwrap();
+        assert_eq!(
+            second.checks, first.checks,
+            "checks grew after the cap froze the graph"
+        );
+
+        // Uncapped needs more checks than one round: the cap really
+        // cut the loop short rather than the loop having converged.
+        let mut full =
+            DemandDrivenAnalyzer::new(&design, "csa8.2", DemandOptions::default()).unwrap();
+        let converged = full.analyze(&[t(0); 17]).unwrap();
+        assert!(converged.checks > first.checks);
+    }
+
     #[test]
     fn skewed_arrivals_supported() {
         let design = carry_skip_adder(4, 2, CsaDelays::default());
@@ -572,6 +763,69 @@ mod tests {
         let exact = flat_an.circuit_delay();
         assert!(result.delay >= exact);
         assert_eq!(result.delay, exact, "accuracy preserved on this example");
+    }
+
+    /// The persistent-oracle path and the fresh-solver path agree on
+    /// everything observable.
+    #[test]
+    fn fresh_solver_path_matches_oracle_path() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let mut with_oracle =
+            DemandDrivenAnalyzer::new(&design, "csa8.2", DemandOptions::default()).unwrap();
+        let fresh_opts = DemandOptions { reuse_oracle: false, ..DemandOptions::default() };
+        let mut with_fresh = DemandDrivenAnalyzer::new(&design, "csa8.2", fresh_opts).unwrap();
+        let a = with_oracle.analyze(&[t(0); 17]).unwrap();
+        let b = with_fresh.analyze(&[t(0); 17]).unwrap();
+        assert_eq!(a.delay, b.delay);
+        assert_eq!(a.net_arrivals, b.net_arrivals);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.refinements, b.refinements);
+        assert_eq!(with_oracle.refinement_report(), with_fresh.refinement_report());
+        // Both instrument their probes.
+        assert_eq!(a.stability.queries, a.checks);
+        assert_eq!(b.stability.queries, b.checks);
+    }
+
+    /// Parallel refinement is bit-identical to serial: same analysis
+    /// (weights, delay, counters) and same refinement report.
+    #[test]
+    fn parallel_refinement_is_deterministic() {
+        let specs: Vec<(Design, String, usize)> = {
+            let mut v = Vec::new();
+            let design = carry_skip_adder(12, 2, CsaDelays::default());
+            v.push((design, "csa12.2".to_string(), 25));
+            for seed in 0..2 {
+                let spec = RandomCircuitSpec {
+                    inputs: 10,
+                    gates: 80,
+                    seed,
+                    locality: 12,
+                    global_fanin_prob: 0.2,
+                    mix: Default::default(),
+                };
+                let flat = random_circuit(&format!("r{seed}"), spec);
+                let n = flat.inputs().len();
+                let design = cascade_bipartition(&flat, 0.5).unwrap();
+                v.push((design, format!("r{seed}_top"), n));
+            }
+            v
+        };
+        for (design, top, n_inputs) in &specs {
+            let serial_opts = DemandOptions { threads: 1, ..DemandOptions::default() };
+            let parallel_opts = DemandOptions { threads: 4, ..DemandOptions::default() };
+            let mut serial = DemandDrivenAnalyzer::new(design, top, serial_opts).unwrap();
+            let mut parallel = DemandDrivenAnalyzer::new(design, top, parallel_opts).unwrap();
+            let arrivals = vec![t(0); *n_inputs];
+            let a = serial.analyze(&arrivals).unwrap();
+            let b = parallel.analyze(&arrivals).unwrap();
+            assert_eq!(a, b, "serial vs parallel diverged on {top}");
+            assert_eq!(
+                serial.refinement_report(),
+                parallel.refinement_report(),
+                "reports diverged on {top}"
+            );
+        }
     }
 }
 
@@ -667,8 +921,8 @@ impl DemandDrivenAnalyzer<'_> {
         for &po in self.top.outputs() {
             let _ = writeln!(s, "  \"{}\" [shape=doublecircle];", self.top.net_name(po));
         }
-        for inst in self.top.instances() {
-            let states = &self.modules[&inst.module];
+        for (idx, inst) in self.top.instances().iter().enumerate() {
+            let states = &self.modules[self.inst_module[idx]];
             for (o, &out_net) in inst.outputs.iter().enumerate() {
                 for (j, &in_net) in inst.inputs.iter().enumerate() {
                     let st = &states[o];

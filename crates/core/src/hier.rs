@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use hfta_fta::CharacterizeOptions;
+use hfta_fta::{CharacterizeOptions, StabilityStats};
 use hfta_netlist::{Composite, Design, NetlistError, Time};
 
 use crate::module_timing::{ModelSource, ModuleTiming};
@@ -35,6 +35,9 @@ pub struct HierStats {
     pub modules_characterized: u64,
     /// Instances propagated through.
     pub instances_propagated: u64,
+    /// Stability/solver work of all characterizations (zero for
+    /// topological models and installed black-box abstractions).
+    pub stability: StabilityStats,
 }
 
 /// Result of a hierarchical timing analysis.
@@ -76,6 +79,7 @@ pub struct HierAnalyzer<'a> {
     opts: HierOptions,
     cache: HashMap<String, ModuleTiming>,
     characterized: u64,
+    stability: StabilityStats,
 }
 
 impl<'a> HierAnalyzer<'a> {
@@ -115,7 +119,15 @@ impl<'a> HierAnalyzer<'a> {
             opts,
             cache: HashMap::new(),
             characterized: 0,
+            stability: StabilityStats::default(),
         })
+    }
+
+    /// Stability/solver work accumulated by all characterizations so
+    /// far.
+    #[must_use]
+    pub fn stability_stats(&self) -> StabilityStats {
+        self.stability
     }
 
     /// Step 1 for all distinct leaf modules referenced by the top
@@ -168,38 +180,39 @@ impl<'a> HierAnalyzer<'a> {
         }
         let design = self.design;
         let opts = self.opts;
-        let results: Vec<(String, Result<ModuleTiming, NetlistError>)> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in names.chunks(names.len().div_ceil(threads)) {
-                    handles.push(scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|name| {
-                                let r = match design.leaf(name) {
-                                    Some(nl) => ModuleTiming::characterize(
-                                        nl,
-                                        opts.source,
-                                        opts.characterize,
-                                    ),
-                                    None => Err(NetlistError::Unknown {
-                                        what: "leaf module",
-                                        name: name.clone(),
-                                    }),
-                                };
-                                (name.clone(), r)
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("characterization worker panicked"))
-                    .collect()
-            });
+        type CharResult = Result<(ModuleTiming, StabilityStats), NetlistError>;
+        let results: Vec<(String, CharResult)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in names.chunks(names.len().div_ceil(threads)) {
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|name| {
+                            let r = match design.leaf(name) {
+                                Some(nl) => ModuleTiming::characterize_with_stats(
+                                    nl,
+                                    opts.source,
+                                    opts.characterize,
+                                ),
+                                None => Err(NetlistError::Unknown {
+                                    what: "leaf module",
+                                    name: name.clone(),
+                                }),
+                            };
+                            (name.clone(), r)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("characterization worker panicked"))
+                .collect()
+        });
         for (name, result) in results {
-            let timing = result?;
+            let (timing, stats) = result?;
             self.characterized += 1;
+            self.stability.merge(&stats);
             self.cache.insert(name, timing);
         }
         Ok(())
@@ -219,9 +232,13 @@ impl<'a> HierAnalyzer<'a> {
                     what: "leaf module",
                     name: name.to_string(),
                 })?;
-            let timing =
-                ModuleTiming::characterize(netlist, self.opts.source, self.opts.characterize)?;
+            let (timing, stats) = ModuleTiming::characterize_with_stats(
+                netlist,
+                self.opts.source,
+                self.opts.characterize,
+            )?;
             self.characterized += 1;
+            self.stability.merge(&stats);
             self.cache.insert(name.to_string(), timing);
         }
         Ok(&self.cache[name])
@@ -253,6 +270,7 @@ impl<'a> HierAnalyzer<'a> {
             stats: HierStats {
                 modules_characterized: self.characterized,
                 instances_propagated: result.stats.instances_propagated,
+                stability: self.stability,
             },
             ..result
         })
@@ -315,6 +333,7 @@ pub fn propagate(
         stats: HierStats {
             modules_characterized: 0,
             instances_propagated: propagated,
+            stability: StabilityStats::default(),
         },
     })
 }

@@ -159,6 +159,7 @@ impl IncrementalAnalyzer {
             stats: HierStats {
                 modules_characterized: self.characterizations,
                 instances_propagated: result.stats.instances_propagated,
+                ..result.stats
             },
             ..result
         })

@@ -12,7 +12,10 @@
 use std::error::Error;
 use std::fmt;
 
-use hfta_fta::{characterize_module, topological_delays, CharacterizeOptions, TimingModel, TimingTuple};
+use hfta_fta::{
+    characterize_module_with_stats, topological_delays, CharacterizeOptions, StabilityStats,
+    TimingModel, TimingTuple,
+};
 use hfta_netlist::{Netlist, NetlistError, Time};
 
 /// How leaf-module timing models are obtained.
@@ -49,15 +52,35 @@ impl ModuleTiming {
         source: ModelSource,
         opts: CharacterizeOptions,
     ) -> Result<ModuleTiming, NetlistError> {
-        let models = match source {
-            ModelSource::Functional => characterize_module(netlist, opts)?,
-            ModelSource::Topological => netlist
-                .outputs()
-                .iter()
-                .map(|&o| Ok(TimingModel::topological(topological_delays(netlist, o)?)))
-                .collect::<Result<Vec<_>, NetlistError>>()?,
+        ModuleTiming::characterize_with_stats(netlist, source, opts).map(|(m, _)| m)
+    }
+
+    /// Like [`ModuleTiming::characterize`], also returning the
+    /// stability/solver work spent (zero for topological models, which
+    /// need no stability checks). Stats ride alongside rather than in
+    /// the struct so abstractions remain pure data (serializable,
+    /// comparable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn characterize_with_stats(
+        netlist: &Netlist,
+        source: ModelSource,
+        opts: CharacterizeOptions,
+    ) -> Result<(ModuleTiming, StabilityStats), NetlistError> {
+        let (models, stats) = match source {
+            ModelSource::Functional => characterize_module_with_stats(netlist, opts)?,
+            ModelSource::Topological => (
+                netlist
+                    .outputs()
+                    .iter()
+                    .map(|&o| Ok(TimingModel::topological(topological_delays(netlist, o)?)))
+                    .collect::<Result<Vec<_>, NetlistError>>()?,
+                StabilityStats::default(),
+            ),
         };
-        Ok(ModuleTiming {
+        let timing = ModuleTiming {
             module: netlist.name().to_string(),
             input_names: netlist
                 .inputs()
@@ -70,7 +93,8 @@ impl ModuleTiming {
                 .map(|&n| netlist.net_name(n).to_string())
                 .collect(),
             models,
-        })
+        };
+        Ok((timing, stats))
     }
 
     /// Builds an abstraction from parts (e.g. for a black box whose
@@ -197,10 +221,19 @@ impl ModuleTiming {
             ));
             return Ok(violations);
         }
+        // One analyzer audits every tuple of every output: each check
+        // rebinds the arrivals while the SAT solver state persists.
+        let mut an: Option<StabilityAnalyzer<'_, SatAlg>> = None;
         for (k, (&out, model)) in netlist.outputs().iter().zip(&self.models).enumerate() {
             for tuple in model.tuples() {
                 let arrivals: Vec<Time> = tuple.delays().iter().map(|&d| -d).collect();
-                let mut an = StabilityAnalyzer::new(netlist, &arrivals, SatAlg::new())?;
+                match &mut an {
+                    Some(a) => a.set_arrivals(&arrivals),
+                    None => {
+                        an = Some(StabilityAnalyzer::new(netlist, &arrivals, SatAlg::new())?);
+                    }
+                }
+                let an = an.as_mut().expect("just created");
                 if !an.is_stable_at(out, Time::ZERO) {
                     violations.push(format!(
                         "output `{}` tuple {tuple} is optimistic",

@@ -61,6 +61,10 @@ pub fn independent_relaxation_model(
         .map(|l| l.first().copied().unwrap_or(Time::NEG_INF))
         .collect();
 
+    // One persistent analyzer serves every per-pin probe of this cone;
+    // each probe rebinds the arrivals, keeping the solver state warm.
+    let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
+    let mut an = StabilityAnalyzer::new(&cone, &topo_arrivals, SatAlg::new())?;
     let mut assembled = topo.clone();
     for i in 0..cone.inputs().len() {
         // Relax pin i alone, others pinned at TOPOLOGICAL (the fixed
@@ -70,7 +74,7 @@ pub fn independent_relaxation_model(
             let mut candidate = topo.clone();
             candidate[i] = l;
             let arrivals: Vec<Time> = candidate.iter().map(|&d| -d).collect();
-            let mut an = StabilityAnalyzer::new(&cone, &arrivals, SatAlg::new())?;
+            an.set_arrivals(&arrivals);
             if an.is_stable_at(cone_out, Time::ZERO) {
                 current = l;
             } else {

@@ -12,6 +12,23 @@ use std::collections::HashMap;
 use hfta_bdd::{Bdd, BddManager};
 use hfta_sat::{CnfBuilder, Lit};
 
+/// Work counters exposed by a Boolean backend.
+///
+/// Backends without a notion of conflicts/propagations (e.g. BDDs)
+/// report zeros for the solver fields; `sat_queries` counts tautology
+/// and countermodel decisions for every backend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BackendCounters {
+    /// Tautology/countermodel decisions issued.
+    pub sat_queries: u64,
+    /// Conflicts analyzed by the underlying solver.
+    pub conflicts: u64,
+    /// Unit propagations performed by the underlying solver.
+    pub propagations: u64,
+    /// Learnt clauses currently retained by the underlying solver.
+    pub learnt_clauses: u64,
+}
+
 /// A Boolean function store supporting construction and tautology
 /// checking.
 ///
@@ -60,6 +77,12 @@ pub trait BoolAlg {
             None => self.bot(),
             Some((&first, rest)) => rest.iter().fold(first, |acc, &x| self.or(acc, x)),
         }
+    }
+
+    /// Cumulative work counters for this backend. The default reports
+    /// zeros (for backends without instrumentation).
+    fn backend_counters(&self) -> BackendCounters {
+        BackendCounters::default()
     }
 }
 
@@ -153,6 +176,16 @@ impl BoolAlg for SatAlg {
         self.cnf.is_implied(a)
     }
 
+    fn backend_counters(&self) -> BackendCounters {
+        let s = self.cnf.solver().stats();
+        BackendCounters {
+            sat_queries: self.tautology_queries,
+            conflicts: s.conflicts,
+            propagations: s.propagations,
+            learnt_clauses: s.learnt_clauses,
+        }
+    }
+
     fn countermodel(&mut self, a: Lit, num_inputs: usize) -> Option<Vec<bool>> {
         self.tautology_queries += 1;
         match self.cnf.solve_with(&[!a]) {
@@ -239,6 +272,10 @@ impl BoolAlg for BddAlg {
 
     fn is_satisfiable(&mut self, a: Bdd) -> bool {
         self.mgr.is_satisfiable(a)
+    }
+
+    fn backend_counters(&self) -> BackendCounters {
+        BackendCounters { sat_queries: self.tautology_queries, ..BackendCounters::default() }
     }
 
     fn countermodel(&mut self, a: Bdd, num_inputs: usize) -> Option<Vec<bool>> {

@@ -46,6 +46,7 @@ pub mod delay;
 pub mod exact;
 pub mod false_pairs;
 pub mod model;
+pub mod oracle;
 pub mod paths;
 pub mod report;
 pub mod required;
@@ -53,14 +54,18 @@ pub mod sequential;
 pub mod sta;
 pub mod stability;
 
-pub use boolalg::{BddAlg, BoolAlg, SatAlg};
+pub use boolalg::{BackendCounters, BddAlg, BoolAlg, SatAlg};
+pub use oracle::StabilityOracle;
 pub use conditional::{ConditionalCase, ConditionalModel};
 pub use delay::{functional_circuit_delay, DelayAnalyzer};
 pub use exact::{exact_model, exact_vector_relation, ExactError, ExactOptions};
 pub use false_pairs::{arrivals_with_declared_delays, derive_declared_delays, DeclaredDelays};
 pub use model::{TimingModel, TimingTuple};
 pub use paths::{longest_true_path, worst_paths, TimedPath};
-pub use required::{characterize_module, topological_delays, Characterizer, CharacterizeOptions};
+pub use required::{
+    characterize_module, characterize_module_with_stats, topological_delays, CharacterizeOptions,
+    Characterizer,
+};
 pub use report::{OutputReport, TimingReport};
 pub use sequential::{SequentialAnalysis, SequentialAnalyzer, SequentialEngine};
 pub use sta::TopoSta;

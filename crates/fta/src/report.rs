@@ -11,6 +11,7 @@ use hfta_netlist::{Netlist, NetlistError, Time};
 
 use crate::delay::DelayAnalyzer;
 use crate::sta::TopoSta;
+use crate::stability::StabilityStats;
 
 /// Per-output entry of a [`TimingReport`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -64,6 +65,25 @@ impl TimingReport {
         pi_arrivals: &[Time],
         required: Time,
     ) -> Result<TimingReport, NetlistError> {
+        TimingReport::generate_with_stats(netlist, pi_arrivals, required).map(|(r, _)| r)
+    }
+
+    /// Like [`TimingReport::generate`], also returning the
+    /// stability/solver work the functional analysis cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
+    /// netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    pub fn generate_with_stats(
+        netlist: &Netlist,
+        pi_arrivals: &[Time],
+        required: Time,
+    ) -> Result<(TimingReport, StabilityStats), NetlistError> {
         let sta = TopoSta::new(netlist)?;
         let topo = sta.arrival_times(pi_arrivals);
         let mut an = DelayAnalyzer::new_sat(netlist, pi_arrivals)?;
@@ -96,13 +116,14 @@ impl TimingReport {
                 critical_path,
             });
         }
-        Ok(TimingReport {
+        let report = TimingReport {
             module: netlist.name().to_string(),
             required,
             outputs,
             circuit_topological: worst_topo,
             circuit_functional: worst_func,
-        })
+        };
+        Ok((report, an.stats()))
     }
 
     /// Outputs sorted by ascending slack (most critical first).

@@ -20,7 +20,7 @@ use hfta_netlist::{NetId, Netlist, NetlistError, Time};
 
 use crate::boolalg::SatAlg;
 use crate::model::{TimingModel, TimingTuple};
-use crate::stability::StabilityAnalyzer;
+use crate::stability::{StabilityAnalyzer, StabilityStats};
 use crate::sta::TopoSta;
 
 /// Options for the approximate characterization.
@@ -86,6 +86,7 @@ pub struct Characterizer<'a> {
     netlist: &'a Netlist,
     opts: CharacterizeOptions,
     checks: u64,
+    stability: StabilityStats,
 }
 
 impl<'a> Characterizer<'a> {
@@ -96,6 +97,7 @@ impl<'a> Characterizer<'a> {
             netlist,
             opts,
             checks: 0,
+            stability: StabilityStats::default(),
         }
     }
 
@@ -103,6 +105,15 @@ impl<'a> Characterizer<'a> {
     #[must_use]
     pub fn checks(&self) -> u64 {
         self.checks
+    }
+
+    /// Stability/solver work accumulated over all characterizations so
+    /// far. One persistent per-cone analyzer backs each
+    /// [`Characterizer::output_model`] call, so these counters reflect
+    /// the amortized (not per-probe) cost.
+    #[must_use]
+    pub fn stability_stats(&self) -> StabilityStats {
+        self.stability
     }
 
     /// The timing model of one output over the module's full input
@@ -136,13 +147,21 @@ impl<'a> Characterizer<'a> {
         let mut by_criticality: Vec<usize> = (0..n_cone).collect();
         by_criticality.sort_by(|&a, &b| topo[b].cmp(&topo[a]));
 
+        // One persistent analyzer validates every candidate tuple of
+        // this cone: each check rebinds the arrivals but keeps the SAT
+        // solver (learnt clauses, Tseitin cache) and the settled
+        // -function memo warm.
+        let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
+        let mut analyzer = StabilityAnalyzer::new(&cone, &topo_arrivals, SatAlg::new())?;
+
         let passes = self.opts.max_tuples.max(1).min(n_cone);
         let mut tuples = Vec::with_capacity(passes + 1);
         for seed in 0..passes {
             let mut order = by_criticality.clone();
             order.rotate_left(seed);
-            tuples.push(self.greedy_pass(&cone, cone_out, &lists, &topo, &order)?);
+            tuples.push(self.greedy_pass(&mut analyzer, cone_out, &lists, &topo, &order)?);
         }
+        self.stability.merge(&analyzer.stats());
         // The topological tuple is always valid; keep it as a floor (it
         // will be pruned if any pass improved on it).
         tuples.push(TimingTuple::new(topo));
@@ -175,7 +194,7 @@ impl<'a> Characterizer<'a> {
     /// One greedy relaxation pass over the cone inputs in `order`.
     fn greedy_pass(
         &mut self,
-        cone: &Netlist,
+        analyzer: &mut StabilityAnalyzer<'_, SatAlg>,
         cone_out: NetId,
         lists: &[Vec<Time>],
         topo: &[Time],
@@ -188,7 +207,7 @@ impl<'a> Characterizer<'a> {
             for &l in &list[1..] {
                 let mut candidate = delays.clone();
                 candidate[i] = l;
-                if self.tuple_is_valid(cone, cone_out, &candidate)? {
+                if self.tuple_is_valid(analyzer, cone_out, &candidate) {
                     delays[i] = l;
                 } else {
                     reached_bottom = false;
@@ -198,7 +217,7 @@ impl<'a> Characterizer<'a> {
             if reached_bottom && self.opts.try_irrelevant {
                 let mut candidate = delays.clone();
                 candidate[i] = Time::NEG_INF;
-                if self.tuple_is_valid(cone, cone_out, &candidate)? {
+                if self.tuple_is_valid(analyzer, cone_out, &candidate) {
                     delays[i] = Time::NEG_INF;
                 }
             }
@@ -210,14 +229,14 @@ impl<'a> Characterizer<'a> {
     /// arriving at `−delay`, is the output stable at 0?
     fn tuple_is_valid(
         &mut self,
-        cone: &Netlist,
+        analyzer: &mut StabilityAnalyzer<'_, SatAlg>,
         cone_out: NetId,
         delays: &[Time],
-    ) -> Result<bool, NetlistError> {
+    ) -> bool {
         self.checks += 1;
         let arrivals: Vec<Time> = delays.iter().map(|&d| -d).collect();
-        let mut analyzer = StabilityAnalyzer::new(cone, &arrivals, SatAlg::new())?;
-        Ok(analyzer.is_stable_at(cone_out, Time::ZERO))
+        analyzer.set_arrivals(&arrivals);
+        analyzer.is_stable_at(cone_out, Time::ZERO)
     }
 }
 
@@ -232,12 +251,26 @@ pub fn characterize_module(
     netlist: &Netlist,
     opts: CharacterizeOptions,
 ) -> Result<Vec<TimingModel>, NetlistError> {
+    characterize_module_with_stats(netlist, opts).map(|(models, _)| models)
+}
+
+/// Like [`characterize_module`], also returning the stability/solver
+/// work the characterization cost.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+pub fn characterize_module_with_stats(
+    netlist: &Netlist,
+    opts: CharacterizeOptions,
+) -> Result<(Vec<TimingModel>, StabilityStats), NetlistError> {
     let mut ch = Characterizer::new(netlist, opts);
-    netlist
+    let models = netlist
         .outputs()
         .iter()
         .map(|&o| ch.output_model(o))
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((models, ch.stability_stats()))
 }
 
 #[cfg(test)]

@@ -25,132 +25,235 @@
 //!
 //! `n` is stable at `t` iff `S0(n,t) ∨ S1(n,t)` is a tautology, decided
 //! by the pluggable [`BoolAlg`] backend.
+//!
+//! Two front-ends share one recursion engine:
+//!
+//! * [`StabilityAnalyzer`] borrows a netlist and answers queries under
+//!   one arrival condition (rebindable via
+//!   [`StabilityAnalyzer::set_arrivals`]);
+//! * [`StabilityOracle`](crate::oracle::StabilityOracle) *owns* its
+//!   cone and keeps the Boolean backend — the SAT solver with its
+//!   learnt clauses, the operation caches, the settled-function memo —
+//!   alive across arbitrarily many arrival conditions.
 
 use std::collections::HashMap;
 
-use hfta_netlist::{GateKind, NetId, Netlist, NetlistError, Time};
+use hfta_netlist::{GateId, GateKind, NetId, Netlist, NetlistError, Time};
 
 use crate::boolalg::BoolAlg;
-use crate::sta::TopoSta;
 
-/// Work counters for a [`StabilityAnalyzer`].
+/// Work counters for a stability engine ([`StabilityAnalyzer`] or
+/// [`StabilityOracle`](crate::oracle::StabilityOracle)).
+///
+/// All counters are cumulative over the engine's lifetime, across
+/// arrival-condition rebinds. The `solver_*` fields are a snapshot of
+/// the Boolean backend's own counters at the time
+/// [`StabilityAnalyzer::stats`] was called (zero for backends without
+/// them, e.g. BDDs).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct StabilityStats {
-    /// Number of `is_stable_at` queries answered.
+    /// Number of stability queries answered (`is_stable_at`,
+    /// `instability_witness`, and `characteristic` all count).
     pub queries: u64,
     /// Queries answered by the topological upper bound without touching
     /// the Boolean backend.
     pub topological_hits: u64,
+    /// Queries answered by the earliest-event lower bound (`t` before
+    /// any conceivable stabilization) without touching the backend.
+    pub prune_hits: u64,
     /// Number of (net, time) pairs whose characteristic functions were
-    /// built.
+    /// built (memo misses).
     pub nodes_built: u64,
+    /// Number of (net, time) pairs served from the characteristic
+    /// -function memo.
+    pub memo_hits: u64,
+    /// Encodings avoided altogether: characteristic-function memo hits
+    /// plus settled-function cache hits. With a persistent oracle this
+    /// is the work amortized across probes.
+    pub encodings_avoided: u64,
+    /// SAT queries issued to the backend (tautology/countermodel).
+    pub sat_queries: u64,
+    /// Conflicts analyzed by the backend's solver.
+    pub solver_conflicts: u64,
+    /// Unit propagations performed by the backend's solver.
+    pub solver_propagations: u64,
+    /// Learnt clauses currently held by the backend's solver.
+    pub learnt_clauses: u64,
 }
 
-/// Builds and queries XBD0 stability functions for one netlist under
-/// fixed primary-input arrival times.
+impl StabilityStats {
+    /// Accumulates `other` into `self`, field by field. Used to
+    /// aggregate counters across the many per-cone engines of a
+    /// hierarchical analysis.
+    pub fn merge(&mut self, other: &StabilityStats) {
+        self.queries += other.queries;
+        self.topological_hits += other.topological_hits;
+        self.prune_hits += other.prune_hits;
+        self.nodes_built += other.nodes_built;
+        self.memo_hits += other.memo_hits;
+        self.encodings_avoided += other.encodings_avoided;
+        self.sat_queries += other.sat_queries;
+        self.solver_conflicts += other.solver_conflicts;
+        self.solver_propagations += other.solver_propagations;
+        self.learnt_clauses += other.learnt_clauses;
+    }
+
+    /// A one-line human-readable rendering (used by `hfta --stats`).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "stability: {} queries ({} topological, {} pruned), \
+             {} nodes built, {} memo hits, {} encodings avoided\n\
+             solver: {} SAT queries, {} conflicts, {} propagations, \
+             {} learnt clauses",
+            self.queries,
+            self.topological_hits,
+            self.prune_hits,
+            self.nodes_built,
+            self.memo_hits,
+            self.encodings_avoided,
+            self.sat_queries,
+            self.solver_conflicts,
+            self.solver_propagations,
+            self.learnt_clauses,
+        )
+    }
+}
+
+/// The netlist-agnostic stability recursion: Boolean backend, memo
+/// tables, arrival-condition bounds, and counters. The netlist is
+/// passed into every call so the engine can be owned either by a
+/// borrowing [`StabilityAnalyzer`] or by an owning
+/// [`StabilityOracle`](crate::oracle::StabilityOracle).
 ///
-/// The analyzer memoizes characteristic functions per `(net, time)`
-/// pair, so repeated queries (the binary search of delay computation,
-/// the probes of required-time analysis) share work.
+/// Rebinding to a new arrival condition ([`Engine::rebind`]) clears
+/// only the arrival-*dependent* state (the `(net, t)` memo and the
+/// bound vectors); the backend — with its learnt clauses and operation
+/// caches — and the settled-function memo survive, which is what makes
+/// repeated probes cheap.
 #[derive(Debug)]
-pub struct StabilityAnalyzer<'a, A: BoolAlg> {
-    netlist: &'a Netlist,
+pub(crate) struct Engine<A: BoolAlg> {
     alg: A,
     /// Arrival time per primary input (by input position).
     arrivals: Vec<Time>,
     /// Maps nets to primary-input positions.
     pi_position: Vec<Option<usize>>,
+    /// Cached topological gate order (arrival recomputation on rebind).
+    topo_gates: Vec<GateId>,
     /// Topological arrival time per net (stability upper bound).
     topo_arrival: Vec<Time>,
     /// Earliest conceivable stabilization per net (lower-bound prune).
     earliest: Vec<Time>,
     memo: HashMap<(NetId, Time), (A::Repr, A::Repr)>,
     /// Time-independent settled function per net (used when
-    /// `t ≥ topo_arrival`).
+    /// `t ≥ topo_arrival`); valid under every arrival condition.
     func_memo: HashMap<NetId, A::Repr>,
     stats: StabilityStats,
 }
 
-impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
-    /// Prepares an analyzer for `netlist` with the given arrivals (one
-    /// per primary input, in input order) over backend `alg`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pi_arrivals.len()` differs from the input count.
-    pub fn new(netlist: &'a Netlist, pi_arrivals: &[Time], alg: A) -> Result<Self, NetlistError> {
+impl<A: BoolAlg> Engine<A> {
+    pub(crate) fn new(
+        netlist: &Netlist,
+        pi_arrivals: &[Time],
+        alg: A,
+    ) -> Result<Engine<A>, NetlistError> {
         assert_eq!(
             pi_arrivals.len(),
             netlist.inputs().len(),
             "arrival vector length mismatch"
         );
-        let sta = TopoSta::new(netlist)?;
-        let topo_arrival = sta.arrival_times(pi_arrivals);
-        // Earliest conceivable stabilization: min-propagation.
-        let mut earliest = vec![Time::POS_INF; netlist.net_count()];
+        let topo_gates = netlist.topo_gates()?;
         let mut pi_position = vec![None; netlist.net_count()];
         for (k, &pi) in netlist.inputs().iter().enumerate() {
-            earliest[pi.index()] = pi_arrivals[k];
             pi_position[pi.index()] = Some(k);
         }
-        for &g in &netlist.topo_gates()? {
+        let mut engine = Engine {
+            alg,
+            arrivals: Vec::new(),
+            pi_position,
+            topo_gates,
+            topo_arrival: Vec::new(),
+            earliest: Vec::new(),
+            memo: HashMap::new(),
+            func_memo: HashMap::new(),
+            stats: StabilityStats::default(),
+        };
+        engine.bind(netlist, pi_arrivals);
+        Ok(engine)
+    }
+
+    /// Recomputes the arrival-dependent bounds and clears the
+    /// `(net, t)` memo. The backend and the settled-function memo are
+    /// untouched. No-op when the arrivals are unchanged, so repeated
+    /// probes under one condition keep their memo.
+    pub(crate) fn rebind(&mut self, netlist: &Netlist, pi_arrivals: &[Time]) {
+        assert_eq!(
+            pi_arrivals.len(),
+            netlist.inputs().len(),
+            "arrival vector length mismatch"
+        );
+        if self.arrivals == pi_arrivals {
+            return;
+        }
+        self.memo.clear();
+        self.bind(netlist, pi_arrivals);
+    }
+
+    fn bind(&mut self, netlist: &Netlist, pi_arrivals: &[Time]) {
+        self.arrivals.clear();
+        self.arrivals.extend_from_slice(pi_arrivals);
+        // Topological arrival: max-propagation (the stability upper
+        // bound). Earliest conceivable stabilization: min-propagation,
+        // with constants stable from the beginning of time.
+        self.topo_arrival = vec![Time::NEG_INF; netlist.net_count()];
+        self.earliest = vec![Time::POS_INF; netlist.net_count()];
+        for (k, &pi) in netlist.inputs().iter().enumerate() {
+            self.topo_arrival[pi.index()] = pi_arrivals[k];
+            self.earliest[pi.index()] = pi_arrivals[k];
+        }
+        for &g in &self.topo_gates {
             let gate = netlist.gate(g);
+            let worst = gate
+                .inputs
+                .iter()
+                .map(|n| self.topo_arrival[n.index()])
+                .fold(Time::NEG_INF, Time::max);
+            self.topo_arrival[gate.output.index()] = worst + Time::from(gate.delay);
             let best = gate
                 .inputs
                 .iter()
-                .map(|n| earliest[n.index()])
+                .map(|n| self.earliest[n.index()])
                 .fold(Time::POS_INF, Time::min);
             let best = if gate.inputs.is_empty() {
-                // Constants are stable from the beginning of time.
                 Time::NEG_INF
             } else {
                 best
             };
-            earliest[gate.output.index()] = best + Time::from(gate.delay);
+            self.earliest[gate.output.index()] = best + Time::from(gate.delay);
         }
-        Ok(StabilityAnalyzer {
-            netlist,
-            alg,
-            arrivals: pi_arrivals.to_vec(),
-            pi_position,
-            topo_arrival,
-            earliest,
-            memo: HashMap::new(),
-            func_memo: HashMap::new(),
-            stats: StabilityStats::default(),
-        })
     }
 
-    /// The analyzed netlist.
-    #[must_use]
-    pub fn netlist(&self) -> &Netlist {
-        self.netlist
-    }
-
-    /// The arrival times this analyzer was built with.
-    #[must_use]
-    pub fn arrivals(&self) -> &[Time] {
+    pub(crate) fn arrivals(&self) -> &[Time] {
         &self.arrivals
     }
 
-    /// Work counters.
-    #[must_use]
-    pub fn stats(&self) -> StabilityStats {
-        self.stats
-    }
-
-    /// Access to the Boolean backend.
-    pub fn alg_mut(&mut self) -> &mut A {
+    pub(crate) fn alg_mut(&mut self) -> &mut A {
         &mut self.alg
     }
 
-    /// Is `net` guaranteed stable (at either value, for every input
-    /// vector) by time `t` under the XBD0 model?
-    pub fn is_stable_at(&mut self, net: NetId, t: Time) -> bool {
+    /// Work counters, with the backend's solver counters folded in.
+    pub(crate) fn stats(&self) -> StabilityStats {
+        let backend = self.alg.backend_counters();
+        StabilityStats {
+            sat_queries: backend.sat_queries,
+            solver_conflicts: backend.conflicts,
+            solver_propagations: backend.propagations,
+            learnt_clauses: backend.learnt_clauses,
+            ..self.stats
+        }
+    }
+
+    pub(crate) fn is_stable_at(&mut self, netlist: &Netlist, net: NetId, t: Time) -> bool {
         self.stats.queries += 1;
         if t >= self.topo_arrival[net.index()] {
             // Topological analysis already guarantees stability.
@@ -158,37 +261,54 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
             return true;
         }
         if t < self.earliest[net.index()] {
+            self.stats.prune_hits += 1;
             return false;
         }
-        let (s0, s1) = self.s01(net, t);
+        let (s0, s1) = self.s01(netlist, net, t);
         let settled = self.alg.or(s0, s1);
         self.alg.is_tautology(settled)
     }
 
-    /// The pair `(S0, S1)` of characteristic functions of `net` at `t`.
-    pub fn characteristic(&mut self, net: NetId, t: Time) -> (A::Repr, A::Repr) {
-        self.s01(net, t)
+    pub(crate) fn characteristic(
+        &mut self,
+        netlist: &Netlist,
+        net: NetId,
+        t: Time,
+    ) -> (A::Repr, A::Repr) {
+        self.stats.queries += 1;
+        if t >= self.topo_arrival[net.index()] {
+            self.stats.topological_hits += 1;
+        } else if t < self.earliest[net.index()] {
+            self.stats.prune_hits += 1;
+        }
+        self.s01(netlist, net, t)
     }
 
-    /// If `net` is *not* guaranteed stable by `t`, an input vector
-    /// under which it is still unsettled — the sensitizing vector of a
-    /// true critical path, extracted from the Boolean backend's
-    /// countermodel. Returns `None` when the net is stable at `t`.
-    pub fn instability_witness(&mut self, net: NetId, t: Time) -> Option<Vec<bool>> {
+    pub(crate) fn instability_witness(
+        &mut self,
+        netlist: &Netlist,
+        net: NetId,
+        t: Time,
+    ) -> Option<Vec<bool>> {
         self.stats.queries += 1;
         if t >= self.topo_arrival[net.index()] {
             self.stats.topological_hits += 1;
             return None;
         }
-        let (s0, s1) = self.s01(net, t);
+        if t < self.earliest[net.index()] {
+            // Unstable everywhere: still extract the vector from the
+            // backend (any assignment witnesses), but record the prune.
+            self.stats.prune_hits += 1;
+        }
+        let (s0, s1) = self.s01(netlist, net, t);
         let settled = self.alg.or(s0, s1);
         self.alg.countermodel(settled, self.arrivals.len())
     }
 
-    fn s01(&mut self, net: NetId, t: Time) -> (A::Repr, A::Repr) {
+    fn s01(&mut self, netlist: &Netlist, net: NetId, t: Time) -> (A::Repr, A::Repr) {
         // Prunes first: settled region and impossible region.
         if t >= self.topo_arrival[net.index()] {
-            let f = self.settled_function(net);
+            let f = self.settled_function(netlist, net);
             let nf = self.alg.not(f);
             return (nf, f);
         }
@@ -197,6 +317,8 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
             return (b, b);
         }
         if let Some(&pair) = self.memo.get(&(net, t)) {
+            self.stats.memo_hits += 1;
+            self.stats.encodings_avoided += 1;
             return pair;
         }
         self.stats.nodes_built += 1;
@@ -209,10 +331,10 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
                 let b = self.alg.bot();
                 (b, b)
             }
-        } else if let Some(g) = self.netlist.driver(net) {
-            let gate = self.netlist.gate(g).clone();
+        } else if let Some(g) = netlist.driver(net) {
+            let gate = netlist.gate(g).clone();
             let td = t - Time::from(gate.delay);
-            self.gate_s01(gate.kind, &gate.inputs, td)
+            self.gate_s01(netlist, gate.kind, &gate.inputs, td)
         } else {
             // Floating net: never stable (conservative).
             let b = self.alg.bot();
@@ -224,7 +346,13 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
 
     /// All-primes stability rules per gate kind. `td` is the query time
     /// minus the gate delay.
-    fn gate_s01(&mut self, kind: GateKind, inputs: &[NetId], td: Time) -> (A::Repr, A::Repr) {
+    fn gate_s01(
+        &mut self,
+        netlist: &Netlist,
+        kind: GateKind,
+        inputs: &[NetId],
+        td: Time,
+    ) -> (A::Repr, A::Repr) {
         match kind {
             GateKind::Const0 => {
                 let t0 = self.alg.top();
@@ -236,13 +364,13 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
                 let b = self.alg.bot();
                 (b, t1)
             }
-            GateKind::Buf => self.s01(inputs[0], td),
+            GateKind::Buf => self.s01(netlist, inputs[0], td),
             GateKind::Not => {
-                let (s0, s1) = self.s01(inputs[0], td);
+                let (s0, s1) = self.s01(netlist, inputs[0], td);
                 (s1, s0)
             }
             GateKind::And | GateKind::Nand => {
-                let pairs: Vec<_> = inputs.iter().map(|&n| self.s01(n, td)).collect();
+                let pairs: Vec<_> = inputs.iter().map(|&n| self.s01(netlist, n, td)).collect();
                 let ones: Vec<_> = pairs.iter().map(|&(_, s1)| s1).collect();
                 let zeros: Vec<_> = pairs.iter().map(|&(s0, _)| s0).collect();
                 let s1 = self.alg.and_many(&ones);
@@ -254,7 +382,7 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
                 }
             }
             GateKind::Or | GateKind::Nor => {
-                let pairs: Vec<_> = inputs.iter().map(|&n| self.s01(n, td)).collect();
+                let pairs: Vec<_> = inputs.iter().map(|&n| self.s01(netlist, n, td)).collect();
                 let ones: Vec<_> = pairs.iter().map(|&(_, s1)| s1).collect();
                 let zeros: Vec<_> = pairs.iter().map(|&(s0, _)| s0).collect();
                 let s1 = self.alg.or_many(&ones);
@@ -266,8 +394,8 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
                 }
             }
             GateKind::Xor | GateKind::Xnor => {
-                let (a0, a1) = self.s01(inputs[0], td);
-                let (b0, b1) = self.s01(inputs[1], td);
+                let (a0, a1) = self.s01(netlist, inputs[0], td);
+                let (b0, b1) = self.s01(netlist, inputs[1], td);
                 // Parity has no consensus terms: both inputs are always
                 // observable, so stability needs both stable.
                 let p = self.alg.and(a1, b0);
@@ -283,9 +411,9 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
                 }
             }
             GateKind::Mux => {
-                let (s_0, s_1) = self.s01(inputs[0], td);
-                let (a_0, a_1) = self.s01(inputs[1], td);
-                let (b_0, b_1) = self.s01(inputs[2], td);
+                let (s_0, s_1) = self.s01(netlist, inputs[0], td);
+                let (a_0, a_1) = self.s01(netlist, inputs[1], td);
+                let (b_0, b_1) = self.s01(netlist, inputs[2], td);
                 // primes of s·a + s̄·b: {s·a, s̄·b, a·b}
                 let p = self.alg.and(s_1, a_1);
                 let q = self.alg.and(s_0, b_1);
@@ -305,15 +433,20 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
 
     /// The (time-independent) Boolean function of `net` in terms of the
     /// primary inputs — the value it settles to.
-    fn settled_function(&mut self, net: NetId) -> A::Repr {
+    fn settled_function(&mut self, netlist: &Netlist, net: NetId) -> A::Repr {
         if let Some(&f) = self.func_memo.get(&net) {
+            self.stats.encodings_avoided += 1;
             return f;
         }
         let f = if let Some(k) = self.pi_position[net.index()] {
             self.alg.input(k)
-        } else if let Some(g) = self.netlist.driver(net) {
-            let gate = self.netlist.gate(g).clone();
-            let ins: Vec<A::Repr> = gate.inputs.iter().map(|&n| self.settled_function(n)).collect();
+        } else if let Some(g) = netlist.driver(net) {
+            let gate = netlist.gate(g).clone();
+            let ins: Vec<A::Repr> = gate
+                .inputs
+                .iter()
+                .map(|&n| self.settled_function(netlist, n))
+                .collect();
             match gate.kind {
                 GateKind::Const0 => self.alg.bot(),
                 GateKind::Const1 => self.alg.top(),
@@ -356,6 +489,100 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
         };
         self.func_memo.insert(net, f);
         f
+    }
+}
+
+/// Builds and queries XBD0 stability functions for one netlist under
+/// fixed primary-input arrival times.
+///
+/// The analyzer memoizes characteristic functions per `(net, time)`
+/// pair, so repeated queries (the binary search of delay computation,
+/// the probes of required-time analysis) share work. Rebinding to a new
+/// arrival condition with [`StabilityAnalyzer::set_arrivals`] keeps the
+/// Boolean backend (learnt clauses, operation caches) and the
+/// settled-function memo, amortizing the encoding across conditions.
+#[derive(Debug)]
+pub struct StabilityAnalyzer<'a, A: BoolAlg> {
+    netlist: &'a Netlist,
+    engine: Engine<A>,
+}
+
+impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
+    /// Prepares an analyzer for `netlist` with the given arrivals (one
+    /// per primary input, in input order) over backend `alg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    pub fn new(netlist: &'a Netlist, pi_arrivals: &[Time], alg: A) -> Result<Self, NetlistError> {
+        Ok(StabilityAnalyzer {
+            netlist,
+            engine: Engine::new(netlist, pi_arrivals, alg)?,
+        })
+    }
+
+    /// The analyzed netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The arrival times this analyzer was built with (or last rebound
+    /// to).
+    #[must_use]
+    pub fn arrivals(&self) -> &[Time] {
+        self.engine.arrivals()
+    }
+
+    /// Rebinds the analyzer to a new arrival condition, keeping the
+    /// Boolean backend and the settled-function memo. A no-op when the
+    /// arrivals are unchanged.
+    ///
+    /// Soundness: every clause the SAT backend holds is a Tseitin
+    /// definition of some characteristic function (satisfiable together
+    /// by construction) or a learnt clause implied by those
+    /// definitions, so answers under the new condition are unaffected
+    /// by state built under old ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    pub fn set_arrivals(&mut self, pi_arrivals: &[Time]) {
+        self.engine.rebind(self.netlist, pi_arrivals);
+    }
+
+    /// Work counters.
+    #[must_use]
+    pub fn stats(&self) -> StabilityStats {
+        self.engine.stats()
+    }
+
+    /// Access to the Boolean backend.
+    pub fn alg_mut(&mut self) -> &mut A {
+        self.engine.alg_mut()
+    }
+
+    /// Is `net` guaranteed stable (at either value, for every input
+    /// vector) by time `t` under the XBD0 model?
+    pub fn is_stable_at(&mut self, net: NetId, t: Time) -> bool {
+        self.engine.is_stable_at(self.netlist, net, t)
+    }
+
+    /// The pair `(S0, S1)` of characteristic functions of `net` at `t`.
+    pub fn characteristic(&mut self, net: NetId, t: Time) -> (A::Repr, A::Repr) {
+        self.engine.characteristic(self.netlist, net, t)
+    }
+
+    /// If `net` is *not* guaranteed stable by `t`, an input vector
+    /// under which it is still unsettled — the sensitizing vector of a
+    /// true critical path, extracted from the Boolean backend's
+    /// countermodel. Returns `None` when the net is stable at `t`.
+    pub fn instability_witness(&mut self, net: NetId, t: Time) -> Option<Vec<bool>> {
+        self.engine.instability_witness(self.netlist, net, t)
     }
 }
 
@@ -529,5 +756,76 @@ mod tests {
         assert_eq!(s.queries, 2);
         assert_eq!(s.topological_hits, 1);
         assert!(s.nodes_built > 0);
+    }
+
+    /// The satellite-fix pin-down: every public query path counts, and
+    /// the prune/topological classifications are visible, on the
+    /// carry-skip block.
+    #[test]
+    fn stats_are_consistent_across_query_paths() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        let mut an = StabilityAnalyzer::new(&nl, &[t(0); 5], SatAlg::new()).unwrap();
+
+        // Earliest conceivable c_out stabilization is c_in + 2 = 2:
+        // querying below it is answered by the prune, and counted.
+        assert!(!an.is_stable_at(c_out, t(1)));
+        let s = an.stats();
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.prune_hits, 1);
+        assert_eq!(s.nodes_built, 0, "prune path must not encode");
+
+        // `characteristic` counts as a query too (it used to bypass
+        // the counter entirely).
+        let _ = an.characteristic(c_out, t(5));
+        let s = an.stats();
+        assert_eq!(s.queries, 2);
+        assert!(s.nodes_built > 0);
+
+        // And the topological fast path is classified.
+        let _ = an.characteristic(c_out, t(100));
+        assert!(an.is_stable_at(c_out, t(100)));
+        let s = an.stats();
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.topological_hits, 2);
+
+        // An instability witness is a query as well.
+        let w = an.instability_witness(c_out, t(1));
+        assert!(w.is_some());
+        let s = an.stats();
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.prune_hits, 2);
+
+        // SAT work shows up in the solver counters.
+        assert!(s.sat_queries > 0);
+        assert!(s.solver_propagations > 0);
+    }
+
+    /// Rebinding keeps the backend but changes the answers to match a
+    /// fresh analyzer under the new condition.
+    #[test]
+    fn set_arrivals_matches_fresh_analyzer() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        let first = vec![t(0); 5];
+        let second = vec![t(0), t(-10), t(-10), t(-10), t(-10)];
+
+        let mut reused = StabilityAnalyzer::new(&nl, &first, SatAlg::new()).unwrap();
+        for time in -2..12 {
+            let _ = reused.is_stable_at(c_out, t(time));
+        }
+        reused.set_arrivals(&second);
+        let mut fresh = StabilityAnalyzer::new(&nl, &second, SatAlg::new()).unwrap();
+        for time in -2..12 {
+            assert_eq!(
+                reused.is_stable_at(c_out, t(time)),
+                fresh.is_stable_at(c_out, t(time)),
+                "t={time}"
+            );
+        }
+        // Same condition again: memo survives, answers still match.
+        reused.set_arrivals(&second);
+        assert!(reused.is_stable_at(c_out, t(2)));
+        assert!(!reused.is_stable_at(c_out, t(1)));
     }
 }

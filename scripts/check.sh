@@ -24,4 +24,10 @@ fi
 echo "== fast property pass (HFTA_PROP_CASES=16) =="
 HFTA_PROP_CASES=16 cargo test -q --offline --workspace
 
+echo "== ablation smoke (HFTA_ABLATION_SMOKE=1) =="
+# End-to-end sanity of the bench harness + oracle ablation on a tiny
+# workload; full numbers come from the release ablation run.
+HFTA_ABLATION_SMOKE=1 HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 \
+    cargo run -q --offline -p hfta-bench --bin ablation
+
 echo "All checks passed."

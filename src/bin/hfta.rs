@@ -1,8 +1,8 @@
 //! `hfta` — command-line hierarchical functional timing analysis.
 //!
 //! ```text
-//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]...
-//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--arrival PIN=T]...
+//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--stats]
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--stats]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]
 //! hfta sim <file> --from BITS --to BITS
 //! hfta check <file> [--module NAME]
@@ -14,7 +14,8 @@
 //!
 //! `.bench` files hold a single flat module; `.hnl` files hold
 //! hierarchical designs (see the `hfta_netlist::hnl` docs). Unlisted
-//! arrivals default to `t = 0`.
+//! arrivals default to `t = 0`. `--stats` prints the stability-query
+//! and SAT-solver counters the analysis accumulated.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -24,8 +25,8 @@ use hfta::netlist::event_sim::simulate_transition;
 use hfta::netlist::stats::{to_dot, NetlistStats};
 use hfta::netlist::{bench_format, blif, hnl};
 use hfta::{
-    CharacterizeOptions, Design, DemandDrivenAnalyzer, HierAnalyzer, HierOptions, ModelSource,
-    ModuleTiming, Netlist, Time,
+    CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, Design, HierAnalyzer, HierOptions,
+    ModelSource, ModuleTiming, Netlist, Time,
 };
 
 fn main() -> ExitCode {
@@ -63,8 +64,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     hfta report <file> [--module NAME] [--arrival PIN=T]...\n  \
-     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--arrival PIN=T]...\n  \
+     hfta report <file> [--module NAME] [--arrival PIN=T]... [--stats]\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--stats]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]\n  \
      hfta sim <file> --from BITS --to BITS\n  \
      hfta check <file> [--module NAME]\n  \
@@ -83,7 +84,7 @@ struct Opts {
 }
 
 const VALUE_FLAGS: &[&str] = &[
-    "--module", "--top", "--algo", "--arrival", "-o", "--from", "--to", "--model",
+    "--module", "--top", "--algo", "--threads", "--arrival", "-o", "--from", "--to", "--model",
 ];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -203,14 +204,20 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     );
     // First pass determines the functional circuit delay; the report
     // computes slacks against it (zero worst slack).
-    let probe = TimingReport::generate(nl, &arrivals, Time::ZERO).map_err(|e| e.to_string())?;
-    let report = TimingReport::generate(nl, &arrivals, probe.circuit_functional)
-        .map_err(|e| e.to_string())?;
+    let (probe, probe_stats) =
+        TimingReport::generate_with_stats(nl, &arrivals, Time::ZERO).map_err(|e| e.to_string())?;
+    let (report, mut stats) =
+        TimingReport::generate_with_stats(nl, &arrivals, probe.circuit_functional)
+            .map_err(|e| e.to_string())?;
     print!("{report}");
     println!(
         "\ncircuit delay: topological {}, functional {}",
         report.circuit_topological, report.circuit_functional
     );
+    if opts.has_flag("--stats") {
+        stats.merge(&probe_stats);
+        println!("{}", stats.summary());
+    }
     Ok(())
 }
 
@@ -237,21 +244,38 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
         arrivals[pos] = t;
     }
     let algo = opts.value("--algo").unwrap_or("demand");
+    let want_stats = opts.has_flag("--stats");
     let (label, output_arrivals, delay) = match algo {
         "two-step" => {
             let mut an = HierAnalyzer::new(&design, &top, HierOptions::default())
                 .map_err(|e| e.to_string())?;
             let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
+            if want_stats {
+                println!(
+                    "two-step: {} modules characterized, {} instances propagated",
+                    r.stats.modules_characterized, r.stats.instances_propagated
+                );
+                println!("{}", r.stats.stability.summary());
+            }
             ("two-step", r.output_arrivals, r.delay)
         }
         "demand" => {
-            let mut an = DemandDrivenAnalyzer::new(&design, &top, Default::default())
+            let mut demand_opts = DemandOptions::default();
+            if let Some(threads) = opts.value("--threads") {
+                demand_opts.threads = threads
+                    .parse()
+                    .map_err(|_| format!("bad --threads `{threads}` (want a number)"))?;
+            }
+            let mut an = DemandDrivenAnalyzer::new(&design, &top, demand_opts)
                 .map_err(|e| e.to_string())?;
             let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
             println!(
                 "demand-driven: {} refinement rounds, {} stability checks, {} refinements",
                 r.rounds, r.checks, r.refinements
             );
+            if want_stats {
+                println!("{}", r.stability.summary());
+            }
             ("demand", r.output_arrivals, r.delay)
         }
         other => return Err(format!("unknown --algo `{other}` (two-step|demand)")),

@@ -100,6 +100,45 @@ fn hier_both_algorithms_agree() {
 }
 
 #[test]
+fn stats_flag_prints_counters() {
+    // `report --stats` surfaces the stability/solver counters.
+    let path = write_temp("stats.bench", BENCH);
+    let (ok, stdout, _) = run(&["report", path.to_str().unwrap(), "--stats"]);
+    assert!(ok);
+    assert!(stdout.contains("stability:"), "{stdout}");
+    assert!(stdout.contains("SAT queries"), "{stdout}");
+    // Without the flag the counters stay quiet.
+    let (ok, quiet, _) = run(&["report", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(!quiet.contains("SAT queries"), "{quiet}");
+
+    // `hier --stats` aggregates across the whole analysis, for both
+    // algorithms, and the demand path accepts --threads.
+    let hier = write_temp("stats.hnl", HNL);
+    let (ok, stdout, _) = run(&[
+        "hier",
+        hier.to_str().unwrap(),
+        "--stats",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("demand-driven:"), "{stdout}");
+    assert!(stdout.contains("stability:"), "{stdout}");
+    assert!(stdout.contains("SAT queries"), "{stdout}");
+    let (ok, stdout, _) = run(&[
+        "hier",
+        hier.to_str().unwrap(),
+        "--algo",
+        "two-step",
+        "--stats",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("modules characterized"), "{stdout}");
+    assert!(stdout.contains("SAT queries"), "{stdout}");
+}
+
+#[test]
 fn characterize_round_trips() {
     let path = write_temp("char.bench", BENCH);
     let model_path = std::env::temp_dir().join("hfta-cli-tests/model.hfta");

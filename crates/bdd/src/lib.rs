@@ -300,7 +300,11 @@ impl BddManager {
                 Bdd::TRUE => return true,
                 _ => {
                     let n = self.node(cur);
-                    cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+                    cur = if assignment[n.var as usize] {
+                        n.hi
+                    } else {
+                        n.lo
+                    };
                 }
             }
         }

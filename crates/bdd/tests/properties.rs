@@ -21,7 +21,11 @@ const NVARS: u32 = 5;
 
 fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
     // Leaves only at depth 0; inner nodes pick any operator.
-    let choice = if depth == 0 { rng.gen_range(0..2) } else { rng.gen_range(0..7) };
+    let choice = if depth == 0 {
+        rng.gen_range(0..2)
+    } else {
+        rng.gen_range(0..7)
+    };
     match choice {
         0 => Expr::Var(rng.gen_range(0..NVARS)),
         1 => Expr::Const(rng.next_bool()),

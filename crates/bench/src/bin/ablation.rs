@@ -33,13 +33,11 @@ fn bench_demand_vs_twostep(harness: &mut Harness) {
 
     group.bench("demand_driven", || {
         let mut an =
-            DemandDrivenAnalyzer::new(&design, "csa32.4", DemandOptions::default())
-                .expect("valid");
+            DemandDrivenAnalyzer::new(&design, "csa32.4", DemandOptions::default()).expect("valid");
         an.analyze(&arrivals).expect("analyzes").delay
     });
     group.bench("two_step_full", || {
-        let mut an = HierAnalyzer::new(&design, "csa32.4", HierOptions::default())
-            .expect("valid");
+        let mut an = HierAnalyzer::new(&design, "csa32.4", HierOptions::default()).expect("valid");
         an.analyze(&arrivals).expect("analyzes").delay
     });
 }
@@ -75,14 +73,14 @@ fn bench_partition_strategy(harness: &mut Harness) {
 
     let fixed = cascade_bipartition(&flat, 0.5).expect("partitions");
     group.bench("fixed_half_split", || {
-        let mut an = DemandDrivenAnalyzer::new(&fixed, "c432_like_top", Default::default())
-            .expect("valid");
+        let mut an =
+            DemandDrivenAnalyzer::new(&fixed, "c432_like_top", Default::default()).expect("valid");
         an.analyze(&arrivals).expect("analyzes").delay
     });
     let mincut = cascade_bipartition_min_cut(&flat, 0.25, 0.75).expect("partitions");
     group.bench("min_cut_split", || {
-        let mut an = DemandDrivenAnalyzer::new(&mincut, "c432_like_top", Default::default())
-            .expect("valid");
+        let mut an =
+            DemandDrivenAnalyzer::new(&mincut, "c432_like_top", Default::default()).expect("valid");
         an.analyze(&arrivals).expect("analyzes").delay
     });
 }
@@ -122,13 +120,11 @@ fn bench_parallel_characterization(harness: &mut Harness) {
 
     let mut group = harness.group("ablation_parallel_characterize");
     group.bench("serial", || {
-        let mut an =
-            HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
+        let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
         an.analyze(&arrivals).expect("analyzes").delay
     });
     group.bench("parallel_4_threads", || {
-        let mut an =
-            HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
+        let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
         an.characterize_all_parallel(4).expect("characterizes");
         an.analyze(&arrivals).expect("analyzes").delay
     });

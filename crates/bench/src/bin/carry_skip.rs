@@ -25,9 +25,8 @@ fn main() {
             let arrivals = vec![Time::ZERO; 2 * bits + 1];
 
             group.bench(&format!("hier_demand/{bits}"), || {
-                let mut an =
-                    DemandDrivenAnalyzer::new(&design, &name, DemandOptions::default())
-                        .expect("valid");
+                let mut an = DemandDrivenAnalyzer::new(&design, &name, DemandOptions::default())
+                    .expect("valid");
                 an.analyze(&arrivals).expect("analyzes").delay
             });
             group.bench(&format!("flat_xbd0/{bits}"), || {

@@ -22,14 +22,16 @@ fn main() {
         let c_out = block.find_net("c_out").expect("exists");
 
         group.bench("sat", || {
-            let mut an =
-                StabilityAnalyzer::new(&block, &arrivals, SatAlg::new()).expect("valid");
-            (0..14).filter(|&t| an.is_stable_at(c_out, Time::new(t))).count()
+            let mut an = StabilityAnalyzer::new(&block, &arrivals, SatAlg::new()).expect("valid");
+            (0..14)
+                .filter(|&t| an.is_stable_at(c_out, Time::new(t)))
+                .count()
         });
         group.bench("bdd", || {
-            let mut an =
-                StabilityAnalyzer::new(&block, &arrivals, BddAlg::new()).expect("valid");
-            (0..14).filter(|&t| an.is_stable_at(c_out, Time::new(t))).count()
+            let mut an = StabilityAnalyzer::new(&block, &arrivals, BddAlg::new()).expect("valid");
+            (0..14)
+                .filter(|&t| an.is_stable_at(c_out, Time::new(t)))
+                .count()
         });
     }
 

@@ -26,15 +26,26 @@ fn main() {
 
     // Figures 1–2: the circuits themselves.
     let block = carry_skip_block(2, delays);
-    println!("Figure 1: 2-bit carry-skip adder block — {} gates, ports ({} in, {} out)",
-        block.gate_count(), block.inputs().len(), block.outputs().len());
+    println!(
+        "Figure 1: 2-bit carry-skip adder block — {} gates, ports ({} in, {} out)",
+        block.gate_count(),
+        block.inputs().len(),
+        block.outputs().len()
+    );
     let cascade = carry_skip_adder(4, 2, delays);
     let flat4 = cascade.flatten("csa4.2").expect("flattens");
-    println!("Figure 2: 4-bit cascade of two blocks — {} gates flat\n", flat4.gate_count());
+    println!(
+        "Figure 2: 4-bit cascade of two blocks — {} gates flat\n",
+        flat4.gate_count()
+    );
 
     // Figure 3: T_cout polygon.
-    let timing = ModuleTiming::characterize(&block, ModelSource::Functional, CharacterizeOptions::default())
-        .expect("characterizes");
+    let timing = ModuleTiming::characterize(
+        &block,
+        ModelSource::Functional,
+        CharacterizeOptions::default(),
+    )
+    .expect("characterizes");
     println!("Figure 3: timing model T_cout (effective delay per input):");
     let t_cout = timing.model(2);
     for (name, &d) in timing.input_names().iter().zip(t_cout.tuples()[0].delays()) {
@@ -48,8 +59,11 @@ fn main() {
     let top = cascade.composite("csa4.2").expect("exists");
     let tmp = top.find_net("c2").expect("exists");
     let c4 = top.find_net("c4").expect("exists");
-    println!("Figure 4: arrival(tmp) = {}, arrival(c4) = {}",
-        analysis.net_arrivals[tmp.index()], analysis.net_arrivals[c4.index()]);
+    println!(
+        "Figure 4: arrival(tmp) = {}, arrival(c4) = {}",
+        analysis.net_arrivals[tmp.index()],
+        analysis.net_arrivals[c4.index()]
+    );
 
     println!("\nparametric series: delay of the last carry, n cascaded 2-bit blocks");
     println!("  n | hier | flat | 2n+6");
@@ -80,8 +94,12 @@ fn main() {
     let flat_stable = flat_an.output_arrival(block.find_net("c_out").expect("exists"));
     println!("  delay(c_out): hierarchical model {stable}, flat {flat_stable}");
     let func_slack = t_cout.input_slack(&arrivals, stable, 0);
-    let topo = ModuleTiming::characterize(&block, ModelSource::Topological, CharacterizeOptions::default())
-        .expect("characterizes");
+    let topo = ModuleTiming::characterize(
+        &block,
+        ModelSource::Topological,
+        CharacterizeOptions::default(),
+    )
+    .expect("characterizes");
     let topo_slack = topo.model(2).input_slack(&arrivals, stable, 0);
     println!("  slack(c_in): functional {func_slack}, topological {topo_slack}");
     assert_eq!(stable, t(8));

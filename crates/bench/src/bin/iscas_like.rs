@@ -32,9 +32,8 @@ fn main() {
             let arrivals = vec![Time::ZERO; flat.inputs().len()];
 
             group.bench(&format!("hier_demand/{gates}"), || {
-                let mut an =
-                    DemandDrivenAnalyzer::new(&design, &top, DemandOptions::default())
-                        .expect("valid");
+                let mut an = DemandDrivenAnalyzer::new(&design, &top, DemandOptions::default())
+                    .expect("valid");
                 an.analyze(&arrivals).expect("analyzes").delay
             });
             group.bench(&format!("flat_xbd0/{gates}"), || {

@@ -27,9 +27,12 @@ fn main() {
             mix: GateMix::NandHeavy,
         };
         let nl = random_circuit("pitfall", spec);
-        let sound =
-            ModuleTiming::characterize(&nl, ModelSource::Functional, CharacterizeOptions::default())
-                .expect("characterizes");
+        let sound = ModuleTiming::characterize(
+            &nl,
+            ModelSource::Functional,
+            CharacterizeOptions::default(),
+        )
+        .expect("characterizes");
         for (k, &out) in nl.outputs().iter().enumerate() {
             examined += 1;
             // The sound model must never underapproximate.
@@ -46,7 +49,13 @@ fn main() {
                 if found == 1 {
                     println!("counterexample found (seed {seed}, output #{k}):");
                     println!("  naive tuple:     {}", naive.tuples()[0]);
-                    println!("  arrivals:        {:?}", w.arrivals.iter().map(ToString::to_string).collect::<Vec<_>>());
+                    println!(
+                        "  arrivals:        {:?}",
+                        w.arrivals
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                    );
                     println!("  naive claims stable by: {}", w.claimed);
                     println!("  true XBD0 arrival:      {}", w.actual);
                     println!("  sound HFTA model:       {}", sound.model(k));

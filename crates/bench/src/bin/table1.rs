@@ -25,7 +25,11 @@ fn main() {
     println!();
     println!(
         "accuracy fully preserved: {}",
-        if preserved { "yes (hier == flat on every row)" } else { "NO" }
+        if preserved {
+            "yes (hier == flat on every row)"
+        } else {
+            "NO"
+        }
     );
     let gm = geometric_mean(&speedups);
     println!("geometric-mean CPU ratio flat/hier: {gm:.1}x");

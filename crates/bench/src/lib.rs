@@ -188,7 +188,9 @@ pub fn compare(design: &Design, top_name: &str, flat: &Netlist) -> Row {
 #[must_use]
 pub fn table1_row(cfg: &CsaConfig) -> Row {
     let design = carry_skip_adder(cfg.bits, cfg.block, Default::default());
-    let flat = design.flatten(&cfg.name()).expect("generator output flattens");
+    let flat = design
+        .flatten(&cfg.name())
+        .expect("generator output flattens");
     let mut row = compare(&design, &cfg.name(), &flat);
     row.circuit = cfg.name();
     row

@@ -94,8 +94,7 @@ pub fn characterize_recursive(
                         .iter()
                         .map(|n| sets[n.index()].as_slice())
                         .collect();
-                    sets[out_net.index()] =
-                        compose_output(child.model(o), &input_sets, n_in, opts);
+                    sets[out_net.index()] = compose_output(child.model(o), &input_sets, n_in, opts);
                 }
             }
             let input_names = c
@@ -209,12 +208,7 @@ fn push_pruned(set: &mut Vec<TimingTuple>, t: TimingTuple) {
 /// first — the heuristically most useful tuples).
 fn truncate_ranked(mut set: Vec<TimingTuple>, cap: usize) -> Vec<TimingTuple> {
     if set.len() > cap {
-        set.sort_by_key(|t| {
-            t.delays()
-                .iter()
-                .filter_map(|d| d.finite())
-                .sum::<i64>()
-        });
+        set.sort_by_key(|t| t.delays().iter().filter_map(|d| d.finite()).sum::<i64>());
         set.truncate(cap);
     }
     set
@@ -239,12 +233,10 @@ pub fn analyze_multilevel(
     opts: &ComposeOptions,
 ) -> Result<HierAnalysis, NetlistError> {
     design.validate()?;
-    let composite = design
-        .composite(top)
-        .ok_or_else(|| NetlistError::Unknown {
-            what: "top-level composite module",
-            name: top.to_string(),
-        })?;
+    let composite = design.composite(top).ok_or_else(|| NetlistError::Unknown {
+        what: "top-level composite module",
+        name: top.to_string(),
+    })?;
     let mut cache = HashMap::new();
     let mut models = HashMap::new();
     for inst in composite.instances() {
@@ -333,8 +325,7 @@ mod tests {
         let design = three_level_design();
         let arrivals = vec![t(0); 33];
         let analysis =
-            analyze_multilevel(&design, "pair16", &arrivals, &ComposeOptions::default())
-                .unwrap();
+            analyze_multilevel(&design, "pair16", &arrivals, &ComposeOptions::default()).unwrap();
         let flat = design.flatten("pair16").unwrap();
         let exact = functional_circuit_delay(&flat).unwrap();
         let sta = TopoSta::new(&flat).unwrap();

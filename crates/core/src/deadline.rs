@@ -1,0 +1,108 @@
+//! A wall-clock deadline shared across worker threads.
+//!
+//! Parallel characterization and demand-driven refinement distribute
+//! independent work over scoped threads. A per-analysis `--budget-ms`
+//! deadline has to cut *all* of them off together: [`DeadlineToken`]
+//! wraps the deadline instant in an atomic latch so that the first
+//! worker to observe expiry publishes it, and every later check — on
+//! any thread — answers from the latch without consulting the clock.
+//!
+//! The token only gates *whether new work starts* (a module
+//! characterization, an edge probe). Work already in flight is
+//! interrupted by the same deadline threaded into the SAT solver via
+//! [`SolveBudget::deadline`](hfta_sat::SolveBudget), so both layers
+//! observe one consistent cutoff.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared, latching view of an optional wall-clock deadline.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share the latch.
+#[derive(Clone, Debug)]
+pub struct DeadlineToken {
+    deadline: Option<Instant>,
+    expired: Arc<AtomicBool>,
+}
+
+impl DeadlineToken {
+    /// A token for `deadline`; `None` never expires.
+    #[must_use]
+    pub fn new(deadline: Option<Instant>) -> DeadlineToken {
+        DeadlineToken {
+            deadline,
+            expired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A token that never expires.
+    #[must_use]
+    pub fn unlimited() -> DeadlineToken {
+        DeadlineToken::new(None)
+    }
+
+    /// The wrapped deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Has the deadline passed? Once this returns `true` on any clone
+    /// it returns `true` on every clone forever (the latch), so workers
+    /// that race the clock still agree on the cutoff.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        let Some(at) = self.deadline else {
+            return false;
+        };
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= at {
+            self.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let token = DeadlineToken::unlimited();
+        assert!(!token.expired());
+        assert!(token.deadline().is_none());
+    }
+
+    #[test]
+    fn past_deadline_latches_across_clones() {
+        let token = DeadlineToken::new(Some(Instant::now() - Duration::from_millis(1)));
+        let clone = token.clone();
+        assert!(token.expired());
+        // The clone sees the latch even without re-reading the clock.
+        assert!(clone.expired.load(Ordering::Relaxed));
+        assert!(clone.expired());
+    }
+
+    #[test]
+    fn future_deadline_not_yet_expired() {
+        let token = DeadlineToken::new(Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(!token.expired());
+    }
+
+    #[test]
+    fn expiry_is_shared_between_threads() {
+        let token = DeadlineToken::new(Some(Instant::now() - Duration::from_millis(1)));
+        let seen = std::thread::scope(|scope| {
+            let t = token.clone();
+            scope.spawn(move || t.expired()).join().unwrap()
+        });
+        assert!(seen);
+        assert!(token.expired());
+    }
+}

@@ -37,9 +37,14 @@
 //! parallel analysis is bit-identical to the serial one.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
-use hfta_fta::{SatAlg, StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta};
+use hfta_fta::{
+    PhaseWall, SatAlg, SolveBudget, StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta,
+};
 use hfta_netlist::{Composite, Design, NetId, Netlist, NetlistError, Time};
+
+use crate::deadline::DeadlineToken;
 
 /// Options for the demand-driven analysis.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,6 +66,13 @@ pub struct DemandOptions {
     /// distribute per-`(module, output)` probe groups over scoped
     /// threads. Results are identical either way.
     pub threads: usize,
+    /// Per-probe resource budget, plus (via its deadline) a wall-clock
+    /// cutoff for the whole refinement loop. A probe the budget
+    /// interrupts marks its edge at the current — already proven —
+    /// weight instead of spinning, and is counted in
+    /// [`StabilityStats::degraded`]. Unlimited by default, in which
+    /// case the analysis is bit-identical to an unbudgeted one.
+    pub budget: SolveBudget,
 }
 
 impl Default for DemandOptions {
@@ -71,6 +83,7 @@ impl Default for DemandOptions {
             max_rounds: None,
             reuse_oracle: true,
             threads: 1,
+            budget: SolveBudget::UNLIMITED,
         }
     }
 }
@@ -160,6 +173,11 @@ pub struct DemandDrivenAnalyzer<'a> {
     opts: DemandOptions,
     checks: u64,
     refinements: u64,
+    wall: PhaseWall,
+}
+
+fn micros_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 impl<'a> DemandDrivenAnalyzer<'a> {
@@ -176,12 +194,10 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         opts: DemandOptions,
     ) -> Result<DemandDrivenAnalyzer<'a>, NetlistError> {
         design.validate()?;
-        let top = design
-            .composite(top)
-            .ok_or_else(|| NetlistError::Unknown {
-                what: "top-level composite module",
-                name: top.to_string(),
-            })?;
+        let top = design.composite(top).ok_or_else(|| NetlistError::Unknown {
+            what: "top-level composite module",
+            name: top.to_string(),
+        })?;
         let order = top.instance_topo_order()?;
         let mut module_names: Vec<String> = Vec::new();
         let mut module_index: HashMap<String, usize> = HashMap::new();
@@ -218,6 +234,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             opts,
             checks: 0,
             refinements: 0,
+            wall: PhaseWall::default(),
         })
     }
 
@@ -237,18 +254,31 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             self.top.inputs().len(),
             "arrival vector length mismatch"
         );
+        let deadline = DeadlineToken::new(self.opts.budget.deadline);
         let mut rounds = 0u64;
         let arrivals = loop {
+            let graph_t0 = Instant::now();
             let (arrivals, _) = self.forward(pi_arrivals);
             let required = self.backward(&arrivals);
             let critical = self.critical_edges(&arrivals, &required);
+            self.wall.propagate_micros += micros_since(graph_t0);
             if critical.is_empty() {
                 break arrivals;
             }
-            if self.opts.max_rounds.is_some_and(|max| rounds as usize >= max) {
-                // Cap hit: freeze the graph in its current (still
-                // conservative) state — no further probes, this call
-                // or later ones.
+            let capped = self
+                .opts
+                .max_rounds
+                .is_some_and(|max| rounds as usize >= max);
+            if capped || deadline.expired() {
+                // Cap or deadline hit: freeze the graph in its current
+                // (still conservative) state — no further probes, this
+                // call or later ones. The edges that were still being
+                // chased count as degraded: their weights stay at the
+                // last proven (possibly topological) value without the
+                // accuracy mark a finished refinement earns.
+                for &(mi, o, _) in &critical {
+                    self.modules[mi][o].fresh_stats.degraded += 1;
+                }
                 for states in &mut self.modules {
                     for s in states {
                         s.marked.iter_mut().for_each(|m| *m = true);
@@ -256,7 +286,9 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                 }
                 break arrivals;
             }
+            let refine_t0 = Instant::now();
             self.refine_round(&critical)?;
+            self.wall.refine_micros += micros_since(refine_t0);
             rounds += 1;
         };
         let output_arrivals: Vec<Time> = self
@@ -293,6 +325,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                 total.merge(&st.fresh_stats);
             }
         }
+        total.wall = self.wall;
         total
     }
 
@@ -312,8 +345,12 @@ impl<'a> DemandDrivenAnalyzer<'a> {
     #[must_use]
     pub fn refinement_report(&self) -> String {
         use std::fmt::Write as _;
-        let mut names: Vec<(&String, usize)> =
-            self.module_names.iter().enumerate().map(|(i, n)| (n, i)).collect();
+        let mut names: Vec<(&String, usize)> = self
+            .module_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
         names.sort();
         let mut s = String::new();
         for (name, mi) in names {
@@ -336,6 +373,29 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         s
     }
 
+    /// Cones with probes abandoned by a budget or frozen by a cap:
+    /// `(module name, output index, degraded probe count)`, sorted by
+    /// module name. Empty when no budget/cap fired.
+    #[must_use]
+    pub fn degraded_cones(&self) -> Vec<(String, usize, u64)> {
+        let mut names: Vec<(&String, usize)> = self
+            .module_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
+        names.sort();
+        let mut v = Vec::new();
+        for (name, mi) in names {
+            for (o, st) in self.modules[mi].iter().enumerate() {
+                if st.fresh_stats.degraded > 0 {
+                    v.push((name.clone(), o, st.fresh_stats.degraded));
+                }
+            }
+        }
+        v
+    }
+
     /// Forward arrival propagation over the timing graph. Also returns
     /// per-instance input arrival snapshots (unused by callers today
     /// but cheap).
@@ -356,7 +416,11 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                     if w == Time::NEG_INF {
                         continue;
                     }
-                    let term = if a == Time::POS_INF { Time::POS_INF } else { a + w };
+                    let term = if a == Time::POS_INF {
+                        Time::POS_INF
+                    } else {
+                        a + w
+                    };
                     worst = worst.max(term);
                 }
                 arrivals[out_net.index()] = worst;
@@ -401,11 +465,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
 
     /// Critical, unmarked, still-refinable edges, deduplicated at the
     /// module level: `(module index, output index, input index)`.
-    fn critical_edges(
-        &self,
-        arrivals: &[Time],
-        required: &[Time],
-    ) -> Vec<(usize, usize, usize)> {
+    fn critical_edges(&self, arrivals: &[Time], required: &[Time]) -> Vec<(usize, usize, usize)> {
         let slack_zero = |n: NetId| {
             arrivals[n.index()].is_finite()
                 && required[n.index()].is_finite()
@@ -470,25 +530,22 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             }
         }
         let opts = self.opts;
-        let outcomes: Vec<Result<RoundWork, NetlistError>> =
-            if opts.threads > 1 && work.len() > 1 {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = work
-                        .into_iter()
-                        .map(|(st, edges)| {
-                            scope.spawn(move || st.refine_edges(&edges, &opts))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("refinement worker panicked"))
-                        .collect()
-                })
-            } else {
-                work.into_iter()
-                    .map(|(st, edges)| st.refine_edges(&edges, &opts))
+        let outcomes: Vec<Result<RoundWork, NetlistError>> = if opts.threads > 1 && work.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .into_iter()
+                    .map(|(st, edges)| scope.spawn(move || st.refine_edges(&edges, &opts)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("refinement worker panicked"))
                     .collect()
-            };
+            })
+        } else {
+            work.into_iter()
+                .map(|(st, edges)| st.refine_edges(&edges, &opts))
+                .collect()
+        };
         for outcome in outcomes {
             let w = outcome?;
             self.checks += w.checks;
@@ -583,7 +640,11 @@ impl OutputState {
         let mut cone_arrivals = vec![Time::POS_INF; n_cone];
         for (j, pos) in self.cone_pos.iter().enumerate() {
             if let Some(p) = *pos {
-                let w = if j == in_idx { candidate } else { self.weights[j] };
+                let w = if j == in_idx {
+                    candidate
+                } else {
+                    self.weights[j]
+                };
                 cone_arrivals[p] = -w;
             }
         }
@@ -591,28 +652,40 @@ impl OutputState {
         round.checks += 1;
         let stable = if opts.reuse_oracle {
             if self.oracle.is_none() {
-                self.oracle =
-                    Some(StabilityOracle::new_sat(self.cone.clone(), &cone_arrivals)?);
+                let mut oracle = StabilityOracle::new_sat(self.cone.clone(), &cone_arrivals)?;
+                oracle.set_budget(opts.budget);
+                self.oracle = Some(oracle);
             }
             let oracle = self.oracle.as_mut().expect("just created");
-            oracle.query(&cone_arrivals, cone_out, Time::ZERO)
+            oracle.query_budgeted(&cone_arrivals, cone_out, Time::ZERO)
         } else {
-            let mut analyzer =
-                StabilityAnalyzer::new(&self.cone, &cone_arrivals, SatAlg::new())?;
-            let stable = analyzer.is_stable_at(cone_out, Time::ZERO);
+            let mut analyzer = StabilityAnalyzer::new(&self.cone, &cone_arrivals, SatAlg::new())?;
+            analyzer.set_budget(opts.budget);
+            let stable = analyzer.try_is_stable_at(cone_out, Time::ZERO);
             self.fresh_stats.merge(&analyzer.stats());
             stable
         };
-        if stable {
-            self.weights[in_idx] = candidate;
-            if candidate == Time::NEG_INF {
-                self.marked[in_idx] = true; // nothing below −∞
-            } else {
-                self.cursor[in_idx] += 1;
+        match stable {
+            Some(true) => {
+                self.weights[in_idx] = candidate;
+                if candidate == Time::NEG_INF {
+                    self.marked[in_idx] = true; // nothing below −∞
+                } else {
+                    self.cursor[in_idx] += 1;
+                }
+                round.refinements += 1;
             }
-            round.refinements += 1;
-        } else {
-            self.marked[in_idx] = true;
+            Some(false) => {
+                self.marked[in_idx] = true;
+            }
+            None => {
+                // Budget exhausted mid-probe: the candidate weight was
+                // never proven, so keep the current (already validated)
+                // weight and stop probing this edge — conservative, and
+                // it cannot loop.
+                self.marked[in_idx] = true;
+                self.fresh_stats.degraded += 1;
+            }
         }
         Ok(())
     }
@@ -621,10 +694,10 @@ impl OutputState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hfta_netlist::gen::{carry_skip_adder, carry_skip_adder_flat, CsaDelays};
-    use hfta_netlist::partition::cascade_bipartition;
-    use hfta_netlist::gen::{random_circuit, RandomCircuitSpec};
     use hfta_fta::functional_circuit_delay;
+    use hfta_netlist::gen::{carry_skip_adder, carry_skip_adder_flat, CsaDelays};
+    use hfta_netlist::gen::{random_circuit, RandomCircuitSpec};
+    use hfta_netlist::partition::cascade_bipartition;
 
     fn t(v: i64) -> Time {
         Time::new(v)
@@ -659,7 +732,10 @@ mod tests {
         assert!(result.checks <= 12, "checks = {}", result.checks);
         // The refinement report names exactly the refined carry edge.
         let report = an.refinement_report();
-        assert!(report.contains("csa_block2 out2 <- in0: 6 -> 2"), "{report}");
+        assert!(
+            report.contains("csa_block2 out2 <- in0: 6 -> 2"),
+            "{report}"
+        );
         // The persistent oracle saw every probe.
         assert_eq!(result.stability.queries, result.checks);
         assert!(result.stability.sat_queries > 0);
@@ -679,8 +755,7 @@ mod tests {
             let flat = random_circuit(&format!("r{seed}"), spec);
             let design = cascade_bipartition(&flat, 0.5).unwrap();
             let top_name = format!("r{seed}_top");
-            let mut an =
-                DemandDrivenAnalyzer::new(&design, &top_name, Default::default()).unwrap();
+            let mut an = DemandDrivenAnalyzer::new(&design, &top_name, Default::default()).unwrap();
             let top = design.composite(&top_name).unwrap();
             let result = an.analyze(&vec![t(0); top.inputs().len()]).unwrap();
             let exact = functional_circuit_delay(&flat).unwrap();
@@ -720,7 +795,10 @@ mod tests {
         let design = carry_skip_adder(8, 2, CsaDelays::default());
 
         // Cap 0: the graph is frozen before any probe.
-        let opts = DemandOptions { max_rounds: Some(0), ..DemandOptions::default() };
+        let opts = DemandOptions {
+            max_rounds: Some(0),
+            ..DemandOptions::default()
+        };
         let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
         let result = an.analyze(&[t(0); 17]).unwrap();
         assert_eq!(result.checks, 0);
@@ -729,7 +807,10 @@ mod tests {
 
         // Cap 1: exactly one round of probes, then frozen — a second
         // analyze adds no checks.
-        let opts = DemandOptions { max_rounds: Some(1), ..DemandOptions::default() };
+        let opts = DemandOptions {
+            max_rounds: Some(1),
+            ..DemandOptions::default()
+        };
         let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
         let first = an.analyze(&[t(0); 17]).unwrap();
         assert!(first.checks > 0);
@@ -746,6 +827,74 @@ mod tests {
             DemandDrivenAnalyzer::new(&design, "csa8.2", DemandOptions::default()).unwrap();
         let converged = full.analyze(&[t(0); 17]).unwrap();
         assert!(converged.checks > first.checks);
+    }
+
+    /// A zero-conflict budget interrupts every solver probe, yet the
+    /// analysis terminates, stays sandwiched between flat and
+    /// topological, and reports the abandoned edges as degraded.
+    #[test]
+    fn zero_budget_degrades_but_stays_conservative() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let opts = DemandOptions {
+            budget: SolveBudget::default().with_conflicts(0),
+            ..DemandOptions::default()
+        };
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
+        let capped = an.analyze(&[t(0); 17]).unwrap();
+        let mut full =
+            DemandDrivenAnalyzer::new(&design, "csa8.2", DemandOptions::default()).unwrap();
+        let exact = full.analyze(&[t(0); 17]).unwrap();
+        assert!(
+            capped.delay >= exact.delay,
+            "{} < {}",
+            capped.delay,
+            exact.delay
+        );
+        let flat = carry_skip_adder_flat(8, 2, CsaDelays::default()).unwrap();
+        let sta = TopoSta::new(&flat).unwrap();
+        assert!(capped.delay <= sta.circuit_delay(&[t(0); 17]));
+        assert!(capped.stability.degraded > 0, "{:?}", capped.stability);
+        assert!(capped.stability.budget_hits > 0, "{:?}", capped.stability);
+        // No refinement was ever accepted without proof.
+        assert_eq!(capped.refinements, 0);
+        // The unbudgeted run saw no budget activity at all.
+        assert_eq!(exact.stability.degraded, 0);
+        assert_eq!(exact.stability.budget_hits, 0);
+    }
+
+    /// Both kinds of cap — a round cap and a wall-clock deadline — are
+    /// visible in the stats as degraded edges.
+    #[test]
+    fn capped_runs_report_degraded_edges() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+
+        let opts = DemandOptions {
+            max_rounds: Some(0),
+            ..DemandOptions::default()
+        };
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
+        let by_rounds = an.analyze(&[t(0); 17]).unwrap();
+        assert!(
+            by_rounds.stability.degraded > 0,
+            "{:?}",
+            by_rounds.stability
+        );
+        assert_eq!(by_rounds.checks, 0);
+
+        let opts = DemandOptions {
+            budget: SolveBudget::default().with_deadline(std::time::Instant::now()),
+            ..DemandOptions::default()
+        };
+        let mut an = DemandDrivenAnalyzer::new(&design, "csa8.2", opts).unwrap();
+        let by_deadline = an.analyze(&[t(0); 17]).unwrap();
+        assert!(
+            by_deadline.stability.degraded > 0,
+            "{:?}",
+            by_deadline.stability
+        );
+        // Both froze the graph at its topological weights, so they
+        // agree on the (conservative) answer.
+        assert_eq!(by_deadline.delay, by_rounds.delay);
     }
 
     #[test]
@@ -772,7 +921,10 @@ mod tests {
         let design = carry_skip_adder(8, 2, CsaDelays::default());
         let mut with_oracle =
             DemandDrivenAnalyzer::new(&design, "csa8.2", DemandOptions::default()).unwrap();
-        let fresh_opts = DemandOptions { reuse_oracle: false, ..DemandOptions::default() };
+        let fresh_opts = DemandOptions {
+            reuse_oracle: false,
+            ..DemandOptions::default()
+        };
         let mut with_fresh = DemandDrivenAnalyzer::new(&design, "csa8.2", fresh_opts).unwrap();
         let a = with_oracle.analyze(&[t(0); 17]).unwrap();
         let b = with_fresh.analyze(&[t(0); 17]).unwrap();
@@ -781,7 +933,10 @@ mod tests {
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.checks, b.checks);
         assert_eq!(a.refinements, b.refinements);
-        assert_eq!(with_oracle.refinement_report(), with_fresh.refinement_report());
+        assert_eq!(
+            with_oracle.refinement_report(),
+            with_fresh.refinement_report()
+        );
         // Both instrument their probes.
         assert_eq!(a.stability.queries, a.checks);
         assert_eq!(b.stability.queries, b.checks);
@@ -812,8 +967,14 @@ mod tests {
             v
         };
         for (design, top, n_inputs) in &specs {
-            let serial_opts = DemandOptions { threads: 1, ..DemandOptions::default() };
-            let parallel_opts = DemandOptions { threads: 4, ..DemandOptions::default() };
+            let serial_opts = DemandOptions {
+                threads: 1,
+                ..DemandOptions::default()
+            };
+            let parallel_opts = DemandOptions {
+                threads: 4,
+                ..DemandOptions::default()
+            };
             let mut serial = DemandDrivenAnalyzer::new(design, top, serial_opts).unwrap();
             let mut parallel = DemandDrivenAnalyzer::new(design, top, parallel_opts).unwrap();
             let arrivals = vec![t(0); *n_inputs];
@@ -961,7 +1122,10 @@ mod dot_tests {
         let _ = an.analyze(&[Time::ZERO; 9]).unwrap();
         let dot = an.timing_graph_dot();
         assert!(dot.starts_with("digraph"));
-        assert!(dot.contains("color=red"), "refined carry edge flagged:\n{dot}");
+        assert!(
+            dot.contains("color=red"),
+            "refined carry edge flagged:\n{dot}"
+        );
         assert!(dot.contains("shape=diamond"));
         assert!(dot.ends_with("}\n"));
     }

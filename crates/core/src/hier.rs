@@ -13,11 +13,17 @@
 //! both bounds on every workload.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use hfta_fta::{CharacterizeOptions, StabilityStats};
+use hfta_fta::{CharacterizeOptions, PhaseWall, StabilityStats};
 use hfta_netlist::{Composite, Design, NetlistError, Time};
 
+use crate::deadline::DeadlineToken;
 use crate::module_timing::{ModelSource, ModuleTiming};
+
+fn micros_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Options for hierarchical analysis.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -33,6 +39,11 @@ pub struct HierOptions {
 pub struct HierStats {
     /// Distinct leaf modules characterized (cache misses).
     pub modules_characterized: u64,
+    /// Modules whose characterization was degraded — wholesale to
+    /// topological models by the analysis deadline, or partially (some
+    /// outputs at their topological tuples) by the per-query budget.
+    /// See [`HierAnalyzer::degraded_modules`] for the names.
+    pub modules_degraded: u64,
     /// Instances propagated through.
     pub instances_propagated: u64,
     /// Stability/solver work of all characterizations (zero for
@@ -80,6 +91,15 @@ pub struct HierAnalyzer<'a> {
     cache: HashMap<String, ModuleTiming>,
     characterized: u64,
     stability: StabilityStats,
+    /// Shared wall-clock cutoff for characterization, derived from the
+    /// characterization budget's deadline. Workers check it before
+    /// starting a module; the same deadline interrupts in-flight SAT
+    /// queries from inside the solver.
+    token: DeadlineToken,
+    /// Names of modules whose characterization was degraded, with the
+    /// reason ("deadline" or "budget").
+    degraded: Vec<(String, &'static str)>,
+    wall: PhaseWall,
 }
 
 impl<'a> HierAnalyzer<'a> {
@@ -99,12 +119,10 @@ impl<'a> HierAnalyzer<'a> {
         opts: HierOptions,
     ) -> Result<HierAnalyzer<'a>, NetlistError> {
         design.validate()?;
-        let top = design
-            .composite(top)
-            .ok_or_else(|| NetlistError::Unknown {
-                what: "top-level composite module",
-                name: top.to_string(),
-            })?;
+        let top = design.composite(top).ok_or_else(|| NetlistError::Unknown {
+            what: "top-level composite module",
+            name: top.to_string(),
+        })?;
         for inst in top.instances() {
             if design.leaf(&inst.module).is_none() {
                 return Err(NetlistError::Unknown {
@@ -120,6 +138,9 @@ impl<'a> HierAnalyzer<'a> {
             cache: HashMap::new(),
             characterized: 0,
             stability: StabilityStats::default(),
+            token: DeadlineToken::new(opts.characterize.budget.deadline),
+            degraded: Vec::new(),
+            wall: PhaseWall::default(),
         })
     }
 
@@ -127,7 +148,49 @@ impl<'a> HierAnalyzer<'a> {
     /// far.
     #[must_use]
     pub fn stability_stats(&self) -> StabilityStats {
-        self.stability
+        let mut s = self.stability;
+        s.wall = self.wall;
+        s
+    }
+
+    /// Modules whose characterization was degraded, with the reason:
+    /// `"deadline"` (the analysis deadline expired before the module
+    /// was characterized — its model is wholly topological) or
+    /// `"budget"` (the per-query budget interrupted some outputs —
+    /// those outputs fell back to their topological tuples).
+    #[must_use]
+    pub fn degraded_modules(&self) -> &[(String, &'static str)] {
+        &self.degraded
+    }
+
+    /// Characterizes one module under this analyzer's options, checking
+    /// the deadline token first: an expired deadline degrades the whole
+    /// module to its topological model (counted per output in
+    /// [`StabilityStats::degraded`]).
+    fn characterize_one(
+        design: &Design,
+        name: &str,
+        opts: &HierOptions,
+        token: &DeadlineToken,
+    ) -> Result<(ModuleTiming, StabilityStats, Option<&'static str>), NetlistError> {
+        let nl = design.leaf(name).ok_or_else(|| NetlistError::Unknown {
+            what: "leaf module",
+            name: name.to_string(),
+        })?;
+        let wants_functional = opts.source == ModelSource::Functional;
+        if wants_functional && token.expired() {
+            let (timing, mut stats) = ModuleTiming::characterize_with_stats(
+                nl,
+                ModelSource::Topological,
+                opts.characterize,
+            )?;
+            stats.degraded += nl.outputs().len() as u64;
+            return Ok((timing, stats, Some("deadline")));
+        }
+        let (timing, stats) =
+            ModuleTiming::characterize_with_stats(nl, opts.source, opts.characterize)?;
+        let why = (wants_functional && stats.degraded > 0).then_some("budget");
+        Ok((timing, stats, why))
     }
 
     /// Step 1 for all distinct leaf modules referenced by the top
@@ -180,25 +243,19 @@ impl<'a> HierAnalyzer<'a> {
         }
         let design = self.design;
         let opts = self.opts;
-        type CharResult = Result<(ModuleTiming, StabilityStats), NetlistError>;
+        let token = &self.token;
+        let t0 = Instant::now();
+        type CharResult =
+            Result<(ModuleTiming, StabilityStats, Option<&'static str>), NetlistError>;
         let results: Vec<(String, CharResult)> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in names.chunks(names.len().div_ceil(threads)) {
+                let token = token.clone();
                 handles.push(scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|name| {
-                            let r = match design.leaf(name) {
-                                Some(nl) => ModuleTiming::characterize_with_stats(
-                                    nl,
-                                    opts.source,
-                                    opts.characterize,
-                                ),
-                                None => Err(NetlistError::Unknown {
-                                    what: "leaf module",
-                                    name: name.clone(),
-                                }),
-                            };
+                            let r = HierAnalyzer::characterize_one(design, name, &opts, &token);
                             (name.clone(), r)
                         })
                         .collect::<Vec<_>>()
@@ -209,10 +266,14 @@ impl<'a> HierAnalyzer<'a> {
                 .flat_map(|h| h.join().expect("characterization worker panicked"))
                 .collect()
         });
+        self.wall.characterize_micros += micros_since(t0);
         for (name, result) in results {
-            let (timing, stats) = result?;
+            let (timing, stats, why) = result?;
             self.characterized += 1;
             self.stability.merge(&stats);
+            if let Some(why) = why {
+                self.degraded.push((name.clone(), why));
+            }
             self.cache.insert(name, timing);
         }
         Ok(())
@@ -225,20 +286,15 @@ impl<'a> HierAnalyzer<'a> {
     /// Returns characterization errors.
     pub fn module_timing(&mut self, name: &str) -> Result<&ModuleTiming, NetlistError> {
         if !self.cache.contains_key(name) {
-            let netlist = self
-                .design
-                .leaf(name)
-                .ok_or_else(|| NetlistError::Unknown {
-                    what: "leaf module",
-                    name: name.to_string(),
-                })?;
-            let (timing, stats) = ModuleTiming::characterize_with_stats(
-                netlist,
-                self.opts.source,
-                self.opts.characterize,
-            )?;
+            let t0 = Instant::now();
+            let (timing, stats, why) =
+                HierAnalyzer::characterize_one(self.design, name, &self.opts, &self.token)?;
+            self.wall.characterize_micros += micros_since(t0);
             self.characterized += 1;
             self.stability.merge(&stats);
+            if let Some(why) = why {
+                self.degraded.push((name.to_string(), why));
+            }
             self.cache.insert(name.to_string(), timing);
         }
         Ok(&self.cache[name])
@@ -264,13 +320,16 @@ impl<'a> HierAnalyzer<'a> {
     pub fn analyze(&mut self, pi_arrivals: &[Time]) -> Result<HierAnalysis, NetlistError> {
         self.characterize_all()?;
         let before = self.characterized;
+        let t0 = Instant::now();
         let result = propagate(self.top, &self.cache, pi_arrivals)?;
+        self.wall.propagate_micros += micros_since(t0);
         debug_assert_eq!(before, self.characterized, "analyze must not characterize");
         Ok(HierAnalysis {
             stats: HierStats {
                 modules_characterized: self.characterized,
+                modules_degraded: self.degraded.len() as u64,
                 instances_propagated: result.stats.instances_propagated,
-                stability: self.stability,
+                stability: self.stability_stats(),
             },
             ..result
         })
@@ -306,10 +365,12 @@ pub fn propagate(
     let mut propagated = 0u64;
     for idx in order {
         let inst = &top.instances()[idx];
-        let timing = models.get(&inst.module).ok_or_else(|| NetlistError::Unknown {
-            what: "timing model",
-            name: inst.module.clone(),
-        })?;
+        let timing = models
+            .get(&inst.module)
+            .ok_or_else(|| NetlistError::Unknown {
+                what: "timing model",
+                name: inst.module.clone(),
+            })?;
         let in_arr: Vec<Time> = inst.inputs.iter().map(|n| arrivals[n.index()]).collect();
         let out_times = timing.output_stable_times(&in_arr);
         for (&net, time) in inst.outputs.iter().zip(out_times) {
@@ -317,11 +378,7 @@ pub fn propagate(
         }
         propagated += 1;
     }
-    let output_arrivals: Vec<Time> = top
-        .outputs()
-        .iter()
-        .map(|&n| arrivals[n.index()])
-        .collect();
+    let output_arrivals: Vec<Time> = top.outputs().iter().map(|&n| arrivals[n.index()]).collect();
     let delay = output_arrivals
         .iter()
         .copied()
@@ -332,6 +389,7 @@ pub fn propagate(
         delay,
         stats: HierStats {
             modules_characterized: 0,
+            modules_degraded: 0,
             instances_propagated: propagated,
             stability: StabilityStats::default(),
         },
@@ -458,10 +516,26 @@ mod parallel_tests {
     fn multi_flavour_design() -> Design {
         let mut design = Design::new();
         let flavours = [
-            CsaDelays { and_or: 1, xor: 2, mux: 2 },
-            CsaDelays { and_or: 1, xor: 3, mux: 2 },
-            CsaDelays { and_or: 2, xor: 2, mux: 3 },
-            CsaDelays { and_or: 1, xor: 2, mux: 4 },
+            CsaDelays {
+                and_or: 1,
+                xor: 2,
+                mux: 2,
+            },
+            CsaDelays {
+                and_or: 1,
+                xor: 3,
+                mux: 2,
+            },
+            CsaDelays {
+                and_or: 2,
+                xor: 2,
+                mux: 3,
+            },
+            CsaDelays {
+                and_or: 1,
+                xor: 2,
+                mux: 4,
+            },
         ];
         let mut top = Composite::new("mixed");
         let mut carry = top.add_input("c_in");
@@ -505,6 +579,76 @@ mod parallel_tests {
         assert_eq!(s.delay, p.delay);
         assert_eq!(s.output_arrivals, p.output_arrivals);
         assert_eq!(p.stats.modules_characterized, 4);
+    }
+
+    /// An already-expired analysis deadline degrades every module to
+    /// its topological model — same answer as asking for topological
+    /// models outright, with the degradation recorded.
+    #[test]
+    fn expired_deadline_degrades_all_modules() {
+        use hfta_fta::SolveBudget;
+
+        let design = multi_flavour_design();
+        let arrivals = vec![Time::ZERO; 17];
+        let mut opts = HierOptions::default();
+        opts.characterize.budget = SolveBudget::default().with_deadline(std::time::Instant::now());
+        let mut capped = HierAnalyzer::new(&design, "mixed", opts).unwrap();
+        capped.characterize_all_parallel(4).unwrap();
+        let c = capped.analyze(&arrivals).unwrap();
+        assert_eq!(c.stats.modules_degraded, 4);
+        assert!(c.stats.stability.degraded > 0);
+        assert!(capped
+            .degraded_modules()
+            .iter()
+            .all(|(_, why)| *why == "deadline"));
+
+        let topo_opts = HierOptions {
+            source: crate::ModelSource::Topological,
+            ..HierOptions::default()
+        };
+        let mut topo = HierAnalyzer::new(&design, "mixed", topo_opts).unwrap();
+        let t = topo.analyze(&arrivals).unwrap();
+        assert_eq!(c.delay, t.delay);
+        assert_eq!(c.output_arrivals, t.output_arrivals);
+        // Topological models themselves are never "degraded".
+        assert_eq!(t.stats.modules_degraded, 0);
+
+        // And the functional result is at least as sharp.
+        let mut full = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
+        let f = full.analyze(&arrivals).unwrap();
+        assert!(f.delay <= c.delay);
+        assert_eq!(f.stats.modules_degraded, 0);
+    }
+
+    /// A zero-conflict per-query budget degrades outputs (not whole
+    /// modules) but keeps the result sandwiched.
+    #[test]
+    fn zero_conflict_budget_degrades_outputs() {
+        use hfta_fta::SolveBudget;
+
+        let design = multi_flavour_design();
+        let arrivals = vec![Time::ZERO; 17];
+        let mut opts = HierOptions::default();
+        opts.characterize.budget = SolveBudget::default().with_conflicts(0);
+        let mut capped = HierAnalyzer::new(&design, "mixed", opts).unwrap();
+        let c = capped.analyze(&arrivals).unwrap();
+        assert!(c.stats.stability.degraded > 0);
+        assert!(c.stats.modules_degraded > 0);
+        assert!(capped
+            .degraded_modules()
+            .iter()
+            .all(|(_, why)| *why == "budget"));
+
+        let mut full = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
+        let f = full.analyze(&arrivals).unwrap();
+        let topo_opts = HierOptions {
+            source: crate::ModelSource::Topological,
+            ..HierOptions::default()
+        };
+        let mut topo = HierAnalyzer::new(&design, "mixed", topo_opts).unwrap();
+        let t = topo.analyze(&arrivals).unwrap();
+        assert!(c.delay >= f.delay);
+        assert!(c.delay <= t.delay);
     }
 
     #[test]

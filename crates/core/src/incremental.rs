@@ -147,8 +147,7 @@ impl IncrementalAnalyzer {
                     let m =
                         ModuleTiming::characterize(leaf, self.opts.source, self.opts.characterize)?;
                     self.characterizations += 1;
-                    self.cache
-                        .insert(inst.module.clone(), (hash, m.clone()));
+                    self.cache.insert(inst.module.clone(), (hash, m.clone()));
                     m
                 }
             };
@@ -209,7 +208,11 @@ mod tests {
         block.set_name("csa_block2");
         session.replace_module(block).unwrap();
         let after = session.analyze(&[t(0); 9]).unwrap();
-        assert_eq!(session.characterizations(), 2, "exactly one re-characterization");
+        assert_eq!(
+            session.characterizations(),
+            2,
+            "exactly one re-characterization"
+        );
         assert!(after.delay > before.delay);
     }
 

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod compose;
+pub mod deadline;
 pub mod demand;
 pub mod hier;
 pub mod incremental;
@@ -54,12 +55,13 @@ pub mod module_timing;
 pub mod naive;
 
 pub use compose::{analyze_multilevel, characterize_recursive, ComposeOptions};
+pub use deadline::DeadlineToken;
 pub use demand::{DemandAnalysis, DemandDrivenAnalyzer, DemandOptions};
 pub use hier::{propagate, HierAnalysis, HierAnalyzer, HierOptions, HierStats};
 pub use incremental::IncrementalAnalyzer;
-pub use naive::{find_underapproximation, independent_relaxation_model, Underapproximation};
 pub use module_timing::{ModelSource, ModuleTiming, ParseModelError};
+pub use naive::{find_underapproximation, independent_relaxation_model, Underapproximation};
 
 // Re-export the tuple/model vocabulary so downstream users need only
 // this crate plus the netlist crate.
-pub use hfta_fta::{CharacterizeOptions, TimingModel, TimingTuple};
+pub use hfta_fta::{CharacterizeOptions, SolveBudget, TimingModel, TimingTuple};

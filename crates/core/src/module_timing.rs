@@ -196,7 +196,13 @@ impl ModuleTiming {
             .iter()
             .map(|&n| netlist.net_name(n))
             .collect();
-        if actual_inputs != self.input_names.iter().map(String::as_str).collect::<Vec<_>>() {
+        if actual_inputs
+            != self
+                .input_names
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        {
             violations.push(format!(
                 "input ports differ: model {:?}, netlist {:?}",
                 self.input_names, actual_inputs
@@ -275,9 +281,7 @@ impl ModuleTiming {
             line,
             message: message.to_string(),
         };
-        let (line, header) = lines
-            .next()
-            .ok_or_else(|| err(0, "empty input"))?;
+        let (line, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
         if header != "hfta-timing-model v1" {
             return Err(err(line, "missing `hfta-timing-model v1` header"));
         }
@@ -318,9 +322,8 @@ impl ModuleTiming {
                         .ok_or_else(|| err(lineno, "tuple before any output"))?;
                     let mut delays = Vec::new();
                     for tok in toks {
-                        let t = parse_time(tok).ok_or_else(|| {
-                            err(lineno, &format!("bad time value `{tok}`"))
-                        })?;
+                        let t = parse_time(tok)
+                            .ok_or_else(|| err(lineno, &format!("bad time value `{tok}`")))?;
                         delays.push(t);
                     }
                     if delays.len() != inputs.len() {
@@ -378,7 +381,11 @@ pub struct ParseModelError {
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "timing model parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "timing model parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -396,10 +403,10 @@ mod tests {
     #[test]
     fn characterize_functional_vs_topological() {
         let nl = carry_skip_block(2, CsaDelays::default());
-        let f = ModuleTiming::characterize(&nl, ModelSource::Functional, Default::default())
-            .unwrap();
-        let topo = ModuleTiming::characterize(&nl, ModelSource::Topological, Default::default())
-            .unwrap();
+        let f =
+            ModuleTiming::characterize(&nl, ModelSource::Functional, Default::default()).unwrap();
+        let topo =
+            ModuleTiming::characterize(&nl, ModelSource::Topological, Default::default()).unwrap();
         // c_out: functional sees the false path (2), topological 6.
         assert_eq!(f.model(2).tuples()[0].delay(0), t(2));
         assert_eq!(topo.model(2).tuples()[0].delay(0), t(6));
@@ -410,8 +417,8 @@ mod tests {
     #[test]
     fn output_stable_times_min_max() {
         let nl = carry_skip_block(2, CsaDelays::default());
-        let f = ModuleTiming::characterize(&nl, ModelSource::Functional, Default::default())
-            .unwrap();
+        let f =
+            ModuleTiming::characterize(&nl, ModelSource::Functional, Default::default()).unwrap();
         // The paper's second-block scenario: c_in at 8, others at 0.
         let times = f.output_stable_times(&[t(8), t(0), t(0), t(0), t(0)]);
         assert_eq!(times[2], t(10)); // c4 = 10
@@ -420,8 +427,8 @@ mod tests {
     #[test]
     fn text_round_trip() {
         let nl = carry_skip_block(2, CsaDelays::default());
-        let f = ModuleTiming::characterize(&nl, ModelSource::Functional, Default::default())
-            .unwrap();
+        let f =
+            ModuleTiming::characterize(&nl, ModelSource::Functional, Default::default()).unwrap();
         let text = f.to_text();
         let parsed = ModuleTiming::from_text(&text).unwrap();
         assert_eq!(parsed, f);

@@ -146,8 +146,8 @@ pub fn find_underapproximation(
 mod tests {
     use super::*;
     use hfta_fta::{characterize_module, CharacterizeOptions};
-    use hfta_netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
     use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+    use hfta_netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
 
     /// On the carry-skip block the naive model happens to coincide with
     /// the sound one (only one pin is relaxable), so no witness exists
@@ -179,8 +179,7 @@ mod tests {
                 mix: GateMix::NandHeavy,
             };
             let nl = random_circuit("pitfall", spec);
-            let sound_models =
-                characterize_module(&nl, CharacterizeOptions::default()).unwrap();
+            let sound_models = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
             for (k, &out) in nl.outputs().iter().enumerate() {
                 let naive = independent_relaxation_model(&nl, out, 16).unwrap();
                 // The sound model never underapproximates…

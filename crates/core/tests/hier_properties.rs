@@ -3,9 +3,7 @@
 //! random partitioned circuits, model-source dominance, and
 //! characterization self-consistency.
 
-use hfta_core::{
-    DemandDrivenAnalyzer, HierAnalyzer, HierOptions, ModelSource, ModuleTiming,
-};
+use hfta_core::{DemandDrivenAnalyzer, HierAnalyzer, HierOptions, ModelSource, ModuleTiming};
 use hfta_fta::{CharacterizeOptions, DelayAnalyzer, TopoSta};
 use hfta_netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
 use hfta_netlist::partition::cascade_bipartition;
@@ -22,16 +20,29 @@ fn spec_strategy() -> impl Strategy<Value = RandomCircuitSpec> {
             seed: rng.next_u64(),
             locality: rng.gen_range(4usize..14),
             global_fanin_prob: 0.15,
-            mix: if rng.next_bool() { GateMix::XorHeavy } else { GateMix::NandHeavy },
+            mix: if rng.next_bool() {
+                GateMix::XorHeavy
+            } else {
+                GateMix::NandHeavy
+            },
         },
         |spec: &RandomCircuitSpec| {
             let mut out = Vec::new();
             if spec.gates > 8 {
-                out.push(RandomCircuitSpec { gates: 8.max(spec.gates / 2), ..*spec });
-                out.push(RandomCircuitSpec { gates: spec.gates - 1, ..*spec });
+                out.push(RandomCircuitSpec {
+                    gates: 8.max(spec.gates / 2),
+                    ..*spec
+                });
+                out.push(RandomCircuitSpec {
+                    gates: spec.gates - 1,
+                    ..*spec
+                });
             }
             if spec.inputs > 3 {
-                out.push(RandomCircuitSpec { inputs: spec.inputs - 1, ..*spec });
+                out.push(RandomCircuitSpec {
+                    inputs: spec.inputs - 1,
+                    ..*spec
+                });
             }
             if spec.seed != 0 {
                 out.push(RandomCircuitSpec { seed: 0, ..*spec });

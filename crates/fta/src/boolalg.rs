@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use hfta_bdd::{Bdd, BddManager};
-use hfta_sat::{CnfBuilder, Lit};
+use hfta_sat::{CnfBuilder, Lit, SolveBudget};
 
 /// Work counters exposed by a Boolean backend.
 ///
@@ -53,6 +53,14 @@ pub trait BoolAlg {
     fn or(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
     /// Is `a` the constant-true function?
     fn is_tautology(&mut self, a: Self::Repr) -> bool;
+    /// Budgeted tautology check: `None` when the backend gave up
+    /// because `budget` ran out. The default ignores the budget — for
+    /// backends (like BDDs) whose tautology check is O(1) on an
+    /// already-built function, there is nothing to interrupt.
+    fn is_tautology_budgeted(&mut self, a: Self::Repr, budget: &SolveBudget) -> Option<bool> {
+        let _ = budget;
+        Some(self.is_tautology(a))
+    }
     /// Is `a` satisfiable? Default: `¬a` is not a tautology.
     fn is_satisfiable(&mut self, a: Self::Repr) -> bool {
         let na = self.not(a);
@@ -176,6 +184,16 @@ impl BoolAlg for SatAlg {
         self.cnf.is_implied(a)
     }
 
+    fn is_tautology_budgeted(&mut self, a: Lit, budget: &SolveBudget) -> Option<bool> {
+        if budget.is_unlimited() {
+            // Take the exact unbudgeted path so default-budget runs are
+            // bit-identical to `is_tautology`.
+            return Some(self.is_tautology(a));
+        }
+        self.tautology_queries += 1;
+        self.cnf.is_implied_budgeted(a, budget)
+    }
+
     fn backend_counters(&self) -> BackendCounters {
         let s = self.cnf.solver().stats();
         BackendCounters {
@@ -250,7 +268,8 @@ impl BoolAlg for BddAlg {
     }
 
     fn input(&mut self, i: usize) -> Bdd {
-        self.mgr.var(u32::try_from(i).expect("input index overflow"))
+        self.mgr
+            .var(u32::try_from(i).expect("input index overflow"))
     }
 
     fn not(&mut self, a: Bdd) -> Bdd {
@@ -275,7 +294,10 @@ impl BoolAlg for BddAlg {
     }
 
     fn backend_counters(&self) -> BackendCounters {
-        BackendCounters { sat_queries: self.tautology_queries, ..BackendCounters::default() }
+        BackendCounters {
+            sat_queries: self.tautology_queries,
+            ..BackendCounters::default()
+        }
     }
 
     fn countermodel(&mut self, a: Bdd, num_inputs: usize) -> Option<Vec<bool>> {

@@ -201,7 +201,7 @@ mod tests {
         let (nl, z) = and2();
         let m = ConditionalModel::build(&nl, z, &ExactOptions::default()).unwrap();
         let arrivals = vec![t(100), t(0)]; // a very late
-        // Vector (a=1, b=0): output is 0 as soon as b settles.
+                                           // Vector (a=1, b=0): output is 0 as soon as b settles.
         assert_eq!(m.stable_time_for(0b01, &arrivals), t(1));
         // Vector-independent must cover (1,1) too: 101.
         let vi = exact_model(&nl, z, &ExactOptions::default()).unwrap();

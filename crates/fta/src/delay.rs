@@ -9,10 +9,11 @@
 //! [`StabilityAnalyzer`].
 
 use hfta_netlist::{NetId, Netlist, NetlistError, Time};
+use hfta_sat::SolveBudget;
 
 use crate::boolalg::{BoolAlg, SatAlg};
-use crate::stability::{StabilityAnalyzer, StabilityStats};
 use crate::sta::TopoSta;
+use crate::stability::{StabilityAnalyzer, StabilityStats};
 
 /// Functional (XBD0) delay analysis of one netlist under fixed arrival
 /// times.
@@ -45,6 +46,9 @@ pub struct DelayAnalyzer<'a, A: BoolAlg> {
     /// inputs of (arrival + shortest path). `POS_INF` when no finite
     /// events reach the net.
     first_event: Vec<Time>,
+    /// Outputs whose binary search was abandoned by the budget and
+    /// reported at their (sound) topological arrival.
+    degraded: u64,
 }
 
 impl<'a> DelayAnalyzer<'a, SatAlg> {
@@ -95,7 +99,17 @@ impl<'a, A: BoolAlg> DelayAnalyzer<'a, A> {
             sta,
             topo_arrival,
             first_event,
+            degraded: 0,
         })
+    }
+
+    /// Sets the per-query resource budget. When a stability probe runs
+    /// out of budget, [`DelayAnalyzer::output_arrival`] reports that
+    /// output at its topological arrival — always a sound upper bound
+    /// under XBD0 — and counts it in [`StabilityStats::degraded`].
+    /// Unlimited by default.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.stability.set_budget(budget);
     }
 
     /// The earliest time `net` is guaranteed stable under XBD0.
@@ -115,8 +129,10 @@ impl<'a, A: BoolAlg> DelayAnalyzer<'a, A> {
         }
         let lo = first.finite().expect("checked finite");
         // Below the first finite event the predicate is constant.
-        if self.stability.is_stable_at(net, Time::new(lo - 1)) {
-            return Time::NEG_INF;
+        match self.stability.try_is_stable_at(net, Time::new(lo - 1)) {
+            Some(true) => return Time::NEG_INF,
+            Some(false) => {}
+            None => return self.degrade(topo),
         }
         let hi = match topo.finite() {
             Some(h) => h,
@@ -125,23 +141,31 @@ impl<'a, A: BoolAlg> DelayAnalyzer<'a, A> {
                 // Some arrivals are +∞. Probe the latest finite event:
                 // if unstable there, the net needs the missing inputs.
                 let hi = self.latest_finite_event(net);
-                if !self.stability.is_stable_at(net, Time::new(hi)) {
-                    return Time::POS_INF;
+                match self.stability.try_is_stable_at(net, Time::new(hi)) {
+                    Some(true) => hi,
+                    Some(false) => return Time::POS_INF,
+                    None => return self.degrade(topo),
                 }
-                hi
             }
         };
         // Invariant: unstable at lo−1, stable at hi.
         let (mut lo, mut hi) = (lo - 1, hi);
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
-            if self.stability.is_stable_at(net, Time::new(mid)) {
-                hi = mid;
-            } else {
-                lo = mid;
+            match self.stability.try_is_stable_at(net, Time::new(mid)) {
+                Some(true) => hi = mid,
+                Some(false) => lo = mid,
+                // Budget gone mid-search: abandon the refinement and
+                // report the topological arrival (≥ the true answer).
+                None => return self.degrade(topo),
             }
         }
         Time::new(hi)
+    }
+
+    fn degrade(&mut self, topo: Time) -> Time {
+        self.degraded += 1;
+        topo
     }
 
     /// Latest finite event reaching `net`: max over finite-arrival
@@ -165,7 +189,10 @@ impl<'a, A: BoolAlg> DelayAnalyzer<'a, A> {
     /// order.
     pub fn output_arrivals(&mut self) -> Vec<Time> {
         let outputs: Vec<NetId> = self.stability.netlist().outputs().to_vec();
-        outputs.into_iter().map(|o| self.output_arrival(o)).collect()
+        outputs
+            .into_iter()
+            .map(|o| self.output_arrival(o))
+            .collect()
     }
 
     /// The circuit's functional delay: the latest output arrival.
@@ -203,10 +230,21 @@ impl<'a, A: BoolAlg> DelayAnalyzer<'a, A> {
             .instability_witness(net, Time::new(probe - 1))
     }
 
-    /// Work counters of the underlying stability analyzer.
+    /// Work counters of the underlying stability analyzer, with this
+    /// analyzer's degraded-output count folded in.
     #[must_use]
     pub fn stats(&self) -> StabilityStats {
-        self.stability.stats()
+        let mut s = self.stability.stats();
+        s.degraded += self.degraded;
+        s
+    }
+
+    /// How many [`DelayAnalyzer::output_arrival`] calls so far were
+    /// degraded to the topological arrival by the budget. Sample before
+    /// and after a call to learn whether *that* output degraded.
+    #[must_use]
+    pub fn degraded_count(&self) -> u64 {
+        self.degraded
     }
 }
 
@@ -226,7 +264,9 @@ pub fn functional_circuit_delay(netlist: &Netlist) -> Result<Time, NetlistError>
 mod tests {
     use super::*;
     use crate::boolalg::BddAlg;
-    use hfta_netlist::gen::{carry_skip_adder_flat, carry_skip_block, ripple_carry_adder, CsaDelays};
+    use hfta_netlist::gen::{
+        carry_skip_adder_flat, carry_skip_block, ripple_carry_adder, CsaDelays,
+    };
     use hfta_netlist::GateKind;
 
     fn t(v: i64) -> Time {
@@ -368,6 +408,35 @@ mod tests {
         nl.mark_output(z);
         let mut an = DelayAnalyzer::new_sat(&nl, &[Time::NEG_INF]).unwrap();
         assert_eq!(an.output_arrival(z), Time::NEG_INF);
+    }
+
+    /// A zero budget degrades every solver-dependent output to its
+    /// topological arrival — never below the true functional time.
+    #[test]
+    fn zero_budget_degrades_to_topological_arrival() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        let arrivals = vec![t(5), t(0), t(0), t(0), t(0)];
+        let mut exact = DelayAnalyzer::new_sat(&nl, &arrivals).unwrap();
+        let mut capped = DelayAnalyzer::new_sat(&nl, &arrivals).unwrap();
+        capped.set_budget(SolveBudget::default().with_conflicts(0));
+        // Figure 5: functional 8 vs topological 11.
+        assert_eq!(exact.output_arrival(c_out), t(8));
+        assert_eq!(capped.output_arrival(c_out), t(11));
+        let s = capped.stats();
+        assert!(s.degraded > 0, "{s:?}");
+        assert!(s.budget_hits > 0, "{s:?}");
+        // Every output stays sandwiched: functional ≤ budgeted ≤ topo.
+        let sta = TopoSta::new(&nl).unwrap();
+        let topo = sta.arrival_times(&arrivals);
+        for &out in nl.outputs() {
+            let b = capped.output_arrival(out);
+            assert!(b >= exact.output_arrival(out));
+            assert!(b <= topo[out.index()]);
+        }
+        // And the exact analyzer saw no budget activity.
+        assert_eq!(exact.stats().degraded, 0);
+        assert_eq!(exact.stats().budget_hits, 0);
     }
 
     #[test]

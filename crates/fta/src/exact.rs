@@ -17,8 +17,8 @@ use hfta_netlist::{NetId, Netlist, NetlistError, Time};
 
 use crate::boolalg::{BddAlg, BoolAlg};
 use crate::model::{TimingModel, TimingTuple};
-use crate::stability::StabilityAnalyzer;
 use crate::sta::TopoSta;
+use crate::stability::StabilityAnalyzer;
 
 /// Options for the exact engines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,7 +58,9 @@ pub enum ExactError {
 impl std::fmt::Display for ExactError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExactError::TooLarge { reason } => write!(f, "module too large for exact analysis: {reason}"),
+            ExactError::TooLarge { reason } => {
+                write!(f, "module too large for exact analysis: {reason}")
+            }
             ExactError::Netlist(e) => write!(f, "{e}"),
         }
     }
@@ -100,7 +102,10 @@ fn candidate_grid(
     }
     if total > opts.max_candidates {
         return Err(ExactError::TooLarge {
-            reason: format!("{total} candidate tuples exceed limit {}", opts.max_candidates),
+            reason: format!(
+                "{total} candidate tuples exceed limit {}",
+                opts.max_candidates
+            ),
         });
     }
     Ok(grid)
@@ -203,10 +208,7 @@ pub fn exact_vector_relation(
         let settled = analyzer.alg_mut().or(s0, s1);
         for v in 0..vectors {
             let assignment: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
-            let stable = analyzer
-                .alg_mut()
-                .manager_mut()
-                .eval(settled, &assignment);
+            let stable = analyzer.alg_mut().manager_mut().eval(settled, &assignment);
             if stable {
                 let frontier = &mut per_vector[v as usize];
                 if frontier.iter().any(|f| f.dominates(&t)) {

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use hfta_netlist::{NetId, Netlist, NetlistError, Time};
 
-use crate::required::{Characterizer, CharacterizeOptions};
+use crate::required::{CharacterizeOptions, Characterizer};
 use crate::sta::TopoSta;
 
 /// A set of declared pin-to-pin delays overriding topological ones.
@@ -169,7 +169,10 @@ mod tests {
             let est = arrivals_with_declared_delays(&nl, &skew, &declared).unwrap();
             let mut flat = DelayAnalyzer::new_sat(&nl, &skew).unwrap();
             for (k, &out) in nl.outputs().iter().enumerate() {
-                assert!(est[k] >= flat.output_arrival(out), "output {k} skew {skew:?}");
+                assert!(
+                    est[k] >= flat.output_arrival(out),
+                    "output {k} skew {skew:?}"
+                );
             }
         }
     }
@@ -191,8 +194,7 @@ mod tests {
     fn empty_declarations_equal_topological() {
         let nl = carry_skip_block(2, CsaDelays::default());
         let arrivals = vec![t(0); 5];
-        let est =
-            arrivals_with_declared_delays(&nl, &arrivals, &DeclaredDelays::new()).unwrap();
+        let est = arrivals_with_declared_delays(&nl, &arrivals, &DeclaredDelays::new()).unwrap();
         let sta = TopoSta::new(&nl).unwrap();
         let topo = sta.arrival_times(&arrivals);
         for (k, &out) in nl.outputs().iter().enumerate() {

@@ -55,18 +55,19 @@ pub mod sta;
 pub mod stability;
 
 pub use boolalg::{BackendCounters, BddAlg, BoolAlg, SatAlg};
-pub use oracle::StabilityOracle;
 pub use conditional::{ConditionalCase, ConditionalModel};
 pub use delay::{functional_circuit_delay, DelayAnalyzer};
 pub use exact::{exact_model, exact_vector_relation, ExactError, ExactOptions};
 pub use false_pairs::{arrivals_with_declared_delays, derive_declared_delays, DeclaredDelays};
+pub use hfta_sat::{BudgetExhausted, SolveBudget};
 pub use model::{TimingModel, TimingTuple};
+pub use oracle::StabilityOracle;
 pub use paths::{longest_true_path, worst_paths, TimedPath};
+pub use report::{OutputReport, TimingReport};
 pub use required::{
     characterize_module, characterize_module_with_stats, topological_delays, CharacterizeOptions,
     Characterizer,
 };
-pub use report::{OutputReport, TimingReport};
 pub use sequential::{SequentialAnalysis, SequentialAnalyzer, SequentialEngine};
 pub use sta::TopoSta;
-pub use stability::{StabilityAnalyzer, StabilityStats};
+pub use stability::{PhaseWall, StabilityAnalyzer, StabilityStats};

@@ -89,10 +89,7 @@ impl TimingTuple {
     #[must_use]
     pub fn dominates(&self, other: &TimingTuple) -> bool {
         assert_eq!(self.len(), other.len(), "tuple length mismatch");
-        self.delays
-            .iter()
-            .zip(&other.delays)
-            .all(|(&a, &b)| a <= b)
+        self.delays.iter().zip(&other.delays).all(|(&a, &b)| a <= b)
     }
 
     /// The output stable time under this tuple: `max_j (a_j + d_j)`.
@@ -151,7 +148,10 @@ impl TimingModel {
     /// lengths.
     #[must_use]
     pub fn from_tuples(tuples: Vec<TimingTuple>) -> TimingModel {
-        assert!(!tuples.is_empty(), "a timing model needs at least one tuple");
+        assert!(
+            !tuples.is_empty(),
+            "a timing model needs at least one tuple"
+        );
         let num_inputs = tuples[0].len();
         let mut kept: Vec<TimingTuple> = Vec::new();
         for t in tuples {
@@ -163,7 +163,10 @@ impl TimingModel {
             kept.push(t);
         }
         kept.sort();
-        TimingModel { num_inputs, tuples: kept }
+        TimingModel {
+            num_inputs,
+            tuples: kept,
+        }
     }
 
     /// The single-tuple model of topological analysis (longest path per
@@ -229,7 +232,11 @@ impl TimingModel {
                 if j == i || d == Time::NEG_INF {
                     continue;
                 }
-                let term = if a == Time::POS_INF { Time::POS_INF } else { a + d };
+                let term = if a == Time::POS_INF {
+                    Time::POS_INF
+                } else {
+                    a + d
+                };
                 others = others.max(term);
             }
             if others > required {
@@ -366,10 +373,7 @@ mod slack_edge_tests {
     /// panic even when the probed arrival is +inf.
     #[test]
     fn unbounded_requirement_gives_infinite_slack() {
-        let m = TimingModel::from_tuples(vec![TimingTuple::new(vec![
-            Time::new(2),
-            Time::new(3),
-        ])]);
+        let m = TimingModel::from_tuples(vec![TimingTuple::new(vec![Time::new(2), Time::new(3)])]);
         let arrivals = vec![Time::POS_INF, Time::ZERO];
         assert_eq!(m.input_slack(&arrivals, Time::POS_INF, 0), Time::POS_INF);
     }

@@ -25,6 +25,7 @@
 //! borrow gymnastics.
 
 use hfta_netlist::{NetId, Netlist, NetlistError, Time};
+use hfta_sat::SolveBudget;
 
 use crate::boolalg::{BoolAlg, SatAlg};
 use crate::stability::{Engine, StabilityStats};
@@ -95,9 +96,27 @@ impl<A: BoolAlg> StabilityOracle<A> {
         self.engine.rebind(&self.netlist, pi_arrivals);
     }
 
+    /// Sets the per-query resource budget applied by the `try_*` /
+    /// `query_budgeted` paths. Unlimited by default.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.engine.set_budget(budget);
+    }
+
+    /// The current per-query resource budget.
+    #[must_use]
+    pub fn budget(&self) -> SolveBudget {
+        self.engine.budget()
+    }
+
     /// Is `net` guaranteed stable by `t` under the bound arrivals?
     pub fn is_stable_at(&mut self, net: NetId, t: Time) -> bool {
         self.engine.is_stable_at(&self.netlist, net, t)
+    }
+
+    /// Budgeted [`Self::is_stable_at`]: `None` when the budget ran out
+    /// before the query was decided (treat as "not provably stable").
+    pub fn try_is_stable_at(&mut self, net: NetId, t: Time) -> Option<bool> {
+        self.engine.try_is_stable_at(&self.netlist, net, t)
     }
 
     /// Rebinds to `pi_arrivals` and answers [`Self::is_stable_at`] in
@@ -105,6 +124,14 @@ impl<A: BoolAlg> StabilityOracle<A> {
     pub fn query(&mut self, pi_arrivals: &[Time], net: NetId, t: Time) -> bool {
         self.set_arrivals(pi_arrivals);
         self.is_stable_at(net, t)
+    }
+
+    /// Rebinds and answers [`Self::try_is_stable_at`] in one call.
+    /// With an unlimited budget this performs exactly the work of
+    /// [`Self::query`].
+    pub fn query_budgeted(&mut self, pi_arrivals: &[Time], net: NetId, t: Time) -> Option<bool> {
+        self.set_arrivals(pi_arrivals);
+        self.try_is_stable_at(net, t)
     }
 
     /// The pair `(S0, S1)` of characteristic functions of `net` at `t`
@@ -198,7 +225,10 @@ mod tests {
         let built = oracle.stats().nodes_built;
         let _ = oracle.query(&a, c_out, t(5));
         let s = oracle.stats();
-        assert_eq!(s.nodes_built, built, "second identical probe builds nothing");
+        assert_eq!(
+            s.nodes_built, built,
+            "second identical probe builds nothing"
+        );
         assert!(s.memo_hits > 0);
     }
 }

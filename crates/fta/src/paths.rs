@@ -116,7 +116,8 @@ pub fn worst_paths(
                     continue;
                 }
                 for &inp in &gate.inputs {
-                    if arrivals[inp.index()] == Time::NEG_INF && netlist.driver(inp).is_none()
+                    if arrivals[inp.index()] == Time::NEG_INF
+                        && netlist.driver(inp).is_none()
                         && !netlist.is_input(inp)
                     {
                         continue; // floating
@@ -196,7 +197,7 @@ pub fn longest_true_path<A: BoolAlg>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use hfta_netlist::gen::{carry_skip_block, CsaDelays};
     use hfta_netlist::GateKind;
 
@@ -252,10 +253,9 @@ mod tests {
         let c_out = nl.find_net("c_out").unwrap();
         let arrivals = vec![t(5), t(0), t(0), t(0), t(0)];
         let mut an = DelayAnalyzer::new_sat(&nl, &arrivals).unwrap();
-        let (true_path, skipped) =
-            longest_true_path(&nl, &arrivals, c_out, &mut an, 64)
-                .unwrap()
-                .expect("found");
+        let (true_path, skipped) = longest_true_path(&nl, &arrivals, c_out, &mut an, 64)
+            .unwrap()
+            .expect("found");
         assert_eq!(true_path.arrival, t(8));
         // The skipped (false) arrivals include the 11-long c_in path.
         assert!(skipped.contains(&t(11)), "skipped {skipped:?}");

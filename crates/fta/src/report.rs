@@ -8,6 +8,7 @@
 use std::fmt;
 
 use hfta_netlist::{Netlist, NetlistError, Time};
+use hfta_sat::SolveBudget;
 
 use crate::delay::DelayAnalyzer;
 use crate::sta::TopoSta;
@@ -25,6 +26,10 @@ pub struct OutputReport {
     /// `true` when the functional arrival beats the topological one —
     /// the longest path to this output is false.
     pub has_false_path: bool,
+    /// `true` when the analysis budget ran out on this output and its
+    /// `functional` field is really the topological arrival (a sound
+    /// upper bound). Always `false` without a budget.
+    pub degraded: bool,
     /// Slack against the report's required time (functional arrival).
     pub slack: Time,
     /// The topologically critical path, as net names from a primary
@@ -84,15 +89,42 @@ impl TimingReport {
         pi_arrivals: &[Time],
         required: Time,
     ) -> Result<(TimingReport, StabilityStats), NetlistError> {
+        TimingReport::generate_budgeted(netlist, pi_arrivals, required, SolveBudget::UNLIMITED)
+    }
+
+    /// Like [`TimingReport::generate_with_stats`], with a per-query
+    /// resource budget. Outputs whose binary search exhausts the budget
+    /// degrade to their topological arrival (sound upper bound) and are
+    /// counted in [`StabilityStats::degraded`]. With
+    /// [`SolveBudget::UNLIMITED`] this is bit-identical to the
+    /// unbudgeted path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
+    /// netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    pub fn generate_budgeted(
+        netlist: &Netlist,
+        pi_arrivals: &[Time],
+        required: Time,
+        budget: SolveBudget,
+    ) -> Result<(TimingReport, StabilityStats), NetlistError> {
         let sta = TopoSta::new(netlist)?;
         let topo = sta.arrival_times(pi_arrivals);
         let mut an = DelayAnalyzer::new_sat(netlist, pi_arrivals)?;
+        an.set_budget(budget);
         let mut outputs = Vec::with_capacity(netlist.outputs().len());
         let mut worst_topo = Time::NEG_INF;
         let mut worst_func = Time::NEG_INF;
         for &o in netlist.outputs() {
             let topological = topo[o.index()];
+            let degraded_before = an.degraded_count();
             let functional = an.output_arrival(o);
+            let degraded = an.degraded_count() > degraded_before;
             worst_topo = worst_topo.max(topological);
             worst_func = worst_func.max(functional);
             let critical_path = if topological.is_finite() {
@@ -108,6 +140,7 @@ impl TimingReport {
                 topological,
                 functional,
                 has_false_path: functional < topological,
+                degraded,
                 slack: if functional == Time::NEG_INF {
                     Time::POS_INF
                 } else {
@@ -143,7 +176,11 @@ impl TimingReport {
 
 impl fmt::Display for TimingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "timing report for `{}` (required {})", self.module, self.required)?;
+        writeln!(
+            f,
+            "timing report for `{}` (required {})",
+            self.module, self.required
+        )?;
         writeln!(
             f,
             "{:<20} {:>8} {:>8} {:>8}  critical path (topological)",
@@ -158,7 +195,13 @@ impl fmt::Display for TimingReport {
                 r.functional,
                 r.slack,
                 r.critical_path.join(" -> "),
-                if r.has_false_path { "   [false]" } else { "" },
+                if r.degraded {
+                    "   [degraded]"
+                } else if r.has_false_path {
+                    "   [false]"
+                } else {
+                    ""
+                },
             )?;
         }
         writeln!(
@@ -192,9 +235,54 @@ mod tests {
         assert_eq!(c_out.slack, t(0));
         assert_eq!(report.false_path_count(), 1);
         assert_eq!(report.circuit_functional, t(9)); // s1 with c_in at 5
-        // Critical path starts at c_in (the late input) and ends at c_out.
-        assert_eq!(c_out.critical_path.first().map(String::as_str), Some("c_in"));
-        assert_eq!(c_out.critical_path.last().map(String::as_str), Some("c_out"));
+                                                     // Critical path starts at c_in (the late input) and ends at c_out.
+        assert_eq!(
+            c_out.critical_path.first().map(String::as_str),
+            Some("c_in")
+        );
+        assert_eq!(
+            c_out.critical_path.last().map(String::as_str),
+            Some("c_out")
+        );
+    }
+
+    /// A zero budget degrades every solver-bound output to its
+    /// topological arrival; the report still comes out whole.
+    #[test]
+    fn zero_budget_report_degrades_to_topological() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let arrivals = [t(5), t(0), t(0), t(0), t(0)];
+        let budget = SolveBudget::default().with_conflicts(0);
+        let (report, stats) =
+            TimingReport::generate_budgeted(&nl, &arrivals, t(8), budget).unwrap();
+        let (exact, exact_stats) = TimingReport::generate_with_stats(&nl, &arrivals, t(8)).unwrap();
+        assert!(stats.degraded > 0, "{stats:?}");
+        assert!(stats.budget_hits > 0, "{stats:?}");
+        assert_eq!(exact_stats.degraded, 0);
+        for (b, e) in report.outputs.iter().zip(&exact.outputs) {
+            assert_eq!(b.topological, e.topological);
+            assert!(
+                b.functional >= e.functional,
+                "budgeted below functional: {}",
+                b.name
+            );
+            assert!(
+                b.functional <= b.topological,
+                "budgeted above topological: {}",
+                b.name
+            );
+        }
+        // c_out's false path is no longer provable under a zero budget.
+        let c_out = &report.outputs[2];
+        assert_eq!(c_out.functional, t(11));
+        assert!(!c_out.has_false_path);
+        assert!(c_out.degraded);
+        assert!(report.to_string().contains("[degraded]"));
+        // An unlimited "budget" reproduces the exact report bit for bit.
+        let (same, same_stats) =
+            TimingReport::generate_budgeted(&nl, &arrivals, t(8), SolveBudget::UNLIMITED).unwrap();
+        assert_eq!(same, exact);
+        assert_eq!(same_stats, exact_stats);
     }
 
     #[test]

@@ -17,11 +17,12 @@
 //! [`TimingModel::from_tuples`].
 
 use hfta_netlist::{NetId, Netlist, NetlistError, Time};
+use hfta_sat::SolveBudget;
 
 use crate::boolalg::SatAlg;
 use crate::model::{TimingModel, TimingTuple};
-use crate::stability::{StabilityAnalyzer, StabilityStats};
 use crate::sta::TopoSta;
+use crate::stability::{StabilityAnalyzer, StabilityStats};
 
 /// Options for the approximate characterization.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,6 +37,13 @@ pub struct CharacterizeOptions {
     /// Whether to attempt the final relaxation to `−∞` ("input not
     /// needed at all").
     pub try_irrelevant: bool,
+    /// Per-stability-query resource budget. When a validity check runs
+    /// out of budget the relaxation walk for that input stops (as if
+    /// the candidate were invalid) and the output counts as degraded —
+    /// every accepted step was individually proven, so the partial
+    /// tuple stays sound, with the topological tuple as the floor.
+    /// Unlimited by default.
+    pub budget: SolveBudget,
 }
 
 impl Default for CharacterizeOptions {
@@ -44,6 +52,7 @@ impl Default for CharacterizeOptions {
             max_tuples: 4,
             lengths_cap: 32,
             try_irrelevant: true,
+            budget: SolveBudget::UNLIMITED,
         }
     }
 }
@@ -107,6 +116,14 @@ impl<'a> Characterizer<'a> {
         self.checks
     }
 
+    /// Number of outputs whose characterization was degraded by the
+    /// budget (also available as
+    /// [`StabilityStats::degraded`] in [`Characterizer::stability_stats`]).
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.stability.degraded
+    }
+
     /// Stability/solver work accumulated over all characterizations so
     /// far. One persistent per-cone analyzer backs each
     /// [`Characterizer::output_model`] call, so these counters reflect
@@ -153,15 +170,27 @@ impl<'a> Characterizer<'a> {
         // -function memo warm.
         let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
         let mut analyzer = StabilityAnalyzer::new(&cone, &topo_arrivals, SatAlg::new())?;
+        analyzer.set_budget(self.opts.budget);
 
         let passes = self.opts.max_tuples.max(1).min(n_cone);
         let mut tuples = Vec::with_capacity(passes + 1);
+        let mut hit_budget = false;
         for seed in 0..passes {
             let mut order = by_criticality.clone();
             order.rotate_left(seed);
-            tuples.push(self.greedy_pass(&mut analyzer, cone_out, &lists, &topo, &order)?);
+            tuples.push(self.greedy_pass(
+                &mut analyzer,
+                cone_out,
+                &lists,
+                &topo,
+                &order,
+                &mut hit_budget,
+            )?);
         }
         self.stability.merge(&analyzer.stats());
+        if hit_budget {
+            self.stability.degraded += 1;
+        }
         // The topological tuple is always valid; keep it as a floor (it
         // will be pruned if any pass improved on it).
         tuples.push(TimingTuple::new(topo));
@@ -192,6 +221,9 @@ impl<'a> Characterizer<'a> {
     }
 
     /// One greedy relaxation pass over the cone inputs in `order`.
+    /// A budget-exhausted validity check stops that input's walk (as an
+    /// invalid candidate would — every *accepted* step was proven, so
+    /// the partial tuple stays sound) and sets `hit_budget`.
     fn greedy_pass(
         &mut self,
         analyzer: &mut StabilityAnalyzer<'_, SatAlg>,
@@ -199,6 +231,7 @@ impl<'a> Characterizer<'a> {
         lists: &[Vec<Time>],
         topo: &[Time],
         order: &[usize],
+        hit_budget: &mut bool,
     ) -> Result<TimingTuple, NetlistError> {
         let mut delays: Vec<Time> = topo.to_vec();
         for &i in order {
@@ -207,18 +240,24 @@ impl<'a> Characterizer<'a> {
             for &l in &list[1..] {
                 let mut candidate = delays.clone();
                 candidate[i] = l;
-                if self.tuple_is_valid(analyzer, cone_out, &candidate) {
-                    delays[i] = l;
-                } else {
-                    reached_bottom = false;
-                    break;
+                match self.tuple_is_valid(analyzer, cone_out, &candidate) {
+                    Some(true) => delays[i] = l,
+                    verdict => {
+                        if verdict.is_none() {
+                            *hit_budget = true;
+                        }
+                        reached_bottom = false;
+                        break;
+                    }
                 }
             }
             if reached_bottom && self.opts.try_irrelevant {
                 let mut candidate = delays.clone();
                 candidate[i] = Time::NEG_INF;
-                if self.tuple_is_valid(analyzer, cone_out, &candidate) {
-                    delays[i] = Time::NEG_INF;
+                match self.tuple_is_valid(analyzer, cone_out, &candidate) {
+                    Some(true) => delays[i] = Time::NEG_INF,
+                    Some(false) => {}
+                    None => *hit_budget = true,
                 }
             }
         }
@@ -226,17 +265,18 @@ impl<'a> Characterizer<'a> {
     }
 
     /// Validity oracle: with required time 0 at the output and inputs
-    /// arriving at `−delay`, is the output stable at 0?
+    /// arriving at `−delay`, is the output stable at 0? `None` when the
+    /// budget ran out before the check was decided.
     fn tuple_is_valid(
         &mut self,
         analyzer: &mut StabilityAnalyzer<'_, SatAlg>,
         cone_out: NetId,
         delays: &[Time],
-    ) -> bool {
+    ) -> Option<bool> {
         self.checks += 1;
         let arrivals: Vec<Time> = delays.iter().map(|&d| -d).collect();
         analyzer.set_arrivals(&arrivals);
-        analyzer.is_stable_at(cone_out, Time::ZERO)
+        analyzer.try_is_stable_at(cone_out, Time::ZERO)
     }
 }
 
@@ -387,10 +427,7 @@ mod tests {
         nl.add_gate(GateKind::Const1, &[], z, 1).unwrap();
         nl.mark_output(z);
         let models = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
-        assert_eq!(
-            models[0].tuples(),
-            &[TimingTuple::new(vec![Time::NEG_INF])]
-        );
+        assert_eq!(models[0].tuples(), &[TimingTuple::new(vec![Time::NEG_INF])]);
     }
 
     #[test]
@@ -400,6 +437,46 @@ mod tests {
         let c_out = nl.find_net("c_out").unwrap();
         let _ = ch.output_model(c_out).unwrap();
         assert!(ch.checks() > 0);
+    }
+
+    /// A zero budget degrades every solver-dependent relaxation: the
+    /// models collapse to their topological tuples (still sound) and
+    /// the degradation is counted.
+    #[test]
+    fn zero_budget_degrades_to_topological() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let opts = CharacterizeOptions {
+            budget: SolveBudget::default().with_conflicts(0),
+            ..CharacterizeOptions::default()
+        };
+        let (models, stats) = characterize_module_with_stats(&nl, opts).unwrap();
+        assert!(stats.budget_hits > 0, "{stats:?}");
+        assert!(stats.degraded > 0, "{stats:?}");
+        // c_out loses the false-path refinement (2 → 6 on the c_in pin)
+        // but keeps the sound topological tuple.
+        let cout = &models[2];
+        assert_eq!(
+            cout.tuples(),
+            &[TimingTuple::new(vec![t(6), t(8), t(8), t(6), t(6)])]
+        );
+        // Budgeted models are conservative versus the exact ones.
+        let exact = characterize_module(&nl, CharacterizeOptions::default()).unwrap();
+        let patterns: Vec<Vec<Time>> = vec![
+            vec![t(0); 5],
+            vec![t(8), t(0), t(0), t(0), t(0)],
+            vec![t(0), t(3), t(1), t(-2), t(7)],
+        ];
+        for arrivals in &patterns {
+            for (m, e) in models.iter().zip(&exact) {
+                assert!(m.stable_time(arrivals) >= e.stable_time(arrivals));
+            }
+        }
+        // An unlimited budget leaves the results and counters untouched.
+        let (unbudgeted, s) =
+            characterize_module_with_stats(&nl, CharacterizeOptions::default()).unwrap();
+        assert_eq!(unbudgeted, exact);
+        assert_eq!(s.budget_hits, 0);
+        assert_eq!(s.degraded, 0);
     }
 
     /// max_tuples = 1 reproduces the paper's single-tuple models.

@@ -39,6 +39,7 @@
 use std::collections::HashMap;
 
 use hfta_netlist::{GateId, GateKind, NetId, Netlist, NetlistError, Time};
+use hfta_sat::SolveBudget;
 
 use crate::boolalg::BoolAlg;
 
@@ -79,7 +80,46 @@ pub struct StabilityStats {
     pub solver_propagations: u64,
     /// Learnt clauses currently held by the backend's solver.
     pub learnt_clauses: u64,
+    /// Queries the backend abandoned because a resource budget ran out
+    /// (each such query was answered "not provably stable").
+    pub budget_hits: u64,
+    /// Results (output models, refinement edges, report rows) that were
+    /// degraded to their topological value instead of being decided
+    /// functionally — by a budget, a deadline, or a round cap. Always
+    /// zero when no budget/cap is in effect.
+    pub degraded: u64,
+    /// Wall-clock per analysis phase (see [`PhaseWall`]). Excluded from
+    /// equality: two analyses that agree on every deterministic
+    /// observable compare equal even though their timings differ.
+    pub wall: PhaseWall,
 }
+
+/// Wall-clock spent per analysis phase, in microseconds. Filled in by
+/// the layer that owns each phase (characterization by the two-step
+/// analyzer, refinement by the demand-driven analyzer, propagation by
+/// both); the per-cone engines themselves leave it zero.
+///
+/// Wall-clock is inherently nondeterministic, so `PhaseWall` compares
+/// equal to **any** other `PhaseWall`. This keeps bit-identity
+/// assertions on whole analyses (`assert_eq!(serial, parallel)`)
+/// meaningful while still surfacing timings in `--stats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseWall {
+    /// Module characterization (two-step step 1).
+    pub characterize_micros: u64,
+    /// Demand-driven refinement probes.
+    pub refine_micros: u64,
+    /// Timing-graph / instance propagation.
+    pub propagate_micros: u64,
+}
+
+impl PartialEq for PhaseWall {
+    fn eq(&self, _: &PhaseWall) -> bool {
+        true
+    }
+}
+
+impl Eq for PhaseWall {}
 
 impl StabilityStats {
     /// Accumulates `other` into `self`, field by field. Used to
@@ -96,6 +136,11 @@ impl StabilityStats {
         self.solver_conflicts += other.solver_conflicts;
         self.solver_propagations += other.solver_propagations;
         self.learnt_clauses += other.learnt_clauses;
+        self.budget_hits += other.budget_hits;
+        self.degraded += other.degraded;
+        self.wall.characterize_micros += other.wall.characterize_micros;
+        self.wall.refine_micros += other.wall.refine_micros;
+        self.wall.propagate_micros += other.wall.propagate_micros;
     }
 
     /// A one-line human-readable rendering (used by `hfta --stats`).
@@ -105,7 +150,9 @@ impl StabilityStats {
             "stability: {} queries ({} topological, {} pruned), \
              {} nodes built, {} memo hits, {} encodings avoided\n\
              solver: {} SAT queries, {} conflicts, {} propagations, \
-             {} learnt clauses",
+             {} learnt clauses\n\
+             budget: {} exhausted queries, {} degraded to topological\n\
+             wall: {}us characterize, {}us refine, {}us propagate",
             self.queries,
             self.topological_hits,
             self.prune_hits,
@@ -116,6 +163,11 @@ impl StabilityStats {
             self.solver_conflicts,
             self.solver_propagations,
             self.learnt_clauses,
+            self.budget_hits,
+            self.degraded,
+            self.wall.characterize_micros,
+            self.wall.refine_micros,
+            self.wall.propagate_micros,
         )
     }
 }
@@ -148,6 +200,10 @@ pub(crate) struct Engine<A: BoolAlg> {
     /// Time-independent settled function per net (used when
     /// `t ≥ topo_arrival`); valid under every arrival condition.
     func_memo: HashMap<NetId, A::Repr>,
+    /// Per-query resource budget handed to the backend (unlimited by
+    /// default, in which case the budgeted paths are bit-identical to
+    /// the plain ones).
+    budget: SolveBudget,
     stats: StabilityStats,
 }
 
@@ -176,6 +232,7 @@ impl<A: BoolAlg> Engine<A> {
             earliest: Vec::new(),
             memo: HashMap::new(),
             func_memo: HashMap::new(),
+            budget: SolveBudget::UNLIMITED,
             stats: StabilityStats::default(),
         };
         engine.bind(netlist, pi_arrivals);
@@ -241,6 +298,14 @@ impl<A: BoolAlg> Engine<A> {
         &mut self.alg
     }
 
+    pub(crate) fn set_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
+    }
+
+    pub(crate) fn budget(&self) -> SolveBudget {
+        self.budget
+    }
+
     /// Work counters, with the backend's solver counters folded in.
     pub(crate) fn stats(&self) -> StabilityStats {
         let backend = self.alg.backend_counters();
@@ -267,6 +332,37 @@ impl<A: BoolAlg> Engine<A> {
         let (s0, s1) = self.s01(netlist, net, t);
         let settled = self.alg.or(s0, s1);
         self.alg.is_tautology(settled)
+    }
+
+    /// Three-valued stability query under this engine's budget:
+    /// `None` means the backend's budget ran out before the tautology
+    /// check was decided. The topological and prune fast paths never
+    /// touch the backend and are always decisive — crucially, this
+    /// makes `t ≥ topo_arrival` queries immune to any budget, so
+    /// degrading a result to its topological value always terminates.
+    pub(crate) fn try_is_stable_at(
+        &mut self,
+        netlist: &Netlist,
+        net: NetId,
+        t: Time,
+    ) -> Option<bool> {
+        self.stats.queries += 1;
+        if t >= self.topo_arrival[net.index()] {
+            self.stats.topological_hits += 1;
+            return Some(true);
+        }
+        if t < self.earliest[net.index()] {
+            self.stats.prune_hits += 1;
+            return Some(false);
+        }
+        let (s0, s1) = self.s01(netlist, net, t);
+        let settled = self.alg.or(s0, s1);
+        let budget = self.budget;
+        let verdict = self.alg.is_tautology_budgeted(settled, &budget);
+        if verdict.is_none() {
+            self.stats.budget_hits += 1;
+        }
+        verdict
     }
 
     pub(crate) fn characteristic(
@@ -566,10 +662,32 @@ impl<'a, A: BoolAlg> StabilityAnalyzer<'a, A> {
         self.engine.alg_mut()
     }
 
+    /// Sets the per-query resource budget applied by
+    /// [`StabilityAnalyzer::try_is_stable_at`]. Unlimited by default.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.engine.set_budget(budget);
+    }
+
+    /// The current per-query resource budget.
+    #[must_use]
+    pub fn budget(&self) -> SolveBudget {
+        self.engine.budget()
+    }
+
     /// Is `net` guaranteed stable (at either value, for every input
     /// vector) by time `t` under the XBD0 model?
     pub fn is_stable_at(&mut self, net: NetId, t: Time) -> bool {
         self.engine.is_stable_at(self.netlist, net, t)
+    }
+
+    /// Budgeted [`StabilityAnalyzer::is_stable_at`]: `None` when the
+    /// budget ran out before the query was decided. Callers must treat
+    /// `None` as "not provably stable" — under XBD0 the topological
+    /// arrival is always a sound upper bound, so falling back to it is
+    /// always safe. With an unlimited budget this never returns `None`
+    /// and performs exactly the work of `is_stable_at`.
+    pub fn try_is_stable_at(&mut self, net: NetId, t: Time) -> Option<bool> {
+        self.engine.try_is_stable_at(self.netlist, net, t)
     }
 
     /// The pair `(S0, S1)` of characteristic functions of `net` at `t`.
@@ -605,8 +723,7 @@ mod tests {
         let z = nl.add_net("z");
         nl.add_gate(GateKind::And, &[a, b], z, 1).unwrap();
         nl.mark_output(z);
-        let mut an =
-            StabilityAnalyzer::new(&nl, &[Time::ZERO, Time::ZERO], SatAlg::new()).unwrap();
+        let mut an = StabilityAnalyzer::new(&nl, &[Time::ZERO, Time::ZERO], SatAlg::new()).unwrap();
         assert!(!an.is_stable_at(z, t(0)));
         assert!(an.is_stable_at(z, t(1)));
         assert!(an.is_stable_at(z, t(100)));
@@ -720,8 +837,7 @@ mod tests {
         nl.add_gate(GateKind::Mux, &[s, a, a], z, 1).unwrap();
         nl.mark_output(z);
         // Select arrives very late; data at 0.
-        let mut an =
-            StabilityAnalyzer::new(&nl, &[t(1000), Time::ZERO], SatAlg::new()).unwrap();
+        let mut an = StabilityAnalyzer::new(&nl, &[t(1000), Time::ZERO], SatAlg::new()).unwrap();
         assert!(an.is_stable_at(z, t(1)));
     }
 
@@ -748,8 +864,7 @@ mod tests {
     fn stats_count_work() {
         let nl = carry_skip_block(2, CsaDelays::default());
         let c_out = nl.find_net("c_out").unwrap();
-        let mut an =
-            StabilityAnalyzer::new(&nl, &[t(0); 5], SatAlg::new()).unwrap();
+        let mut an = StabilityAnalyzer::new(&nl, &[t(0); 5], SatAlg::new()).unwrap();
         let _ = an.is_stable_at(c_out, t(100)); // topological hit
         let _ = an.is_stable_at(c_out, t(5));
         let s = an.stats();
@@ -799,6 +914,28 @@ mod tests {
         // SAT work shows up in the solver counters.
         assert!(s.sat_queries > 0);
         assert!(s.solver_propagations > 0);
+    }
+
+    /// A zero budget turns every solver-backed query into `None`, but
+    /// the topological and prune fast paths stay decisive — the
+    /// degradation target is always reachable.
+    #[test]
+    fn zero_budget_keeps_fast_paths_decisive() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let c_out = nl.find_net("c_out").unwrap();
+        let mut an = StabilityAnalyzer::new(&nl, &[t(0); 5], SatAlg::new()).unwrap();
+        an.set_budget(SolveBudget::default().with_conflicts(0));
+        assert_eq!(an.try_is_stable_at(c_out, t(100)), Some(true)); // topological
+        assert_eq!(an.try_is_stable_at(c_out, t(1)), Some(false)); // prune
+        assert_eq!(an.try_is_stable_at(c_out, t(5)), None); // needs the solver
+        let s = an.stats();
+        assert_eq!(s.budget_hits, 1);
+        // An unlimited budget decides the same query and agrees with
+        // the plain path.
+        an.set_budget(SolveBudget::UNLIMITED);
+        let budgeted = an.try_is_stable_at(c_out, t(5));
+        assert_eq!(budgeted, Some(an.is_stable_at(c_out, t(5))));
+        assert_eq!(an.stats().budget_hits, 1, "no new exhaustion");
     }
 
     /// Rebinding keeps the backend but changes the answers to match a

@@ -1,0 +1,122 @@
+//! Property test for budgeted (graceful-degradation) analysis: across
+//! random circuits, arrival conditions, and budget shapes — including
+//! zero budgets that exhaust on the first solver step — the budgeted
+//! functional arrival of every output is sandwiched between the exact
+//! functional arrival and the topological arrival. Degrading to the
+//! topological tuple is always *sound* (never optimistic) and never
+//! *looser* than topological; an unlimited budget must reproduce the
+//! exact analysis bit for bit.
+
+use hfta_fta::{SolveBudget, TimingReport};
+use hfta_netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
+use hfta_netlist::Time;
+use hfta_testkit::{from_fn_with_shrink, prop, Rng, Strategy};
+
+const INPUTS: usize = 4;
+
+fn seed_strategy() -> impl Strategy<Value = u64> {
+    from_fn_with_shrink(
+        |rng: &mut Rng| rng.gen_range(0u64..1_000_000),
+        |s: &u64| if *s == 0 { vec![] } else { vec![0, *s / 2] },
+    )
+}
+
+/// One arrival condition: finite arrivals in a small window, with an
+/// occasional −∞ (unexercised pin).
+fn condition_strategy() -> impl Strategy<Value = Vec<Time>> {
+    from_fn_with_shrink(
+        |rng: &mut Rng| {
+            (0..INPUTS)
+                .map(|_| {
+                    if rng.gen_range(0..8) == 0 {
+                        Time::NEG_INF
+                    } else {
+                        Time::new(rng.gen_range(-5i64..10))
+                    }
+                })
+                .collect()
+        },
+        |v: &Vec<Time>| {
+            let mut out = Vec::new();
+            for i in 0..v.len() {
+                if v[i] != Time::ZERO {
+                    let mut w = v.clone();
+                    w[i] = Time::ZERO;
+                    out.push(w);
+                }
+            }
+            out
+        },
+    )
+}
+
+fn budget_of(kind: u8, limit: u64) -> SolveBudget {
+    match kind {
+        0 => SolveBudget::UNLIMITED,
+        1 => SolveBudget::default().with_conflicts(limit),
+        2 => SolveBudget::default().with_propagations(limit),
+        _ => SolveBudget::default().with_decisions(limit),
+    }
+}
+
+// Each case runs a budgeted and an exact report over the same circuit;
+// 48 cases sweep all four budget kinds at limits 0..6 (limit 0 is the
+// everything-degrades extreme). HFTA_PROP_CASES overrides as usual.
+prop!(cases = 48, fn budgeted_analysis_is_conservative(
+    seed in seed_strategy(),
+    arrivals in condition_strategy(),
+    kind in 0u8..4,
+    limit in 0u64..6,
+) {
+    let spec = RandomCircuitSpec {
+        inputs: INPUTS,
+        gates: 10,
+        seed,
+        locality: 5,
+        global_fanin_prob: 0.25,
+        mix: GateMix::NandHeavy,
+    };
+    let nl = random_circuit("budget_prop", spec);
+    let budget = budget_of(kind, limit);
+    let required = Time::ZERO;
+    let (budgeted, bstats) =
+        TimingReport::generate_budgeted(&nl, &arrivals, required, budget).unwrap();
+    let (exact, estats) = TimingReport::generate_with_stats(&nl, &arrivals, required).unwrap();
+    assert_eq!(estats.degraded, 0, "exact analysis never degrades");
+    assert_eq!(estats.budget_hits, 0);
+
+    for (b, e) in budgeted.outputs.iter().zip(&exact.outputs) {
+        assert_eq!(b.topological, e.topological, "topological is budget-independent");
+        // The sandwich: never optimistic w.r.t. the exact functional
+        // arrival, never looser than topological.
+        assert!(
+            b.functional >= e.functional,
+            "budget made {} optimistic: {} < {} (seed {seed}, kind {kind}, limit {limit})",
+            b.name, b.functional, e.functional
+        );
+        assert!(
+            b.functional <= b.topological,
+            "budget exceeded topological on {}: {} > {} (seed {seed})",
+            b.name, b.functional, b.topological
+        );
+        if b.degraded {
+            assert_eq!(b.functional, b.topological, "degraded means at-topological");
+        } else {
+            assert_eq!(b.functional, e.functional, "undegraded outputs stay exact");
+        }
+    }
+
+    // Degradation counters fire exactly when a budget did.
+    assert_eq!(
+        bstats.degraded > 0,
+        bstats.budget_hits > 0,
+        "degraded and budget_hits must agree: {bstats:?}"
+    );
+    let flagged = budgeted.outputs.iter().filter(|o| o.degraded).count() as u64;
+    assert_eq!(flagged, bstats.degraded, "per-output flags match the counter");
+
+    if budget.is_unlimited() {
+        assert_eq!(budgeted, exact, "unlimited budget must be bit-identical");
+        assert_eq!(bstats, estats);
+    }
+});

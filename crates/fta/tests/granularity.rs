@@ -6,11 +6,11 @@
 //! time — both answers being correct for their respective structures,
 //! as the event-driven simulator confirms.
 
+use hfta_fta::DelayAnalyzer;
 use hfta_netlist::event_sim::simulate_transition;
 use hfta_netlist::gen::{carry_skip_block, CsaDelays};
 use hfta_netlist::transform::{decompose_mux, strip_buffers};
 use hfta_netlist::{GateKind, Netlist, Time};
-use hfta_fta::DelayAnalyzer;
 
 fn t(v: i64) -> Time {
     Time::new(v)
@@ -73,7 +73,10 @@ fn decomposed_mux_exposes_static_hazard() {
     assert_eq!(prim.output_arrival(z_prim), t(12));
     assert_eq!(dec.output_arrival(z_dec), t(12));
     let w = prim.sensitizing_vector(z_prim).unwrap();
-    assert_ne!(w[1], w[2], "primitive's critical vectors have a != b: {w:?}");
+    assert_ne!(
+        w[1], w[2],
+        "primitive's critical vectors have a != b: {w:?}"
+    );
 
     // Per-vector comparison at t = 11 via BDD characteristic
     // functions: the a == b == 1 vector is settled for the primitive
@@ -87,7 +90,10 @@ fn decomposed_mux_exposes_static_hazard() {
         let settled = an.alg_mut().or(s0, s1);
         an.alg_mut().manager_mut().eval(settled, &vector)
     };
-    assert!(check_vector(&nl, [true, true, true]), "primitive settled for a == b");
+    assert!(
+        check_vector(&nl, [true, true, true]),
+        "primitive settled for a == b"
+    );
     assert!(
         !check_vector(&de, [true, true, true]),
         "decomposed form keeps the hazard vector unsettled"

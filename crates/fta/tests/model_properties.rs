@@ -58,7 +58,11 @@ fn tuple_strategy() -> impl Strategy<Value = TimingTuple> {
 
 fn arrivals_strategy() -> impl Strategy<Value = Vec<Time>> {
     from_fn_with_shrink(
-        |rng: &mut Rng| (0..N).map(|_| Time::new(rng.gen_range(-10i64..30))).collect(),
+        |rng: &mut Rng| {
+            (0..N)
+                .map(|_| Time::new(rng.gen_range(-10i64..30)))
+                .collect()
+        },
         |v: &Vec<Time>| {
             let mut out = Vec::new();
             for i in 0..v.len() {

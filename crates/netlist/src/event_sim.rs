@@ -121,7 +121,12 @@ pub fn simulate_transition(
             let out_val = gate.kind.eval(&ins);
             // Transport delay: schedule unconditionally; stale events
             // are filtered by the value check above.
-            queue.push(Reverse((t + Time::from(gate.delay), seq, gate.output.0, out_val)));
+            queue.push(Reverse((
+                t + Time::from(gate.delay),
+                seq,
+                gate.output.0,
+                out_val,
+            )));
             seq += 1;
         }
     }
@@ -131,10 +136,7 @@ pub fn simulate_transition(
         .iter()
         .map(|o| last_change[o.index()])
         .collect();
-    let settle = output_settle
-        .iter()
-        .copied()
-        .fold(Time::NEG_INF, Time::max);
+    let settle = output_settle.iter().copied().fold(Time::NEG_INF, Time::max);
     let output_glitches = netlist
         .outputs()
         .iter()
@@ -200,8 +202,7 @@ mod tests {
         nl.add_gate(GateKind::And, &[a, b], z, 2).unwrap();
         nl.mark_output(z);
         // 10 -> 11: output rises 2 after b switches.
-        let out =
-            simulate_transition(&nl, &[true, false], &[true, true], &[t(0), t(3)]).unwrap();
+        let out = simulate_transition(&nl, &[true, false], &[true, true], &[t(0), t(3)]).unwrap();
         assert_eq!(out.settle, t(5));
         assert!(out.final_values[z.index()]);
         assert_eq!(out.output_glitches, 0);

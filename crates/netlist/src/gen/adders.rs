@@ -263,7 +263,12 @@ mod tests {
     #[test]
     fn cascade_adds_correctly() {
         let flat = carry_skip_adder_flat(8, 2, CsaDelays::default()).unwrap();
-        for (a, b, c) in [(0, 0, false), (255, 1, false), (170, 85, true), (200, 100, false)] {
+        for (a, b, c) in [
+            (0, 0, false),
+            (255, 1, false),
+            (170, 85, true),
+            (200, 100, false),
+        ] {
             let (s, cout) = add_via_netlist(&flat, 8, a, b, c);
             let expect = a + b + u64::from(c);
             assert_eq!(s, expect & 0xff);

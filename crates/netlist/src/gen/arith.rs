@@ -45,7 +45,11 @@ pub fn carry_select_adder(n: usize, m: usize, delays: CsaDelays) -> Netlist {
         let mut chain = |tag: &str, seed_one: bool| -> (Vec<NetId>, NetId) {
             let seed = nl.add_net(format!("blk{blk}_{tag}_seed"));
             nl.add_gate(
-                if seed_one { GateKind::Const1 } else { GateKind::Const0 },
+                if seed_one {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                },
                 &[],
                 seed,
                 0,
@@ -60,11 +64,16 @@ pub fn carry_select_adder(n: usize, m: usize, delays: CsaDelays) -> Netlist {
                 let s = nl.add_net(format!("blk{blk}_{tag}_s{i}"));
                 let t = nl.add_net(format!("blk{blk}_{tag}_t{i}"));
                 let nc = nl.add_net(format!("blk{blk}_{tag}_c{i}"));
-                nl.add_gate(GateKind::Xor, &[a, b], p, delays.xor).expect("ok");
-                nl.add_gate(GateKind::And, &[a, b], g, delays.and_or).expect("ok");
-                nl.add_gate(GateKind::Xor, &[p, c], s, delays.xor).expect("ok");
-                nl.add_gate(GateKind::And, &[p, c], t, delays.and_or).expect("ok");
-                nl.add_gate(GateKind::Or, &[g, t], nc, delays.and_or).expect("ok");
+                nl.add_gate(GateKind::Xor, &[a, b], p, delays.xor)
+                    .expect("ok");
+                nl.add_gate(GateKind::And, &[a, b], g, delays.and_or)
+                    .expect("ok");
+                nl.add_gate(GateKind::Xor, &[p, c], s, delays.xor)
+                    .expect("ok");
+                nl.add_gate(GateKind::And, &[p, c], t, delays.and_or)
+                    .expect("ok");
+                nl.add_gate(GateKind::Or, &[g, t], nc, delays.and_or)
+                    .expect("ok");
                 ss.push(s);
                 c = nc;
             }
@@ -114,8 +123,10 @@ pub fn carry_lookahead_adder(n: usize, delays: CsaDelays) -> Netlist {
         let b = nl.add_input(format!("b{i}"));
         let pi = nl.add_net(format!("p{i}"));
         let gi = nl.add_net(format!("g{i}"));
-        nl.add_gate(GateKind::Xor, &[a, b], pi, delays.xor).expect("ok");
-        nl.add_gate(GateKind::And, &[a, b], gi, delays.and_or).expect("ok");
+        nl.add_gate(GateKind::Xor, &[a, b], pi, delays.xor)
+            .expect("ok");
+        nl.add_gate(GateKind::And, &[a, b], gi, delays.and_or)
+            .expect("ok");
         p.push(pi);
         g.push(gi);
     }
@@ -129,20 +140,24 @@ pub fn carry_lookahead_adder(n: usize, delays: CsaDelays) -> Netlist {
             let mut lits: Vec<NetId> = ((j + 1)..=i).map(|k| p[k]).collect();
             lits.push(g[j]);
             let t = nl.add_net(format!("c{}_t{j}", i + 1));
-            nl.add_gate(GateKind::And, &lits, t, delays.and_or).expect("ok");
+            nl.add_gate(GateKind::And, &lits, t, delays.and_or)
+                .expect("ok");
             terms.push(t);
         }
         // p_i · … · p_0 · c_in
         let mut lits: Vec<NetId> = (0..=i).map(|k| p[k]).collect();
         lits.push(c_in);
         let t = nl.add_net(format!("c{}_tc", i + 1));
-        nl.add_gate(GateKind::And, &lits, t, delays.and_or).expect("ok");
+        nl.add_gate(GateKind::And, &lits, t, delays.and_or)
+            .expect("ok");
         terms.push(t);
         let c = nl.add_net(format!("c{}", i + 1));
         if terms.len() == 1 {
-            nl.add_gate(GateKind::Buf, &[terms[0]], c, delays.and_or).expect("ok");
+            nl.add_gate(GateKind::Buf, &[terms[0]], c, delays.and_or)
+                .expect("ok");
         } else {
-            nl.add_gate(GateKind::Or, &terms, c, delays.and_or).expect("ok");
+            nl.add_gate(GateKind::Or, &terms, c, delays.and_or)
+                .expect("ok");
         }
         carries.push(c);
     }
@@ -217,11 +232,16 @@ pub fn array_multiplier(n: usize, delays: CsaDelays) -> Netlist {
         let g = nl.add_net(format!("{tag}_g"));
         let t = nl.add_net(format!("{tag}_t"));
         let co = nl.add_net(format!("{tag}_c"));
-        nl.add_gate(GateKind::Xor, &[x, y], p, delays.xor).expect("ok");
-        nl.add_gate(GateKind::Xor, &[p, c], s, delays.xor).expect("ok");
-        nl.add_gate(GateKind::And, &[x, y], g, delays.and_or).expect("ok");
-        nl.add_gate(GateKind::And, &[p, c], t, delays.and_or).expect("ok");
-        nl.add_gate(GateKind::Or, &[g, t], co, delays.and_or).expect("ok");
+        nl.add_gate(GateKind::Xor, &[x, y], p, delays.xor)
+            .expect("ok");
+        nl.add_gate(GateKind::Xor, &[p, c], s, delays.xor)
+            .expect("ok");
+        nl.add_gate(GateKind::And, &[x, y], g, delays.and_or)
+            .expect("ok");
+        nl.add_gate(GateKind::And, &[p, c], t, delays.and_or)
+            .expect("ok");
+        nl.add_gate(GateKind::Or, &[g, t], co, delays.and_or)
+            .expect("ok");
         (s, co)
     };
     let zero = {
@@ -241,7 +261,11 @@ pub fn array_multiplier(n: usize, delays: CsaDelays) -> Netlist {
         let mut new_acc = Vec::with_capacity(n);
         #[allow(clippy::needless_range_loop)] // i indexes two parallel arrays
         for i in 0..n {
-            let x = if i < acc_rest.len() { acc_rest[i] } else { zero };
+            let x = if i < acc_rest.len() {
+                acc_rest[i]
+            } else {
+                zero
+            };
             let y = pp[i][j];
             let (s, c) = full_adder(&mut nl, x, y, carry, format!("fa{j}_{i}"));
             new_acc.push(s);
@@ -291,8 +315,10 @@ pub fn kogge_stone_adder(n: usize, delays: CsaDelays) -> Netlist {
         let b = nl.add_input(format!("b{i}"));
         let gi = nl.add_net(format!("g0_{i}"));
         let pi = nl.add_net(format!("p0_{i}"));
-        nl.add_gate(GateKind::And, &[a, b], gi, delays.and_or).expect("ok");
-        nl.add_gate(GateKind::Xor, &[a, b], pi, delays.xor).expect("ok");
+        nl.add_gate(GateKind::And, &[a, b], gi, delays.and_or)
+            .expect("ok");
+        nl.add_gate(GateKind::Xor, &[a, b], pi, delays.xor)
+            .expect("ok");
         g.push(gi);
         p.push(pi);
         half_sum.push(pi);
@@ -364,7 +390,12 @@ mod tests {
     fn carry_select_adds() {
         let nl = carry_select_adder(6, 2, CsaDelays::default());
         nl.validate().unwrap();
-        for (a, b, c) in [(0u64, 0u64, false), (63, 1, false), (42, 21, true), (33, 31, false)] {
+        for (a, b, c) in [
+            (0u64, 0u64, false),
+            (63, 1, false),
+            (42, 21, true),
+            (33, 31, false),
+        ] {
             let expect = a + b + u64::from(c);
             let (s, cout) = add_via(&nl, 6, a, b, c);
             assert_eq!(s, expect & 63, "a={a} b={b} c={c}");

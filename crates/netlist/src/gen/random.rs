@@ -84,7 +84,9 @@ pub fn random_circuit(name: &str, spec: RandomCircuitSpec) -> Netlist {
     assert!(spec.gates > 0, "need at least one gate");
     let mut rng = Rng::seed_from_u64(spec.seed);
     let mut nl = Netlist::new(name);
-    let mut pool: Vec<NetId> = (0..spec.inputs).map(|i| nl.add_input(format!("i{i}"))).collect();
+    let mut pool: Vec<NetId> = (0..spec.inputs)
+        .map(|i| nl.add_input(format!("i{i}")))
+        .collect();
 
     for g in 0..spec.gates {
         let kind = pick_kind(&mut rng, spec.mix);
@@ -226,7 +228,7 @@ mod tests {
                 seed,
                 locality: 16,
                 global_fanin_prob: 0.2,
-            mix: GateMix::default(),
+                mix: GateMix::default(),
             };
             let nl = random_circuit("r", spec);
             nl.validate().unwrap();

@@ -66,7 +66,9 @@ pub fn parse(text: &str) -> Result<(Design, Option<String>), NetlistError> {
                 current = Some(Builder::new(name));
             }
             "endmodule" => {
-                let b = current.take().ok_or_else(|| err(lineno, "stray endmodule"))?;
+                let b = current
+                    .take()
+                    .ok_or_else(|| err(lineno, "stray endmodule"))?;
                 b.finish(&mut design, lineno)?;
             }
             "top" => {
@@ -82,7 +84,10 @@ pub fn parse(text: &str) -> Result<(Design, Option<String>), NetlistError> {
         }
     }
     if current.is_some() {
-        return Err(err(text.lines().count(), "missing endmodule at end of file"));
+        return Err(err(
+            text.lines().count(),
+            "missing endmodule at end of file",
+        ));
     }
     design.validate()?;
     Ok((design, top))
@@ -131,14 +136,15 @@ impl Builder {
         }
     }
 
-    fn statement(&mut self, keyword: &str, rest: &[&str], lineno: usize) -> Result<(), NetlistError> {
+    fn statement(
+        &mut self,
+        keyword: &str,
+        rest: &[&str],
+        lineno: usize,
+    ) -> Result<(), NetlistError> {
         match keyword {
-            "input" => self
-                .inputs
-                .extend(rest.iter().map(|s| s.to_string())),
-            "output" => self
-                .outputs
-                .extend(rest.iter().map(|s| s.to_string())),
+            "input" => self.inputs.extend(rest.iter().map(|s| s.to_string())),
+            "output" => self.outputs.extend(rest.iter().map(|s| s.to_string())),
             "net" => self.nets.extend(rest.iter().map(|s| s.to_string())),
             "gate" => {
                 if matches!(self.kind, Kind::Composite) {

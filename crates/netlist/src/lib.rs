@@ -49,8 +49,8 @@ pub mod partition;
 pub mod seq;
 pub mod sim;
 pub mod stats;
-pub mod transform;
 mod time;
+pub mod transform;
 
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind, NetId};

@@ -37,9 +37,13 @@ pub fn cascade_bipartition(flat: &Netlist, fraction: f64) -> Result<Design, Netl
     );
     assert!(flat.gate_count() > 0, "cannot partition an empty netlist");
     let order = flat.topo_gates()?;
-    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-    let split = ((flat.gate_count() as f64 * fraction).ceil() as usize)
-        .clamp(1, flat.gate_count() - 1);
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let split =
+        ((flat.gate_count() as f64 * fraction).ceil() as usize).clamp(1, flat.gate_count() - 1);
     bipartition_at(flat, &order, split)
 }
 
@@ -71,7 +75,10 @@ pub fn cascade_bipartition_min_cut(
         min_fraction > 0.0 && min_fraction <= max_fraction && max_fraction < 1.0,
         "need 0 < min_fraction <= max_fraction < 1"
     );
-    assert!(flat.gate_count() > 1, "cannot partition fewer than two gates");
+    assert!(
+        flat.gate_count() > 1,
+        "cannot partition fewer than two gates"
+    );
     let order = flat.topo_gates()?;
     let n = flat.gate_count();
     // Topological position of each gate.
@@ -88,10 +95,7 @@ pub fn cascade_bipartition_min_cut(
             continue;
         };
         let d = pos[driver.index()];
-        let last_reader = fanouts[net.index()]
-            .iter()
-            .map(|g| pos[g.index()])
-            .max();
+        let last_reader = fanouts[net.index()].iter().map(|g| pos[g.index()]).max();
         if let Some(r) = last_reader {
             if r > d {
                 // The net crosses every split k with d < k <= r.
@@ -100,9 +104,17 @@ pub fn cascade_bipartition_min_cut(
             }
         }
     }
-    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
     let lo = ((n as f64 * min_fraction).ceil() as usize).clamp(1, n - 1);
-    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
     let hi = ((n as f64 * max_fraction).floor() as usize).clamp(lo, n - 1);
     let mut cut = 0i64;
     let mut best = (i64::MAX, lo);
@@ -121,7 +133,6 @@ fn bipartition_at(
     order: &[crate::GateId],
     split: usize,
 ) -> Result<Design, NetlistError> {
-
     // side[gate] = true if the gate belongs to the head.
     let mut head_gate = vec![false; flat.gate_count()];
     for &g in &order[..split] {
@@ -253,12 +264,7 @@ fn bipartition_at(
                 overrides: Option<&HashMap<NetId, NetId>>|
      -> Vec<NetId> {
         nets.iter()
-            .map(|n| {
-                overrides
-                    .and_then(|o| o.get(n))
-                    .copied()
-                    .unwrap_or(map[n])
-            })
+            .map(|n| overrides.and_then(|o| o.get(n)).copied().unwrap_or(map[n]))
             .collect()
     };
     top.add_instance(
@@ -300,7 +306,9 @@ mod tests {
         assert_eq!(flat.outputs().len(), reflat.outputs().len());
         // Port order may differ, so compare by name-keyed exhaustive sim.
         for v in 0u64..(1 << flat.inputs().len()) {
-            let vec_flat: Vec<bool> = (0..flat.inputs().len()).map(|i| (v >> i) & 1 == 1).collect();
+            let vec_flat: Vec<bool> = (0..flat.inputs().len())
+                .map(|i| (v >> i) & 1 == 1)
+                .collect();
             let out_flat = sim::eval(&flat, &vec_flat).unwrap();
             // Build reflat's input vector by matching names.
             let mut vec2 = vec![false; reflat.inputs().len()];
@@ -334,7 +342,7 @@ mod tests {
             seed: 11,
             locality: 8,
             global_fanin_prob: 0.2,
-                mix: Default::default(),
+            mix: Default::default(),
         };
         let flat = random_circuit("r60", spec);
         let design = cascade_bipartition(&flat, 0.5).unwrap();
@@ -375,7 +383,7 @@ mod tests {
             seed: 3,
             locality: 12,
             global_fanin_prob: 0.2,
-                mix: Default::default(),
+            mix: Default::default(),
         };
         let flat = random_circuit("c", spec);
         let design = cascade_bipartition(&flat, 0.4).unwrap();

@@ -219,7 +219,10 @@ mod tests {
         let seq = toggle();
         let trace = seq.simulate(&vec![vec![]; 4]).unwrap();
         // out observes q: 0, 1, 0, 1.
-        assert_eq!(trace, vec![vec![false], vec![true], vec![false], vec![true]]);
+        assert_eq!(
+            trace,
+            vec![vec![false], vec![true], vec![false], vec![true]]
+        );
     }
 
     #[test]

@@ -52,8 +52,18 @@ impl NetlistStats {
         let mut ddepth = vec![0u64; netlist.net_count()];
         for &g in &order {
             let gate = netlist.gate(g);
-            let d = gate.inputs.iter().map(|n| depth[n.index()]).max().unwrap_or(0);
-            let dd = gate.inputs.iter().map(|n| ddepth[n.index()]).max().unwrap_or(0);
+            let d = gate
+                .inputs
+                .iter()
+                .map(|n| depth[n.index()])
+                .max()
+                .unwrap_or(0);
+            let dd = gate
+                .inputs
+                .iter()
+                .map(|n| ddepth[n.index()])
+                .max()
+                .unwrap_or(0);
             depth[gate.output.index()] = d + 1;
             ddepth[gate.output.index()] = dd + u64::from(gate.delay);
         }
@@ -101,11 +111,7 @@ pub fn to_dot(netlist: &Netlist) -> String {
     let _ = writeln!(s, "digraph \"{}\" {{", netlist.name());
     let _ = writeln!(s, "  rankdir=LR;");
     for &pi in netlist.inputs() {
-        let _ = writeln!(
-            s,
-            "  \"{}\" [shape=diamond];",
-            netlist.net_name(pi)
-        );
+        let _ = writeln!(s, "  \"{}\" [shape=diamond];", netlist.net_name(pi));
     }
     for (i, g) in netlist.gates().iter().enumerate() {
         let gid = format!("g{i}");
@@ -156,8 +162,9 @@ pub fn kind_fraction(netlist: &Netlist, kind: GateKind) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{carry_skip_block, parity_tree, random_circuit, CsaDelays, GateMix,
-        RandomCircuitSpec};
+    use crate::gen::{
+        carry_skip_block, parity_tree, random_circuit, CsaDelays, GateMix, RandomCircuitSpec,
+    };
 
     #[test]
     fn block_stats() {

@@ -221,9 +221,7 @@ mod tests {
 
     #[test]
     fn sum_of_times() {
-        let total: Time = [Time::new(1), Time::new(2), Time::new(3)]
-            .into_iter()
-            .sum();
+        let total: Time = [Time::new(1), Time::new(2), Time::new(3)].into_iter().sum();
         assert_eq!(total, Time::new(6));
     }
 

@@ -33,7 +33,8 @@ pub fn decompose_mux(netlist: &Netlist) -> Netlist {
             let ns = out.add_net(format!("{}_ns", netlist.net_name(g.output)));
             let u = out.add_net(format!("{}_u", netlist.net_name(g.output)));
             let v = out.add_net(format!("{}_v", netlist.net_name(g.output)));
-            out.add_gate(GateKind::Not, &[s], ns, 0).expect("transform invariant");
+            out.add_gate(GateKind::Not, &[s], ns, 0)
+                .expect("transform invariant");
             out.add_gate(GateKind::And, &[s, a], u, g.delay)
                 .expect("transform invariant");
             out.add_gate(GateKind::And, &[ns, b], v, g.delay)
@@ -93,11 +94,7 @@ pub fn strip_buffers(netlist: &Netlist) -> Netlist {
         if stripped[i] {
             continue;
         }
-        let ins: Vec<NetId> = g
-            .inputs
-            .iter()
-            .map(|&n| lookup(n, &map, &alias))
-            .collect();
+        let ins: Vec<NetId> = g.inputs.iter().map(|&n| lookup(n, &map, &alias)).collect();
         out.add_gate(g.kind, &ins, lookup(g.output, &map, &alias), g.delay)
             .expect("transform invariant");
     }

@@ -16,16 +16,29 @@ fn small_spec() -> impl Strategy<Value = RandomCircuitSpec> {
             seed: rng.next_u64(),
             locality: 6,
             global_fanin_prob: 0.25,
-            mix: if rng.next_bool() { GateMix::XorHeavy } else { GateMix::NandHeavy },
+            mix: if rng.next_bool() {
+                GateMix::XorHeavy
+            } else {
+                GateMix::NandHeavy
+            },
         },
         |spec: &RandomCircuitSpec| {
             let mut out = Vec::new();
             if spec.gates > 3 {
-                out.push(RandomCircuitSpec { gates: 3.max(spec.gates / 2), ..*spec });
-                out.push(RandomCircuitSpec { gates: spec.gates - 1, ..*spec });
+                out.push(RandomCircuitSpec {
+                    gates: 3.max(spec.gates / 2),
+                    ..*spec
+                });
+                out.push(RandomCircuitSpec {
+                    gates: spec.gates - 1,
+                    ..*spec
+                });
             }
             if spec.inputs > 2 {
-                out.push(RandomCircuitSpec { inputs: spec.inputs - 1, ..*spec });
+                out.push(RandomCircuitSpec {
+                    inputs: spec.inputs - 1,
+                    ..*spec
+                });
             }
             if spec.seed != 0 {
                 out.push(RandomCircuitSpec { seed: 0, ..*spec });

@@ -1,4 +1,4 @@
-use crate::{Lit, SatResult, Solver, Var};
+use crate::{BudgetedSatResult, Lit, SatResult, SolveBudget, Solver, Var};
 
 /// Incremental Tseitin-style CNF construction over a [`Solver`].
 ///
@@ -145,10 +145,29 @@ impl CnfBuilder {
         self.solver.solve_with(assumptions)
     }
 
+    /// Solves under assumptions within a resource budget.
+    pub fn solve_with_budget(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &SolveBudget,
+    ) -> BudgetedSatResult {
+        self.solver.solve_budgeted(assumptions, budget)
+    }
+
     /// Returns `true` if `l` holds in every satisfying assignment
     /// (decided by refuting `¬l`).
     pub fn is_implied(&mut self, l: Lit) -> bool {
         self.solver.solve_with(&[!l]) == SatResult::Unsat
+    }
+
+    /// Budgeted [`CnfBuilder::is_implied`]: `None` when the budget ran
+    /// out before the implication query was decided.
+    pub fn is_implied_budgeted(&mut self, l: Lit, budget: &SolveBudget) -> Option<bool> {
+        match self.solver.solve_budgeted(&[!l], budget) {
+            BudgetedSatResult::Unsat => Some(true),
+            BudgetedSatResult::Sat => Some(false),
+            BudgetedSatResult::Unknown(_) => None,
+        }
     }
 
     /// The value of a literal in the most recent model.

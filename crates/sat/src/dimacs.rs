@@ -101,7 +101,10 @@ pub fn parse(text: &str) -> Result<Solver, ParseDimacsError> {
             } else {
                 let var_index = v.unsigned_abs() as usize - 1;
                 if var_index >= nv {
-                    return Err(ParseDimacsError::VariableOutOfRange { line: lineno, var: v });
+                    return Err(ParseDimacsError::VariableOutOfRange {
+                        line: lineno,
+                        var: v,
+                    });
                 }
                 let var = Var::from_index(var_index);
                 clause.push(var.lit(v > 0));

@@ -1,3 +1,5 @@
+use std::time::Instant;
+
 use crate::{Lit, Var};
 
 /// Result of a satisfiability query.
@@ -8,6 +10,172 @@ pub enum SatResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+}
+
+/// Resource limits for one [`Solver::solve_budgeted`] call.
+///
+/// Each limit is relative to the call (not the solver's lifetime
+/// counters); `None` means unlimited. The default budget is unlimited
+/// on every axis, in which case `solve_budgeted` behaves exactly like
+/// [`Solver::solve_with`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolveBudget {
+    /// Maximum conflicts to analyze before giving up.
+    pub conflicts: Option<u64>,
+    /// Maximum unit propagations before giving up.
+    pub propagations: Option<u64>,
+    /// Maximum decisions before giving up.
+    pub decisions: Option<u64>,
+    /// Wall-clock instant past which the search gives up.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveBudget {
+    /// The unlimited budget: `solve_budgeted` never returns `Unknown`.
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        conflicts: None,
+        propagations: None,
+        decisions: None,
+        deadline: None,
+    };
+
+    /// `true` when no limit is set on any axis.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.conflicts.is_none()
+            && self.propagations.is_none()
+            && self.decisions.is_none()
+            && self.deadline.is_none()
+    }
+
+    /// Returns this budget with a conflict limit.
+    #[must_use]
+    pub fn with_conflicts(mut self, n: u64) -> SolveBudget {
+        self.conflicts = Some(n);
+        self
+    }
+
+    /// Returns this budget with a propagation limit.
+    #[must_use]
+    pub fn with_propagations(mut self, n: u64) -> SolveBudget {
+        self.propagations = Some(n);
+        self
+    }
+
+    /// Returns this budget with a decision limit.
+    #[must_use]
+    pub fn with_decisions(mut self, n: u64) -> SolveBudget {
+        self.decisions = Some(n);
+        self
+    }
+
+    /// Returns this budget with a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, at: Instant) -> SolveBudget {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Pointwise minimum of two budgets (tightest limit on each axis).
+    #[must_use]
+    pub fn tightened(self, other: &SolveBudget) -> SolveBudget {
+        fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        SolveBudget {
+            conflicts: min_opt(self.conflicts, other.conflicts),
+            propagations: min_opt(self.propagations, other.propagations),
+            decisions: min_opt(self.decisions, other.decisions),
+            deadline: match (self.deadline, other.deadline) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            },
+        }
+    }
+}
+
+/// Which budget axis was exhausted by a [`Solver::solve_budgeted`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetExhausted {
+    /// The conflict limit was hit.
+    Conflicts,
+    /// The propagation limit was hit.
+    Propagations,
+    /// The decision limit was hit.
+    Decisions,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            BudgetExhausted::Conflicts => "conflict budget",
+            BudgetExhausted::Propagations => "propagation budget",
+            BudgetExhausted::Decisions => "decision budget",
+            BudgetExhausted::Deadline => "deadline",
+        };
+        f.write_str(label)
+    }
+}
+
+/// Result of a budgeted satisfiability query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetedSatResult {
+    /// A satisfying assignment was found.
+    Sat,
+    /// Definitively unsatisfiable (under the given assumptions). A
+    /// refutation found within budget is a real refutation — budget
+    /// exhaustion can only lose answers, never fabricate them.
+    Unsat,
+    /// The budget ran out before the search concluded. Callers must
+    /// treat this conservatively (for timing analysis: "not provably
+    /// stable").
+    Unknown(BudgetExhausted),
+}
+
+impl BudgetedSatResult {
+    /// `Some(Sat)`/`Some(Unsat)` for decided queries, `None` for
+    /// `Unknown`.
+    #[must_use]
+    pub fn known(self) -> Option<SatResult> {
+        match self {
+            BudgetedSatResult::Sat => Some(SatResult::Sat),
+            BudgetedSatResult::Unsat => Some(SatResult::Unsat),
+            BudgetedSatResult::Unknown(_) => None,
+        }
+    }
+}
+
+impl From<SatResult> for BudgetedSatResult {
+    fn from(r: SatResult) -> BudgetedSatResult {
+        match r {
+            SatResult::Sat => BudgetedSatResult::Sat,
+            SatResult::Unsat => BudgetedSatResult::Unsat,
+        }
+    }
+}
+
+/// Absolute (lifetime-counter) thresholds derived from a
+/// [`SolveBudget`] at `solve_budgeted` entry.
+#[derive(Clone, Copy, Debug)]
+struct Limits {
+    conflicts: Option<u64>,
+    propagations: Option<u64>,
+    decisions: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+/// Outcome of one [`Solver::search`] episode.
+enum SearchOutcome {
+    Done(SatResult),
+    Restart,
+    Exhausted(BudgetExhausted),
 }
 
 /// Counters describing the work a [`Solver`] has performed.
@@ -147,7 +315,10 @@ impl Solver {
     /// level 0 between `solve` calls) or if a literal references an
     /// unallocated variable.
     pub fn add_clause(&mut self, lits: &[Lit]) {
-        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         if !self.ok {
             return;
         }
@@ -511,9 +682,10 @@ impl Solver {
         let mut restarts = 0u64;
         let result = loop {
             let budget = luby(restarts) * 256;
-            match self.search(assumptions, budget) {
-                Some(r) => break r,
-                None => {
+            match self.search(assumptions, budget, None) {
+                SearchOutcome::Done(r) => break r,
+                SearchOutcome::Exhausted(_) => unreachable!("no limits were set"),
+                SearchOutcome::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
                     self.cancel_until(0);
@@ -527,17 +699,106 @@ impl Solver {
         result
     }
 
+    /// Like [`Solver::solve_with`], but interruptible: gives up with
+    /// [`BudgetedSatResult::Unknown`] once any limit in `budget` is
+    /// exceeded.
+    ///
+    /// With an unlimited budget this runs the exact same search as
+    /// `solve_with` (identical decisions, restarts, and counters). On
+    /// exhaustion the solver backtracks to level 0 and stays fully
+    /// usable — learnt clauses from the partial search are kept, and a
+    /// later call (budgeted or not) may finish the query. A `Sat` or
+    /// `Unsat` answer is always definitive; only `Unknown` is
+    /// inconclusive.
+    pub fn solve_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &SolveBudget,
+    ) -> BudgetedSatResult {
+        self.stats.solves += 1;
+        if !self.ok {
+            // Permanently UNSAT at the top level — definitive no matter
+            // the budget.
+            return BudgetedSatResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let limits = Limits {
+            conflicts: budget
+                .conflicts
+                .map(|n| self.stats.conflicts.saturating_add(n)),
+            propagations: budget
+                .propagations
+                .map(|n| self.stats.propagations.saturating_add(n)),
+            decisions: budget
+                .decisions
+                .map(|n| self.stats.decisions.saturating_add(n)),
+            deadline: budget.deadline,
+        };
+        let mut restarts = 0u64;
+        let result = loop {
+            let max_conflicts = luby(restarts) * 256;
+            match self.search(assumptions, max_conflicts, Some(&limits)) {
+                SearchOutcome::Done(r) => break r.into(),
+                SearchOutcome::Exhausted(why) => break BudgetedSatResult::Unknown(why),
+                SearchOutcome::Restart => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        };
+        if result == BudgetedSatResult::Sat {
+            self.model = self.assign.clone();
+        }
+        self.cancel_until(0);
+        result
+    }
+
+    /// Checks the lifetime counters against absolute limits. The check
+    /// order (conflicts, propagations, decisions, deadline) is fixed so
+    /// the reported exhaustion reason is deterministic for
+    /// deterministic budgets.
+    fn budget_exceeded(&self, lim: &Limits) -> Option<BudgetExhausted> {
+        if lim.conflicts.is_some_and(|n| self.stats.conflicts >= n) {
+            return Some(BudgetExhausted::Conflicts);
+        }
+        if lim
+            .propagations
+            .is_some_and(|n| self.stats.propagations >= n)
+        {
+            return Some(BudgetExhausted::Propagations);
+        }
+        if lim.decisions.is_some_and(|n| self.stats.decisions >= n) {
+            return Some(BudgetExhausted::Decisions);
+        }
+        if lim.deadline.is_some_and(|at| Instant::now() >= at) {
+            return Some(BudgetExhausted::Deadline);
+        }
+        None
+    }
+
     /// Runs CDCL search for at most `max_conflicts` conflicts.
-    /// `None` means "restart requested".
-    fn search(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SatResult> {
+    /// `Restart` means "restart requested"; `Exhausted` is only
+    /// possible when `limits` is set.
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+        limits: Option<&Limits>,
+    ) -> SearchOutcome {
         let mut conflicts = 0u64;
         loop {
+            if let Some(lim) = limits {
+                if let Some(why) = self.budget_exceeded(lim) {
+                    return SearchOutcome::Exhausted(why);
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
-                    return Some(SatResult::Unsat);
+                    return SearchOutcome::Done(SatResult::Unsat);
                 }
                 let (learnt, bt) = self.analyze(confl);
                 self.cancel_until(bt);
@@ -555,7 +816,7 @@ impl Solver {
                     self.max_learnts += self.max_learnts / 10;
                 }
                 if conflicts >= max_conflicts {
-                    return None;
+                    return SearchOutcome::Restart;
                 }
             } else {
                 // Assumptions first, then VSIDS decisions.
@@ -567,7 +828,7 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                         }
                         LBool::False => {
-                            return Some(SatResult::Unsat);
+                            return SearchOutcome::Done(SatResult::Unsat);
                         }
                         LBool::Undef => {
                             self.stats.decisions += 1;
@@ -578,7 +839,7 @@ impl Solver {
                     continue;
                 }
                 let Some(v) = self.pick_branch_var() else {
-                    return Some(SatResult::Sat);
+                    return SearchOutcome::Done(SatResult::Sat);
                 };
                 self.stats.decisions += 1;
                 self.trail_lim.push(self.trail.len());
@@ -824,7 +1085,10 @@ mod tests {
         let mut s = Solver::new();
         let v = lits(&mut s, 2);
         s.add_clause(&[v[0].negative(), v[1].positive()]); // a -> b
-        assert_eq!(s.solve_with(&[v[0].positive(), v[1].negative()]), SatResult::Unsat);
+        assert_eq!(
+            s.solve_with(&[v[0].positive(), v[1].negative()]),
+            SatResult::Unsat
+        );
         assert_eq!(s.solve_with(&[v[0].positive()]), SatResult::Sat);
         assert_eq!(s.value(v[1]), Some(true));
         // The clause database is unaffected by assumptions.
@@ -881,6 +1145,129 @@ mod tests {
         let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
         let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn zero_budget_returns_unknown() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        let budget = SolveBudget::default().with_conflicts(0);
+        assert_eq!(
+            s.solve_budgeted(&[], &budget),
+            BudgetedSatResult::Unknown(BudgetExhausted::Conflicts)
+        );
+        // Solver remains usable and still at level 0.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn zero_decision_budget_reports_decisions() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        let budget = SolveBudget::default().with_decisions(0);
+        assert_eq!(
+            s.solve_budgeted(&[], &budget),
+            BudgetedSatResult::Unknown(BudgetExhausted::Decisions)
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_matches_solve() {
+        let mut a = Solver::new();
+        let mut b = Solver::new();
+        let va = lits(&mut a, 4);
+        let vb = lits(&mut b, 4);
+        for (s, v) in [(&mut a, &va), (&mut b, &vb)] {
+            let all: Vec<Lit> = v.iter().map(|x| x.positive()).collect();
+            s.add_clause(&all);
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    s.add_clause(&[v[i].negative(), v[j].negative()]);
+                }
+            }
+        }
+        let plain = a.solve();
+        let budgeted = b.solve_budgeted(&[], &SolveBudget::UNLIMITED);
+        assert_eq!(BudgetedSatResult::from(plain), budgeted);
+        // The searches are bit-identical: same work counters.
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn budgeted_finds_unsat_within_budget() {
+        // A definitive answer within budget is a real answer.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[v[0].positive()]);
+        s.add_clause(&[v[0].negative()]);
+        let budget = SolveBudget::default().with_conflicts(1_000);
+        assert_eq!(s.solve_budgeted(&[], &budget), BudgetedSatResult::Unsat);
+        // Top-level UNSAT is permanent regardless of future budgets.
+        assert_eq!(
+            s.solve_budgeted(&[], &SolveBudget::default().with_conflicts(0)),
+            BudgetedSatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_keeps_solver_reusable() {
+        // Pigeonhole 5→4 needs many conflicts; a 1-conflict budget
+        // exhausts, then an unlimited call still proves UNSAT.
+        let n = 5;
+        let m = 4;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&c);
+        }
+        #[allow(clippy::needless_range_loop)] // j enumerates holes
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        let tight = SolveBudget::default().with_conflicts(1);
+        assert_eq!(
+            s.solve_budgeted(&[], &tight),
+            BudgetedSatResult::Unknown(BudgetExhausted::Conflicts)
+        );
+        assert_eq!(
+            s.solve_budgeted(&[], &SolveBudget::UNLIMITED),
+            BudgetedSatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn past_deadline_exhausts_immediately() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        let budget = SolveBudget::default().with_deadline(std::time::Instant::now());
+        assert_eq!(
+            s.solve_budgeted(&[], &budget),
+            BudgetedSatResult::Unknown(BudgetExhausted::Deadline)
+        );
+    }
+
+    #[test]
+    fn budget_tightening_takes_pointwise_min() {
+        let a = SolveBudget::default().with_conflicts(10).with_decisions(5);
+        let b = SolveBudget::default()
+            .with_conflicts(3)
+            .with_propagations(7);
+        let t = a.tightened(&b);
+        assert_eq!(t.conflicts, Some(3));
+        assert_eq!(t.propagations, Some(7));
+        assert_eq!(t.decisions, Some(5));
+        assert!(SolveBudget::UNLIMITED.is_unlimited());
+        assert!(!t.is_unlimited());
     }
 
     #[test]

@@ -11,9 +11,15 @@
 //!
 //! * `HFTA_BENCH_WARMUP` — warmup iterations per benchmark (default 3).
 //! * `HFTA_BENCH_ITERS` — timed iterations per benchmark (default 15).
-//! * `HFTA_BENCH_JSON` — when set, the directory to write
-//!   `BENCH_<harness>.json` into (`1` or an empty value means the
-//!   current directory).
+//! * `HFTA_BENCH_JSON` — when set, where JSON records go. A value
+//!   ending in `.json` names one file that records are **appended** to
+//!   (so several bench binaries, or several runs over time, build one
+//!   trajectory file); any other value is a directory that gets a
+//!   fresh `BENCH_<harness>.json` per harness (`1` or an empty value
+//!   means the current directory).
+//! * `HFTA_GIT_REV` — overrides the `git_rev` stamped into each record
+//!   (otherwise `git rev-parse --short HEAD`, or `unknown` outside a
+//!   checkout).
 
 use std::hint::black_box;
 use std::io::Write as _;
@@ -22,6 +28,8 @@ use std::time::{Duration, Instant};
 /// One benchmark measurement.
 #[derive(Clone, Debug)]
 pub struct Record {
+    /// Harness (bench binary) name, e.g. `ablation`.
+    pub bench: String,
     /// Group name (e.g. `table1_carry_skip`).
     pub group: String,
     /// Benchmark id within the group (e.g. `hier_demand/8`).
@@ -36,15 +44,25 @@ pub struct Record {
     pub median: Duration,
     /// 95th-percentile iteration time.
     pub p95: Duration,
+    /// Short git revision of the workspace being measured (`unknown`
+    /// outside a checkout; override with `HFTA_GIT_REV`).
+    pub git_rev: String,
 }
 
 impl Record {
-    /// The record as one JSON line (no trailing newline).
+    /// The record as one JSON line (no trailing newline). `case` is the
+    /// fully qualified `group/id`, so a trajectory file mixing several
+    /// bench binaries still keys cleanly on `(bench, case)`.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"group\":\"{}\",\"id\":\"{}\",\"iters\":{},\
-             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{}}}",
+            "{{\"bench\":\"{}\",\"case\":\"{}/{}\",\
+             \"group\":\"{}\",\"id\":\"{}\",\"iters\":{},\
+             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\
+             \"git_rev\":\"{}\"}}",
+            escape(&self.bench),
+            escape(&self.group),
+            escape(&self.id),
             escape(&self.group),
             escape(&self.id),
             self.iters,
@@ -52,8 +70,29 @@ impl Record {
             self.mean.as_nanos(),
             self.median.as_nanos(),
             self.p95.as_nanos(),
+            escape(&self.git_rev),
         )
     }
+}
+
+/// The short git revision to stamp into records: `HFTA_GIT_REV` if
+/// set, else `git rev-parse --short HEAD`, else `unknown`.
+fn resolve_git_rev() -> String {
+    if let Ok(rev) = std::env::var("HFTA_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn escape(s: &str) -> String {
@@ -80,6 +119,7 @@ pub struct Harness {
     name: String,
     warmup: u32,
     iters: u32,
+    git_rev: String,
     records: Vec<Record>,
 }
 
@@ -90,13 +130,22 @@ impl Harness {
     pub fn new(name: &str) -> Harness {
         let warmup = env_u32("HFTA_BENCH_WARMUP", 3);
         let iters = env_u32("HFTA_BENCH_ITERS", 15).max(1);
-        Harness { name: name.to_string(), warmup, iters, records: Vec::new() }
+        Harness {
+            name: name.to_string(),
+            warmup,
+            iters,
+            git_rev: resolve_git_rev(),
+            records: Vec::new(),
+        }
     }
 
     /// Opens a benchmark group; measurements print as they complete.
     pub fn group(&mut self, group: &str) -> Group<'_> {
         println!("\n== {} ==", group);
-        Group { harness: self, group: group.to_string() }
+        Group {
+            harness: self,
+            group: group.to_string(),
+        }
     }
 
     /// All measurements so far.
@@ -105,22 +154,45 @@ impl Harness {
         &self.records
     }
 
-    /// Prints the summary and writes `BENCH_<name>.json` if
-    /// `HFTA_BENCH_JSON` is set. Returns the records.
+    /// Prints the summary and writes the JSON records if
+    /// `HFTA_BENCH_JSON` is set: appended to the named file when the
+    /// value ends in `.json`, else to a fresh `BENCH_<name>.json` in
+    /// the named directory. Returns the records.
     ///
     /// # Panics
     ///
     /// Panics if the JSON file cannot be written.
     pub fn finish(self) -> Vec<Record> {
-        if let Ok(dir) = std::env::var("HFTA_BENCH_JSON") {
-            let dir = if dir.is_empty() || dir == "1" { ".".to_string() } else { dir };
-            let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
-            let mut f = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        if let Ok(dest) = std::env::var("HFTA_BENCH_JSON") {
+            let dest = if dest.is_empty() || dest == "1" {
+                ".".to_string()
+            } else {
+                dest
+            };
+            let (path, append) = if dest.ends_with(".json") {
+                (std::path::PathBuf::from(&dest), true)
+            } else {
+                let p = std::path::Path::new(&dest).join(format!("BENCH_{}.json", self.name));
+                (p, false)
+            };
+            let mut f = if append {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+            } else {
+                std::fs::File::create(&path)
+            }
+            .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
             for r in &self.records {
                 writeln!(f, "{}", r.to_json()).expect("write JSON line");
             }
-            println!("\nwrote {} record(s) to {}", self.records.len(), path.display());
+            println!(
+                "\n{} {} record(s) to {}",
+                if append { "appended" } else { "wrote" },
+                self.records.len(),
+                path.display()
+            );
         }
         self.records
     }
@@ -140,6 +212,7 @@ impl Harness {
         let n = samples.len();
         let total: Duration = samples.iter().sum();
         let record = Record {
+            bench: self.name.clone(),
             group: group.to_string(),
             id: id.to_string(),
             iters: self.iters,
@@ -147,6 +220,7 @@ impl Harness {
             mean: total / self.iters,
             median: samples[n / 2],
             p95: samples[(n * 95).div_ceil(100).saturating_sub(1).min(n - 1)],
+            git_rev: self.git_rev.clone(),
         };
         println!(
             "{:<36} median {:>9}  p95 {:>9}  min {:>9}  (n={})",
@@ -214,6 +288,7 @@ mod tests {
     #[test]
     fn json_line_shape() {
         let r = Record {
+            bench: "selfbench".into(),
             group: "g".into(),
             id: "id/2".into(),
             iters: 5,
@@ -221,12 +296,59 @@ mod tests {
             mean: Duration::from_nanos(150),
             median: Duration::from_nanos(140),
             p95: Duration::from_nanos(200),
+            git_rev: "abc1234".into(),
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
-        for key in ["\"group\":\"g\"", "\"id\":\"id/2\"", "\"iters\":5", "\"median_ns\":140"] {
+        for key in [
+            "\"group\":\"g\"",
+            "\"id\":\"id/2\"",
+            "\"iters\":5",
+            "\"median_ns\":140",
+            "\"bench\":\"selfbench\"",
+            "\"case\":\"g/id/2\"",
+            "\"git_rev\":\"abc1234\"",
+        ] {
             assert!(j.contains(key), "{j} missing {key}");
         }
+    }
+
+    /// A `.json`-suffixed `HFTA_BENCH_JSON` destination appends, so
+    /// consecutive harness runs accumulate one trajectory file.
+    #[test]
+    fn json_file_destination_appends() {
+        let dir = std::env::temp_dir().join(format!("hfta_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_smoke.json");
+        let _ = std::fs::remove_file(&path);
+        for round in 0..2 {
+            let mut h = Harness::new("selftest_append");
+            h.warmup = 0;
+            h.iters = 1;
+            h.git_rev = "deadbee".into();
+            h.group("g").bench("x", || round);
+            // finish() reads the env var; scope it tightly. Tests in
+            // this module do not otherwise touch HFTA_BENCH_JSON.
+            std::env::set_var("HFTA_BENCH_JSON", &path);
+            h.finish();
+            std::env::remove_var("HFTA_BENCH_JSON");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "append accumulated both runs:\n{text}");
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            for key in [
+                "\"bench\":\"selftest_append\"",
+                "\"case\":\"g/x\"",
+                "\"git_rev\":\"deadbee\"",
+                "\"median_ns\":",
+            ] {
+                assert!(line.contains(key), "{line} missing {key}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -154,14 +154,20 @@ pub struct LenRange {
 impl From<core::ops::Range<usize>> for LenRange {
     fn from(r: core::ops::Range<usize>) -> LenRange {
         assert!(r.start < r.end, "empty length range");
-        LenRange { min: r.start, max: r.end - 1 }
+        LenRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<core::ops::RangeInclusive<usize>> for LenRange {
     fn from(r: core::ops::RangeInclusive<usize>) -> LenRange {
         assert!(r.start() <= r.end(), "empty length range");
-        LenRange { min: *r.start(), max: *r.end() }
+        LenRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
@@ -178,7 +184,10 @@ pub struct VecStrategy<S> {
 /// shrinking individual elements — always respecting the minimum
 /// length.
 pub fn vec_of<S: Strategy>(elem: S, len: impl Into<LenRange>) -> VecStrategy<S> {
-    VecStrategy { elem, len: len.into() }
+    VecStrategy {
+        elem,
+        len: len.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -263,7 +272,10 @@ where
     V: Clone + Debug,
     G: Fn(&mut Rng) -> V,
 {
-    FnStrategy { generate, shrink: |_| Vec::new() }
+    FnStrategy {
+        generate,
+        shrink: |_| Vec::new(),
+    }
 }
 
 /// A strategy from a generator closure plus a shrinker proposing
@@ -329,10 +341,7 @@ fn install_quiet_hook() {
 }
 
 /// Runs the property once, converting a panic into `Err(message)`.
-fn run_once<V>(
-    prop: &impl Fn(&V) -> Result<(), String>,
-    value: &V,
-) -> Result<(), String> {
+fn run_once<V>(prop: &impl Fn(&V) -> Result<(), String>, value: &V) -> Result<(), String> {
     install_quiet_hook();
     QUIET_PANICS.with(|q| q.set(true));
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
@@ -554,7 +563,10 @@ mod tests {
         .expect_err("property must fail");
         let msg = panic_message(err.as_ref());
         assert!(msg.contains("(500,)"), "report should pin 500: {msg}");
-        assert!(msg.contains("too big: 500"), "error from minimal case: {msg}");
+        assert!(
+            msg.contains("too big: 500"),
+            "error from minimal case: {msg}"
+        );
     }
 
     #[test]
@@ -569,7 +581,10 @@ mod tests {
         })
         .expect_err("property must fail");
         let msg = panic_message(err.as_ref());
-        assert!(msg.contains("([7],)"), "minimal vector should be [7]: {msg}");
+        assert!(
+            msg.contains("([7],)"),
+            "minimal vector should be [7]: {msg}"
+        );
     }
 
     #[test]

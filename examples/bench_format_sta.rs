@@ -29,8 +29,13 @@ z  = MUX(p0, c, k2) # delay=2
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nl = bench_format::parse(BENCH, "skip_demo")?;
-    println!("parsed `{}`: {} gates, {} inputs, {} outputs",
-        nl.name(), nl.gate_count(), nl.inputs().len(), nl.outputs().len());
+    println!(
+        "parsed `{}`: {} gates, {} inputs, {} outputs",
+        nl.name(),
+        nl.gate_count(),
+        nl.inputs().len(),
+        nl.outputs().len()
+    );
 
     // Topological vs functional delay, all inputs at t = 0.
     let arrivals = vec![Time::ZERO; nl.inputs().len()];
@@ -51,14 +56,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Table 2 methodology on this circuit: bipartition into a
     // cascade of two leaf modules and analyze hierarchically.
     let design = cascade_bipartition(&nl, 0.5)?;
-    let top = design.composite("skip_demo_top").expect("partitioner names it");
-    println!("\npartitioned into `{}` + `{}`",
+    let top = design
+        .composite("skip_demo_top")
+        .expect("partitioner names it");
+    println!(
+        "\npartitioned into `{}` + `{}`",
         design.leaf("skip_demo_head").expect("head").name(),
-        design.leaf("skip_demo_tail").expect("tail").name());
+        design.leaf("skip_demo_tail").expect("tail").name()
+    );
     let mut demand = DemandDrivenAnalyzer::new(&design, "skip_demo_top", Default::default())?;
     let result = demand.analyze(&vec![Time::ZERO; top.inputs().len()])?;
-    println!("hierarchical (demand-driven) delay = {} ({} stability checks, {} refinements)",
-        result.delay, result.checks, result.refinements);
+    println!(
+        "hierarchical (demand-driven) delay = {} ({} stability checks, {} refinements)",
+        result.delay, result.checks, result.refinements
+    );
     assert!(result.delay >= functional && result.delay <= topo);
     Ok(())
 }

@@ -7,8 +7,8 @@
 
 use hfta::netlist::gen::{carry_skip_adder, carry_skip_adder_flat, CsaDelays};
 use hfta::{
-    CharacterizeOptions, DelayAnalyzer, HierAnalyzer, HierOptions, ModelSource, ModuleTiming,
-    Time, TimingModel,
+    CharacterizeOptions, DelayAnalyzer, HierAnalyzer, HierOptions, ModelSource, ModuleTiming, Time,
+    TimingModel,
 };
 
 fn t(v: i64) -> Time {
@@ -46,15 +46,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------------------
     // The timing models of the 2-bit block (paper Section 4).
     // ---------------------------------------------------------------
-    let timing =
-        ModuleTiming::characterize(block, ModelSource::Functional, CharacterizeOptions::default())?;
+    let timing = ModuleTiming::characterize(
+        block,
+        ModelSource::Functional,
+        CharacterizeOptions::default(),
+    )?;
     println!("== timing models of the 2-bit carry-skip block ==");
-    println!("   (inputs ordered {} — compare the paper's Section 4)", timing.input_names().join(" < "));
+    println!(
+        "   (inputs ordered {} — compare the paper's Section 4)",
+        timing.input_names().join(" < ")
+    );
     for (name, model) in timing.output_names().iter().zip(timing.models()) {
         println!("  T_{name} = {model}");
     }
     let t_cout = timing.model(2);
-    assert_eq!(t_cout.tuples()[0].delay(0), t(2), "c_in→c_out false path captured");
+    assert_eq!(
+        t_cout.tuples()[0].delay(0),
+        t(2),
+        "c_in→c_out false path captured"
+    );
     println!();
     println!("Figure 3 — T_cout as a polygon (bar length = effective delay):");
     render_polygon(timing.input_names(), t_cout);
@@ -69,8 +79,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top = design.composite("csa4.2").expect("generator provides it");
     let tmp = top.find_net("c2").expect("intermediate carry");
     let c4 = top.find_net("c4").expect("final carry");
-    println!("  arrival(tmp = c2) = {}   (a0/b0 critical in block 1)", analysis.net_arrivals[tmp.index()]);
-    println!("  arrival(c4)       = {}  (tmp critical through the skip mux)", analysis.net_arrivals[c4.index()]);
+    println!(
+        "  arrival(tmp = c2) = {}   (a0/b0 critical in block 1)",
+        analysis.net_arrivals[tmp.index()]
+    );
+    println!(
+        "  arrival(c4)       = {}  (tmp critical through the skip mux)",
+        analysis.net_arrivals[c4.index()]
+    );
     assert_eq!(analysis.net_arrivals[tmp.index()], t(8));
     assert_eq!(analysis.net_arrivals[c4.index()], t(10));
     println!("  — matches flat analysis exactly.");

@@ -18,28 +18,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // and shared by all 8 instances.
     let arrivals = vec![Time::ZERO; 33];
     let first = session.analyze(&arrivals)?;
-    println!("initial analysis:      delay = {}, characterizations = {}",
-        first.delay, session.characterizations());
+    println!(
+        "initial analysis:      delay = {}, characterizations = {}",
+        first.delay,
+        session.characterizations()
+    );
 
     // New arrival condition: no characterization at all.
     let mut skewed = arrivals.clone();
     skewed[0] = Time::new(12); // late carry-in
     let second = session.analyze(&skewed)?;
-    println!("skewed arrivals:       delay = {}, characterizations = {}",
-        second.delay, session.characterizations());
+    println!(
+        "skewed arrivals:       delay = {}, characterizations = {}",
+        second.delay,
+        session.characterizations()
+    );
     assert_eq!(session.characterizations(), 1);
 
     // Module edit: swap in a slower block (XOR/MUX delay 3). Exactly
     // one re-characterization.
     let mut slower = carry_skip_block(
         2,
-        CsaDelays { and_or: 1, xor: 3, mux: 3 },
+        CsaDelays {
+            and_or: 1,
+            xor: 3,
+            mux: 3,
+        },
     );
     slower.set_name("csa_block2");
     session.replace_module(slower)?;
     let third = session.analyze(&arrivals)?;
-    println!("after module edit:     delay = {}, characterizations = {}",
-        third.delay, session.characterizations());
+    println!(
+        "after module edit:     delay = {}, characterizations = {}",
+        third.delay,
+        session.characterizations()
+    );
     assert_eq!(session.characterizations(), 2);
     assert!(third.delay > first.delay);
 
@@ -48,8 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     original.set_name("csa_block2");
     session.replace_module(original)?;
     let fourth = session.analyze(&arrivals)?;
-    println!("after reverting edit:  delay = {}, characterizations = {}",
-        fourth.delay, session.characterizations());
+    println!(
+        "after reverting edit:  delay = {}, characterizations = {}",
+        fourth.delay,
+        session.characterizations()
+    );
     assert_eq!(fourth.delay, first.delay);
     assert_eq!(session.characterizations(), 3); // re-characterized once more
 

@@ -17,8 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -------------------------------------------------------------
     let design = carry_skip_adder(8, 2, CsaDelays::default());
     let block = design.leaf("csa_block2").expect("generator provides it");
-    let timing =
-        ModuleTiming::characterize(block, ModelSource::Functional, CharacterizeOptions::default())?;
+    let timing = ModuleTiming::characterize(
+        block,
+        ModelSource::Functional,
+        CharacterizeOptions::default(),
+    )?;
     let exported = timing.to_text();
     println!("== exported IP timing abstraction ==\n{exported}");
 

@@ -53,13 +53,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compose the timing model of the mid-level module.
     let mut cache = HashMap::new();
-    let timing =
-        characterize_recursive(&design, "csa8.2", &ComposeOptions::default(), &mut cache)?;
-    println!("composed model of csa8.2 ({} inputs, {} outputs):", timing.input_names().len(), timing.output_names().len());
+    let timing = characterize_recursive(&design, "csa8.2", &ComposeOptions::default(), &mut cache)?;
+    println!(
+        "composed model of csa8.2 ({} inputs, {} outputs):",
+        timing.input_names().len(),
+        timing.output_names().len()
+    );
     let carry_model = timing.model(8);
     println!("  carry-out model tuples: {}", carry_model.tuples().len());
-    let min_cin = carry_model.tuples().iter().map(|t| t.delay(0)).min().expect("non-empty");
-    println!("  best c_in→c8 effective delay: {min_cin} (2 per block × 4 blocks — false paths compose!)");
+    let min_cin = carry_model
+        .tuples()
+        .iter()
+        .map(|t| t.delay(0))
+        .min()
+        .expect("non-empty");
+    println!(
+        "  best c_in→c8 effective delay: {min_cin} (2 per block × 4 blocks — false paths compose!)"
+    );
 
     // Analyze the 16-bit top level through the composed models.
     let arrivals = vec![Time::ZERO; 33];

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ModelSource::Functional,
         hfta::CharacterizeOptions::default(),
     )?;
-    println!("timing models of `{}` (inputs: {}):", timing.module(), timing.input_names().join(", "));
+    println!(
+        "timing models of `{}` (inputs: {}):",
+        timing.module(),
+        timing.input_names().join(", ")
+    );
     for (name, model) in timing.output_names().iter().zip(timing.models()) {
         println!("  T_{name} = {model}");
     }
@@ -36,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top = design.composite("csa4.2").expect("generator provides it");
     println!("hierarchical analysis of csa4.2 (all inputs at t = 0):");
     for (k, &po) in top.outputs().iter().enumerate() {
-        println!("  {:<4} arrives at {}", top.net_name(po), analysis.output_arrivals[k]);
+        println!(
+            "  {:<4} arrives at {}",
+            top.net_name(po),
+            analysis.output_arrivals[k]
+        );
     }
     println!("  estimated delay = {}", analysis.delay);
     println!();
@@ -50,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = sta.circuit_delay(&vec![Time::ZERO; flat.inputs().len()]);
     println!("flat functional delay  = {exact}  (ground truth under XBD0)");
     println!("topological delay      = {topo}  (ignores false paths)");
-    println!("hierarchical estimate  = {}  (conservative, matches flat here)", analysis.delay);
+    println!(
+        "hierarchical estimate  = {}  (conservative, matches flat here)",
+        analysis.delay
+    );
     assert!(analysis.delay >= exact && analysis.delay <= topo);
     Ok(())
 }

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Slack report at a 10-unit clock.
     let analysis = functional.analyze(Time::new(10))?;
-    println!("\nat period 10: worst functional slack = {}", analysis.worst_slack);
+    println!(
+        "\nat period 10: worst functional slack = {}",
+        analysis.worst_slack
+    );
     for (k, slack) in analysis.register_slacks.iter().enumerate() {
         println!("  register {k}: slack {slack}");
     }

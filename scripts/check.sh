@@ -7,6 +7,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+# rustfmt may be absent on minimal toolchains; gate when available.
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 

@@ -1,8 +1,8 @@
 //! `hfta` — command-line hierarchical functional timing analysis.
 //!
 //! ```text
-//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--stats]
-//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--stats]
+//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]
 //! hfta sim <file> --from BITS --to BITS
 //! hfta check <file> [--module NAME]
@@ -15,7 +15,14 @@
 //! `.bench` files hold a single flat module; `.hnl` files hold
 //! hierarchical designs (see the `hfta_netlist::hnl` docs). Unlisted
 //! arrivals default to `t = 0`. `--stats` prints the stability-query
-//! and SAT-solver counters the analysis accumulated.
+//! and SAT-solver counters the analysis accumulated, plus which
+//! outputs/modules/edges a budget degraded and why.
+//!
+//! `--budget-conflicts N` caps each SAT query at `N` conflicts;
+//! `--budget-ms MS` sets a wall-clock deadline for the whole analysis.
+//! Queries a budget interrupts degrade their result to the topological
+//! answer — conservative, never wrong — so the tool still exits 0 with
+//! a complete (if less sharp) report.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -26,7 +33,7 @@ use hfta::netlist::stats::{to_dot, NetlistStats};
 use hfta::netlist::{bench_format, blif, hnl};
 use hfta::{
     CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, Design, HierAnalyzer, HierOptions,
-    ModelSource, ModuleTiming, Netlist, Time,
+    ModelSource, ModuleTiming, Netlist, SolveBudget, Time,
 };
 
 fn main() -> ExitCode {
@@ -64,8 +71,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     hfta report <file> [--module NAME] [--arrival PIN=T]... [--stats]\n  \
-     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--stats]\n  \
+     hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]\n  \
      hfta sim <file> --from BITS --to BITS\n  \
      hfta check <file> [--module NAME]\n  \
@@ -84,8 +91,39 @@ struct Opts {
 }
 
 const VALUE_FLAGS: &[&str] = &[
-    "--module", "--top", "--algo", "--threads", "--arrival", "-o", "--from", "--to", "--model",
+    "--module",
+    "--top",
+    "--algo",
+    "--threads",
+    "--arrival",
+    "-o",
+    "--from",
+    "--to",
+    "--model",
+    "--budget-conflicts",
+    "--budget-ms",
 ];
+
+/// Builds the analysis budget from `--budget-conflicts N` (per-query
+/// SAT conflict cap) and `--budget-ms MS` (wall-clock deadline for the
+/// whole analysis, measured from now). Unlimited when neither is given.
+fn budget_from(opts: &Opts) -> Result<SolveBudget, String> {
+    let mut budget = SolveBudget::UNLIMITED;
+    if let Some(n) = opts.value("--budget-conflicts") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("bad --budget-conflicts `{n}` (want a number)"))?;
+        budget = budget.with_conflicts(n);
+    }
+    if let Some(ms) = opts.value("--budget-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --budget-ms `{ms}` (want milliseconds)"))?;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+        budget = budget.with_deadline(deadline);
+    }
+    Ok(budget)
+}
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
@@ -111,7 +149,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 
 impl Opts {
     fn value(&self, key: &str) -> Option<&str> {
-        self.values.get(key).and_then(|v| v.first()).map(String::as_str)
+        self.values
+            .get(key)
+            .and_then(|v| v.first())
+            .map(String::as_str)
     }
 
     fn values_of(&self, key: &str) -> &[String] {
@@ -154,7 +195,11 @@ fn load(path: &str) -> Result<(Design, Option<String>), String> {
     Ok((design, Some(name)))
 }
 
-fn pick_leaf<'a>(design: &'a Design, opts: &Opts, default: Option<&str>) -> Result<&'a Netlist, String> {
+fn pick_leaf<'a>(
+    design: &'a Design,
+    opts: &Opts,
+    default: Option<&str>,
+) -> Result<&'a Netlist, String> {
     let name = opts
         .value("--module")
         .or(default)
@@ -204,10 +249,11 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     );
     // First pass determines the functional circuit delay; the report
     // computes slacks against it (zero worst slack).
-    let (probe, probe_stats) =
-        TimingReport::generate_with_stats(nl, &arrivals, Time::ZERO).map_err(|e| e.to_string())?;
+    let budget = budget_from(&opts)?;
+    let (probe, probe_stats) = TimingReport::generate_budgeted(nl, &arrivals, Time::ZERO, budget)
+        .map_err(|e| e.to_string())?;
     let (report, mut stats) =
-        TimingReport::generate_with_stats(nl, &arrivals, probe.circuit_functional)
+        TimingReport::generate_budgeted(nl, &arrivals, probe.circuit_functional, budget)
             .map_err(|e| e.to_string())?;
     print!("{report}");
     println!(
@@ -217,6 +263,18 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     if opts.has_flag("--stats") {
         stats.merge(&probe_stats);
         println!("{}", stats.summary());
+        let degraded: Vec<&str> = report
+            .outputs
+            .iter()
+            .filter(|r| r.degraded)
+            .map(|r| r.name.as_str())
+            .collect();
+        if !degraded.is_empty() {
+            println!(
+                "degraded outputs (budget exhausted; reported at topological): {}",
+                degraded.join(", ")
+            );
+        }
     }
     Ok(())
 }
@@ -245,10 +303,12 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
     }
     let algo = opts.value("--algo").unwrap_or("demand");
     let want_stats = opts.has_flag("--stats");
+    let budget = budget_from(&opts)?;
     let (label, output_arrivals, delay) = match algo {
         "two-step" => {
-            let mut an = HierAnalyzer::new(&design, &top, HierOptions::default())
-                .map_err(|e| e.to_string())?;
+            let mut hier_opts = HierOptions::default();
+            hier_opts.characterize.budget = budget;
+            let mut an = HierAnalyzer::new(&design, &top, hier_opts).map_err(|e| e.to_string())?;
             let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
             if want_stats {
                 println!(
@@ -256,18 +316,24 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
                     r.stats.modules_characterized, r.stats.instances_propagated
                 );
                 println!("{}", r.stats.stability.summary());
+                for (name, why) in an.degraded_modules() {
+                    println!("degraded module: {name} ({why})");
+                }
             }
             ("two-step", r.output_arrivals, r.delay)
         }
         "demand" => {
-            let mut demand_opts = DemandOptions::default();
+            let mut demand_opts = DemandOptions {
+                budget,
+                ..DemandOptions::default()
+            };
             if let Some(threads) = opts.value("--threads") {
                 demand_opts.threads = threads
                     .parse()
                     .map_err(|_| format!("bad --threads `{threads}` (want a number)"))?;
             }
-            let mut an = DemandDrivenAnalyzer::new(&design, &top, demand_opts)
-                .map_err(|e| e.to_string())?;
+            let mut an =
+                DemandDrivenAnalyzer::new(&design, &top, demand_opts).map_err(|e| e.to_string())?;
             let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
             println!(
                 "demand-driven: {} refinement rounds, {} stability checks, {} refinements",
@@ -275,6 +341,11 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
             );
             if want_stats {
                 println!("{}", r.stability.summary());
+                for (module, out, count) in an.degraded_cones() {
+                    println!(
+                        "degraded edges: {module} out{out} ({count} probe(s) stopped by budget/cap)"
+                    );
+                }
             }
             ("demand", r.output_arrivals, r.delay)
         }
@@ -321,7 +392,10 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     let arrivals = vec![Time::ZERO; nl.inputs().len()];
     let out = simulate_transition(nl, &from, &to, &arrivals).map_err(|e| e.to_string())?;
     println!("settle time: {}", out.settle);
-    println!("events: {}, output glitches: {}", out.events, out.output_glitches);
+    println!(
+        "events: {}, output glitches: {}",
+        out.events, out.output_glitches
+    );
     for (k, &po) in nl.outputs().iter().enumerate() {
         println!(
             "  {:<20} -> {}  (last change {})",

@@ -55,3 +55,4 @@ pub use hfta_core::{
 };
 pub use hfta_fta::{functional_circuit_delay, DelayAnalyzer, StabilityAnalyzer, TopoSta};
 pub use hfta_netlist::{Composite, Design, GateKind, NetId, Netlist, NetlistError, Time};
+pub use hfta_sat::{BudgetExhausted, SolveBudget};

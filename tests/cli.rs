@@ -115,13 +115,7 @@ fn stats_flag_prints_counters() {
     // `hier --stats` aggregates across the whole analysis, for both
     // algorithms, and the demand path accepts --threads.
     let hier = write_temp("stats.hnl", HNL);
-    let (ok, stdout, _) = run(&[
-        "hier",
-        hier.to_str().unwrap(),
-        "--stats",
-        "--threads",
-        "2",
-    ]);
+    let (ok, stdout, _) = run(&["hier", hier.to_str().unwrap(), "--stats", "--threads", "2"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("demand-driven:"), "{stdout}");
     assert!(stdout.contains("stability:"), "{stdout}");
@@ -139,6 +133,80 @@ fn stats_flag_prints_counters() {
 }
 
 #[test]
+fn budget_ms_zero_degrades_but_succeeds() {
+    // `report --budget-ms 0`: every solver-bound proof degrades to the
+    // topological arrival (a sound upper bound); exit stays 0.
+    let path = write_temp("budget.bench", BENCH);
+    let (ok, stdout, _) = run(&[
+        "report",
+        path.to_str().unwrap(),
+        "--budget-ms",
+        "0",
+        "--stats",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("functional 8"), "at-topological: {stdout}");
+    assert!(stdout.contains("[degraded]"), "{stdout}");
+    assert!(stdout.contains("degraded outputs"), "{stdout}");
+    assert!(
+        !stdout.contains("[false]"),
+        "false path no longer provable: {stdout}"
+    );
+
+    // `hier --budget-ms 0` on both algorithms: still exits 0 with a
+    // (topological, hence sound) delay and nonzero degradation counters.
+    let hier = write_temp("budget.hnl", HNL);
+    let (ok, stdout, _) = run(&[
+        "hier",
+        hier.to_str().unwrap(),
+        "--budget-ms",
+        "0",
+        "--stats",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("estimated delay:"), "{stdout}");
+    assert!(stdout.contains("degraded"), "{stdout}");
+    let (ok, stdout, _) = run(&[
+        "hier",
+        hier.to_str().unwrap(),
+        "--algo",
+        "two-step",
+        "--budget-ms",
+        "0",
+        "--stats",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("degraded module:"), "{stdout}");
+}
+
+#[test]
+fn budget_conflicts_flag_reports_counters() {
+    let path = write_temp("budgetc.bench", BENCH);
+    let (ok, stdout, _) = run(&[
+        "report",
+        path.to_str().unwrap(),
+        "--budget-conflicts",
+        "0",
+        "--stats",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("degraded outputs"), "{stdout}");
+    // A generous budget degrades nothing: the report matches the exact
+    // one, false path included, and the degradation line stays quiet.
+    let (ok, stdout, _) = run(&[
+        "report",
+        path.to_str().unwrap(),
+        "--budget-conflicts",
+        "1000000",
+        "--stats",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("functional 6"), "{stdout}");
+    assert!(stdout.contains("[false]"), "{stdout}");
+    assert!(!stdout.contains("degraded outputs"), "{stdout}");
+}
+
+#[test]
 fn characterize_round_trips() {
     let path = write_temp("char.bench", BENCH);
     let model_path = std::env::temp_dir().join("hfta-cli-tests/model.hfta");
@@ -151,7 +219,10 @@ fn characterize_round_trips() {
     assert!(ok);
     let text = std::fs::read_to_string(&model_path).expect("model written");
     assert!(text.contains("hfta-timing-model v1"));
-    assert!(text.contains("tuple 2 6 6"), "false-path-aware tuple: {text}");
+    assert!(
+        text.contains("tuple 2 6 6"),
+        "false-path-aware tuple: {text}"
+    );
     // And it parses back.
     let parsed = hfta::ModuleTiming::from_text(&text).expect("parses");
     assert_eq!(parsed.module(), "char");

@@ -7,9 +7,7 @@
 //!
 //! for both the two-step and the demand-driven analyzers.
 
-use hfta::netlist::gen::{
-    carry_skip_adder, random_circuit, GateMix, RandomCircuitSpec,
-};
+use hfta::netlist::gen::{carry_skip_adder, random_circuit, GateMix, RandomCircuitSpec};
 use hfta::netlist::partition::{cascade_bipartition, cascade_bipartition_min_cut};
 use hfta::{
     DelayAnalyzer, DemandDrivenAnalyzer, HierAnalyzer, HierOptions, ModelSource, Time, TopoSta,
@@ -56,8 +54,7 @@ fn carry_skip_cascades_demand_driven() {
         let arrivals = vec![t(0); 2 * n + 1];
         let (functional, topological) = reference_delays(&flat, &arrivals);
 
-        let mut an =
-            DemandDrivenAnalyzer::new(&design, &name, Default::default()).expect("valid");
+        let mut an = DemandDrivenAnalyzer::new(&design, &name, Default::default()).expect("valid");
         let est = an.analyze(&arrivals).expect("analyzes").delay;
         assert!(est >= functional && est <= topological, "{name}");
         assert_eq!(est, functional, "{name}: accuracy preserved");
@@ -84,15 +81,17 @@ fn skewed_arrival_conditions() {
     ];
     for arrivals in patterns {
         let (functional, topological) = reference_delays(&flat, &arrivals);
-        let mut hier =
-            HierAnalyzer::new(&design, "csa8.2", HierOptions::default()).expect("valid");
+        let mut hier = HierAnalyzer::new(&design, "csa8.2", HierOptions::default()).expect("valid");
         let est = hier.analyze(&arrivals).expect("analyzes").delay;
         assert!(est >= functional && est <= topological, "{arrivals:?}");
 
-        let mut dd = DemandDrivenAnalyzer::new(&design, "csa8.2", Default::default())
-            .expect("valid");
+        let mut dd =
+            DemandDrivenAnalyzer::new(&design, "csa8.2", Default::default()).expect("valid");
         let est = dd.analyze(&arrivals).expect("analyzes").delay;
-        assert!(est >= functional && est <= topological, "demand {arrivals:?}");
+        assert!(
+            est >= functional && est <= topological,
+            "demand {arrivals:?}"
+        );
     }
 }
 
@@ -116,7 +115,10 @@ fn random_partitions_nand_heavy() {
 
         let mut hier = HierAnalyzer::new(&design, &top, HierOptions::default()).expect("valid");
         let est = hier.analyze(&arrivals).expect("analyzes").delay;
-        assert!(est >= functional && est <= topological, "two-step seed {seed}");
+        assert!(
+            est >= functional && est <= topological,
+            "two-step seed {seed}"
+        );
 
         let mut dd = DemandDrivenAnalyzer::new(&design, &top, Default::default()).expect("valid");
         let est_dd = dd.analyze(&arrivals).expect("analyzes").delay;

@@ -3,8 +3,8 @@
 
 use hfta::netlist::gen::{carry_skip_adder, carry_skip_adder_flat, carry_skip_block, CsaDelays};
 use hfta::{
-    CharacterizeOptions, DelayAnalyzer, HierAnalyzer, HierOptions, ModelSource, ModuleTiming,
-    Time, TimingTuple, TopoSta,
+    CharacterizeOptions, DelayAnalyzer, HierAnalyzer, HierOptions, ModelSource, ModuleTiming, Time,
+    TimingTuple, TopoSta,
 };
 
 fn t(v: i64) -> Time {
@@ -14,7 +14,13 @@ fn t(v: i64) -> Time {
 fn tuple(vs: &[i64]) -> TimingTuple {
     TimingTuple::new(
         vs.iter()
-            .map(|&v| if v == i64::MIN + 1 { Time::NEG_INF } else { t(v) })
+            .map(|&v| {
+                if v == i64::MIN + 1 {
+                    Time::NEG_INF
+                } else {
+                    t(v)
+                }
+            })
             .collect(),
     )
 }
@@ -33,9 +39,17 @@ fn section4_timing_models() {
         CharacterizeOptions::default(),
     )
     .expect("characterizes");
-    assert_eq!(timing.model(0).tuples(), &[tuple(&[2, 4, 4, NI, NI])], "T_s0");
+    assert_eq!(
+        timing.model(0).tuples(),
+        &[tuple(&[2, 4, 4, NI, NI])],
+        "T_s0"
+    );
     assert_eq!(timing.model(1).tuples(), &[tuple(&[4, 6, 6, 4, 4])], "T_s1");
-    assert_eq!(timing.model(2).tuples(), &[tuple(&[2, 8, 8, 6, 6])], "T_cout");
+    assert_eq!(
+        timing.model(2).tuples(),
+        &[tuple(&[2, 8, 8, 6, 6])],
+        "T_cout"
+    );
 }
 
 /// Section 4: "the longest topological path is of length 6" for
@@ -61,8 +75,14 @@ fn section4_cascade_arrivals() {
     let mut hier = HierAnalyzer::new(&design, "csa4.2", HierOptions::default()).expect("valid");
     let analysis = hier.analyze(&[t(0); 9]).expect("analyzes");
     let top = design.composite("csa4.2").expect("exists");
-    assert_eq!(analysis.net_arrivals[top.find_net("c2").unwrap().index()], t(8));
-    assert_eq!(analysis.net_arrivals[top.find_net("c4").unwrap().index()], t(10));
+    assert_eq!(
+        analysis.net_arrivals[top.find_net("c2").unwrap().index()],
+        t(8)
+    );
+    assert_eq!(
+        analysis.net_arrivals[top.find_net("c4").unwrap().index()],
+        t(10)
+    );
 
     // Flat agreement.
     let flat = carry_skip_adder_flat(4, 2, CsaDelays::default()).expect("flattens");
@@ -88,7 +108,11 @@ fn section4_parametric_formula_to_n8() {
         let flat = carry_skip_adder_flat(bits, 2, CsaDelays::default()).expect("flattens");
         let mut an = DelayAnalyzer::new_sat(&flat, &vec![t(0); 2 * bits + 1]).expect("valid");
         let flat_carry = an.output_arrival(flat.find_net(&format!("c{bits}")).unwrap());
-        assert_eq!(flat_carry, t(2 * blocks as i64 + 6), "flat, {blocks} blocks");
+        assert_eq!(
+            flat_carry,
+            t(2 * blocks as i64 + 6),
+            "flat, {blocks} blocks"
+        );
     }
 }
 

@@ -72,8 +72,7 @@ fn multiplier_partitioned_hierarchically() {
     let (functional, topological) = delays(&nl);
     assert!(functional <= topological);
     let design = cascade_bipartition_min_cut(&nl, 0.3, 0.7).expect("partitions");
-    let mut dd =
-        DemandDrivenAnalyzer::new(&design, "mul3_top", Default::default()).expect("valid");
+    let mut dd = DemandDrivenAnalyzer::new(&design, "mul3_top", Default::default()).expect("valid");
     let est = dd
         .analyze(&vec![t(0); nl.inputs().len()])
         .expect("analyzes")

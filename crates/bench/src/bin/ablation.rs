@@ -11,11 +11,18 @@
 //!    demand-driven refinement loop answers many stability queries per
 //!    cone; the oracle keeps one incremental SAT solver (plus the
 //!    `(net, t)` memo and learnt clauses) alive across all of them.
+//! 6. **Structural cone signatures on vs off** — hash-consed cone
+//!    signatures share characterization across renamed module copies
+//!    and stability verdicts across isomorphic cones. Measured on a
+//!    replicated-block fixture (where sharing should approach the copy
+//!    count) and an ISCAS-like partition (where it usually cannot).
 //!
 //! Run with `cargo run --release -p hfta-bench --bin ablation`; see
 //! [`hfta_testkit::Harness`] for the environment knobs. Setting
 //! `HFTA_ABLATION_SMOKE` shrinks the workload and runs only the oracle
-//! ablation — a seconds-long sanity pass used by `scripts/check.sh`.
+//! and cone-signature ablations — a seconds-long sanity pass used by
+//! `scripts/check.sh` and CI, which also asserts the signature cache
+//! actually hits on the replicated fixture.
 
 use hfta_bench::{build_iscas_like, IscasLike};
 use hfta_core::{
@@ -167,10 +174,159 @@ fn bench_stability_oracle(harness: &mut Harness) {
     });
 }
 
+/// `copies` identical `bits`-bit carry-skip blocks under *distinct*
+/// module names — the analyzer can share nothing by name, only through
+/// structural signatures. `cascaded` chains the carries (each copy then
+/// sees a different arrival context); otherwise the blocks sit side by
+/// side with independent carry inputs (identical arrival contexts, the
+/// demand verdict memo's win case).
+fn replicated_blocks(copies: usize, bits: usize, cascaded: bool) -> (hfta_netlist::Design, usize) {
+    use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+    use hfta_netlist::{Composite, Design};
+    let mut design = Design::new();
+    let top_name = if cascaded {
+        "replicated"
+    } else {
+        "replicated_par"
+    };
+    let mut top = Composite::new(top_name);
+    let mut carry = top.add_input("c_in");
+    for k in 0..copies {
+        let mut block = carry_skip_block(bits, CsaDelays::default());
+        block.set_name(format!("{top_name}_blk{k}"));
+        design.add_leaf(block).expect("fresh design");
+        if !cascaded && k > 0 {
+            carry = top.add_input(format!("c_in{k}"));
+        }
+        let mut ins = vec![carry];
+        for i in 0..bits {
+            ins.push(top.add_input(format!("a{k}_{i}")));
+            ins.push(top.add_input(format!("b{k}_{i}")));
+        }
+        let mut outs = Vec::new();
+        for i in 0..bits {
+            let s = top.add_net(format!("s{k}_{i}"));
+            top.mark_output(s);
+            outs.push(s);
+        }
+        let c = top.add_net(format!("c{k}"));
+        outs.push(c);
+        top.add_instance(format!("u{k}"), format!("{top_name}_blk{k}"), &ins, &outs);
+        if cascaded {
+            carry = c;
+        } else {
+            top.mark_output(c);
+        }
+    }
+    if cascaded {
+        top.mark_output(carry);
+    }
+    let n_inputs = top.inputs().len();
+    design.add_composite(top).expect("fresh design");
+    (design, n_inputs)
+}
+
+fn bench_cone_sig(harness: &mut Harness) {
+    let (copies, bits) = if smoke() { (4usize, 2usize) } else { (8, 4) };
+    let (design, n_inputs) = replicated_blocks(copies, bits, true);
+    let arrivals = vec![Time::ZERO; n_inputs];
+
+    let mut group = harness.group("ablation_cone_sig");
+    let hier_off = HierOptions {
+        characterize: CharacterizeOptions {
+            cone_sig: false,
+            ..CharacterizeOptions::default()
+        },
+        ..HierOptions::default()
+    };
+    group.bench("hier_sig_off", || {
+        let mut an = HierAnalyzer::new(&design, "replicated", hier_off).expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
+    });
+    group.bench("hier_sig_on", || {
+        let mut an =
+            HierAnalyzer::new(&design, "replicated", HierOptions::default()).expect("valid");
+        let r = an.analyze(&arrivals).expect("analyzes");
+        assert!(
+            r.stats.stability.cone_sig_hits > 0,
+            "signature cache reported zero hits on the replicated fixture"
+        );
+        assert_eq!(r.stats.modules_aliased, copies as u64 - 1);
+        r.delay
+    });
+
+    let demand_off = DemandOptions {
+        cone_sig: false,
+        ..DemandOptions::default()
+    };
+    group.bench("demand_sig_off", || {
+        let mut an = DemandDrivenAnalyzer::new(&design, "replicated", demand_off).expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
+    });
+    group.bench("demand_sig_on", || {
+        let mut an = DemandDrivenAnalyzer::new(&design, "replicated", DemandOptions::default())
+            .expect("valid");
+        let r = an.analyze(&arrivals).expect("analyzes");
+        assert!(
+            r.stability.cone_sig_hits > 0,
+            "verdict memo reported zero hits on the replicated fixture"
+        );
+        r.delay
+    });
+
+    // Side-by-side copies (no carry chain): every copy refines under
+    // the *same* arrival context, so verdicts shared across isomorphic
+    // cones actually land — the memo's intended workload.
+    let (par_design, par_inputs) = replicated_blocks(copies, bits, false);
+    let par_arrivals = vec![Time::ZERO; par_inputs];
+    group.bench("demand_par_sig_off", || {
+        let mut an =
+            DemandDrivenAnalyzer::new(&par_design, "replicated_par", demand_off).expect("valid");
+        an.analyze(&par_arrivals).expect("analyzes").delay
+    });
+    group.bench("demand_par_sig_on", || {
+        let mut an =
+            DemandDrivenAnalyzer::new(&par_design, "replicated_par", DemandOptions::default())
+                .expect("valid");
+        let r = an.analyze(&par_arrivals).expect("analyzes");
+        assert!(
+            r.stability.cone_sig_hits > 0,
+            "verdict memo reported zero hits on the side-by-side fixture"
+        );
+        r.delay
+    });
+
+    if !smoke() {
+        // A partitioned random netlist: the halves are not isomorphic,
+        // so this prices the signature computation when sharing mostly
+        // fails to materialize.
+        let w = IscasLike {
+            name: "c880_like".into(),
+            gates: 320,
+            seed: 880,
+        };
+        let flat = build_iscas_like(&w);
+        let arr = vec![Time::ZERO; flat.inputs().len()];
+        let part = cascade_bipartition(&flat, 0.5).expect("partitions");
+        group.bench("iscas_demand_sig_off", || {
+            let mut an =
+                DemandDrivenAnalyzer::new(&part, "c880_like_top", demand_off).expect("valid");
+            an.analyze(&arr).expect("analyzes").delay
+        });
+        group.bench("iscas_demand_sig_on", || {
+            let mut an =
+                DemandDrivenAnalyzer::new(&part, "c880_like_top", DemandOptions::default())
+                    .expect("valid");
+            an.analyze(&arr).expect("analyzes").delay
+        });
+    }
+}
+
 fn main() {
     let mut harness = Harness::new("ablation");
     if smoke() {
         bench_stability_oracle(&mut harness);
+        bench_cone_sig(&mut harness);
         harness.finish();
         return;
     }
@@ -179,5 +335,6 @@ fn main() {
     bench_partition_strategy(&mut harness);
     bench_parallel_characterization(&mut harness);
     bench_stability_oracle(&mut harness);
+    bench_cone_sig(&mut harness);
     harness.finish();
 }

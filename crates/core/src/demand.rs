@@ -35,6 +35,16 @@
 //! state), and groups are distributed over scoped worker threads. The
 //! grouping preserves the serial probe order within each cone, so the
 //! parallel analysis is bit-identical to the serial one.
+//!
+//! Structurally identical cones (equal hash-consed
+//! [`hfta_netlist::ConeSig`]) additionally share a *verdict memo*: a
+//! probe whose canonical arrival vector was already decided for an
+//! isomorphic cone is answered without touching a solver. Stability is
+//! a semantic property of the cone function and the arrival vector, so
+//! under an unlimited budget the memoized verdict is exactly what the
+//! solver would have returned; under a limited budget verdicts depend
+//! on solver heuristics and probe history, so sharing is switched off
+//! to keep budgeted runs bit-identical to the memo-free analysis.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -42,7 +52,9 @@ use std::time::Instant;
 use hfta_fta::{
     PhaseWall, SatAlg, SolveBudget, StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta,
 };
-use hfta_netlist::{Composite, Design, NetId, Netlist, NetlistError, Time};
+use hfta_netlist::{
+    cone_signature, Composite, ConeKey, Design, NetId, Netlist, NetlistError, Time,
+};
 
 use crate::deadline::DeadlineToken;
 
@@ -73,6 +85,14 @@ pub struct DemandOptions {
     /// [`StabilityStats::degraded`]. Unlimited by default, in which
     /// case the analysis is bit-identical to an unbudgeted one.
     pub budget: SolveBudget,
+    /// Share stability verdicts across structurally identical cones
+    /// (equal [`hfta_netlist::ConeSig`]): a probe whose canonical
+    /// arrival vector was already decided for an isomorphic cone is
+    /// answered from a memo instead of a solver. On by default. Only
+    /// active when [`DemandOptions::budget`] is unlimited — budgeted
+    /// verdicts depend on solver heuristics, so sharing them could
+    /// change what a budgeted run reports.
+    pub cone_sig: bool,
 }
 
 impl Default for DemandOptions {
@@ -84,6 +104,7 @@ impl Default for DemandOptions {
             reuse_oracle: true,
             threads: 1,
             budget: SolveBudget::UNLIMITED,
+            cone_sig: true,
         }
     }
 }
@@ -125,6 +146,12 @@ struct OutputState {
     cursor: Vec<usize>,
     /// Edges proven accurate (no further probes).
     marked: Vec<bool>,
+    /// Canonical structural signature and input correspondence of the
+    /// cone. Computed on the cone's first refinement (cones that never
+    /// become critical never pay for hashing); `sig_done` distinguishes
+    /// "not yet computed" from "computed, cone is cyclic/unhashable".
+    sig: Option<ConeKey>,
+    sig_done: bool,
     /// Persistent stability oracle for this cone (lazily created on
     /// first probe when [`DemandOptions::reuse_oracle`] is set).
     oracle: Option<StabilityOracle<SatAlg>>,
@@ -170,6 +197,10 @@ pub struct DemandDrivenAnalyzer<'a> {
     inst_module: Vec<usize>,
     /// Per distinct module: refinement state per output index.
     modules: Vec<Vec<OutputState>>,
+    /// Decided stability verdicts per structural signature class, keyed
+    /// by the canonical (slot-space) arrival vector. Persists across
+    /// rounds and `analyze` calls, like the per-cone oracles.
+    verdict_memo: HashMap<u128, HashMap<Vec<Time>, bool>>,
     opts: DemandOptions,
     checks: u64,
     refinements: u64,
@@ -231,6 +262,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             module_index,
             inst_module,
             modules,
+            verdict_memo: HashMap::new(),
             opts,
             checks: 0,
             refinements: 0,
@@ -504,10 +536,15 @@ impl<'a> DemandDrivenAnalyzer<'a> {
 
     /// Probes one round's critical edges. Edges are grouped by
     /// `(module, output)` — probes within a group read each other's
-    /// accepted weights and stay in their serial order; distinct groups
-    /// touch disjoint state and run on worker threads when
-    /// [`DemandOptions::threads`] `> 1`. Either way the outcome is the
-    /// same as probing all edges serially in `critical` order.
+    /// accepted weights and stay in their serial order. Groups whose
+    /// cones share a structural signature are bundled into one *class*
+    /// so they can share that signature's verdict memo; a class stays
+    /// on one worker and its groups are probed serially, in their
+    /// serial order, so memo hits land identically however the classes
+    /// are scheduled. Distinct classes touch disjoint state and run on
+    /// worker threads when [`DemandOptions::threads`] `> 1`. Either way
+    /// the outcome is the same as probing all edges serially in
+    /// `critical` order.
     fn refine_round(&mut self, critical: &[(usize, usize, usize)]) -> Result<(), NetlistError> {
         // Group edge probes per (module, output), preserving order.
         let mut group_edges: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
@@ -530,11 +567,52 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             }
         }
         let opts = self.opts;
-        let outcomes: Vec<Result<RoundWork, NetlistError>> = if opts.threads > 1 && work.len() > 1 {
+        // Bundle the groups into signature classes. Each class takes
+        // its verdict memo out of the analyzer for the duration of the
+        // round (workers need exclusive access) and hands it back
+        // below.
+        let memo_on = opts.cone_sig && opts.budget.is_unlimited();
+        struct Class<'s> {
+            sig: Option<u128>,
+            memo: HashMap<Vec<Time>, bool>,
+            work: Vec<(&'s mut OutputState, Vec<usize>)>,
+        }
+        let mut class_of: HashMap<u128, usize> = HashMap::new();
+        let mut classes: Vec<Class<'_>> = Vec::new();
+        for (st, edges) in work {
+            let sig = if memo_on {
+                st.ensure_sig().map(|k| k.sig.0)
+            } else {
+                None
+            };
+            if let Some(ci) = sig.and_then(|s| class_of.get(&s).copied()) {
+                classes[ci].work.push((st, edges));
+                continue;
+            }
+            if let Some(s) = sig {
+                class_of.insert(s, classes.len());
+            }
+            classes.push(Class {
+                sig,
+                memo: sig
+                    .and_then(|s| self.verdict_memo.remove(&s))
+                    .unwrap_or_default(),
+                work: vec![(st, edges)],
+            });
+        }
+        type ClassOutcome = (
+            Result<RoundWork, NetlistError>,
+            Option<(u128, HashMap<Vec<Time>, bool>)>,
+        );
+        let run = |mut class: Class<'_>| -> ClassOutcome {
+            let r = refine_class(&mut class.work, &mut class.memo, &opts);
+            (r, class.sig.map(|s| (s, class.memo)))
+        };
+        let outcomes: Vec<ClassOutcome> = if opts.threads > 1 && classes.len() > 1 {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = work
+                let handles: Vec<_> = classes
                     .into_iter()
-                    .map(|(st, edges)| scope.spawn(move || st.refine_edges(&edges, &opts)))
+                    .map(|class| scope.spawn(|| run(class)))
                     .collect();
                 handles
                     .into_iter()
@@ -542,17 +620,39 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                     .collect()
             })
         } else {
-            work.into_iter()
-                .map(|(st, edges)| st.refine_edges(&edges, &opts))
-                .collect()
+            classes.into_iter().map(run).collect()
         };
-        for outcome in outcomes {
-            let w = outcome?;
-            self.checks += w.checks;
-            self.refinements += w.refinements;
+        let mut first_err = None;
+        for (outcome, memo) in outcomes {
+            if let Some((sig, memo)) = memo {
+                self.verdict_memo.insert(sig, memo);
+            }
+            match outcome {
+                Ok(w) => {
+                    self.checks += w.checks;
+                    self.refinements += w.refinements;
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
         }
-        Ok(())
+        first_err.map_or(Ok(()), Err)
     }
+}
+
+/// Probes every `(cone, edges)` group of one signature class, in
+/// order, all sharing the class's verdict `memo`.
+fn refine_class(
+    work: &mut [(&mut OutputState, Vec<usize>)],
+    memo: &mut HashMap<Vec<Time>, bool>,
+    opts: &DemandOptions,
+) -> Result<RoundWork, NetlistError> {
+    let mut round = RoundWork::default();
+    for (st, edges) in work.iter_mut() {
+        for &j in edges.iter() {
+            st.refine_edge(j, opts, &mut round, memo)?;
+        }
+    }
+    Ok(round)
 }
 
 impl OutputState {
@@ -593,32 +693,32 @@ impl OutputState {
             lists,
             cursor: vec![0; n],
             marked: vec![false; n],
+            sig: None,
+            sig_done: false,
             oracle: None,
             fresh_stats: StabilityStats::default(),
         })
     }
 
-    /// Probes the given edges of this cone, in order, accepting or
-    /// marking each. Returns the work done.
-    fn refine_edges(
-        &mut self,
-        in_indices: &[usize],
-        opts: &DemandOptions,
-    ) -> Result<RoundWork, NetlistError> {
-        let mut round = RoundWork::default();
-        for &j in in_indices {
-            self.refine_edge(j, opts, &mut round)?;
+    /// The cone's structural signature, computed on first use.
+    fn ensure_sig(&mut self) -> Option<&ConeKey> {
+        if !self.sig_done {
+            self.sig_done = true;
+            self.sig = cone_signature(&self.cone).ok();
         }
-        Ok(round)
+        self.sig.as_ref()
     }
 
     /// One refinement step of the edge into input `in_idx`: probe the
     /// next smaller distinct path length; accept or mark accurate.
+    /// `memo` is the verdict memo of this cone's signature class (an
+    /// unused empty map when sharing is off).
     fn refine_edge(
         &mut self,
         in_idx: usize,
         opts: &DemandOptions,
         round: &mut RoundWork,
+        memo: &mut HashMap<Vec<Time>, bool>,
     ) -> Result<(), NetlistError> {
         debug_assert!(!self.marked[in_idx]);
         let list = &self.lists[in_idx];
@@ -650,6 +750,25 @@ impl OutputState {
         }
         let cone_out = self.cone.outputs()[0];
         round.checks += 1;
+        // Signature-class sharing: probe the memo under the canonical
+        // (slot-space) arrival vector before spending solver time. Only
+        // under an unlimited budget — then the verdict is semantic and
+        // the solver would necessarily have returned the same answer.
+        let memo_key = if opts.cone_sig && opts.budget.is_unlimited() {
+            self.sig
+                .as_ref()
+                .map(|key| key.to_slots(&cone_arrivals, Time::POS_INF))
+        } else {
+            None
+        };
+        if let Some(canon) = &memo_key {
+            if let Some(&verdict) = memo.get(canon) {
+                self.fresh_stats.cone_sig_hits += 1;
+                self.apply_verdict(in_idx, candidate, Some(verdict), round);
+                return Ok(());
+            }
+            self.fresh_stats.cone_sig_misses += 1;
+        }
         let stable = if opts.reuse_oracle {
             if self.oracle.is_none() {
                 let mut oracle = StabilityOracle::new_sat(self.cone.clone(), &cone_arrivals)?;
@@ -665,6 +784,23 @@ impl OutputState {
             self.fresh_stats.merge(&analyzer.stats());
             stable
         };
+        if let (Some(canon), Some(verdict)) = (memo_key, stable) {
+            memo.insert(canon, verdict);
+        }
+        self.apply_verdict(in_idx, candidate, stable, round);
+        Ok(())
+    }
+
+    /// Applies a probe verdict to the edge into `in_idx`: accept the
+    /// candidate weight, mark the edge accurate, or (on `None`, a
+    /// budget interruption) mark it degraded at its proven weight.
+    fn apply_verdict(
+        &mut self,
+        in_idx: usize,
+        candidate: Time,
+        stable: Option<bool>,
+        round: &mut RoundWork,
+    ) {
         match stable {
             Some(true) => {
                 self.weights[in_idx] = candidate;
@@ -687,7 +823,6 @@ impl OutputState {
                 self.fresh_stats.degraded += 1;
             }
         }
-        Ok(())
     }
 }
 
@@ -987,6 +1122,127 @@ mod tests {
                 "reports diverged on {top}"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod cone_sig_tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder_flat, carry_skip_block, CsaDelays};
+    use hfta_netlist::{Composite, Design};
+
+    /// A cascade of `copies` identical 2-bit carry-skip blocks under
+    /// *distinct* module names — structurally csa(2·copies).2, but the
+    /// analyzer cannot share anything by name.
+    fn replicated_design(copies: usize) -> (Design, usize) {
+        let mut design = Design::new();
+        let mut top = Composite::new("rep");
+        let mut carry = top.add_input("c_in");
+        for k in 0..copies {
+            let mut block = carry_skip_block(2, CsaDelays::default());
+            block.set_name(format!("blk{k}"));
+            design.add_leaf(block).expect("fresh design");
+            let mut ins = vec![carry];
+            for i in 0..2 {
+                ins.push(top.add_input(format!("a{k}_{i}")));
+                ins.push(top.add_input(format!("b{k}_{i}")));
+            }
+            let mut outs = Vec::new();
+            for i in 0..2 {
+                let s = top.add_net(format!("s{k}_{i}"));
+                top.mark_output(s);
+                outs.push(s);
+            }
+            let c = top.add_net(format!("c{k}"));
+            outs.push(c);
+            top.add_instance(format!("u{k}"), format!("blk{k}"), &ins, &outs);
+            carry = c;
+        }
+        top.mark_output(carry);
+        let n = top.inputs().len();
+        design.add_composite(top).expect("fresh design");
+        (design, n)
+    }
+
+    /// The verdict memo shares probes across renamed block copies, and
+    /// the analysis is bit-identical to a memo-free run.
+    #[test]
+    fn memo_shares_verdicts_across_isomorphic_modules() {
+        let (design, n) = replicated_design(4);
+        let arrivals = vec![Time::ZERO; n];
+        let mut with_memo = DemandDrivenAnalyzer::new(&design, "rep", Default::default()).unwrap();
+        let a = with_memo.analyze(&arrivals).unwrap();
+        let off = DemandOptions {
+            cone_sig: false,
+            ..DemandOptions::default()
+        };
+        let mut without = DemandDrivenAnalyzer::new(&design, "rep", off).unwrap();
+        let b = without.analyze(&arrivals).unwrap();
+
+        // Identical blocks, identical initial weights: the later blocks
+        // answer their carry-chain probes from the memo.
+        assert!(
+            a.stability.cone_sig_hits > 0,
+            "no memo hits: {:?}",
+            a.stability
+        );
+        assert_eq!(b.stability.cone_sig_hits, 0);
+        assert_eq!(b.stability.cone_sig_misses, 0);
+
+        // The analysis itself is bit-identical either way; only solver
+        // effort differs (memo hits skip SAT queries entirely).
+        assert_eq!(a.delay, b.delay);
+        assert_eq!(a.net_arrivals, b.net_arrivals);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.refinements, b.refinements);
+        assert_eq!(with_memo.refinement_report(), without.refinement_report());
+        assert!(a.stability.sat_queries < b.stability.sat_queries);
+
+        // Sanity: this is csa8.2 in disguise; the skip false path must
+        // still be discovered through shared verdicts.
+        let flat = carry_skip_adder_flat(8, 2, CsaDelays::default()).unwrap();
+        let exact = hfta_fta::functional_circuit_delay(&flat).unwrap();
+        assert_eq!(a.delay, exact);
+    }
+
+    /// Serial and parallel schedules agree on everything observable,
+    /// including the memo hit/miss counters: one signature class stays
+    /// on one worker.
+    #[test]
+    fn memo_sharing_is_deterministic_under_threads() {
+        let (design, n) = replicated_design(4);
+        let arrivals = vec![Time::ZERO; n];
+        let mut serial = DemandDrivenAnalyzer::new(&design, "rep", Default::default()).unwrap();
+        let parallel_opts = DemandOptions {
+            threads: 4,
+            ..DemandOptions::default()
+        };
+        let mut parallel = DemandDrivenAnalyzer::new(&design, "rep", parallel_opts).unwrap();
+        let a = serial.analyze(&arrivals).unwrap();
+        let b = parallel.analyze(&arrivals).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(serial.refinement_report(), parallel.refinement_report());
+        assert!(a.stability.cone_sig_hits > 0);
+    }
+
+    /// A limited budget disables sharing: budgeted verdicts depend on
+    /// solver history, so every probe must run its own solve.
+    #[test]
+    fn limited_budget_disables_memo_sharing() {
+        let (design, n) = replicated_design(4);
+        let arrivals = vec![Time::ZERO; n];
+        let opts = DemandOptions {
+            budget: SolveBudget::default().with_conflicts(1_000_000),
+            ..DemandOptions::default()
+        };
+        let mut an = DemandDrivenAnalyzer::new(&design, "rep", opts).unwrap();
+        let capped = an.analyze(&arrivals).unwrap();
+        assert_eq!(capped.stability.cone_sig_hits, 0);
+        assert_eq!(capped.stability.cone_sig_misses, 0);
+        // The budget is generous, so the answer still converges.
+        let mut full = DemandDrivenAnalyzer::new(&design, "rep", Default::default()).unwrap();
+        assert_eq!(capped.delay, full.analyze(&arrivals).unwrap().delay);
     }
 }
 

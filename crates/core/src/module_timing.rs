@@ -13,8 +13,8 @@ use std::error::Error;
 use std::fmt;
 
 use hfta_fta::{
-    characterize_module_with_stats, topological_delays, CharacterizeOptions, StabilityStats,
-    TimingModel, TimingTuple,
+    characterize_module_cached, characterize_module_with_stats, topological_delays,
+    CharacterizeOptions, ConeSigCache, StabilityStats, TimingModel, TimingTuple,
 };
 use hfta_netlist::{Netlist, NetlistError, Time};
 
@@ -95,6 +95,47 @@ impl ModuleTiming {
             models,
         };
         Ok((timing, stats))
+    }
+
+    /// Like [`ModuleTiming::characterize_with_stats`], sharing
+    /// functional characterization work across structurally isomorphic
+    /// cones through `cache` (a no-op for topological models and when
+    /// [`CharacterizeOptions::cone_sig`] is off).
+    ///
+    /// The third component names, per output, the module that
+    /// originally characterized the shared cone (`None` for fresh
+    /// outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn characterize_cached(
+        netlist: &Netlist,
+        source: ModelSource,
+        opts: CharacterizeOptions,
+        cache: &mut ConeSigCache,
+    ) -> Result<(ModuleTiming, StabilityStats, Vec<Option<String>>), NetlistError> {
+        if source == ModelSource::Topological {
+            let (timing, stats) = ModuleTiming::characterize_with_stats(netlist, source, opts)?;
+            let owners = vec![None; netlist.outputs().len()];
+            return Ok((timing, stats, owners));
+        }
+        let (models, stats, owners) = characterize_module_cached(netlist, opts, cache)?;
+        let timing = ModuleTiming {
+            module: netlist.name().to_string(),
+            input_names: netlist
+                .inputs()
+                .iter()
+                .map(|&n| netlist.net_name(n).to_string())
+                .collect(),
+            output_names: netlist
+                .outputs()
+                .iter()
+                .map(|&n| netlist.net_name(n).to_string())
+                .collect(),
+            models,
+        };
+        Ok((timing, stats, owners))
     }
 
     /// Builds an abstraction from parts (e.g. for a black box whose

@@ -65,8 +65,8 @@ pub use oracle::StabilityOracle;
 pub use paths::{longest_true_path, worst_paths, TimedPath};
 pub use report::{OutputReport, TimingReport};
 pub use required::{
-    characterize_module, characterize_module_with_stats, topological_delays, CharacterizeOptions,
-    Characterizer,
+    characterize_module, characterize_module_cached, characterize_module_with_stats,
+    topological_delays, CharacterizeOptions, Characterizer, ConeSigCache,
 };
 pub use sequential::{SequentialAnalysis, SequentialAnalyzer, SequentialEngine};
 pub use sta::TopoSta;

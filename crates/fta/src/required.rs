@@ -16,6 +16,9 @@
 //! tuple); dominated results are pruned by
 //! [`TimingModel::from_tuples`].
 
+use std::collections::HashMap;
+
+use hfta_netlist::strash::{cone_signature, exact_fingerprint, ConeKey};
 use hfta_netlist::{NetId, Netlist, NetlistError, Time};
 use hfta_sat::SolveBudget;
 
@@ -44,6 +47,12 @@ pub struct CharacterizeOptions {
     /// tuple stays sound, with the topological tuple as the floor.
     /// Unlimited by default.
     pub budget: SolveBudget,
+    /// Whether cached entry points may share characterization work
+    /// between structurally isomorphic cones via [`ConeSigCache`]
+    /// (cache hits are only taken when the replayed result is provably
+    /// bit-identical to a fresh analysis). On by default; callers that
+    /// pass no cache are unaffected.
+    pub cone_sig: bool,
 }
 
 impl Default for CharacterizeOptions {
@@ -53,6 +62,83 @@ impl Default for CharacterizeOptions {
             lengths_cap: 32,
             try_irrelevant: true,
             budget: SolveBudget::UNLIMITED,
+            cone_sig: true,
+        }
+    }
+}
+
+/// A cache of per-cone characterization results keyed by structural
+/// signature ([`ConeSig`](hfta_netlist::strash::ConeSig)).
+///
+/// A stored entry is replayed for a candidate cone only when the replay
+/// is provably bit-identical to characterizing the candidate from
+/// scratch:
+///
+/// * equal signature — the cones are isomorphic, so path-length lists,
+///   topological tuples and exact stability verdicts all correspond
+///   through the input permutation;
+/// * equal criticality order (expressed in canonical slots) — the
+///   greedy relaxation visits inputs in the same canonical sequence,
+///   so every pass replays move for move;
+/// * under a *limited* budget, additionally a verbatim structural match
+///   ([`exact_fingerprint`]) — solver heuristics depend on clause
+///   ordering, so only a literally identical cone (modulo names)
+///   guarantees identical budget outcomes.
+///
+/// Entries produced under different [`CharacterizeOptions`] are not
+/// interchangeable; a cache must only be reused with the options that
+/// filled it (as the hierarchical analyzer in `hfta-core` does).
+#[derive(Debug, Default)]
+pub struct ConeSigCache {
+    entries: HashMap<u128, SigEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct SigEntry {
+    /// Unpruned cone tuples (greedy passes + topological floor) with
+    /// delays indexed by canonical slot.
+    slot_tuples: Vec<Vec<Time>>,
+    /// The characterizing cone's criticality order, as canonical slots.
+    crit_slots: Vec<usize>,
+    /// Whether the characterization hit its budget (replayed on hit so
+    /// degradation accounting matches a fresh run).
+    degraded: bool,
+    /// Name-independent verbatim structure hash of the characterizing
+    /// cone, for budget-limited sharing.
+    exact_fp: u64,
+    /// Module that paid for the characterization (alias observability).
+    owner: String,
+}
+
+impl ConeSigCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> ConeSigCache {
+        ConeSigCache::default()
+    }
+
+    /// Number of characterizations answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of characterizations that ran fresh (and seeded entries).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Folds `other` into `self`: counters add, entries merge with
+    /// existing ones winning (deterministic given a deterministic merge
+    /// order).
+    pub fn merge(&mut self, other: ConeSigCache) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        for (k, v) in other.entries {
+            self.entries.entry(k).or_insert(v);
         }
     }
 }
@@ -140,13 +226,39 @@ impl<'a> Characterizer<'a> {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
     pub fn output_model(&mut self, output: NetId) -> Result<TimingModel, NetlistError> {
+        self.output_model_inner(output, None).map(|(m, _)| m)
+    }
+
+    /// Like [`Characterizer::output_model`], consulting (and feeding) a
+    /// [`ConeSigCache`] when [`CharacterizeOptions::cone_sig`] is on.
+    ///
+    /// On a cache hit the second component names the module that
+    /// originally paid for the shared cone (possibly this one, for
+    /// isomorphic outputs within a module); on a miss it is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn output_model_cached(
+        &mut self,
+        output: NetId,
+        cache: &mut ConeSigCache,
+    ) -> Result<(TimingModel, Option<String>), NetlistError> {
+        self.output_model_inner(output, Some(cache))
+    }
+
+    fn output_model_inner(
+        &mut self,
+        output: NetId,
+        cache: Option<&mut ConeSigCache>,
+    ) -> Result<(TimingModel, Option<String>), NetlistError> {
         let (cone, sources) = self.netlist.cone(output);
         let cone_out = cone.outputs()[0];
         let n_cone = cone.inputs().len();
         if n_cone == 0 {
             // Constant cone: no input matters.
             let full = vec![Time::NEG_INF; self.netlist.inputs().len()];
-            return Ok(TimingModel::from_tuples(vec![TimingTuple::new(full)]));
+            return Ok((TimingModel::from_tuples(vec![TimingTuple::new(full)]), None));
         }
         let sta = TopoSta::new(&cone)?;
         let distinct = sta.distinct_lengths_to(cone_out, self.opts.lengths_cap);
@@ -164,38 +276,7 @@ impl<'a> Characterizer<'a> {
         let mut by_criticality: Vec<usize> = (0..n_cone).collect();
         by_criticality.sort_by(|&a, &b| topo[b].cmp(&topo[a]));
 
-        // One persistent analyzer validates every candidate tuple of
-        // this cone: each check rebinds the arrivals but keeps the SAT
-        // solver (learnt clauses, Tseitin cache) and the settled
-        // -function memo warm.
-        let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
-        let mut analyzer = StabilityAnalyzer::new(&cone, &topo_arrivals, SatAlg::new())?;
-        analyzer.set_budget(self.opts.budget);
-
-        let passes = self.opts.max_tuples.max(1).min(n_cone);
-        let mut tuples = Vec::with_capacity(passes + 1);
-        let mut hit_budget = false;
-        for seed in 0..passes {
-            let mut order = by_criticality.clone();
-            order.rotate_left(seed);
-            tuples.push(self.greedy_pass(
-                &mut analyzer,
-                cone_out,
-                &lists,
-                &topo,
-                &order,
-                &mut hit_budget,
-            )?);
-        }
-        self.stability.merge(&analyzer.stats());
-        if hit_budget {
-            self.stability.degraded += 1;
-        }
-        // The topological tuple is always valid; keep it as a floor (it
-        // will be pruned if any pass improved on it).
-        tuples.push(TimingTuple::new(topo));
-
-        // Expand cone tuples to the module's full input list.
+        // Expands cone tuples to the module's full input list.
         let positions: Vec<usize> = sources
             .iter()
             .map(|src| {
@@ -207,17 +288,130 @@ impl<'a> Characterizer<'a> {
             })
             .collect();
         let full_len = self.netlist.inputs().len();
-        let expanded = tuples
-            .into_iter()
-            .map(|t| {
-                let mut full = vec![Time::NEG_INF; full_len];
-                for (i, &p) in positions.iter().enumerate() {
-                    full[p] = t.delay(i);
+        let expand = move |tuples: Vec<TimingTuple>| {
+            let expanded = tuples
+                .into_iter()
+                .map(|t| {
+                    let mut full = vec![Time::NEG_INF; full_len];
+                    for (i, &p) in positions.iter().enumerate() {
+                        full[p] = t.delay(i);
+                    }
+                    TimingTuple::new(full)
+                })
+                .collect();
+            TimingModel::from_tuples(expanded)
+        };
+
+        let cache = cache.filter(|_| self.opts.cone_sig);
+        let key = match &cache {
+            Some(_) => Some(cone_signature(&cone)?),
+            None => None,
+        };
+        if let (Some(cache), Some(key)) = (cache, key) {
+            let crit_slots: Vec<usize> = by_criticality.iter().map(|&i| key.perm[i]).collect();
+            if let Some(entry) = self.probe(cache, &key, &crit_slots, &cone) {
+                let tuples = entry
+                    .slot_tuples
+                    .iter()
+                    .map(|st| TimingTuple::new(key.from_slots(st)))
+                    .collect();
+                let owner = entry.owner.clone();
+                if entry.degraded {
+                    self.stability.degraded += 1;
                 }
-                TimingTuple::new(full)
-            })
-            .collect();
-        Ok(TimingModel::from_tuples(expanded))
+                cache.hits += 1;
+                self.stability.cone_sig_hits += 1;
+                return Ok((expand(tuples), Some(owner)));
+            }
+            cache.misses += 1;
+            self.stability.cone_sig_misses += 1;
+            let (tuples, hit_budget) =
+                self.characterize_cone(&cone, cone_out, &lists, &topo, &by_criticality)?;
+            let slot_tuples = tuples
+                .iter()
+                .map(|t| {
+                    let vals: Vec<Time> = (0..n_cone).map(|i| t.delay(i)).collect();
+                    key.to_slots(&vals, Time::NEG_INF)
+                })
+                .collect();
+            cache.entries.entry(key.sig.0).or_insert_with(|| SigEntry {
+                slot_tuples,
+                crit_slots,
+                degraded: hit_budget,
+                exact_fp: exact_fingerprint(&cone),
+                owner: self.netlist.name().to_string(),
+            });
+            return Ok((expand(tuples), None));
+        }
+
+        let (tuples, _) =
+            self.characterize_cone(&cone, cone_out, &lists, &topo, &by_criticality)?;
+        Ok((expand(tuples), None))
+    }
+
+    /// Looks up a replayable entry: equal signature, equal canonical
+    /// criticality order, and — under a limited budget — a verbatim
+    /// structural match (see [`ConeSigCache`]).
+    fn probe<'c>(
+        &self,
+        cache: &'c ConeSigCache,
+        key: &ConeKey,
+        crit_slots: &[usize],
+        cone: &Netlist,
+    ) -> Option<&'c SigEntry> {
+        let entry = cache.entries.get(&key.sig.0)?;
+        if entry.crit_slots != crit_slots {
+            return None;
+        }
+        if !self.opts.budget.is_unlimited() && entry.exact_fp != exact_fingerprint(cone) {
+            return None;
+        }
+        Some(entry)
+    }
+
+    /// The uncached core: greedy relaxation passes plus the topological
+    /// floor, returning the unpruned cone tuples and whether the budget
+    /// interfered.
+    fn characterize_cone(
+        &mut self,
+        cone: &Netlist,
+        cone_out: NetId,
+        lists: &[Vec<Time>],
+        topo: &[Time],
+        by_criticality: &[usize],
+    ) -> Result<(Vec<TimingTuple>, bool), NetlistError> {
+        let n_cone = lists.len();
+        // One persistent analyzer validates every candidate tuple of
+        // this cone: each check rebinds the arrivals but keeps the SAT
+        // solver (learnt clauses, Tseitin cache) and the settled
+        // -function memo warm.
+        let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
+        let mut analyzer = StabilityAnalyzer::new(cone, &topo_arrivals, SatAlg::new())?;
+        analyzer.set_budget(self.opts.budget);
+
+        let passes = self.opts.max_tuples.max(1).min(n_cone);
+        let mut tuples = Vec::with_capacity(passes + 1);
+        let mut hit_budget = false;
+        for seed in 0..passes {
+            let mut order = by_criticality.to_vec();
+            order.rotate_left(seed);
+            tuples.push(self.greedy_pass(
+                &mut analyzer,
+                cone_out,
+                lists,
+                topo,
+                &order,
+                &mut hit_budget,
+            )?);
+        }
+        self.stability.merge(&analyzer.stats());
+        if hit_budget {
+            self.stability.degraded += 1;
+        }
+        // The topological tuple is always valid; keep it as a floor (it
+        // will be pruned if any pass improved on it).
+        tuples.push(TimingTuple::new(topo.to_vec()));
+        Ok((tuples, hit_budget))
     }
 
     /// One greedy relaxation pass over the cone inputs in `order`.
@@ -311,6 +505,34 @@ pub fn characterize_module_with_stats(
         .map(|&o| ch.output_model(o))
         .collect::<Result<Vec<_>, _>>()?;
     Ok((models, ch.stability_stats()))
+}
+
+/// What [`characterize_module_cached`] produces: per-output models, the
+/// stability work spent, and — per output — the module that originally
+/// characterized the shared cone (`None` for fresh characterizations).
+pub type CachedCharacterization = (Vec<TimingModel>, StabilityStats, Vec<Option<String>>);
+
+/// Like [`characterize_module_with_stats`], sharing work through a
+/// [`ConeSigCache`] (isomorphic outputs within the module, and across
+/// modules when the same cache is reused).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+pub fn characterize_module_cached(
+    netlist: &Netlist,
+    opts: CharacterizeOptions,
+    cache: &mut ConeSigCache,
+) -> Result<CachedCharacterization, NetlistError> {
+    let mut ch = Characterizer::new(netlist, opts);
+    let mut models = Vec::with_capacity(netlist.outputs().len());
+    let mut owners = Vec::with_capacity(netlist.outputs().len());
+    for &o in netlist.outputs() {
+        let (model, owner) = ch.output_model_cached(o, cache)?;
+        models.push(model);
+        owners.push(owner);
+    }
+    Ok((models, ch.stability_stats(), owners))
 }
 
 #[cfg(test)]
@@ -477,6 +699,84 @@ mod tests {
         assert_eq!(unbudgeted, exact);
         assert_eq!(s.budget_hits, 0);
         assert_eq!(s.degraded, 0);
+    }
+
+    /// Renamed copies of a module share every characterization through
+    /// the signature cache, bit-identically to fresh analysis.
+    #[test]
+    fn signature_cache_shares_across_copies_bit_identically() {
+        let a = carry_skip_block(2, CsaDelays::default());
+        let mut b = carry_skip_block(2, CsaDelays::default());
+        b.set_name("renamed_copy");
+        let opts = CharacterizeOptions::default();
+        let mut cache = ConeSigCache::new();
+        let (ma, _, owners_a) = characterize_module_cached(&a, opts, &mut cache).unwrap();
+        let (mb, sb, owners_b) = characterize_module_cached(&b, opts, &mut cache).unwrap();
+        assert_eq!(ma, characterize_module(&a, opts).unwrap());
+        assert_eq!(mb, characterize_module(&b, opts).unwrap());
+        // The three output cones of the block are structurally distinct,
+        // so the first module misses three times and the copy hits three
+        // times, each hit crediting the original module.
+        assert_eq!((cache.hits(), cache.misses()), (3, 3));
+        assert!(owners_a.iter().all(Option::is_none));
+        assert_eq!(sb.cone_sig_hits, 3);
+        assert!(owners_b.iter().all(|o| o.as_deref() == Some(a.name())));
+        // Turning the toggle off bypasses the cache entirely.
+        let off = CharacterizeOptions {
+            cone_sig: false,
+            ..opts
+        };
+        let mut cold = ConeSigCache::new();
+        let (moff, soff, _) = characterize_module_cached(&b, off, &mut cold).unwrap();
+        assert_eq!(moff, mb);
+        assert_eq!((cold.hits(), cold.misses()), (0, 0));
+        assert_eq!(soff.cone_sig_hits + soff.cone_sig_misses, 0);
+    }
+
+    /// Under a limited budget only verbatim-identical cones (modulo
+    /// names) may share: solver heuristics depend on clause order, so a
+    /// merely isomorphic cone could exhaust the budget differently.
+    #[test]
+    fn limited_budget_restricts_sharing_to_verbatim_cones() {
+        let aoi = |order: &[&str]| {
+            let mut nl = Netlist::new(format!("aoi_{}", order.join("")));
+            let mut ids = std::collections::HashMap::new();
+            for &n in order {
+                ids.insert(n, nl.add_input(n));
+            }
+            let t = nl.add_net("t");
+            let z = nl.add_net("z");
+            nl.add_gate(GateKind::And, &[ids["a"], ids["b"]], t, 2)
+                .unwrap();
+            nl.add_gate(GateKind::Or, &[t, ids["c"]], z, 3).unwrap();
+            nl.mark_output(z);
+            nl
+        };
+        let base = aoi(&["a", "b", "c"]);
+        let permuted = aoi(&["c", "a", "b"]);
+
+        // Unlimited budget: the permuted isomorph shares.
+        let opts = CharacterizeOptions::default();
+        let mut cache = ConeSigCache::new();
+        let _ = characterize_module_cached(&base, opts, &mut cache).unwrap();
+        let (mp, _, _) = characterize_module_cached(&permuted, opts, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(mp, characterize_module(&permuted, opts).unwrap());
+
+        // Limited budget: the permuted isomorph must re-run, a verbatim
+        // renamed copy may still share.
+        let tight = CharacterizeOptions {
+            budget: SolveBudget::default().with_conflicts(1_000_000),
+            ..opts
+        };
+        let mut cache = ConeSigCache::new();
+        let _ = characterize_module_cached(&base, tight, &mut cache).unwrap();
+        let _ = characterize_module_cached(&permuted, tight, &mut cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        let mut copy = aoi(&["a", "b", "c"]);
+        copy.set_name("copy");
+        let _ = characterize_module_cached(&copy, tight, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 1);
     }
 
     /// max_tuples = 1 reproduces the paper's single-tuple models.

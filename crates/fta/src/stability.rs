@@ -88,6 +88,13 @@ pub struct StabilityStats {
     /// functionally — by a budget, a deadline, or a round cap. Always
     /// zero when no budget/cap is in effect.
     pub degraded: u64,
+    /// Characterizations or refinement verdicts answered by a
+    /// structural cone-signature cache instead of fresh analysis (see
+    /// `hfta_netlist::strash`).
+    pub cone_sig_hits: u64,
+    /// Signature-cache probes that missed and ran fresh analysis
+    /// (seeding the cache). Zero when signature sharing is off.
+    pub cone_sig_misses: u64,
     /// Wall-clock per analysis phase (see [`PhaseWall`]). Excluded from
     /// equality: two analyses that agree on every deterministic
     /// observable compare equal even though their timings differ.
@@ -138,6 +145,8 @@ impl StabilityStats {
         self.learnt_clauses += other.learnt_clauses;
         self.budget_hits += other.budget_hits;
         self.degraded += other.degraded;
+        self.cone_sig_hits += other.cone_sig_hits;
+        self.cone_sig_misses += other.cone_sig_misses;
         self.wall.characterize_micros += other.wall.characterize_micros;
         self.wall.refine_micros += other.wall.refine_micros;
         self.wall.propagate_micros += other.wall.propagate_micros;
@@ -152,6 +161,7 @@ impl StabilityStats {
              solver: {} SAT queries, {} conflicts, {} propagations, \
              {} learnt clauses\n\
              budget: {} exhausted queries, {} degraded to topological\n\
+             cone signatures: {} hits, {} misses\n\
              wall: {}us characterize, {}us refine, {}us propagate",
             self.queries,
             self.topological_hits,
@@ -165,6 +175,8 @@ impl StabilityStats {
             self.learnt_clauses,
             self.budget_hits,
             self.degraded,
+            self.cone_sig_hits,
+            self.cone_sig_misses,
             self.wall.characterize_micros,
             self.wall.refine_micros,
             self.wall.propagate_micros,

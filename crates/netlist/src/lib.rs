@@ -49,6 +49,7 @@ pub mod partition;
 pub mod seq;
 pub mod sim;
 pub mod stats;
+pub mod strash;
 mod time;
 pub mod transform;
 
@@ -57,4 +58,5 @@ pub use gate::{Gate, GateId, GateKind, NetId};
 pub use hier::{Composite, Design, Instance, ModuleBody, ModuleDef};
 pub use netlist::Netlist;
 pub use seq::{Register, SeqCircuit};
+pub use strash::{cone_signature, ConeKey, ConeSig};
 pub use time::Time;

@@ -193,6 +193,11 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt_clauses: u64,
+    /// Current learnt-clause cap (`reduce_db` fires above it). Follows
+    /// a Luby envelope of the base cap across restarts, so it returns
+    /// to the base infinitely often and the database stays bounded over
+    /// arbitrarily long runs.
+    pub max_learnts: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -242,6 +247,7 @@ pub struct Solver {
     model: Vec<LBool>,
     stats: SolverStats,
     max_learnts: usize,
+    max_learnts_base: usize,
 }
 
 impl Solver {
@@ -267,6 +273,7 @@ impl Solver {
             model: Vec::new(),
             stats: SolverStats::default(),
             max_learnts: 4000,
+            max_learnts_base: 4000,
         }
     }
 
@@ -682,6 +689,7 @@ impl Solver {
         let mut restarts = 0u64;
         let result = loop {
             let budget = luby(restarts) * 256;
+            self.set_learnt_cap(restarts);
             match self.search(assumptions, budget, None) {
                 SearchOutcome::Done(r) => break r,
                 SearchOutcome::Exhausted(_) => unreachable!("no limits were set"),
@@ -737,6 +745,7 @@ impl Solver {
         let mut restarts = 0u64;
         let result = loop {
             let max_conflicts = luby(restarts) * 256;
+            self.set_learnt_cap(restarts);
             match self.search(assumptions, max_conflicts, Some(&limits)) {
                 SearchOutcome::Done(r) => break r.into(),
                 SearchOutcome::Exhausted(why) => break BudgetedSatResult::Unknown(why),
@@ -752,6 +761,18 @@ impl Solver {
         }
         self.cancel_until(0);
         result
+    }
+
+    /// Sets the learnt-clause cap for the upcoming search episode to
+    /// `max_learnts_base × luby(restarts)`. Unlike a monotone geometric
+    /// growth schedule, the Luby envelope returns to the base cap
+    /// infinitely often, so the clause database stays bounded across
+    /// arbitrarily many restarts — and across arbitrarily many
+    /// (budgeted) `solve` calls, each of which restarts the envelope.
+    fn set_learnt_cap(&mut self, restarts: u64) {
+        let cap = (self.max_learnts_base as u64).saturating_mul(luby(restarts));
+        self.max_learnts = usize::try_from(cap).unwrap_or(usize::MAX);
+        self.stats.max_learnts = cap;
     }
 
     /// Checks the lifetime counters against absolute limits. The check
@@ -813,7 +834,6 @@ impl Solver {
                 self.cla_inc /= 0.999;
                 if self.stats.learnt_clauses as usize > self.max_learnts {
                     self.reduce_db();
-                    self.max_learnts += self.max_learnts / 10;
                 }
                 if conflicts >= max_conflicts {
                     return SearchOutcome::Restart;
@@ -1268,6 +1288,59 @@ mod tests {
         assert_eq!(t.decisions, Some(5));
         assert!(SolveBudget::UNLIMITED.is_unlimited());
         assert!(!t.is_unlimited());
+    }
+
+    /// Long budgeted runs must not grow the learnt-clause database
+    /// without bound. The cap follows a Luby envelope of the base
+    /// (4000 × 1, 1, 2, 1, 1, 2, 4, …), which returns to the base
+    /// infinitely often — unlike the monotone geometric schedule it
+    /// replaced, which drifted past any fixed bound after enough
+    /// conflicts had accumulated across repeated budgeted calls.
+    #[test]
+    fn budgeted_runs_keep_learnt_database_bounded() {
+        // Pigeonhole 10→9 needs far more conflicts (~100k+) than the
+        // total budget below, so every call is interrupted and the
+        // solver keeps accumulating (and shedding) learnt clauses.
+        let (n, m) = (10usize, 9usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&c);
+        }
+        #[allow(clippy::needless_range_loop)] // j enumerates holes
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        let budget = SolveBudget::default().with_conflicts(2_000);
+        for _ in 0..15 {
+            let r = s.solve_budgeted(&[], &budget);
+            assert_eq!(r, BudgetedSatResult::Unknown(BudgetExhausted::Conflicts));
+            // Bounded at every observation point: a small multiple of
+            // the base cap (slack for binary and locked clauses, which
+            // reduce_db never deletes).
+            assert!(
+                s.stats().learnt_clauses <= 20_000,
+                "learnt database grew unboundedly: {:?}",
+                s.stats()
+            );
+            // The exposed cap is always base × a Luby term — the old
+            // geometric schedule (4000, 4400, 4840, …) fails this from
+            // its first reduction on.
+            let cap = s.stats().max_learnts;
+            assert_eq!(cap % 4000, 0, "cap {cap} is not a Luby multiple");
+            assert!(
+                (cap / 4000).is_power_of_two(),
+                "cap {cap} is not a Luby multiple"
+            );
+        }
+        assert!(s.stats().conflicts >= 29_000, "{:?}", s.stats());
     }
 
     #[test]

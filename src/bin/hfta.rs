@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]
-//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]
 //! hfta sim <file> --from BITS --to BITS
 //! hfta check <file> [--module NAME]
@@ -23,6 +23,13 @@
 //! Queries a budget interrupts degrade their result to the topological
 //! answer — conservative, never wrong — so the tool still exits 0 with
 //! a complete (if less sharp) report.
+//!
+//! `hier` shares work across structurally identical logic cones by
+//! default (hash-consed cone signatures): two-step characterization is
+//! reused across renamed module copies, and demand-driven stability
+//! verdicts across isomorphic cones. `--no-cone-sig` turns the sharing
+//! off; `--stats` shows its effect as `cone signatures: H hits, M
+//! misses` plus (two-step) the modules aliased to a structural twin.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -72,7 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]\n  \
-     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]\n  \
      hfta sim <file> --from BITS --to BITS\n  \
      hfta check <file> [--module NAME]\n  \
@@ -303,19 +310,26 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
     }
     let algo = opts.value("--algo").unwrap_or("demand");
     let want_stats = opts.has_flag("--stats");
+    let cone_sig = !opts.has_flag("--no-cone-sig");
     let budget = budget_from(&opts)?;
     let (label, output_arrivals, delay) = match algo {
         "two-step" => {
             let mut hier_opts = HierOptions::default();
             hier_opts.characterize.budget = budget;
+            hier_opts.characterize.cone_sig = cone_sig;
             let mut an = HierAnalyzer::new(&design, &top, hier_opts).map_err(|e| e.to_string())?;
             let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
             if want_stats {
                 println!(
-                    "two-step: {} modules characterized, {} instances propagated",
-                    r.stats.modules_characterized, r.stats.instances_propagated
+                    "two-step: {} modules characterized, {} instances propagated, {} modules aliased",
+                    r.stats.modules_characterized,
+                    r.stats.instances_propagated,
+                    r.stats.modules_aliased
                 );
                 println!("{}", r.stats.stability.summary());
+                for (alias, owner) in an.sig_aliases() {
+                    println!("aliased module: {alias} -> {owner} (structurally identical)");
+                }
                 for (name, why) in an.degraded_modules() {
                     println!("degraded module: {name} ({why})");
                 }
@@ -325,6 +339,7 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
         "demand" => {
             let mut demand_opts = DemandOptions {
                 budget,
+                cone_sig,
                 ..DemandOptions::default()
             };
             if let Some(threads) = opts.value("--threads") {

@@ -132,6 +132,78 @@ fn stats_flag_prints_counters() {
     assert!(stdout.contains("SAT queries"), "{stdout}");
 }
 
+/// Two textually identical leaf modules under different names: only
+/// structural signatures can share their characterization.
+const HNL_TWINS: &str = "\
+module blk
+  input c a b
+  output s z
+  gate xor p a b delay=2
+  gate and t p c
+  gate and g a b
+  gate or  k g t
+  gate xor s p c delay=2
+  gate mux z p c k delay=2
+endmodule
+
+module blk2
+  input c a b
+  output s z
+  gate xor p a b delay=2
+  gate and t p c
+  gate and g a b
+  gate or  k g t
+  gate xor s p c delay=2
+  gate mux z p c k delay=2
+endmodule
+
+module top
+  input cin a0 b0 a1 b1
+  output s0 s1 zout
+  net mid
+  inst u0 blk cin a0 b0 -> s0 mid
+  inst u1 blk2 mid a1 b1 -> s1 zout
+endmodule
+
+top top
+";
+
+#[test]
+fn cone_sig_sharing_surfaces_in_stats_and_can_be_disabled() {
+    let path = write_temp("twins.hnl", HNL_TWINS);
+    let (ok, on, _) = run(&[
+        "hier",
+        path.to_str().unwrap(),
+        "--algo",
+        "two-step",
+        "--stats",
+    ]);
+    assert!(ok, "{on}");
+    assert!(on.contains("1 modules aliased"), "{on}");
+    assert!(on.contains("aliased module: blk2 -> blk"), "{on}");
+    assert!(on.contains("cone signatures:"), "{on}");
+    assert!(on.contains("estimated delay: 8"), "{on}");
+
+    let (ok, off, _) = run(&[
+        "hier",
+        path.to_str().unwrap(),
+        "--algo",
+        "two-step",
+        "--no-cone-sig",
+        "--stats",
+    ]);
+    assert!(ok, "{off}");
+    assert!(off.contains("0 modules aliased"), "{off}");
+    assert!(!off.contains("aliased module:"), "{off}");
+    assert!(off.contains("estimated delay: 8"), "{off}");
+
+    // The demand-driven path accepts the toggle too, with the same
+    // answer either way.
+    let (ok, demand, _) = run(&["hier", path.to_str().unwrap(), "--no-cone-sig"]);
+    assert!(ok, "{demand}");
+    assert!(demand.contains("estimated delay: 8"), "{demand}");
+}
+
 #[test]
 fn budget_ms_zero_degrades_but_succeeds() {
     // `report --budget-ms 0`: every solver-bound proof degrades to the

@@ -2,8 +2,10 @@
 
 use hfta::netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
 use hfta::netlist::partition::cascade_bipartition;
-use hfta::netlist::sim;
-use hfta::{DelayAnalyzer, DemandDrivenAnalyzer, StabilityAnalyzer, Time, TopoSta};
+use hfta::netlist::{cone_signature, sim};
+use hfta::{
+    DelayAnalyzer, DemandDrivenAnalyzer, GateKind, Netlist, StabilityAnalyzer, Time, TopoSta,
+};
 use hfta_testkit::{from_fn_with_shrink, prop, Rng, Strategy};
 
 /// Random flat circuits; shrinking reduces gate and input counts so a
@@ -115,6 +117,149 @@ prop!(cases = 64, fn partition_flatten_roundtrip(spec in spec_strategy()) {
             assert_eq!(b[k], a[idx], "output {name} vector {v}");
         }
     }
+});
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A structural twin of `nl`: every net renamed, inputs declared in a
+/// seed-driven permuted order, gates created in reverse order with
+/// commutative inputs reversed. Returns the twin plus `input_pos`,
+/// mapping each original input position to its position in the twin.
+fn shuffled_copy(nl: &Netlist, seed: u64) -> (Netlist, Vec<usize>) {
+    let n = nl.inputs().len();
+    let mut state = seed;
+    // Fisher–Yates: input_pos[i] = declared position of input i in the copy.
+    let mut input_pos: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        input_pos.swap(i, j);
+    }
+    let mut by_new_pos = vec![0usize; n];
+    for (i, &p) in input_pos.iter().enumerate() {
+        by_new_pos[p] = i;
+    }
+    let mut copy = Netlist::new(format!("{}_twin", nl.name()));
+    let mut map = vec![None; nl.net_count()];
+    for &p in by_new_pos.iter() {
+        let old = nl.inputs()[p];
+        map[old.index()] = Some(copy.add_input(format!("pi{p}")));
+    }
+    for (idx, m) in map.iter_mut().enumerate() {
+        if m.is_none() {
+            *m = Some(copy.add_net(format!("n{idx}")));
+        }
+    }
+    let mapped = |net: hfta::NetId| map[net.index()].expect("mapped");
+    for gate in nl.gates().iter().rev() {
+        let mut ins: Vec<hfta::NetId> = gate.inputs.iter().map(|&i| mapped(i)).collect();
+        let commutative = matches!(
+            gate.kind,
+            GateKind::And
+                | GateKind::Or
+                | GateKind::Nand
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor
+        );
+        if commutative {
+            ins.reverse();
+        }
+        copy.add_gate(gate.kind, &ins, mapped(gate.output), gate.delay)
+            .expect("twin gate");
+    }
+    for &o in nl.outputs() {
+        copy.mark_output(mapped(o));
+    }
+    (copy, input_pos)
+}
+
+// Structural cone signatures are invariant under renaming, input
+// permutation, gate creation order, and commutative input order — and
+// the returned correspondences are function-preserving: driving both
+// cones from the same canonical-slot vector yields identical outputs.
+// (Exact slot numbers may differ between copies only for automorphic
+// inputs, where either assignment is correct.)
+prop!(cases = 48, fn cone_signature_invariant_under_isomorphism(spec in spec_strategy()) {
+    let nl = random_circuit("p", spec);
+    let out = nl.outputs()[0];
+    let (cone, _) = nl.cone(out);
+    let (twin, _) = shuffled_copy(&cone, spec.seed ^ 0x5bd1_e995);
+    let ka = cone_signature(&cone).expect("acyclic");
+    let kb = cone_signature(&twin).expect("acyclic");
+    assert_eq!(ka.sig, kb.sig, "isomorphic cones got different signatures");
+    assert_eq!(ka.slot_count(), kb.slot_count());
+    let n = ka.slot_count();
+    for v in 0u64..(1 << n) {
+        let slots: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+        let a = sim::eval(&cone, &ka.from_slots(&slots)).expect("simulates");
+        let b = sim::eval(&twin, &kb.from_slots(&slots)).expect("simulates");
+        assert_eq!(a, b, "correspondence is not function-preserving at slot vector {v}");
+    }
+});
+
+// Changing the cone — here, the root gate's delay — changes the
+// signature: equal signatures really do mean interchangeable timing.
+prop!(cases = 48, fn cone_signature_distinguishes_modified_cones(spec in spec_strategy()) {
+    let nl = random_circuit("p", spec);
+    let out = nl.outputs()[0];
+    let (cone, _) = nl.cone(out);
+    if cone.gates().is_empty() {
+        return Ok(());
+    }
+    let root = cone.outputs()[0];
+    let mut bumped = Netlist::new("bumped");
+    let mut map = vec![None; cone.net_count()];
+    for (p, &pi) in cone.inputs().iter().enumerate() {
+        map[pi.index()] = Some(bumped.add_input(format!("pi{p}")));
+    }
+    for (idx, m) in map.iter_mut().enumerate() {
+        if m.is_none() {
+            *m = Some(bumped.add_net(format!("n{idx}")));
+        }
+    }
+    for gate in cone.gates() {
+        let ins: Vec<hfta::NetId> = gate
+            .inputs
+            .iter()
+            .map(|&i| map[i.index()].expect("mapped"))
+            .collect();
+        let delay = if gate.output == root { gate.delay + 1 } else { gate.delay };
+        bumped
+            .add_gate(gate.kind, &ins, map[gate.output.index()].expect("mapped"), delay)
+            .expect("bumped gate");
+    }
+    bumped.mark_output(map[root.index()].expect("mapped"));
+    let ka = cone_signature(&cone).expect("acyclic");
+    let kb = cone_signature(&bumped).expect("acyclic");
+    assert_ne!(ka.sig, kb.sig, "delay change was invisible to the signature");
+});
+
+// Characterizing through a shared signature cache is bit-identical to
+// fresh characterization, for the original cone and any structural
+// twin of it.
+prop!(cases = 16, fn signature_shared_characterization_is_bit_identical(spec in spec_strategy()) {
+    use hfta::fta::{characterize_module, CharacterizeOptions, ConeSigCache};
+    let nl = random_circuit("p", spec);
+    let out = nl.outputs()[0];
+    let (cone, _) = nl.cone(out);
+    let (twin, _) = shuffled_copy(&cone, spec.seed ^ 0xc2b2_ae35);
+    let opts = CharacterizeOptions::default();
+    let fresh_cone = characterize_module(&cone, opts).expect("characterizes");
+    let fresh_twin = characterize_module(&twin, opts).expect("characterizes");
+
+    let mut cache = ConeSigCache::new();
+    let (shared_cone, _, _) =
+        hfta::fta::characterize_module_cached(&cone, opts, &mut cache).expect("characterizes");
+    let (shared_twin, _, _) =
+        hfta::fta::characterize_module_cached(&twin, opts, &mut cache).expect("characterizes");
+    assert_eq!(shared_cone, fresh_cone, "cache changed the original's models");
+    assert_eq!(shared_twin, fresh_twin, "sharing changed the twin's models");
 });
 
 // Theorem 1 on random partitioned circuits, demand-driven.

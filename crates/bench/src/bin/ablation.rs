@@ -26,7 +26,7 @@
 
 use hfta_bench::{build_iscas_like, IscasLike};
 use hfta_core::{
-    CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, HierAnalyzer, HierOptions,
+    CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, HierAnalyzer, HierOptions, TraceSink,
 };
 use hfta_netlist::gen::carry_skip_adder;
 use hfta_netlist::partition::{cascade_bipartition, cascade_bipartition_min_cut};
@@ -131,8 +131,9 @@ fn bench_parallel_characterization(harness: &mut Harness) {
         an.analyze(&arrivals).expect("analyzes").delay
     });
     group.bench("parallel_4_threads", || {
-        let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
-        an.characterize_all_parallel(4).expect("characterizes");
+        let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default().with_threads(4))
+            .expect("valid");
+        an.characterize_all().expect("characterizes");
         an.analyze(&arrivals).expect("analyzes").delay
     });
 }
@@ -226,7 +227,7 @@ fn replicated_blocks(copies: usize, bits: usize, cascaded: bool) -> (hfta_netlis
     (design, n_inputs)
 }
 
-fn bench_cone_sig(harness: &mut Harness) {
+fn bench_cone_sig(harness: &mut Harness, trace: &TraceSink) {
     let (copies, bits) = if smoke() { (4usize, 2usize) } else { (8, 4) };
     let (design, n_inputs) = replicated_blocks(copies, bits, true);
     let arrivals = vec![Time::ZERO; n_inputs];
@@ -246,6 +247,7 @@ fn bench_cone_sig(harness: &mut Harness) {
     group.bench("hier_sig_on", || {
         let mut an =
             HierAnalyzer::new(&design, "replicated", HierOptions::default()).expect("valid");
+        an.set_trace(trace.clone());
         let r = an.analyze(&arrivals).expect("analyzes");
         assert!(
             r.stats.stability.cone_sig_hits > 0,
@@ -266,6 +268,7 @@ fn bench_cone_sig(harness: &mut Harness) {
     group.bench("demand_sig_on", || {
         let mut an = DemandDrivenAnalyzer::new(&design, "replicated", DemandOptions::default())
             .expect("valid");
+        an.set_trace(trace.clone());
         let r = an.analyze(&arrivals).expect("analyzes");
         assert!(
             r.stability.cone_sig_hits > 0,
@@ -322,12 +325,29 @@ fn bench_cone_sig(harness: &mut Harness) {
     }
 }
 
+/// Write the accumulated trace to `HFTA_TRACE_JSON` (if set). CI's
+/// smoke run greps the file for `sat_episode` and `module_alias`
+/// records, pinning the tracing subsystem end to end.
+fn emit_trace(trace: &TraceSink, path: Option<&str>) {
+    let Some(path) = path else { return };
+    let recs = trace.drain();
+    std::fs::write(path, recs.to_jsonl()).expect("trace file is writable");
+    eprintln!("trace: wrote {} records to {path}", recs.records().len());
+}
+
 fn main() {
+    let trace_path = std::env::var("HFTA_TRACE_JSON").ok();
+    let trace = if trace_path.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
     let mut harness = Harness::new("ablation");
     if smoke() {
         bench_stability_oracle(&mut harness);
-        bench_cone_sig(&mut harness);
+        bench_cone_sig(&mut harness, &trace);
         harness.finish();
+        emit_trace(&trace, trace_path.as_deref());
         return;
     }
     bench_demand_vs_twostep(&mut harness);
@@ -335,6 +355,7 @@ fn main() {
     bench_partition_strategy(&mut harness);
     bench_parallel_characterization(&mut harness);
     bench_stability_oracle(&mut harness);
-    bench_cone_sig(&mut harness);
+    bench_cone_sig(&mut harness, &trace);
     harness.finish();
+    emit_trace(&trace, trace_path.as_deref());
 }

@@ -50,11 +50,13 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use hfta_fta::{
-    PhaseWall, SatAlg, SolveBudget, StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta,
+    solve_episode_fields, AnalysisConfig, BoolAlg, PhaseWall, SatAlg, SolveBudget,
+    StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta,
 };
 use hfta_netlist::{
     cone_signature, Composite, ConeKey, Design, NetId, Netlist, NetlistError, Time,
 };
+use hfta_trace::{TraceSink, Tracer, Value};
 
 use crate::deadline::DeadlineToken;
 
@@ -105,6 +107,71 @@ impl Default for DemandOptions {
             threads: 1,
             budget: SolveBudget::UNLIMITED,
             cone_sig: true,
+        }
+    }
+}
+
+impl DemandOptions {
+    /// Sets the distinct path-length list cap.
+    #[must_use]
+    pub fn with_lengths_cap(mut self, cap: usize) -> DemandOptions {
+        self.lengths_cap = cap;
+        self
+    }
+
+    /// Sets whether exhausted pins may be probed at `−∞`.
+    #[must_use]
+    pub fn with_try_irrelevant(mut self, on: bool) -> DemandOptions {
+        self.try_irrelevant = on;
+        self
+    }
+
+    /// Sets the refinement round cap (`None` = until fixpoint).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: Option<usize>) -> DemandOptions {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets whether per-cone oracles persist across probes.
+    #[must_use]
+    pub fn with_reuse_oracle(mut self, on: bool) -> DemandOptions {
+        self.reuse_oracle = on;
+        self
+    }
+
+    /// Sets the refinement thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> DemandOptions {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-probe resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> DemandOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets whether isomorphic cones share stability verdicts.
+    #[must_use]
+    pub fn with_cone_sig(mut self, on: bool) -> DemandOptions {
+        self.cone_sig = on;
+        self
+    }
+}
+
+impl From<&AnalysisConfig> for DemandOptions {
+    fn from(config: &AnalysisConfig) -> DemandOptions {
+        DemandOptions {
+            lengths_cap: config.lengths_cap,
+            try_irrelevant: config.try_irrelevant,
+            max_rounds: config.max_rounds,
+            reuse_oracle: config.reuse_oracle,
+            threads: config.threads,
+            budget: config.budget,
+            cone_sig: config.cone_sig,
         }
     }
 }
@@ -205,6 +272,9 @@ pub struct DemandDrivenAnalyzer<'a> {
     checks: u64,
     refinements: u64,
     wall: PhaseWall,
+    /// Trace sink for `refine_round` spans, freeze events and per-probe
+    /// events; disabled by default (zero-cost).
+    trace: TraceSink,
 }
 
 fn micros_since(t0: Instant) -> u64 {
@@ -267,7 +337,32 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             checks: 0,
             refinements: 0,
             wall: PhaseWall::default(),
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Creates an analyzer from the unified [`AnalysisConfig`]: budget,
+    /// thread count, sharing switches and trace sink all come from
+    /// `config`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DemandDrivenAnalyzer::new`].
+    pub fn with_config(
+        design: &'a Design,
+        top: &str,
+        config: &AnalysisConfig,
+    ) -> Result<DemandDrivenAnalyzer<'a>, NetlistError> {
+        let mut an = DemandDrivenAnalyzer::new(design, top, DemandOptions::from(config))?;
+        an.set_trace(config.trace.clone());
+        Ok(an)
+    }
+
+    /// Installs a trace sink; subsequent `analyze` calls record
+    /// `refine_round` spans, freeze events and per-probe events into
+    /// it. A disabled sink (the default) costs nothing.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Runs the refinement loop to fixpoint and returns the analysis.
@@ -287,6 +382,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             "arrival vector length mismatch"
         );
         let deadline = DeadlineToken::new(self.opts.budget.deadline);
+        let mut tracer = self.trace.tracer();
         let mut rounds = 0u64;
         let arrivals = loop {
             let graph_t0 = Instant::now();
@@ -308,6 +404,18 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                 // chased count as degraded: their weights stay at the
                 // last proven (possibly topological) value without the
                 // accuracy mark a finished refinement earns.
+                if tracer.is_enabled() {
+                    tracer.event(
+                        "refine_freeze",
+                        vec![
+                            (
+                                "reason",
+                                Value::from(if capped { "max_rounds" } else { "deadline" }),
+                            ),
+                            ("frozen_edges", Value::from(critical.len())),
+                        ],
+                    );
+                }
                 for &(mi, o, _) in &critical {
                     self.modules[mi][o].fresh_stats.degraded += 1;
                 }
@@ -318,11 +426,29 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                 }
                 break arrivals;
             }
+            let span = tracer.is_enabled().then(|| tracer.begin("refine_round"));
+            let (checks0, refinements0) = (self.checks, self.refinements);
             let refine_t0 = Instant::now();
-            self.refine_round(&critical)?;
+            let refined = self.refine_round(&critical, &mut tracer);
             self.wall.refine_micros += micros_since(refine_t0);
+            if let Some(span) = span {
+                tracer.end_with(
+                    span,
+                    vec![
+                        ("round", Value::from(rounds)),
+                        ("critical_edges", Value::from(critical.len())),
+                        ("checks", Value::from(self.checks - checks0)),
+                        ("refinements", Value::from(self.refinements - refinements0)),
+                    ],
+                );
+            }
+            if let Err(e) = refined {
+                self.trace.absorb(tracer);
+                return Err(e);
+            }
             rounds += 1;
         };
+        self.trace.absorb(tracer);
         let output_arrivals: Vec<Time> = self
             .top
             .outputs()
@@ -545,7 +671,11 @@ impl<'a> DemandDrivenAnalyzer<'a> {
     /// worker threads when [`DemandOptions::threads`] `> 1`. Either way
     /// the outcome is the same as probing all edges serially in
     /// `critical` order.
-    fn refine_round(&mut self, critical: &[(usize, usize, usize)]) -> Result<(), NetlistError> {
+    fn refine_round(
+        &mut self,
+        critical: &[(usize, usize, usize)],
+        tracer: &mut Tracer,
+    ) -> Result<(), NetlistError> {
         // Group edge probes per (module, output), preserving order.
         let mut group_edges: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
         let mut group_order: Vec<(usize, usize)> = Vec::new();
@@ -603,16 +733,24 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         type ClassOutcome = (
             Result<RoundWork, NetlistError>,
             Option<(u128, HashMap<Vec<Time>, bool>)>,
+            Tracer,
         );
-        let run = |mut class: Class<'_>| -> ClassOutcome {
-            let r = refine_class(&mut class.work, &mut class.memo, &opts);
-            (r, class.sig.map(|s| (s, class.memo)))
+        let run = |mut class: Class<'_>, mut class_tracer: Tracer| -> ClassOutcome {
+            let r = refine_class(&mut class.work, &mut class.memo, &opts, &mut class_tracer);
+            (r, class.sig.map(|s| (s, class.memo)), class_tracer)
         };
+        // Each class probes into a forked tracer (worker = class index
+        // + 1); buffers merge back in class order below, so the trace
+        // is identical however the classes are scheduled.
         let outcomes: Vec<ClassOutcome> = if opts.threads > 1 && classes.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = classes
                     .into_iter()
-                    .map(|class| scope.spawn(|| run(class)))
+                    .enumerate()
+                    .map(|(ci, class)| {
+                        let class_tracer = tracer.fork(ci as u32 + 1);
+                        scope.spawn(|| run(class, class_tracer))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -620,10 +758,18 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                     .collect()
             })
         } else {
-            classes.into_iter().map(run).collect()
+            classes
+                .into_iter()
+                .enumerate()
+                .map(|(ci, class)| {
+                    let class_tracer = tracer.fork(ci as u32 + 1);
+                    run(class, class_tracer)
+                })
+                .collect()
         };
         let mut first_err = None;
-        for (outcome, memo) in outcomes {
+        for (outcome, memo, class_tracer) in outcomes {
+            tracer.absorb(class_tracer);
             if let Some((sig, memo)) = memo {
                 self.verdict_memo.insert(sig, memo);
             }
@@ -645,11 +791,12 @@ fn refine_class(
     work: &mut [(&mut OutputState, Vec<usize>)],
     memo: &mut HashMap<Vec<Time>, bool>,
     opts: &DemandOptions,
+    tracer: &mut Tracer,
 ) -> Result<RoundWork, NetlistError> {
     let mut round = RoundWork::default();
     for (st, edges) in work.iter_mut() {
         for &j in edges.iter() {
-            st.refine_edge(j, opts, &mut round, memo)?;
+            st.refine_edge(j, opts, &mut round, memo, tracer)?;
         }
     }
     Ok(round)
@@ -719,6 +866,7 @@ impl OutputState {
         opts: &DemandOptions,
         round: &mut RoundWork,
         memo: &mut HashMap<Vec<Time>, bool>,
+        tracer: &mut Tracer,
     ) -> Result<(), NetlistError> {
         debug_assert!(!self.marked[in_idx]);
         let list = &self.lists[in_idx];
@@ -764,6 +912,17 @@ impl OutputState {
         if let Some(canon) = &memo_key {
             if let Some(&verdict) = memo.get(canon) {
                 self.fresh_stats.cone_sig_hits += 1;
+                if tracer.is_enabled() {
+                    tracer.event(
+                        "refine_probe",
+                        vec![
+                            ("input", Value::from(in_idx)),
+                            ("candidate", Value::from(candidate.to_string())),
+                            ("verdict", Value::from(if verdict { "ok" } else { "fail" })),
+                            ("memo", Value::from(true)),
+                        ],
+                    );
+                }
                 self.apply_verdict(in_idx, candidate, Some(verdict), round);
                 return Ok(());
             }
@@ -776,16 +935,51 @@ impl OutputState {
                 self.oracle = Some(oracle);
             }
             let oracle = self.oracle.as_mut().expect("just created");
-            oracle.query_budgeted(&cone_arrivals, cone_out, Time::ZERO)
+            if tracer.is_enabled() {
+                oracle.set_episode_recording(true);
+            }
+            let stable = oracle.query_budgeted(&cone_arrivals, cone_out, Time::ZERO);
+            if tracer.is_enabled() {
+                for ep in oracle.take_episodes() {
+                    tracer.event("sat_episode", solve_episode_fields(&ep));
+                }
+            }
+            stable
         } else {
             let mut analyzer = StabilityAnalyzer::new(&self.cone, &cone_arrivals, SatAlg::new())?;
             analyzer.set_budget(opts.budget);
+            if tracer.is_enabled() {
+                analyzer.alg_mut().set_episode_recording(true);
+            }
             let stable = analyzer.try_is_stable_at(cone_out, Time::ZERO);
+            if tracer.is_enabled() {
+                for ep in analyzer.alg_mut().take_episodes() {
+                    tracer.event("sat_episode", solve_episode_fields(&ep));
+                }
+            }
             self.fresh_stats.merge(&analyzer.stats());
             stable
         };
         if let (Some(canon), Some(verdict)) = (memo_key, stable) {
             memo.insert(canon, verdict);
+        }
+        if tracer.is_enabled() {
+            tracer.event(
+                "refine_probe",
+                vec![
+                    ("input", Value::from(in_idx)),
+                    ("candidate", Value::from(candidate.to_string())),
+                    (
+                        "verdict",
+                        Value::from(match stable {
+                            Some(true) => "ok",
+                            Some(false) => "fail",
+                            None => "budget",
+                        }),
+                    ),
+                    ("memo", Value::from(false)),
+                ],
+            );
         }
         self.apply_verdict(in_idx, candidate, stable, round);
         Ok(())
@@ -1122,6 +1316,54 @@ mod tests {
                 "reports diverged on {top}"
             );
         }
+    }
+
+    /// Tracing is an observer: with a sink installed the analysis stays
+    /// bit-identical (serial and parallel, counters included), and the
+    /// trace carries `refine_round` spans with `refine_probe` and
+    /// `sat_episode` events.
+    #[test]
+    fn traced_demand_is_bit_identical_and_records() {
+        use hfta_fta::AnalysisConfig;
+        use hfta_trace::TraceSink;
+
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let arrivals = vec![t(0); 17];
+        let mut plain = DemandDrivenAnalyzer::new(&design, "csa8.2", Default::default()).unwrap();
+        let want = plain.analyze(&arrivals).unwrap();
+
+        for threads in [1usize, 4] {
+            let sink = TraceSink::enabled();
+            let config = AnalysisConfig::default()
+                .with_threads(threads)
+                .with_trace(sink.clone());
+            let mut traced = DemandDrivenAnalyzer::with_config(&design, "csa8.2", &config).unwrap();
+            let got = traced.analyze(&arrivals).unwrap();
+            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(plain.refinement_report(), traced.refinement_report());
+            let trace = sink.drain();
+            let names: Vec<&str> = trace.records().iter().map(|r| r.name).collect();
+            for expected in ["refine_round", "refine_probe", "sat_episode"] {
+                assert!(
+                    names.contains(&expected),
+                    "threads={threads}: missing {expected} in {names:?}"
+                );
+            }
+        }
+
+        // A frozen run records the freeze and its reason.
+        let sink = TraceSink::enabled();
+        let config = AnalysisConfig::default()
+            .with_max_rounds(Some(0))
+            .with_trace(sink.clone());
+        let mut frozen = DemandDrivenAnalyzer::with_config(&design, "csa8.2", &config).unwrap();
+        frozen.analyze(&arrivals).unwrap();
+        let trace = sink.drain();
+        assert!(
+            trace.records().iter().any(|r| r.name == "refine_freeze"),
+            "{:?}",
+            trace.records()
+        );
     }
 }
 

@@ -18,8 +18,9 @@ use std::hash::{BuildHasher, Hash};
 use std::sync::Arc;
 use std::time::Instant;
 
-use hfta_fta::{CharacterizeOptions, ConeSigCache, PhaseWall, StabilityStats};
+use hfta_fta::{AnalysisConfig, CharacterizeOptions, ConeSigCache, PhaseWall, StabilityStats};
 use hfta_netlist::{Composite, Design, NetlistError, Time};
+use hfta_trace::{TraceSink, Tracer, Value};
 
 use crate::deadline::DeadlineToken;
 use crate::module_timing::{ModelSource, ModuleTiming};
@@ -29,12 +30,60 @@ fn micros_since(t0: Instant) -> u64 {
 }
 
 /// Options for hierarchical analysis.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct HierOptions {
     /// Where leaf models come from (functional vs topological).
     pub source: ModelSource,
     /// Options of the underlying required-time characterization.
     pub characterize: CharacterizeOptions,
+    /// Worker threads for step-1 characterization. `1` (the default)
+    /// characterizes serially in instance order, sharing one signature
+    /// cache across modules; more threads fan distinct modules out to
+    /// scoped workers whose private caches merge back deterministically.
+    pub threads: usize,
+}
+
+impl Default for HierOptions {
+    fn default() -> HierOptions {
+        HierOptions {
+            source: ModelSource::default(),
+            characterize: CharacterizeOptions::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl HierOptions {
+    /// Sets the leaf-model source.
+    #[must_use]
+    pub fn with_source(mut self, source: ModelSource) -> HierOptions {
+        self.source = source;
+        self
+    }
+
+    /// Sets the characterization options.
+    #[must_use]
+    pub fn with_characterize(mut self, characterize: CharacterizeOptions) -> HierOptions {
+        self.characterize = characterize;
+        self
+    }
+
+    /// Sets the characterization thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> HierOptions {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl From<&AnalysisConfig> for HierOptions {
+    fn from(config: &AnalysisConfig) -> HierOptions {
+        HierOptions {
+            source: config.source,
+            characterize: config.characterize_options(),
+            threads: config.threads,
+        }
+    }
 }
 
 /// Work counters for the two-step analysis.
@@ -121,6 +170,9 @@ pub struct HierAnalyzer<'a> {
     /// reason ("deadline" or "budget").
     degraded: Vec<(Arc<str>, &'static str)>,
     wall: PhaseWall,
+    /// Trace sink for `characterize_module` spans and `module_alias`
+    /// events; disabled by default (zero-cost).
+    trace: TraceSink,
 }
 
 /// What characterizing one module produced.
@@ -176,7 +228,33 @@ impl<'a> HierAnalyzer<'a> {
             token: DeadlineToken::new(opts.characterize.budget.deadline),
             degraded: Vec::new(),
             wall: PhaseWall::default(),
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Creates an analyzer from the unified [`AnalysisConfig`]: model
+    /// source, characterization budget/options, thread count and trace
+    /// sink all come from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HierAnalyzer::new`].
+    pub fn with_config(
+        design: &'a Design,
+        top: &str,
+        config: &AnalysisConfig,
+    ) -> Result<HierAnalyzer<'a>, NetlistError> {
+        let mut an = HierAnalyzer::new(design, top, HierOptions::from(config))?;
+        an.set_trace(config.trace.clone());
+        Ok(an)
+    }
+
+    /// Installs a trace sink; subsequent characterizations record
+    /// `characterize_module` spans (and the characterizer's own spans
+    /// and events) into it. A disabled sink (the default) costs
+    /// nothing.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Interns a module name, so every cache key, alias pair and
@@ -228,6 +306,46 @@ impl<'a> HierAnalyzer<'a> {
         opts: &HierOptions,
         token: &DeadlineToken,
         sig_cache: &mut ConeSigCache,
+        tracer: &mut Tracer,
+    ) -> Result<CharOutcome, NetlistError> {
+        let span = tracer
+            .is_enabled()
+            .then(|| tracer.begin("characterize_module"));
+        let result =
+            HierAnalyzer::characterize_one_impl(design, name, opts, token, sig_cache, tracer);
+        if let Some(span) = span {
+            match &result {
+                Ok(outcome) => {
+                    if let Some(owner) = outcome.alias_owner.as_deref() {
+                        tracer.event(
+                            "module_alias",
+                            vec![("module", Value::from(name)), ("owner", Value::from(owner))],
+                        );
+                    }
+                    tracer.end_with(
+                        span,
+                        vec![
+                            ("module", Value::from(name)),
+                            ("outputs", Value::from(outcome.timing.models().len())),
+                            ("degraded", Value::from(outcome.why.unwrap_or("no"))),
+                            ("aliased", Value::from(outcome.alias_owner.is_some())),
+                        ],
+                    );
+                }
+                Err(_) => tracer.end_with(span, vec![("module", Value::from(name))]),
+            }
+        }
+        result
+    }
+
+    /// The untraced characterization body of [`HierAnalyzer::characterize_one`].
+    fn characterize_one_impl(
+        design: &Design,
+        name: &str,
+        opts: &HierOptions,
+        token: &DeadlineToken,
+        sig_cache: &mut ConeSigCache,
+        tracer: &mut Tracer,
     ) -> Result<CharOutcome, NetlistError> {
         let nl = design.leaf(name).ok_or_else(|| NetlistError::Unknown {
             what: "leaf module",
@@ -248,8 +366,13 @@ impl<'a> HierAnalyzer<'a> {
                 alias_owner: None,
             });
         }
-        let (timing, stats, owners) =
-            ModuleTiming::characterize_cached(nl, opts.source, opts.characterize, sig_cache)?;
+        let (timing, stats, owners) = ModuleTiming::characterize_traced(
+            nl,
+            opts.source,
+            opts.characterize,
+            sig_cache,
+            tracer,
+        )?;
         let why = (wants_functional && stats.degraded > 0).then_some("budget");
         // The module is an alias when every output was replayed from
         // one (other) module's characterization.
@@ -270,15 +393,25 @@ impl<'a> HierAnalyzer<'a> {
     }
 
     /// Step 1 for all distinct leaf modules referenced by the top
-    /// composite. [`HierAnalyzer::analyze`] calls this lazily; calling
-    /// it eagerly separates characterization cost from propagation cost
-    /// (useful for the paper's "analyze the same circuit under many
+    /// composite, serial or parallel per [`HierOptions::threads`].
+    /// [`HierAnalyzer::analyze`] calls this lazily; calling it eagerly
+    /// separates characterization cost from propagation cost (useful
+    /// for the paper's "analyze the same circuit under many
     /// arrival-time conditions" scenario, Section 3.3).
+    ///
+    /// With `threads == 1` modules are characterized serially in
+    /// instance order, sharing this analyzer's signature cache
+    /// directly; with more threads, distinct uncached modules fan out
+    /// to scoped workers (characterizations are independent) whose
+    /// private caches merge back deterministically in chunk order.
     ///
     /// # Errors
     ///
-    /// Returns characterization errors.
+    /// Returns the first characterization error.
     pub fn characterize_all(&mut self) -> Result<(), NetlistError> {
+        if self.opts.threads > 1 {
+            return self.characterize_parallel(self.opts.threads);
+        }
         let top = self.top;
         for inst in top.instances() {
             self.module_timing(&inst.module)?;
@@ -286,10 +419,7 @@ impl<'a> HierAnalyzer<'a> {
         Ok(())
     }
 
-    /// Step 1 in parallel: distinct leaf modules are characterized on
-    /// scoped worker threads (characterizations are independent), then
-    /// installed into the cache. Falls back to serial work for modules
-    /// already cached.
+    /// Step 1 in parallel with an explicit thread count.
     ///
     /// # Errors
     ///
@@ -298,8 +428,17 @@ impl<'a> HierAnalyzer<'a> {
     /// # Panics
     ///
     /// Panics if `threads == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set HierOptions::threads (or AnalysisConfig::with_threads) and call characterize_all"
+    )]
     pub fn characterize_all_parallel(&mut self, threads: usize) -> Result<(), NetlistError> {
         assert!(threads > 0, "need at least one thread");
+        self.characterize_parallel(threads)
+    }
+
+    /// The parallel step-1 worker fan-out.
+    fn characterize_parallel(&mut self, threads: usize) -> Result<(), NetlistError> {
         let mut names: Vec<&str> = self
             .top
             .instances()
@@ -315,18 +454,22 @@ impl<'a> HierAnalyzer<'a> {
         let design = self.design;
         let opts = self.opts;
         let token = &self.token;
+        let mut tracer = self.trace.tracer();
         let t0 = Instant::now();
         // Each worker fills a private signature cache over its chunk
         // (shared mutable state would make hit/miss counts racy); the
-        // caches merge back deterministically in chunk order below.
+        // caches merge back deterministically in chunk order below,
+        // along with each worker's trace buffer.
         type WorkerOut<'n> = (
             Vec<(&'n str, Result<CharOutcome, NetlistError>)>,
             ConeSigCache,
+            Tracer,
         );
         let results: Vec<WorkerOut<'_>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for chunk in names.chunks(names.len().div_ceil(threads)) {
+            for (widx, chunk) in names.chunks(names.len().div_ceil(threads)).enumerate() {
                 let token = token.clone();
+                let mut worker_tracer = tracer.fork(widx as u32 + 1);
                 handles.push(scope.spawn(move || {
                     let mut sig_cache = ConeSigCache::new();
                     let outcomes = chunk
@@ -338,11 +481,12 @@ impl<'a> HierAnalyzer<'a> {
                                 &opts,
                                 &token,
                                 &mut sig_cache,
+                                &mut worker_tracer,
                             );
                             (name, r)
                         })
                         .collect::<Vec<_>>();
-                    (outcomes, sig_cache)
+                    (outcomes, sig_cache, worker_tracer)
                 }));
             }
             handles
@@ -351,13 +495,15 @@ impl<'a> HierAnalyzer<'a> {
                 .collect()
         });
         self.wall.characterize_micros += micros_since(t0);
-        for (outcomes, sig_cache) in results {
+        for (outcomes, sig_cache, worker_tracer) in results {
+            tracer.absorb(worker_tracer);
             self.sig_cache.merge(sig_cache);
             for (name, result) in outcomes {
                 let outcome = result?;
                 self.record(name, outcome);
             }
         }
+        self.trace.absorb(tracer);
         Ok(())
     }
 
@@ -384,6 +530,7 @@ impl<'a> HierAnalyzer<'a> {
     /// Returns characterization errors.
     pub fn module_timing(&mut self, name: &str) -> Result<&ModuleTiming, NetlistError> {
         if !self.cache.contains_key(name) {
+            let mut tracer = self.trace.tracer();
             let t0 = Instant::now();
             let outcome = HierAnalyzer::characterize_one(
                 self.design,
@@ -391,9 +538,11 @@ impl<'a> HierAnalyzer<'a> {
                 &self.opts,
                 &self.token,
                 &mut self.sig_cache,
-            )?;
+                &mut tracer,
+            );
             self.wall.characterize_micros += micros_since(t0);
-            self.record(name, outcome);
+            self.trace.absorb(tracer);
+            self.record(name, outcome?);
         }
         Ok(&self.cache[name])
     }
@@ -677,13 +826,24 @@ mod parallel_tests {
         let mut serial = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
         let s = serial.analyze(&arrivals).unwrap();
 
-        let mut parallel = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
-        parallel.characterize_all_parallel(4).unwrap();
+        let mut parallel =
+            HierAnalyzer::new(&design, "mixed", HierOptions::default().with_threads(4)).unwrap();
+        parallel.characterize_all().unwrap();
         let p = parallel.analyze(&arrivals).unwrap();
 
         assert_eq!(s.delay, p.delay);
         assert_eq!(s.output_arrivals, p.output_arrivals);
         assert_eq!(p.stats.modules_characterized, 4);
+
+        // The deprecated explicit-threads entry point is a shim over
+        // the same fan-out: bit-identical analysis.
+        #[allow(deprecated)]
+        {
+            let mut shim = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
+            shim.characterize_all_parallel(4).unwrap();
+            let sh = shim.analyze(&arrivals).unwrap();
+            assert_eq!(sh, p);
+        }
     }
 
     /// An already-expired analysis deadline degrades every module to
@@ -695,10 +855,10 @@ mod parallel_tests {
 
         let design = multi_flavour_design();
         let arrivals = vec![Time::ZERO; 17];
-        let mut opts = HierOptions::default();
+        let mut opts = HierOptions::default().with_threads(4);
         opts.characterize.budget = SolveBudget::default().with_deadline(std::time::Instant::now());
         let mut capped = HierAnalyzer::new(&design, "mixed", opts).unwrap();
-        capped.characterize_all_parallel(4).unwrap();
+        capped.characterize_all().unwrap();
         let c = capped.analyze(&arrivals).unwrap();
         assert_eq!(c.stats.modules_degraded, 4);
         assert!(c.stats.stability.degraded > 0);
@@ -797,8 +957,9 @@ mod parallel_tests {
         let mut serial = HierAnalyzer::new(&design, "rep", HierOptions::default()).unwrap();
         let s = serial.analyze(&arrivals).unwrap();
 
-        let mut parallel = HierAnalyzer::new(&design, "rep", HierOptions::default()).unwrap();
-        parallel.characterize_all_parallel(4).unwrap();
+        let mut parallel =
+            HierAnalyzer::new(&design, "rep", HierOptions::default().with_threads(4)).unwrap();
+        parallel.characterize_all().unwrap();
         let p = parallel.analyze(&arrivals).unwrap();
 
         assert_eq!(s.delay, p.delay);
@@ -818,11 +979,57 @@ mod parallel_tests {
     #[test]
     fn parallel_skips_cached_modules() {
         let design = multi_flavour_design();
-        let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
-        an.characterize_all_parallel(2).unwrap();
+        let mut an =
+            HierAnalyzer::new(&design, "mixed", HierOptions::default().with_threads(2)).unwrap();
+        an.characterize_all().unwrap();
         // Second call is a no-op.
-        an.characterize_all_parallel(2).unwrap();
+        an.characterize_all().unwrap();
         let analysis = an.analyze(&[Time::ZERO; 17]).unwrap();
         assert_eq!(analysis.stats.modules_characterized, 4);
+    }
+
+    /// Tracing is an observer: with a sink installed the analysis stays
+    /// bit-identical (serial and parallel), and the trace carries the
+    /// promised `characterize_module` spans and `module_alias` events.
+    #[test]
+    fn traced_hier_is_bit_identical_and_records() {
+        use hfta_fta::AnalysisConfig;
+        use hfta_trace::TraceSink;
+
+        let copies = 4usize;
+        let design = replicated_design(copies);
+        let arrivals = vec![Time::ZERO; 4 * copies + 1];
+
+        let mut plain = HierAnalyzer::new(&design, "rep", HierOptions::default()).unwrap();
+        let want = plain.analyze(&arrivals).unwrap();
+
+        for threads in [1usize, 4] {
+            let sink = TraceSink::enabled();
+            let config = AnalysisConfig::default()
+                .with_threads(threads)
+                .with_trace(sink.clone());
+            let mut traced = HierAnalyzer::with_config(&design, "rep", &config).unwrap();
+            let got = traced.analyze(&arrivals).unwrap();
+            assert_eq!(got.delay, want.delay, "threads={threads}");
+            assert_eq!(got.output_arrivals, want.output_arrivals);
+            let trace = sink.drain();
+            let names: Vec<&str> = trace.records().iter().map(|r| r.name).collect();
+            assert!(
+                names
+                    .iter()
+                    .filter(|n| **n == "characterize_module")
+                    .count()
+                    >= 1,
+                "threads={threads}: {names:?}"
+            );
+            if threads == 1 {
+                // Serial sharing replays copies−1 modules from the
+                // first characterization — each records an alias event.
+                assert_eq!(
+                    names.iter().filter(|n| **n == "module_alias").count(),
+                    copies - 1
+                );
+            }
+        }
     }
 }

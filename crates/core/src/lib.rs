@@ -62,6 +62,10 @@ pub use incremental::IncrementalAnalyzer;
 pub use module_timing::{ModelSource, ModuleTiming, ParseModelError};
 pub use naive::{find_underapproximation, independent_relaxation_model, Underapproximation};
 
-// Re-export the tuple/model vocabulary so downstream users need only
-// this crate plus the netlist crate.
-pub use hfta_fta::{CharacterizeOptions, SolveBudget, TimingModel, TimingTuple};
+// Re-export the tuple/model vocabulary — plus the unified analysis
+// configuration and trace types — so downstream users need only this
+// crate plus the netlist crate.
+pub use hfta_fta::{
+    AnalysisConfig, CharacterizeOptions, SolveBudget, TimingModel, TimingTuple, Trace, TraceSink,
+    Tracer,
+};

@@ -13,24 +13,14 @@ use std::error::Error;
 use std::fmt;
 
 use hfta_fta::{
-    characterize_module_cached, characterize_module_with_stats, topological_delays,
-    CharacterizeOptions, ConeSigCache, StabilityStats, TimingModel, TimingTuple,
+    characterize_module_traced, characterize_module_with_stats, topological_delays,
+    CharacterizeOptions, ConeSigCache, StabilityStats, TimingModel, TimingTuple, Tracer,
 };
 use hfta_netlist::{Netlist, NetlistError, Time};
 
-/// How leaf-module timing models are obtained.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum ModelSource {
-    /// Functional characterization via required-time analysis — the
-    /// paper's contribution: false paths inside the module are
-    /// captured.
-    #[default]
-    Functional,
-    /// Longest-path-only models, as classic hierarchical topological
-    /// STA would build. Used as the baseline and as the starting point
-    /// of demand-driven refinement.
-    Topological,
-}
+// `ModelSource` now lives in `hfta_fta::config` (it is part of the
+// unified `AnalysisConfig`); re-exported here at its historical path.
+pub use hfta_fta::ModelSource;
 
 /// The timing abstraction of one module: a timing model per output.
 #[derive(Clone, PartialEq, Debug)]
@@ -115,12 +105,33 @@ impl ModuleTiming {
         opts: CharacterizeOptions,
         cache: &mut ConeSigCache,
     ) -> Result<(ModuleTiming, StabilityStats, Vec<Option<String>>), NetlistError> {
+        let mut tracer = Tracer::disabled();
+        ModuleTiming::characterize_traced(netlist, source, opts, cache, &mut tracer)
+    }
+
+    /// Like [`ModuleTiming::characterize_cached`], recording
+    /// characterization spans and events (cone-signature hits,
+    /// relaxation steps, SAT episodes) into `tracer` when it is
+    /// enabled. With a disabled tracer this is exactly
+    /// [`ModuleTiming::characterize_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn characterize_traced(
+        netlist: &Netlist,
+        source: ModelSource,
+        opts: CharacterizeOptions,
+        cache: &mut ConeSigCache,
+        tracer: &mut Tracer,
+    ) -> Result<(ModuleTiming, StabilityStats, Vec<Option<String>>), NetlistError> {
         if source == ModelSource::Topological {
             let (timing, stats) = ModuleTiming::characterize_with_stats(netlist, source, opts)?;
             let owners = vec![None; netlist.outputs().len()];
             return Ok((timing, stats, owners));
         }
-        let (models, stats, owners) = characterize_module_cached(netlist, opts, cache)?;
+        let (models, stats, owners) =
+            characterize_module_traced(netlist, opts, Some(cache), tracer)?;
         let timing = ModuleTiming {
             module: netlist.name().to_string(),
             input_names: netlist

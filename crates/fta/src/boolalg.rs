@@ -92,6 +92,20 @@ pub trait BoolAlg {
     fn backend_counters(&self) -> BackendCounters {
         BackendCounters::default()
     }
+
+    /// Turns per-call solve-episode recording on or off in the
+    /// underlying engine (if any). Recording only fills a side buffer;
+    /// it must never change query answers. The default is a no-op for
+    /// backends without episodes (e.g. BDDs).
+    fn set_episode_recording(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drains the solve episodes recorded since the last call. The
+    /// default returns nothing.
+    fn take_episodes(&mut self) -> Vec<hfta_sat::SolveEpisode> {
+        Vec::new()
+    }
 }
 
 /// SAT-backed Boolean algebra: functions are Tseitin-encoded literals in
@@ -202,6 +216,14 @@ impl BoolAlg for SatAlg {
             propagations: s.propagations,
             learnt_clauses: s.learnt_clauses,
         }
+    }
+
+    fn set_episode_recording(&mut self, on: bool) {
+        self.cnf.solver_mut().set_episode_recording(on);
+    }
+
+    fn take_episodes(&mut self) -> Vec<hfta_sat::SolveEpisode> {
+        self.cnf.solver_mut().take_episodes()
     }
 
     fn countermodel(&mut self, a: Lit, num_inputs: usize) -> Option<Vec<bool>> {

@@ -1,0 +1,233 @@
+//! The unified analysis configuration.
+//!
+//! [`AnalysisConfig`] is the single entry path into every analyzer in
+//! the workspace: flat timing reports
+//! ([`TimingReport::generate`](crate::TimingReport::generate)), the
+//! two-step hierarchical analysis, and the demand-driven refinement
+//! loop (both in `hfta-core`). It subsumes the knobs that used to be
+//! spread across `CharacterizeOptions`, `DemandOptions`, and
+//! `HierOptions` — those structs remain as the per-engine views, each
+//! derivable from a config via `From<&AnalysisConfig>` — and carries
+//! the [`TraceSink`] that turns on structured tracing.
+//!
+//! The builder is plain `with_*` setters over a [`Default`] that
+//! matches every engine's historical defaults, so
+//! `AnalysisConfig::default()` reproduces existing behavior
+//! bit-for-bit.
+
+use hfta_sat::{SolveBudget, SolveEpisode};
+use hfta_trace::{TraceSink, Value};
+
+use crate::required::CharacterizeOptions;
+
+/// The canonical trace-field encoding of one SAT [`SolveEpisode`] —
+/// shared by every layer that emits `sat_episode` events, so the JSONL
+/// schema stays uniform.
+#[must_use]
+pub fn solve_episode_fields(ep: &SolveEpisode) -> Vec<(&'static str, Value)> {
+    vec![
+        ("outcome", ep.outcome.into()),
+        ("conflicts", ep.conflicts.into()),
+        ("propagations", ep.propagations.into()),
+        ("decisions", ep.decisions.into()),
+        ("restarts", ep.restarts.into()),
+        ("learnt_clauses", ep.learnt_clauses.into()),
+        ("max_learnts", ep.max_learnts.into()),
+        ("budgeted", ep.budgeted.into()),
+    ]
+}
+
+/// How hierarchical analysis obtains each module's timing model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ModelSource {
+    /// Functional (false-path-aware) characterization — the paper's
+    /// two-step algorithm. The default.
+    #[default]
+    Functional,
+    /// Topological longest-path delays only (cheap, conservative).
+    Topological,
+}
+
+/// Unified, builder-style configuration for every HFTA analysis entry
+/// point.
+///
+/// ```
+/// use hfta_fta::{AnalysisConfig, ModelSource, SolveBudget};
+///
+/// let cfg = AnalysisConfig::new()
+///     .with_source(ModelSource::Functional)
+///     .with_threads(4)
+///     .with_budget(SolveBudget::default().with_conflicts(10_000))
+///     .with_cone_sig(true);
+/// assert_eq!(cfg.threads, 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnalysisConfig {
+    /// Where hierarchical analysis gets module timing models.
+    pub source: ModelSource,
+    /// Worker threads for characterization / refinement fan-out
+    /// (1 = serial; results are bit-identical either way).
+    pub threads: usize,
+    /// Per-query solver budget; analyses degrade soundly (never
+    /// silently) when it runs out. Unlimited by default.
+    pub budget: SolveBudget,
+    /// Share characterization and stability verdicts across
+    /// structurally isomorphic cones.
+    pub cone_sig: bool,
+    /// Keep one persistent stability oracle per refined cone
+    /// (demand-driven analysis only).
+    pub reuse_oracle: bool,
+    /// Cap on demand-driven refinement rounds (`None` = run to
+    /// fixpoint).
+    pub max_rounds: Option<usize>,
+    /// Maximum incomparable tuples per characterized output.
+    pub max_tuples: usize,
+    /// Cap on distinct path lengths tracked per (output, input) pair.
+    pub lengths_cap: usize,
+    /// Probe whether inputs are entirely irrelevant to an output.
+    pub try_irrelevant: bool,
+    /// Structured trace destination; disabled (free) by default.
+    pub trace: TraceSink,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            source: ModelSource::Functional,
+            threads: 1,
+            budget: SolveBudget::UNLIMITED,
+            cone_sig: true,
+            reuse_oracle: true,
+            max_rounds: None,
+            max_tuples: 4,
+            lengths_cap: 32,
+            try_irrelevant: true,
+            trace: TraceSink::disabled(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The default configuration (alias for [`Default::default`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets where hierarchical analysis gets module timing models.
+    #[must_use]
+    pub fn with_source(mut self, source: ModelSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-query solver budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables cone-signature sharing.
+    #[must_use]
+    pub fn with_cone_sig(mut self, on: bool) -> Self {
+        self.cone_sig = on;
+        self
+    }
+
+    /// Enables or disables the persistent per-cone stability oracle.
+    #[must_use]
+    pub fn with_reuse_oracle(mut self, on: bool) -> Self {
+        self.reuse_oracle = on;
+        self
+    }
+
+    /// Caps demand-driven refinement rounds.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: Option<usize>) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the maximum incomparable tuples per characterized output.
+    #[must_use]
+    pub fn with_max_tuples(mut self, max_tuples: usize) -> Self {
+        self.max_tuples = max_tuples;
+        self
+    }
+
+    /// Sets the distinct-path-length cap.
+    #[must_use]
+    pub fn with_lengths_cap(mut self, lengths_cap: usize) -> Self {
+        self.lengths_cap = lengths_cap;
+        self
+    }
+
+    /// Enables or disables irrelevant-input probing.
+    #[must_use]
+    pub fn with_try_irrelevant(mut self, on: bool) -> Self {
+        self.try_irrelevant = on;
+        self
+    }
+
+    /// Attaches a trace sink (use [`TraceSink::enabled`] to collect).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The characterization view of this configuration.
+    #[must_use]
+    pub fn characterize_options(&self) -> CharacterizeOptions {
+        CharacterizeOptions::from(self)
+    }
+}
+
+impl From<&AnalysisConfig> for CharacterizeOptions {
+    fn from(cfg: &AnalysisConfig) -> Self {
+        CharacterizeOptions::default()
+            .with_max_tuples(cfg.max_tuples)
+            .with_lengths_cap(cfg.lengths_cap)
+            .with_try_irrelevant(cfg.try_irrelevant)
+            .with_budget(cfg.budget)
+            .with_cone_sig(cfg.cone_sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_engine_defaults() {
+        let cfg = AnalysisConfig::default();
+        assert_eq!(cfg.source, ModelSource::Functional);
+        assert_eq!(cfg.threads, 1);
+        assert!(cfg.budget.is_unlimited());
+        assert!(cfg.cone_sig);
+        assert!(cfg.reuse_oracle);
+        assert_eq!(cfg.max_rounds, None);
+        assert!(!cfg.trace.is_enabled());
+        assert_eq!(cfg.characterize_options(), CharacterizeOptions::default());
+    }
+
+    #[test]
+    fn builder_threads_clamp_and_views() {
+        let cfg = AnalysisConfig::new()
+            .with_threads(0)
+            .with_max_tuples(2)
+            .with_cone_sig(false);
+        assert_eq!(cfg.threads, 1);
+        let opts = cfg.characterize_options();
+        assert_eq!(opts.max_tuples, 2);
+        assert!(!opts.cone_sig);
+    }
+}

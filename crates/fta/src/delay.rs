@@ -112,6 +112,11 @@ impl<'a, A: BoolAlg> DelayAnalyzer<'a, A> {
         self.stability.set_budget(budget);
     }
 
+    /// Access to the Boolean backend (e.g. for episode recording).
+    pub fn alg_mut(&mut self) -> &mut A {
+        self.stability.alg_mut()
+    }
+
     /// The earliest time `net` is guaranteed stable under XBD0.
     ///
     /// Returns [`Time::NEG_INF`] for nets stable from the beginning of

@@ -42,6 +42,7 @@
 
 pub mod boolalg;
 pub mod conditional;
+pub mod config;
 pub mod delay;
 pub mod exact;
 pub mod false_pairs;
@@ -56,17 +57,20 @@ pub mod stability;
 
 pub use boolalg::{BackendCounters, BddAlg, BoolAlg, SatAlg};
 pub use conditional::{ConditionalCase, ConditionalModel};
+pub use config::{solve_episode_fields, AnalysisConfig, ModelSource};
 pub use delay::{functional_circuit_delay, DelayAnalyzer};
 pub use exact::{exact_model, exact_vector_relation, ExactError, ExactOptions};
 pub use false_pairs::{arrivals_with_declared_delays, derive_declared_delays, DeclaredDelays};
-pub use hfta_sat::{BudgetExhausted, SolveBudget};
+pub use hfta_sat::{BudgetExhausted, SolveBudget, SolveEpisode};
+pub use hfta_trace::{Trace, TraceSink, Tracer};
 pub use model::{TimingModel, TimingTuple};
 pub use oracle::StabilityOracle;
 pub use paths::{longest_true_path, worst_paths, TimedPath};
 pub use report::{OutputReport, TimingReport};
 pub use required::{
-    characterize_module, characterize_module_cached, characterize_module_with_stats,
-    topological_delays, CharacterizeOptions, Characterizer, ConeSigCache,
+    characterize_module, characterize_module_cached, characterize_module_traced,
+    characterize_module_with_stats, topological_delays, CachedCharacterization,
+    CharacterizeOptions, Characterizer, ConeSigCache,
 };
 pub use sequential::{SequentialAnalysis, SequentialAnalyzer, SequentialEngine};
 pub use sta::TopoSta;

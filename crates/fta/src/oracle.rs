@@ -151,6 +151,18 @@ impl<A: BoolAlg> StabilityOracle<A> {
     pub fn stats(&self) -> StabilityStats {
         self.engine.stats()
     }
+
+    /// Turns per-call solve-episode recording on or off in the
+    /// backend. Recording only fills a side buffer — answers and
+    /// counters are unchanged.
+    pub fn set_episode_recording(&mut self, on: bool) {
+        self.engine.alg_mut().set_episode_recording(on);
+    }
+
+    /// Drains the solve episodes recorded since the last call.
+    pub fn take_episodes(&mut self) -> Vec<hfta_sat::SolveEpisode> {
+        self.engine.alg_mut().take_episodes()
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@ use std::fmt;
 use hfta_netlist::{Netlist, NetlistError, Time};
 use hfta_sat::SolveBudget;
 
+use crate::boolalg::BoolAlg;
+use crate::config::{solve_episode_fields, AnalysisConfig};
 use crate::delay::DelayAnalyzer;
 use crate::sta::TopoSta;
 use crate::stability::StabilityStats;
@@ -53,9 +55,18 @@ pub struct TimingReport {
 }
 
 impl TimingReport {
-    /// Generates the report. Slacks are computed against `required`
+    /// Generates the report under one unified [`AnalysisConfig`]
+    /// (budget and trace sink are honored; the other knobs apply to the
+    /// hierarchical engines). Slacks are computed against `required`
     /// (pass the clock constraint, or the functional circuit delay for
-    /// a zero-worst-slack report).
+    /// a zero-worst-slack report). Also returns the stability/solver
+    /// work the functional analysis cost.
+    ///
+    /// Outputs whose binary search exhausts the budget degrade to their
+    /// topological arrival (sound upper bound) and are counted in
+    /// [`StabilityStats::degraded`]. `AnalysisConfig::default()` (an
+    /// unlimited budget, tracing off) reproduces the historical exact
+    /// path bit for bit.
     ///
     /// # Errors
     ///
@@ -69,54 +80,17 @@ impl TimingReport {
         netlist: &Netlist,
         pi_arrivals: &[Time],
         required: Time,
-    ) -> Result<TimingReport, NetlistError> {
-        TimingReport::generate_with_stats(netlist, pi_arrivals, required).map(|(r, _)| r)
-    }
-
-    /// Like [`TimingReport::generate`], also returning the
-    /// stability/solver work the functional analysis cost.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
-    /// netlists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pi_arrivals.len()` differs from the input count.
-    pub fn generate_with_stats(
-        netlist: &Netlist,
-        pi_arrivals: &[Time],
-        required: Time,
+        config: &AnalysisConfig,
     ) -> Result<(TimingReport, StabilityStats), NetlistError> {
-        TimingReport::generate_budgeted(netlist, pi_arrivals, required, SolveBudget::UNLIMITED)
-    }
-
-    /// Like [`TimingReport::generate_with_stats`], with a per-query
-    /// resource budget. Outputs whose binary search exhausts the budget
-    /// degrade to their topological arrival (sound upper bound) and are
-    /// counted in [`StabilityStats::degraded`]. With
-    /// [`SolveBudget::UNLIMITED`] this is bit-identical to the
-    /// unbudgeted path.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
-    /// netlists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pi_arrivals.len()` differs from the input count.
-    pub fn generate_budgeted(
-        netlist: &Netlist,
-        pi_arrivals: &[Time],
-        required: Time,
-        budget: SolveBudget,
-    ) -> Result<(TimingReport, StabilityStats), NetlistError> {
+        let mut tracer = config.trace.tracer();
+        let span = tracer.is_enabled().then(|| tracer.begin("timing_report"));
         let sta = TopoSta::new(netlist)?;
         let topo = sta.arrival_times(pi_arrivals);
         let mut an = DelayAnalyzer::new_sat(netlist, pi_arrivals)?;
-        an.set_budget(budget);
+        an.set_budget(config.budget);
+        if tracer.is_enabled() {
+            an.alg_mut().set_episode_recording(true);
+        }
         let mut outputs = Vec::with_capacity(netlist.outputs().len());
         let mut worst_topo = Time::NEG_INF;
         let mut worst_func = Time::NEG_INF;
@@ -125,6 +99,22 @@ impl TimingReport {
             let degraded_before = an.degraded_count();
             let functional = an.output_arrival(o);
             let degraded = an.degraded_count() > degraded_before;
+            if tracer.is_enabled() {
+                let episodes = an.alg_mut().take_episodes();
+                let out_span = tracer.begin("output_arrival");
+                for ep in &episodes {
+                    tracer.event("sat_episode", solve_episode_fields(ep));
+                }
+                tracer.end_with(
+                    out_span,
+                    vec![
+                        ("output", netlist.net_name(o).into()),
+                        ("topological", topological.to_string().into()),
+                        ("functional", functional.to_string().into()),
+                        ("degraded", degraded.into()),
+                    ],
+                );
+            }
             worst_topo = worst_topo.max(topological);
             worst_func = worst_func.max(functional);
             let critical_path = if topological.is_finite() {
@@ -156,7 +146,67 @@ impl TimingReport {
             circuit_topological: worst_topo,
             circuit_functional: worst_func,
         };
+        if let Some(span) = span {
+            tracer.end_with(
+                span,
+                vec![
+                    ("module", netlist.name().into()),
+                    ("outputs", report.outputs.len().into()),
+                ],
+            );
+        }
+        config.trace.absorb(tracer);
         Ok((report, an.stats()))
+    }
+
+    /// Like [`TimingReport::generate`] with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
+    /// netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TimingReport::generate(&AnalysisConfig)`"
+    )]
+    pub fn generate_with_stats(
+        netlist: &Netlist,
+        pi_arrivals: &[Time],
+        required: Time,
+    ) -> Result<(TimingReport, StabilityStats), NetlistError> {
+        TimingReport::generate(netlist, pi_arrivals, required, &AnalysisConfig::default())
+    }
+
+    /// Like [`TimingReport::generate`] with only the budget configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
+    /// netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the input count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TimingReport::generate(&AnalysisConfig)`"
+    )]
+    pub fn generate_budgeted(
+        netlist: &Netlist,
+        pi_arrivals: &[Time],
+        required: Time,
+        budget: SolveBudget,
+    ) -> Result<(TimingReport, StabilityStats), NetlistError> {
+        TimingReport::generate(
+            netlist,
+            pi_arrivals,
+            required,
+            &AnalysisConfig::default().with_budget(budget),
+        )
     }
 
     /// Outputs sorted by ascending slack (most critical first).
@@ -226,7 +276,13 @@ mod tests {
     #[test]
     fn block_report() {
         let nl = carry_skip_block(2, CsaDelays::default());
-        let report = TimingReport::generate(&nl, &[t(5), t(0), t(0), t(0), t(0)], t(8)).unwrap();
+        let (report, _) = TimingReport::generate(
+            &nl,
+            &[t(5), t(0), t(0), t(0), t(0)],
+            t(8),
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
         assert_eq!(report.outputs.len(), 3);
         let c_out = &report.outputs[2];
         assert_eq!(c_out.topological, t(11));
@@ -253,9 +309,15 @@ mod tests {
         let nl = carry_skip_block(2, CsaDelays::default());
         let arrivals = [t(5), t(0), t(0), t(0), t(0)];
         let budget = SolveBudget::default().with_conflicts(0);
-        let (report, stats) =
-            TimingReport::generate_budgeted(&nl, &arrivals, t(8), budget).unwrap();
-        let (exact, exact_stats) = TimingReport::generate_with_stats(&nl, &arrivals, t(8)).unwrap();
+        let (report, stats) = TimingReport::generate(
+            &nl,
+            &arrivals,
+            t(8),
+            &AnalysisConfig::default().with_budget(budget),
+        )
+        .unwrap();
+        let (exact, exact_stats) =
+            TimingReport::generate(&nl, &arrivals, t(8), &AnalysisConfig::default()).unwrap();
         assert!(stats.degraded > 0, "{stats:?}");
         assert!(stats.budget_hits > 0, "{stats:?}");
         assert_eq!(exact_stats.degraded, 0);
@@ -279,16 +341,75 @@ mod tests {
         assert!(c_out.degraded);
         assert!(report.to_string().contains("[degraded]"));
         // An unlimited "budget" reproduces the exact report bit for bit.
-        let (same, same_stats) =
-            TimingReport::generate_budgeted(&nl, &arrivals, t(8), SolveBudget::UNLIMITED).unwrap();
+        let (same, same_stats) = TimingReport::generate(
+            &nl,
+            &arrivals,
+            t(8),
+            &AnalysisConfig::default().with_budget(SolveBudget::UNLIMITED),
+        )
+        .unwrap();
         assert_eq!(same, exact);
         assert_eq!(same_stats, exact_stats);
+    }
+
+    /// The deprecated shims stay bit-identical to the unified
+    /// [`AnalysisConfig`] path.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_config_path() {
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let arrivals = [t(5), t(0), t(0), t(0), t(0)];
+        let (new, new_stats) =
+            TimingReport::generate(&nl, &arrivals, t(8), &AnalysisConfig::default()).unwrap();
+        let (old, old_stats) = TimingReport::generate_with_stats(&nl, &arrivals, t(8)).unwrap();
+        assert_eq!(old, new);
+        assert_eq!(old_stats, new_stats);
+
+        let budget = SolveBudget::default().with_conflicts(0);
+        let (new_b, new_b_stats) = TimingReport::generate(
+            &nl,
+            &arrivals,
+            t(8),
+            &AnalysisConfig::default().with_budget(budget),
+        )
+        .unwrap();
+        let (old_b, old_b_stats) =
+            TimingReport::generate_budgeted(&nl, &arrivals, t(8), budget).unwrap();
+        assert_eq!(old_b, new_b);
+        assert_eq!(old_b_stats, new_b_stats);
+    }
+
+    /// A traced report returns bit-identical results to an untraced
+    /// one, and actually collects the expected spans and events.
+    #[test]
+    fn traced_report_is_bit_identical_and_records() {
+        use hfta_trace::TraceSink;
+        let nl = carry_skip_block(2, CsaDelays::default());
+        let arrivals = [t(5), t(0), t(0), t(0), t(0)];
+        let (plain, plain_stats) =
+            TimingReport::generate(&nl, &arrivals, t(8), &AnalysisConfig::default()).unwrap();
+        let sink = TraceSink::enabled();
+        let (traced, traced_stats) = TimingReport::generate(
+            &nl,
+            &arrivals,
+            t(8),
+            &AnalysisConfig::default().with_trace(sink.clone()),
+        )
+        .unwrap();
+        assert_eq!(traced, plain);
+        assert_eq!(traced_stats, plain_stats);
+        let trace = sink.drain();
+        let names: Vec<&str> = trace.records().iter().map(|r| r.name).collect();
+        assert!(names.contains(&"timing_report"));
+        assert!(names.contains(&"output_arrival"));
+        assert!(names.contains(&"sat_episode"));
     }
 
     #[test]
     fn criticality_sorting() {
         let nl = carry_skip_block(2, CsaDelays::default());
-        let report = TimingReport::generate(&nl, &[t(0); 5], t(10)).unwrap();
+        let (report, _) =
+            TimingReport::generate(&nl, &[t(0); 5], t(10), &AnalysisConfig::default()).unwrap();
         let sorted = report.by_criticality();
         // c_out (functional 8) is the most critical.
         assert_eq!(sorted[0].name, "c_out");
@@ -298,7 +419,8 @@ mod tests {
     #[test]
     fn display_renders() {
         let nl = carry_skip_block(2, CsaDelays::default());
-        let report = TimingReport::generate(&nl, &[t(0); 5], t(8)).unwrap();
+        let (report, _) =
+            TimingReport::generate(&nl, &[t(0); 5], t(8), &AnalysisConfig::default()).unwrap();
         let text = report.to_string();
         assert!(text.contains("timing report"));
         assert!(text.contains("c_out"));

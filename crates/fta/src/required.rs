@@ -22,7 +22,9 @@ use hfta_netlist::strash::{cone_signature, exact_fingerprint, ConeKey};
 use hfta_netlist::{NetId, Netlist, NetlistError, Time};
 use hfta_sat::SolveBudget;
 
-use crate::boolalg::SatAlg;
+use hfta_trace::Tracer;
+
+use crate::boolalg::{BoolAlg, SatAlg};
 use crate::model::{TimingModel, TimingTuple};
 use crate::sta::TopoSta;
 use crate::stability::{StabilityAnalyzer, StabilityStats};
@@ -64,6 +66,43 @@ impl Default for CharacterizeOptions {
             budget: SolveBudget::UNLIMITED,
             cone_sig: true,
         }
+    }
+}
+
+impl CharacterizeOptions {
+    /// Sets the number of greedy relaxation passes.
+    #[must_use]
+    pub fn with_max_tuples(mut self, max_tuples: usize) -> Self {
+        self.max_tuples = max_tuples;
+        self
+    }
+
+    /// Sets the distinct-path-length cap.
+    #[must_use]
+    pub fn with_lengths_cap(mut self, lengths_cap: usize) -> Self {
+        self.lengths_cap = lengths_cap;
+        self
+    }
+
+    /// Enables or disables the final relaxation to `−∞`.
+    #[must_use]
+    pub fn with_try_irrelevant(mut self, on: bool) -> Self {
+        self.try_irrelevant = on;
+        self
+    }
+
+    /// Sets the per-stability-query resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables cone-signature sharing.
+    #[must_use]
+    pub fn with_cone_sig(mut self, on: bool) -> Self {
+        self.cone_sig = on;
+        self
     }
 }
 
@@ -182,6 +221,7 @@ pub struct Characterizer<'a> {
     opts: CharacterizeOptions,
     checks: u64,
     stability: StabilityStats,
+    tracer: Tracer,
 }
 
 impl<'a> Characterizer<'a> {
@@ -193,7 +233,20 @@ impl<'a> Characterizer<'a> {
             opts,
             checks: 0,
             stability: StabilityStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer; characterization spans/events (relaxation
+    /// steps, cone-signature hits, SAT episodes) are recorded into it.
+    /// Tracing never changes results — only the side buffer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Takes the tracer back (leaving a disabled one).
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
     }
 
     /// Number of stability (validity) checks performed so far.
@@ -248,6 +301,30 @@ impl<'a> Characterizer<'a> {
     }
 
     fn output_model_inner(
+        &mut self,
+        output: NetId,
+        cache: Option<&mut ConeSigCache>,
+    ) -> Result<(TimingModel, Option<String>), NetlistError> {
+        if !self.tracer.is_enabled() {
+            return self.output_model_impl(output, cache);
+        }
+        let span = self.tracer.begin("characterize_output");
+        let checks_before = self.checks;
+        let degraded_before = self.stability.degraded;
+        let result = self.output_model_impl(output, cache);
+        let fields = vec![
+            ("output", self.netlist.net_name(output).into()),
+            ("checks", (self.checks - checks_before).into()),
+            (
+                "degraded",
+                (self.stability.degraded > degraded_before).into(),
+            ),
+        ];
+        self.tracer.end_with(span, fields);
+        result
+    }
+
+    fn output_model_impl(
         &mut self,
         output: NetId,
         cache: Option<&mut ConeSigCache>,
@@ -321,10 +398,17 @@ impl<'a> Characterizer<'a> {
                 }
                 cache.hits += 1;
                 self.stability.cone_sig_hits += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .event("cone_sig_hit", vec![("owner", owner.as_str().into())]);
+                }
                 return Ok((expand(tuples), Some(owner)));
             }
             cache.misses += 1;
             self.stability.cone_sig_misses += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.event("cone_sig_miss", vec![]);
+            }
             let (tuples, hit_budget) =
                 self.characterize_cone(&cone, cone_out, &lists, &topo, &by_criticality)?;
             let slot_tuples = tuples
@@ -388,6 +472,9 @@ impl<'a> Characterizer<'a> {
         let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
         let mut analyzer = StabilityAnalyzer::new(cone, &topo_arrivals, SatAlg::new())?;
         analyzer.set_budget(self.opts.budget);
+        if self.tracer.is_enabled() {
+            analyzer.alg_mut().set_episode_recording(true);
+        }
 
         let passes = self.opts.max_tuples.max(1).min(n_cone);
         let mut tuples = Vec::with_capacity(passes + 1);
@@ -435,10 +522,16 @@ impl<'a> Characterizer<'a> {
                 let mut candidate = delays.clone();
                 candidate[i] = l;
                 match self.tuple_is_valid(analyzer, cone_out, &candidate) {
-                    Some(true) => delays[i] = l,
+                    Some(true) => {
+                        delays[i] = l;
+                        self.trace_relax(i, l, "ok");
+                    }
                     verdict => {
                         if verdict.is_none() {
                             *hit_budget = true;
+                            self.trace_relax(i, l, "budget");
+                        } else {
+                            self.trace_relax(i, l, "fail");
                         }
                         reached_bottom = false;
                         break;
@@ -449,13 +542,33 @@ impl<'a> Characterizer<'a> {
                 let mut candidate = delays.clone();
                 candidate[i] = Time::NEG_INF;
                 match self.tuple_is_valid(analyzer, cone_out, &candidate) {
-                    Some(true) => delays[i] = Time::NEG_INF,
-                    Some(false) => {}
-                    None => *hit_budget = true,
+                    Some(true) => {
+                        delays[i] = Time::NEG_INF;
+                        self.trace_relax(i, Time::NEG_INF, "ok");
+                    }
+                    Some(false) => self.trace_relax(i, Time::NEG_INF, "fail"),
+                    None => {
+                        *hit_budget = true;
+                        self.trace_relax(i, Time::NEG_INF, "budget");
+                    }
                 }
             }
         }
         Ok(TimingTuple::new(delays))
+    }
+
+    /// Records one relaxation-walk step (no-op when tracing is off).
+    fn trace_relax(&mut self, input: usize, candidate: Time, verdict: &'static str) {
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "relax_step",
+                vec![
+                    ("input", input.into()),
+                    ("candidate", candidate.to_string().into()),
+                    ("verdict", verdict.into()),
+                ],
+            );
+        }
     }
 
     /// Validity oracle: with required time 0 at the output and inputs
@@ -470,7 +583,14 @@ impl<'a> Characterizer<'a> {
         self.checks += 1;
         let arrivals: Vec<Time> = delays.iter().map(|&d| -d).collect();
         analyzer.set_arrivals(&arrivals);
-        analyzer.try_is_stable_at(cone_out, Time::ZERO)
+        let verdict = analyzer.try_is_stable_at(cone_out, Time::ZERO);
+        if self.tracer.is_enabled() {
+            for ep in analyzer.alg_mut().take_episodes() {
+                self.tracer
+                    .event("sat_episode", crate::config::solve_episode_fields(&ep));
+            }
+        }
+        verdict
     }
 }
 
@@ -524,14 +644,50 @@ pub fn characterize_module_cached(
     opts: CharacterizeOptions,
     cache: &mut ConeSigCache,
 ) -> Result<CachedCharacterization, NetlistError> {
+    let mut tracer = Tracer::disabled();
+    characterize_module_traced(netlist, opts, Some(cache), &mut tracer)
+}
+
+/// The fully-instrumented characterization entry point: like
+/// [`characterize_module_cached`] (pass `None` to skip the signature
+/// cache), recording spans and events (`characterize_output`,
+/// `relax_step`, `cone_sig_hit`/`cone_sig_miss`, `sat_episode`) into
+/// `tracer`. With a disabled tracer this performs exactly the work of
+/// the untraced path — tracing only ever appends to the side buffer.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+pub fn characterize_module_traced(
+    netlist: &Netlist,
+    opts: CharacterizeOptions,
+    cache: Option<&mut ConeSigCache>,
+    tracer: &mut Tracer,
+) -> Result<CachedCharacterization, NetlistError> {
     let mut ch = Characterizer::new(netlist, opts);
-    let mut models = Vec::with_capacity(netlist.outputs().len());
-    let mut owners = Vec::with_capacity(netlist.outputs().len());
-    for &o in netlist.outputs() {
-        let (model, owner) = ch.output_model_cached(o, cache)?;
-        models.push(model);
-        owners.push(owner);
-    }
+    ch.set_tracer(std::mem::take(tracer));
+    let result = (|| {
+        let mut models = Vec::with_capacity(netlist.outputs().len());
+        let mut owners = Vec::with_capacity(netlist.outputs().len());
+        match cache {
+            Some(cache) => {
+                for &o in netlist.outputs() {
+                    let (model, owner) = ch.output_model_cached(o, cache)?;
+                    models.push(model);
+                    owners.push(owner);
+                }
+            }
+            None => {
+                for &o in netlist.outputs() {
+                    models.push(ch.output_model(o)?);
+                    owners.push(None);
+                }
+            }
+        }
+        Ok((models, owners))
+    })();
+    *tracer = ch.take_tracer();
+    let (models, owners) = result?;
     Ok((models, ch.stability_stats(), owners))
 }
 

@@ -7,7 +7,7 @@
 //! *looser* than topological; an unlimited budget must reproduce the
 //! exact analysis bit for bit.
 
-use hfta_fta::{SolveBudget, TimingReport};
+use hfta_fta::{AnalysisConfig, SolveBudget, TimingReport};
 use hfta_netlist::gen::{random_circuit, GateMix, RandomCircuitSpec};
 use hfta_netlist::Time;
 use hfta_testkit::{from_fn_with_shrink, prop, Rng, Strategy};
@@ -79,9 +79,15 @@ prop!(cases = 48, fn budgeted_analysis_is_conservative(
     let nl = random_circuit("budget_prop", spec);
     let budget = budget_of(kind, limit);
     let required = Time::ZERO;
-    let (budgeted, bstats) =
-        TimingReport::generate_budgeted(&nl, &arrivals, required, budget).unwrap();
-    let (exact, estats) = TimingReport::generate_with_stats(&nl, &arrivals, required).unwrap();
+    let (budgeted, bstats) = TimingReport::generate(
+        &nl,
+        &arrivals,
+        required,
+        &AnalysisConfig::default().with_budget(budget),
+    )
+    .unwrap();
+    let (exact, estats) =
+        TimingReport::generate(&nl, &arrivals, required, &AnalysisConfig::default()).unwrap();
     assert_eq!(estats.degraded, 0, "exact analysis never degrades");
     assert_eq!(estats.budget_hits, 0);
 

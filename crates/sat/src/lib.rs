@@ -40,5 +40,7 @@ mod solver;
 mod types;
 
 pub use cnf::CnfBuilder;
-pub use solver::{BudgetExhausted, BudgetedSatResult, SatResult, SolveBudget, Solver, SolverStats};
+pub use solver::{
+    BudgetExhausted, BudgetedSatResult, SatResult, SolveBudget, SolveEpisode, Solver, SolverStats,
+};
 pub use types::{Lit, Var};

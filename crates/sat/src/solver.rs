@@ -200,6 +200,33 @@ pub struct SolverStats {
     pub max_learnts: u64,
 }
 
+/// Work performed by a single top-level solve call, recorded when
+/// episode recording is on (see [`Solver::set_episode_recording`]).
+///
+/// Counters are *deltas* over this one call, except `learnt_clauses`
+/// and `max_learnts` which snapshot the database state at the end of
+/// the call. Recording only appends to a side buffer — it never
+/// changes the search itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SolveEpisode {
+    /// `"sat"`, `"unsat"`, or `"unknown(<limit>)"` on budget exhaustion.
+    pub outcome: &'static str,
+    /// Decisions made during this call.
+    pub decisions: u64,
+    /// Unit propagations during this call.
+    pub propagations: u64,
+    /// Conflicts analyzed during this call.
+    pub conflicts: u64,
+    /// Restarts during this call.
+    pub restarts: u64,
+    /// Learnt clauses in the database after this call.
+    pub learnt_clauses: u64,
+    /// Learnt-clause cap in force at the end of this call.
+    pub max_learnts: u64,
+    /// Whether the call ran under a [`SolveBudget`].
+    pub budgeted: bool,
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum LBool {
     True,
@@ -248,6 +275,8 @@ pub struct Solver {
     stats: SolverStats,
     max_learnts: usize,
     max_learnts_base: usize,
+    record_episodes: bool,
+    episodes: Vec<SolveEpisode>,
 }
 
 impl Solver {
@@ -274,6 +303,8 @@ impl Solver {
             stats: SolverStats::default(),
             max_learnts: 4000,
             max_learnts_base: 4000,
+            record_episodes: false,
+            episodes: Vec::new(),
         }
     }
 
@@ -308,6 +339,31 @@ impl Solver {
     #[must_use]
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// Turns per-call [`SolveEpisode`] recording on or off. Off by
+    /// default; recording never changes the search, it only appends to
+    /// a buffer drained by [`Solver::take_episodes`].
+    pub fn set_episode_recording(&mut self, on: bool) {
+        self.record_episodes = on;
+    }
+
+    /// Drains the episodes recorded since the last call.
+    pub fn take_episodes(&mut self) -> Vec<SolveEpisode> {
+        std::mem::take(&mut self.episodes)
+    }
+
+    fn record_episode(&mut self, before: SolverStats, outcome: &'static str, budgeted: bool) {
+        self.episodes.push(SolveEpisode {
+            outcome,
+            decisions: self.stats.decisions - before.decisions,
+            propagations: self.stats.propagations - before.propagations,
+            conflicts: self.stats.conflicts - before.conflicts,
+            restarts: self.stats.restarts - before.restarts,
+            learnt_clauses: self.stats.learnt_clauses,
+            max_learnts: self.stats.max_learnts,
+            budgeted,
+        });
     }
 
     /// Adds a clause (a disjunction of literals).
@@ -681,8 +737,12 @@ impl Solver {
     /// cheap. Returns [`SatResult::Unsat`] when the formula conjoined
     /// with the assumptions is unsatisfiable.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        let before = self.stats;
         self.stats.solves += 1;
         if !self.ok {
+            if self.record_episodes {
+                self.record_episode(before, "unsat", false);
+            }
             return SatResult::Unsat;
         }
         debug_assert_eq!(self.decision_level(), 0);
@@ -704,6 +764,13 @@ impl Solver {
             self.model = self.assign.clone();
         }
         self.cancel_until(0);
+        if self.record_episodes {
+            let outcome = match result {
+                SatResult::Sat => "sat",
+                SatResult::Unsat => "unsat",
+            };
+            self.record_episode(before, outcome, false);
+        }
         result
     }
 
@@ -723,10 +790,14 @@ impl Solver {
         assumptions: &[Lit],
         budget: &SolveBudget,
     ) -> BudgetedSatResult {
+        let before = self.stats;
         self.stats.solves += 1;
         if !self.ok {
             // Permanently UNSAT at the top level — definitive no matter
             // the budget.
+            if self.record_episodes {
+                self.record_episode(before, "unsat", true);
+            }
             return BudgetedSatResult::Unsat;
         }
         debug_assert_eq!(self.decision_level(), 0);
@@ -760,6 +831,19 @@ impl Solver {
             self.model = self.assign.clone();
         }
         self.cancel_until(0);
+        if self.record_episodes {
+            let outcome = match result {
+                BudgetedSatResult::Sat => "sat",
+                BudgetedSatResult::Unsat => "unsat",
+                BudgetedSatResult::Unknown(BudgetExhausted::Conflicts) => "unknown(conflicts)",
+                BudgetedSatResult::Unknown(BudgetExhausted::Propagations) => {
+                    "unknown(propagations)"
+                }
+                BudgetedSatResult::Unknown(BudgetExhausted::Decisions) => "unknown(decisions)",
+                BudgetedSatResult::Unknown(BudgetExhausted::Deadline) => "unknown(deadline)",
+            };
+            self.record_episode(before, outcome, true);
+        }
         result
     }
 

@@ -1,0 +1,725 @@
+//! Zero-dependency structured tracing for the HFTA workspace.
+//!
+//! The analyzer engines emit *spans* (timed, nested regions such as a
+//! characterization of one module or one refinement round) and *events*
+//! (instantaneous facts such as a SAT solve episode or a cone-signature
+//! hit). A [`Tracer`] collects them into a per-worker buffer; scoped
+//! worker threads get their own buffer via [`Tracer::fork`] and the
+//! parent merges them back **in a deterministic order** (chunk order,
+//! class order — never join order) with [`Tracer::absorb`], so a traced
+//! run produces the same record sequence every time modulo timestamps.
+//!
+//! A disabled tracer is a `None` and every operation is a single branch;
+//! callers guard expensive field construction behind
+//! [`Tracer::is_enabled`]. Tracing must never influence analysis
+//! results: the buffer is append-only data on the side.
+//!
+//! Finished buffers land in a [`Trace`], which renders three ways:
+//!
+//! * [`Trace::to_jsonl`] — one JSON object per record (machine-readable,
+//!   the `--trace-json` / `HFTA_TRACE_JSON` format),
+//! * [`Trace::render_tree`] — an indented human-readable span tree
+//!   (the `--trace` format),
+//! * [`Trace::folded_stacks`] — `a;b;c <self-µs>` lines consumable by
+//!   `flamegraph.pl` / `inferno-flamegraph`.
+//!
+//! [`TraceSink`] is the shareable handle the unified `AnalysisConfig`
+//! carries: analyzers pull a [`Tracer`] out of it, instrument, and push
+//! the buffer back. Its `PartialEq` is always-true (like the stats
+//! wall-clock fields) so it can ride inside structs whose equality the
+//! determinism tests pin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A field value attached to a span or event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// Unsigned counter (the common case: conflicts, hits, rounds).
+    U64(u64),
+    /// Signed quantity (e.g. a timing value that may be negative).
+    I64(i64),
+    /// Boolean flag (e.g. `degraded`).
+    Bool(bool),
+    /// Short string (module names, outcome labels).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+/// Whether a record is a timed span or an instantaneous event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// A nested, timed region. `dur_micros` is filled when the span ends.
+    Span {
+        /// Wall-clock duration of the span in microseconds.
+        dur_micros: u64,
+    },
+    /// An instantaneous point fact.
+    Event,
+}
+
+/// One trace record: a span or an event with its structured fields.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record {
+    /// Static record name (e.g. `"sat_episode"`, `"characterize_module"`).
+    pub name: &'static str,
+    /// Worker index: 0 for the main thread, `>= 1` for forked workers.
+    pub worker: u32,
+    /// Absolute nesting depth (top-level spans sit at 0).
+    pub depth: u16,
+    /// Microseconds since the trace epoch at which the record started.
+    pub at_micros: u64,
+    /// Span (with duration) or event.
+    pub kind: Kind,
+    /// Structured key/value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Handle to an open span, returned by [`Tracer::begin`].
+///
+/// Must be closed with [`Tracer::end`] / [`Tracer::end_with`] on the
+/// same tracer, in LIFO order.
+#[derive(Clone, Copy, Debug)]
+#[must_use = "a span must be closed with Tracer::end / Tracer::end_with"]
+pub struct SpanId(usize);
+
+const DISABLED_SPAN: usize = usize::MAX;
+
+struct Buf {
+    epoch: Instant,
+    worker: u32,
+    base_depth: u16,
+    open: Vec<usize>,
+    records: Vec<Record>,
+}
+
+impl Buf {
+    fn depth(&self) -> u16 {
+        self.base_depth + self.open.len() as u16
+    }
+}
+
+/// Per-thread trace buffer. Cheap to pass around; disabled by default.
+#[derive(Default)]
+pub struct Tracer {
+    buf: Option<Box<Buf>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.buf {
+            Some(b) => write!(f, "Tracer(on, {} records)", b.records.len()),
+            None => write!(f, "Tracer(off)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing; every operation is a no-op branch.
+    pub fn disabled() -> Self {
+        Tracer { buf: None }
+    }
+
+    /// A fresh recording tracer with its epoch set to now.
+    pub fn enabled() -> Self {
+        Self::with_epoch(Instant::now(), 0, 0)
+    }
+
+    fn with_epoch(epoch: Instant, worker: u32, base_depth: u16) -> Self {
+        Tracer {
+            buf: Some(Box::new(Buf {
+                epoch,
+                worker,
+                base_depth,
+                open: Vec::new(),
+                records: Vec::new(),
+            })),
+        }
+    }
+
+    /// True when this tracer records. Guard expensive field
+    /// construction behind this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Open a span. Returns a handle that must be closed with
+    /// [`Tracer::end`] / [`Tracer::end_with`] in LIFO order.
+    #[inline]
+    pub fn begin(&mut self, name: &'static str) -> SpanId {
+        match &mut self.buf {
+            None => SpanId(DISABLED_SPAN),
+            Some(buf) => {
+                let idx = buf.records.len();
+                let rec = Record {
+                    name,
+                    worker: buf.worker,
+                    depth: buf.depth(),
+                    at_micros: buf.epoch.elapsed().as_micros() as u64,
+                    kind: Kind::Span { dur_micros: 0 },
+                    fields: Vec::new(),
+                };
+                buf.records.push(rec);
+                buf.open.push(idx);
+                SpanId(idx)
+            }
+        }
+    }
+
+    /// Close a span with no extra fields.
+    #[inline]
+    pub fn end(&mut self, id: SpanId) {
+        self.end_with(id, Vec::new());
+    }
+
+    /// Close a span, attaching fields gathered while it ran.
+    pub fn end_with(&mut self, id: SpanId, fields: Vec<(&'static str, Value)>) {
+        let Some(buf) = &mut self.buf else { return };
+        let top = buf
+            .open
+            .pop()
+            .expect("Tracer::end called with no open span");
+        debug_assert_eq!(top, id.0, "spans must close in LIFO order");
+        let now = buf.epoch.elapsed().as_micros() as u64;
+        let rec = &mut buf.records[top];
+        rec.kind = Kind::Span {
+            dur_micros: now.saturating_sub(rec.at_micros),
+        };
+        if !fields.is_empty() {
+            rec.fields.extend(fields);
+        }
+    }
+
+    /// Record an instantaneous event at the current depth.
+    pub fn event(&mut self, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        let Some(buf) = &mut self.buf else { return };
+        let rec = Record {
+            name,
+            worker: buf.worker,
+            depth: buf.depth(),
+            at_micros: buf.epoch.elapsed().as_micros() as u64,
+            kind: Kind::Event,
+            fields,
+        };
+        buf.records.push(rec);
+    }
+
+    /// Create a child tracer for a scoped worker thread. The child
+    /// shares the epoch and records at one level below the parent's
+    /// current depth; `worker` labels its records (use a deterministic
+    /// index such as chunk position, never a thread id).
+    ///
+    /// Merge the child back with [`Tracer::absorb`] **in a
+    /// deterministic order** after the scope joins. Between fork and
+    /// absorb the parent must not open deeper spans, so the merged
+    /// record sequence still nests correctly.
+    pub fn fork(&self, worker: u32) -> Tracer {
+        match &self.buf {
+            None => Tracer::disabled(),
+            Some(buf) => Self::with_epoch(buf.epoch, worker, buf.depth()),
+        }
+    }
+
+    /// Append a finished child buffer's records to this tracer.
+    pub fn absorb(&mut self, child: Tracer) {
+        let (Some(buf), Some(mut cb)) = (&mut self.buf, child.buf) else {
+            return;
+        };
+        debug_assert!(cb.open.is_empty(), "absorbed tracer has open spans");
+        buf.records.append(&mut cb.records);
+    }
+
+    /// Consume the tracer and return its records as a [`Trace`].
+    pub fn finish(self) -> Trace {
+        match self.buf {
+            None => Trace {
+                records: Vec::new(),
+            },
+            Some(buf) => {
+                debug_assert!(buf.open.is_empty(), "finished tracer has open spans");
+                Trace {
+                    records: buf.records,
+                }
+            }
+        }
+    }
+}
+
+struct SinkInner {
+    epoch: Instant,
+    records: Mutex<Vec<Record>>,
+}
+
+/// Shareable trace destination carried by `AnalysisConfig`.
+///
+/// Analyzer entry points pull a [`Tracer`] out of the sink
+/// ([`TraceSink::tracer`]), instrument their run, and push the buffer
+/// back ([`TraceSink::absorb`]); the caller finally collects everything
+/// with [`TraceSink::drain`]. A disabled (default) sink hands out
+/// disabled tracers.
+///
+/// Equality is always-true so the sink can live inside structs whose
+/// equality the determinism tests compare (same convention as the
+/// stats wall-clock fields).
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<SinkInner>>,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TraceSink({})",
+            if self.inner.is_some() { "on" } else { "off" }
+        )
+    }
+}
+
+impl PartialEq for TraceSink {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for TraceSink {}
+
+impl TraceSink {
+    /// A sink that collects nothing and hands out disabled tracers.
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// A collecting sink with its epoch set to now.
+    pub fn enabled() -> Self {
+        TraceSink {
+            inner: Some(Arc::new(SinkInner {
+                epoch: Instant::now(),
+                records: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// True when this sink collects records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Hand out a tracer recording against this sink's epoch (disabled
+    /// if the sink is).
+    pub fn tracer(&self) -> Tracer {
+        match &self.inner {
+            None => Tracer::disabled(),
+            Some(inner) => Tracer::with_epoch(inner.epoch, 0, 0),
+        }
+    }
+
+    /// Append a finished tracer's records to the sink.
+    pub fn absorb(&self, tracer: Tracer) {
+        let Some(inner) = &self.inner else { return };
+        let mut records = tracer.finish().records;
+        if records.is_empty() {
+            return;
+        }
+        inner
+            .records
+            .lock()
+            .expect("trace sink poisoned")
+            .append(&mut records);
+    }
+
+    /// Take every record collected so far.
+    pub fn drain(&self) -> Trace {
+        let records = match &self.inner {
+            None => Vec::new(),
+            Some(inner) => std::mem::take(&mut *inner.records.lock().expect("trace sink poisoned")),
+        };
+        Trace { records }
+    }
+}
+
+/// A finished, ordered sequence of trace records.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    records: Vec<Record>,
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_value_json(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => {
+            out.push('"');
+            json_escape(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn render_fields(fields: &[(&'static str, Value)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(k);
+        out.push('=');
+        match v {
+            Value::Str(s) => out.push_str(s),
+            _ => push_value_json(&mut out, v),
+        }
+    }
+    out
+}
+
+impl Trace {
+    /// The records in deterministic merge order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// JSON-Lines export: one object per record.
+    ///
+    /// Fixed keys: `kind` (`"span"`/`"event"`), `name`, `worker`,
+    /// `depth`, `at_us`, and `dur_us` (spans only). Structured fields
+    /// follow under their own keys.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str("{\"kind\":\"");
+            out.push_str(match rec.kind {
+                Kind::Span { .. } => "span",
+                Kind::Event => "event",
+            });
+            out.push_str("\",\"name\":\"");
+            json_escape(&mut out, rec.name);
+            out.push_str("\",\"worker\":");
+            out.push_str(&rec.worker.to_string());
+            out.push_str(",\"depth\":");
+            out.push_str(&rec.depth.to_string());
+            out.push_str(",\"at_us\":");
+            out.push_str(&rec.at_micros.to_string());
+            if let Kind::Span { dur_micros } = rec.kind {
+                out.push_str(",\"dur_us\":");
+                out.push_str(&dur_micros.to_string());
+            }
+            for (k, v) in &rec.fields {
+                out.push_str(",\"");
+                json_escape(&mut out, k);
+                out.push_str("\":");
+                push_value_json(&mut out, v);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Human-readable span tree, indented by depth. Events render as
+    /// `· name` bullets inside their enclosing span.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            for _ in 0..rec.depth {
+                out.push_str("  ");
+            }
+            match rec.kind {
+                Kind::Span { dur_micros } => {
+                    out.push_str(rec.name);
+                    out.push_str(&format!(" [{dur_micros}us"));
+                    if rec.worker != 0 {
+                        out.push_str(&format!(", w{}", rec.worker));
+                    }
+                    out.push(']');
+                }
+                Kind::Event => {
+                    out.push_str("· ");
+                    out.push_str(rec.name);
+                }
+            }
+            let fields = render_fields(&rec.fields);
+            if !fields.is_empty() {
+                out.push_str(" (");
+                out.push_str(&fields);
+                out.push(')');
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Folded-stacks output for flamegraph tools: one
+    /// `root;child;leaf <self-µs>` line per distinct span path, with
+    /// self time (span duration minus child span durations) aggregated
+    /// across occurrences and sorted by path.
+    pub fn folded_stacks(&self) -> String {
+        // (name, dur, children_dur) — reconstruct nesting from the
+        // depth sequence; merge discipline guarantees a span's records
+        // sit between its begin and the next record at <= its depth.
+        let mut stack: Vec<(&'static str, u64, u64)> = Vec::new();
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        let pop = |stack: &mut Vec<(&'static str, u64, u64)>,
+                   folded: &mut BTreeMap<String, u64>| {
+            let (name, dur, child_dur) = stack.pop().expect("folded stack underflow");
+            let mut path = String::new();
+            for (n, _, _) in stack.iter() {
+                path.push_str(n);
+                path.push(';');
+            }
+            path.push_str(name);
+            *folded.entry(path).or_insert(0) += dur.saturating_sub(child_dur);
+            if let Some(top) = stack.last_mut() {
+                top.2 += dur;
+            }
+        };
+        for rec in &self.records {
+            let Kind::Span { dur_micros } = rec.kind else {
+                continue;
+            };
+            while stack.len() > rec.depth as usize {
+                pop(&mut stack, &mut folded);
+            }
+            stack.push((rec.name, dur_micros, 0));
+        }
+        while !stack.is_empty() {
+            pop(&mut stack, &mut folded);
+        }
+        let mut out = String::new();
+        for (path, micros) in folded {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&micros.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let s = t.begin("outer");
+        t.event("ev", vec![("k", Value::U64(1))]);
+        t.end(s);
+        let trace = t.finish();
+        assert!(trace.is_empty());
+        assert_eq!(trace.to_jsonl(), "");
+    }
+
+    #[test]
+    fn spans_nest_and_events_sit_inside() {
+        let mut t = Tracer::enabled();
+        let outer = t.begin("outer");
+        t.event("hit", vec![("n", 3usize.into())]);
+        let inner = t.begin("inner");
+        t.end(inner);
+        t.end_with(outer, vec![("total", 3usize.into())]);
+        let trace = t.finish();
+        let recs = trace.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].name, "outer");
+        assert_eq!(recs[0].depth, 0);
+        assert!(matches!(recs[0].kind, Kind::Span { .. }));
+        assert_eq!(recs[0].fields, vec![("total", Value::U64(3))]);
+        assert_eq!(recs[1].name, "hit");
+        assert_eq!(recs[1].depth, 1);
+        assert_eq!(recs[1].kind, Kind::Event);
+        assert_eq!(recs[2].name, "inner");
+        assert_eq!(recs[2].depth, 1);
+    }
+
+    #[test]
+    fn fork_absorb_preserves_depth_and_worker() {
+        let mut t = Tracer::enabled();
+        let outer = t.begin("parallel");
+        let mut c1 = t.fork(1);
+        let s = c1.begin("chunk");
+        c1.event("item", vec![]);
+        c1.end(s);
+        let mut c2 = t.fork(2);
+        let s = c2.begin("chunk");
+        c2.end(s);
+        t.absorb(c1);
+        t.absorb(c2);
+        t.end(outer);
+        let trace = t.finish();
+        let recs = trace.records();
+        assert_eq!(
+            recs.iter()
+                .map(|r| (r.name, r.worker, r.depth))
+                .collect::<Vec<_>>(),
+            vec![
+                ("parallel", 0, 0),
+                ("chunk", 1, 1),
+                ("item", 1, 2),
+                ("chunk", 2, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_schema_and_escaping() {
+        let mut t = Tracer::enabled();
+        let s = t.begin("span");
+        t.event(
+            "ev",
+            vec![
+                ("s", "a\"b\\c\nd".into()),
+                ("i", Value::I64(-4)),
+                ("b", true.into()),
+            ],
+        );
+        t.end(s);
+        let jsonl = t.finish().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"kind\":\"span\",\"name\":\"span\""));
+        assert!(lines[0].contains("\"dur_us\":"));
+        assert!(lines[1].starts_with("{\"kind\":\"event\",\"name\":\"ev\""));
+        assert!(lines[1].contains("\"s\":\"a\\\"b\\\\c\\nd\""));
+        assert!(lines[1].contains("\"i\":-4"));
+        assert!(lines[1].contains("\"b\":true"));
+        assert!(!lines[1].contains("dur_us"));
+    }
+
+    #[test]
+    fn folded_stacks_subtract_child_time() {
+        let records = vec![
+            Record {
+                name: "root",
+                worker: 0,
+                depth: 0,
+                at_micros: 0,
+                kind: Kind::Span { dur_micros: 100 },
+                fields: vec![],
+            },
+            Record {
+                name: "child",
+                worker: 0,
+                depth: 1,
+                at_micros: 10,
+                kind: Kind::Span { dur_micros: 30 },
+                fields: vec![],
+            },
+            Record {
+                name: "child",
+                worker: 0,
+                depth: 1,
+                at_micros: 50,
+                kind: Kind::Span { dur_micros: 20 },
+                fields: vec![],
+            },
+        ];
+        let trace = Trace { records };
+        let folded = trace.folded_stacks();
+        assert_eq!(folded, "root 50\nroot;child 50\n");
+    }
+
+    #[test]
+    fn sink_roundtrip_and_equality() {
+        let sink = TraceSink::enabled();
+        assert!(sink.is_enabled());
+        let mut t = sink.tracer();
+        let s = t.begin("run");
+        t.end(s);
+        sink.absorb(t);
+        assert_eq!(sink, TraceSink::disabled());
+        let trace = sink.drain();
+        assert_eq!(trace.len(), 1);
+        assert!(sink.drain().is_empty());
+
+        let off = TraceSink::default();
+        assert!(!off.is_enabled());
+        assert!(!off.tracer().is_enabled());
+    }
+
+    #[test]
+    fn render_tree_indents_by_depth() {
+        let mut t = Tracer::enabled();
+        let a = t.begin("a");
+        t.event("e", vec![("k", 7usize.into())]);
+        t.end(a);
+        let tree = t.finish().render_tree();
+        assert!(tree.starts_with("a ["));
+        assert!(tree.contains("\n  · e (k=7)\n"));
+    }
+}

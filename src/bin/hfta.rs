@@ -1,8 +1,8 @@
 //! `hfta` — command-line hierarchical functional timing analysis.
 //!
 //! ```text
-//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]
-//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats]
+//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]
 //! hfta sim <file> --from BITS --to BITS
 //! hfta check <file> [--module NAME]
@@ -30,6 +30,14 @@
 //! verdicts across isomorphic cones. `--no-cone-sig` turns the sharing
 //! off; `--stats` shows its effect as `cone signatures: H hits, M
 //! misses` plus (two-step) the modules aliased to a structural twin.
+//!
+//! `--trace` prints a human-readable span tree of the analysis to
+//! stderr; `--trace-json FILE` (or the `HFTA_TRACE_JSON` env var)
+//! writes the same structured trace as JSON Lines — one record per
+//! span/event, covering SAT solve episodes, stability-oracle queries,
+//! relaxation steps, refinement rounds and module characterizations.
+//! Tracing is an observer: results are bit-identical with it on or
+//! off, and stdout is unchanged.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -39,8 +47,8 @@ use hfta::netlist::event_sim::simulate_transition;
 use hfta::netlist::stats::{to_dot, NetlistStats};
 use hfta::netlist::{bench_format, blif, hnl};
 use hfta::{
-    CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, Design, HierAnalyzer, HierOptions,
-    ModelSource, ModuleTiming, Netlist, SolveBudget, Time,
+    AnalysisConfig, CharacterizeOptions, DemandDrivenAnalyzer, Design, HierAnalyzer, ModelSource,
+    ModuleTiming, Netlist, SolveBudget, Time, TraceSink,
 };
 
 fn main() -> ExitCode {
@@ -78,8 +86,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats]\n  \
-     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats]\n  \
+     hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]\n  \
      hfta sim <file> --from BITS --to BITS\n  \
      hfta check <file> [--module NAME]\n  \
@@ -109,7 +117,56 @@ const VALUE_FLAGS: &[&str] = &[
     "--model",
     "--budget-conflicts",
     "--budget-ms",
+    "--trace-json",
 ];
+
+/// How the user asked to observe the analysis: a shared sink (disabled
+/// unless some trace output was requested), an optional JSONL path
+/// (`--trace-json FILE`, falling back to `HFTA_TRACE_JSON`), and
+/// whether to print the span tree (`--trace`).
+struct TraceSetup {
+    sink: TraceSink,
+    json_path: Option<String>,
+    tree: bool,
+}
+
+fn trace_setup(opts: &Opts) -> TraceSetup {
+    let json_path = opts
+        .value("--trace-json")
+        .map(str::to_string)
+        .or_else(|| std::env::var("HFTA_TRACE_JSON").ok());
+    let tree = opts.has_flag("--trace");
+    let sink = if tree || json_path.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+    TraceSetup {
+        sink,
+        json_path,
+        tree,
+    }
+}
+
+impl TraceSetup {
+    /// Drains the sink once the analysis is done: writes JSONL and/or
+    /// prints the span tree to stderr (stdout stays untouched, so
+    /// piped reports are unaffected by tracing).
+    fn emit(&self) -> Result<(), String> {
+        if !self.sink.is_enabled() {
+            return Ok(());
+        }
+        let trace = self.sink.drain();
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, trace.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("trace: wrote {} records to {path}", trace.len());
+        }
+        if self.tree {
+            eprint!("{}", trace.render_tree());
+        }
+        Ok(())
+    }
+}
 
 /// Builds the analysis budget from `--budget-conflicts N` (per-query
 /// SAT conflict cap) and `--budget-ms MS` (wall-clock deadline for the
@@ -256,12 +313,16 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     );
     // First pass determines the functional circuit delay; the report
     // computes slacks against it (zero worst slack).
-    let budget = budget_from(&opts)?;
-    let (probe, probe_stats) = TimingReport::generate_budgeted(nl, &arrivals, Time::ZERO, budget)
-        .map_err(|e| e.to_string())?;
+    let tr = trace_setup(&opts);
+    let config = AnalysisConfig::default()
+        .with_budget(budget_from(&opts)?)
+        .with_trace(tr.sink.clone());
+    let (probe, probe_stats) =
+        TimingReport::generate(nl, &arrivals, Time::ZERO, &config).map_err(|e| e.to_string())?;
     let (report, mut stats) =
-        TimingReport::generate_budgeted(nl, &arrivals, probe.circuit_functional, budget)
+        TimingReport::generate(nl, &arrivals, probe.circuit_functional, &config)
             .map_err(|e| e.to_string())?;
+    tr.emit()?;
     print!("{report}");
     println!(
         "\ncircuit delay: topological {}, functional {}",
@@ -310,14 +371,21 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
     }
     let algo = opts.value("--algo").unwrap_or("demand");
     let want_stats = opts.has_flag("--stats");
-    let cone_sig = !opts.has_flag("--no-cone-sig");
-    let budget = budget_from(&opts)?;
+    let tr = trace_setup(&opts);
+    let mut config = AnalysisConfig::default()
+        .with_budget(budget_from(&opts)?)
+        .with_cone_sig(!opts.has_flag("--no-cone-sig"))
+        .with_trace(tr.sink.clone());
+    if let Some(threads) = opts.value("--threads") {
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| format!("bad --threads `{threads}` (want a number)"))?;
+        config = config.with_threads(threads);
+    }
     let (label, output_arrivals, delay) = match algo {
         "two-step" => {
-            let mut hier_opts = HierOptions::default();
-            hier_opts.characterize.budget = budget;
-            hier_opts.characterize.cone_sig = cone_sig;
-            let mut an = HierAnalyzer::new(&design, &top, hier_opts).map_err(|e| e.to_string())?;
+            let mut an =
+                HierAnalyzer::with_config(&design, &top, &config).map_err(|e| e.to_string())?;
             let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
             if want_stats {
                 println!(
@@ -337,18 +405,8 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
             ("two-step", r.output_arrivals, r.delay)
         }
         "demand" => {
-            let mut demand_opts = DemandOptions {
-                budget,
-                cone_sig,
-                ..DemandOptions::default()
-            };
-            if let Some(threads) = opts.value("--threads") {
-                demand_opts.threads = threads
-                    .parse()
-                    .map_err(|_| format!("bad --threads `{threads}` (want a number)"))?;
-            }
-            let mut an =
-                DemandDrivenAnalyzer::new(&design, &top, demand_opts).map_err(|e| e.to_string())?;
+            let mut an = DemandDrivenAnalyzer::with_config(&design, &top, &config)
+                .map_err(|e| e.to_string())?;
             let r = an.analyze(&arrivals).map_err(|e| e.to_string())?;
             println!(
                 "demand-driven: {} refinement rounds, {} stability checks, {} refinements",
@@ -366,6 +424,7 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown --algo `{other}` (two-step|demand)")),
     };
+    tr.emit()?;
     println!("hierarchical analysis ({label}) of `{top}`:");
     for (k, &po) in composite.outputs().iter().enumerate() {
         println!("  {:<20} {}", composite.net_name(po), output_arrivals[k]);

@@ -408,6 +408,117 @@ fn verify_accepts_honest_and_rejects_forged_models() {
     assert!(stderr.contains("optimistic"), "{stderr}");
 }
 
+/// Extracts the value of a `"key":"string"` pair from a JSONL record.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+#[test]
+fn trace_json_emits_schema_covered_records() {
+    let path = write_temp("trace.hnl", HNL_TWINS);
+    let out = std::env::temp_dir().join("hfta-cli-tests/trace_twostep.jsonl");
+    let (ok, stdout, stderr) = run(&[
+        "hier",
+        path.to_str().unwrap(),
+        "--algo",
+        "two-step",
+        "--trace-json",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stderr.contains("trace: wrote"), "{stderr}");
+    let text = std::fs::read_to_string(&out).expect("trace written");
+    // Golden schema: every line is one record with the fixed keys.
+    let mut names = Vec::new();
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for key in [
+            "\"kind\":",
+            "\"name\":",
+            "\"worker\":",
+            "\"depth\":",
+            "\"at_us\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        let kind = json_str(line, "kind").expect("kind");
+        assert!(kind == "span" || kind == "event", "{line}");
+        if kind == "span" {
+            assert!(
+                line.contains("\"dur_us\":"),
+                "span without duration: {line}"
+            );
+        }
+        names.push(json_str(line, "name").expect("name").to_string());
+    }
+    // The promised coverage: module characterizations, per-output
+    // spans, cone-signature aliasing, relaxation steps, SAT episodes.
+    for expected in [
+        "characterize_module",
+        "characterize_output",
+        "module_alias",
+        "relax_step",
+        "sat_episode",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing {expected}: {names:?}"
+        );
+    }
+
+    // Demand-driven coverage: refinement rounds, probes, SAT episodes.
+    let out = std::env::temp_dir().join("hfta-cli-tests/trace_demand.jsonl");
+    let (ok, stdout, stderr) = run(&[
+        "hier",
+        path.to_str().unwrap(),
+        "--trace-json",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    let text = std::fs::read_to_string(&out).expect("trace written");
+    for expected in ["refine_round", "refine_probe", "sat_episode"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{expected}\"")),
+            "missing {expected}"
+        );
+    }
+
+    // Report coverage via the env-var path, overriding the flag-less
+    // default (disabled).
+    let bench = write_temp("trace.bench", BENCH);
+    let report_out = std::env::temp_dir().join("hfta-cli-tests/trace_report.jsonl");
+    let out = Command::new(hfta_bin())
+        .args(["report", bench.to_str().unwrap()])
+        .env("HFTA_TRACE_JSON", report_out.to_str().unwrap())
+        .output()
+        .expect("spawn CLI");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&report_out).expect("trace written");
+    for expected in ["timing_report", "output_arrival", "sat_episode"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{expected}\"")),
+            "missing {expected}"
+        );
+    }
+}
+
+#[test]
+fn trace_flag_prints_tree_and_leaves_stdout_alone() {
+    let path = write_temp("tracetree.hnl", HNL);
+    let (ok, plain, _) = run(&["hier", path.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, traced, stderr) = run(&["hier", path.to_str().unwrap(), "--trace"]);
+    assert!(ok);
+    // Traced runs answer identically, on stdout, to untraced runs.
+    assert_eq!(plain, traced);
+    // The span tree goes to stderr: indented spans with durations.
+    assert!(stderr.contains("refine_round"), "{stderr}");
+    assert!(stderr.contains("us"), "{stderr}");
+}
+
 #[test]
 fn flatten_and_convert() {
     let path = write_temp("flat.hnl", HNL);

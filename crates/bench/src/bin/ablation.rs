@@ -26,7 +26,8 @@
 
 use hfta_bench::{build_iscas_like, IscasLike};
 use hfta_core::{
-    CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, HierAnalyzer, HierOptions, TraceSink,
+    CharacterizeOptions, DemandDrivenAnalyzer, DemandOptions, HierAnalyzer, HierOptions, Scheduler,
+    TraceSink,
 };
 use hfta_netlist::gen::carry_skip_adder;
 use hfta_netlist::partition::{cascade_bipartition, cascade_bipartition_min_cut};
@@ -130,9 +131,15 @@ fn bench_parallel_characterization(harness: &mut Harness) {
         let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default()).expect("valid");
         an.analyze(&arrivals).expect("analyzes").delay
     });
+    // One pool shared across iterations: workers spawn once, so the
+    // measurement is scheduling + characterization, not thread setup.
+    let pool = Scheduler::new(4);
+    let par_opts = HierOptions::default()
+        .with_threads(4)
+        .with_thread_clamp(false);
     group.bench("parallel_4_threads", || {
-        let mut an = HierAnalyzer::new(&design, "mixed", HierOptions::default().with_threads(4))
-            .expect("valid");
+        let mut an = HierAnalyzer::new(&design, "mixed", par_opts).expect("valid");
+        an.set_scheduler(pool.clone());
         an.characterize_all().expect("characterizes");
         an.analyze(&arrivals).expect("analyzes").delay
     });
@@ -152,26 +159,39 @@ fn bench_stability_oracle(harness: &mut Harness) {
     let design = carry_skip_adder(bits, blocks, Default::default());
     let arrivals = vec![Time::ZERO; 2 * bits + 1];
 
+    // Analyzers are built once, outside the timed closures, and reset
+    // to a pre-refinement state each iteration: what the three cases
+    // compare is steady-state refinement cost, not construction. The
+    // threaded case gets a pre-built pool for the same reason — worker
+    // spawning is a per-process cost, not a per-analysis one.
     let fresh = DemandOptions {
         reuse_oracle: false,
         ..DemandOptions::default()
     };
-    group.bench("fresh_solver_per_probe", || {
-        let mut an = DemandDrivenAnalyzer::new(&design, top, fresh).expect("valid");
-        an.analyze(&arrivals).expect("analyzes").delay
+    let mut an_fresh = DemandDrivenAnalyzer::new(&design, top, fresh).expect("valid");
+    group.bench_at_least("fresh_solver_per_probe", 10, || {
+        an_fresh.reset_refinement();
+        an_fresh.analyze(&arrivals).expect("analyzes").delay
     });
-    group.bench("persistent_oracle", || {
-        let mut an =
-            DemandDrivenAnalyzer::new(&design, top, DemandOptions::default()).expect("valid");
-        an.analyze(&arrivals).expect("analyzes").delay
+    let mut an_oracle =
+        DemandDrivenAnalyzer::new(&design, top, DemandOptions::default()).expect("valid");
+    group.bench_at_least("persistent_oracle", 10, || {
+        an_oracle.reset_refinement();
+        an_oracle.analyze(&arrivals).expect("analyzes").delay
     });
+    // Default thread clamping stays ON: on a box with fewer than four
+    // cores this case runs serial (oversubscribing one core is exactly
+    // the regression this group guards against), and on a multicore box
+    // the pool spawns once on the first iteration and persists in the
+    // analyzer, so steady-state iterations never pay spawn cost.
     let threaded = DemandOptions {
         threads: 4,
         ..DemandOptions::default()
     };
-    group.bench("persistent_oracle_4_threads", || {
-        let mut an = DemandDrivenAnalyzer::new(&design, top, threaded).expect("valid");
-        an.analyze(&arrivals).expect("analyzes").delay
+    let mut an_par = DemandDrivenAnalyzer::new(&design, top, threaded).expect("valid");
+    group.bench_at_least("persistent_oracle_4_threads", 10, || {
+        an_par.reset_refinement();
+        an_par.analyze(&arrivals).expect("analyzes").delay
     });
 }
 

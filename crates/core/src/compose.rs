@@ -21,7 +21,8 @@
 
 use std::collections::HashMap;
 
-use hfta_netlist::{Design, ModuleBody, NetlistError, Time};
+use hfta_netlist::{Composite, Design, ModuleBody, NetlistError, Time};
+use hfta_sched::Scheduler;
 
 use crate::hier::{propagate, HierAnalysis, HierOptions};
 use crate::module_timing::ModuleTiming;
@@ -76,55 +77,86 @@ pub fn characterize_recursive(
             ModuleTiming::characterize(nl, opts.hier.source, opts.hier.characterize)?
         }
         ModuleBody::Composite(c) => {
-            // Symbolic tuple set per composite net, over the
-            // composite's inputs.
-            let n_in = c.inputs().len();
-            let mut sets: Vec<Vec<TimingTuple>> = vec![Vec::new(); c.net_count()];
-            for (k, &pi) in c.inputs().iter().enumerate() {
-                let mut unit = vec![Time::NEG_INF; n_in];
-                unit[k] = Time::ZERO;
-                sets[pi.index()] = vec![TimingTuple::new(unit)];
-            }
             for idx in c.instance_topo_order()? {
                 let inst = &c.instances()[idx];
-                let child = characterize_recursive(design, &inst.module, opts, cache)?;
-                for (o, &out_net) in inst.outputs.iter().enumerate() {
-                    let input_sets: Vec<&[TimingTuple]> = inst
-                        .inputs
-                        .iter()
-                        .map(|n| sets[n.index()].as_slice())
-                        .collect();
-                    sets[out_net.index()] = compose_output(child.model(o), &input_sets, n_in, opts);
-                }
+                characterize_recursive(design, &inst.module, opts, cache)?;
             }
-            let input_names = c
-                .inputs()
-                .iter()
-                .map(|&n| c.net_name(n).to_string())
-                .collect();
-            let output_names: Vec<String> = c
-                .outputs()
-                .iter()
-                .map(|&n| c.net_name(n).to_string())
-                .collect();
-            let models: Vec<TimingModel> = c
-                .outputs()
-                .iter()
-                .map(|&n| {
-                    let tuples = if sets[n.index()].is_empty() {
-                        // Undriven output: constant, nothing required.
-                        vec![TimingTuple::new(vec![Time::NEG_INF; n_in])]
-                    } else {
-                        sets[n.index()].clone()
-                    };
-                    TimingModel::from_tuples(tuples)
-                })
-                .collect();
-            ModuleTiming::from_parts(c.name(), input_names, output_names, models)
+            compose_composite(c, opts, cache)?
         }
     };
     cache.insert(module.to_string(), timing.clone());
     Ok(timing)
+}
+
+/// Composes a composite's timing abstraction from its children's
+/// already-characterized models (the max-plus tuple product of the
+/// module doc). Unlike [`characterize_recursive`] this never descends:
+/// every instanced module must already be in `models`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Unknown`] if a child model is missing and
+/// composite-ordering errors.
+fn compose_composite(
+    c: &Composite,
+    opts: &ComposeOptions,
+    models: &HashMap<String, ModuleTiming>,
+) -> Result<ModuleTiming, NetlistError> {
+    // Symbolic tuple set per composite net, over the composite's
+    // inputs.
+    let n_in = c.inputs().len();
+    let mut sets: Vec<Vec<TimingTuple>> = vec![Vec::new(); c.net_count()];
+    for (k, &pi) in c.inputs().iter().enumerate() {
+        let mut unit = vec![Time::NEG_INF; n_in];
+        unit[k] = Time::ZERO;
+        sets[pi.index()] = vec![TimingTuple::new(unit)];
+    }
+    for idx in c.instance_topo_order()? {
+        let inst = &c.instances()[idx];
+        let child = models
+            .get(&inst.module)
+            .ok_or_else(|| NetlistError::Unknown {
+                what: "child timing model",
+                name: inst.module.clone(),
+            })?;
+        for (o, &out_net) in inst.outputs.iter().enumerate() {
+            let input_sets: Vec<&[TimingTuple]> = inst
+                .inputs
+                .iter()
+                .map(|n| sets[n.index()].as_slice())
+                .collect();
+            sets[out_net.index()] = compose_output(child.model(o), &input_sets, n_in, opts);
+        }
+    }
+    let input_names = c
+        .inputs()
+        .iter()
+        .map(|&n| c.net_name(n).to_string())
+        .collect();
+    let output_names: Vec<String> = c
+        .outputs()
+        .iter()
+        .map(|&n| c.net_name(n).to_string())
+        .collect();
+    let models: Vec<TimingModel> = c
+        .outputs()
+        .iter()
+        .map(|&n| {
+            let tuples = if sets[n.index()].is_empty() {
+                // Undriven output: constant, nothing required.
+                vec![TimingTuple::new(vec![Time::NEG_INF; n_in])]
+            } else {
+                sets[n.index()].clone()
+            };
+            TimingModel::from_tuples(tuples)
+        })
+        .collect();
+    Ok(ModuleTiming::from_parts(
+        c.name(),
+        input_names,
+        output_names,
+        models,
+    ))
 }
 
 /// Max-plus product of one output model with its input tuple sets.
@@ -232,20 +264,151 @@ pub fn analyze_multilevel(
     pi_arrivals: &[Time],
     opts: &ComposeOptions,
 ) -> Result<HierAnalysis, NetlistError> {
+    // Auto-pool: opts asking for threads gets a pool of the effective
+    // (clamped) size for the duration of this analysis.
+    let pool = (opts.hier.threads > 1)
+        .then(|| hfta_sched::effective_parallelism(opts.hier.threads, opts.hier.clamp_threads))
+        .filter(|&effective| effective > 1)
+        .map(Scheduler::new);
+    analyze_multilevel_with(design, top, pi_arrivals, opts, pool.as_ref())
+}
+
+/// [`analyze_multilevel`] on an explicit worker pool (or `None` for
+/// serial): modules are characterized wavefront by wavefront over the
+/// module dependency DAG — every leaf of a wavefront is an independent
+/// task, so sibling subtrees characterize concurrently — and composite
+/// models are composed from their children's models once the wave
+/// below them is done. Models merge back in deterministic (sorted
+/// name) order, so the analysis is bit-identical to the serial one.
+///
+/// # Errors
+///
+/// Returns module-resolution and characterization errors.
+///
+/// # Panics
+///
+/// Panics if `pi_arrivals.len()` differs from the top-level input
+/// count.
+pub fn analyze_multilevel_with(
+    design: &Design,
+    top: &str,
+    pi_arrivals: &[Time],
+    opts: &ComposeOptions,
+    pool: Option<&Scheduler>,
+) -> Result<HierAnalysis, NetlistError> {
     design.validate()?;
     let composite = design.composite(top).ok_or_else(|| NetlistError::Unknown {
         what: "top-level composite module",
         name: top.to_string(),
     })?;
     let mut cache = HashMap::new();
+    characterize_wavefronts(design, composite, opts, pool, &mut cache)?;
     let mut models = HashMap::new();
     for inst in composite.instances() {
         if !models.contains_key(&inst.module) {
-            let m = characterize_recursive(design, &inst.module, opts, &mut cache)?;
-            models.insert(inst.module.clone(), m);
+            let m = cache
+                .get(&inst.module)
+                .ok_or_else(|| NetlistError::Unknown {
+                    what: "module",
+                    name: inst.module.clone(),
+                })?;
+            models.insert(inst.module.clone(), m.clone());
         }
     }
     propagate(composite, &models, pi_arrivals)
+}
+
+/// Characterizes every module reachable from `top`'s instances into
+/// `cache`, layering the module dependency DAG into wavefronts: wave 0
+/// holds the leaves, wave k the composites whose children all sit in
+/// earlier waves. Within a wave, leaf characterizations (the expensive,
+/// solver-bound work) run as independent tasks on `pool`; composites
+/// (cheap tuple algebra over cached child models) compose serially.
+fn characterize_wavefronts(
+    design: &Design,
+    top: &Composite,
+    opts: &ComposeOptions,
+    pool: Option<&Scheduler>,
+    cache: &mut HashMap<String, ModuleTiming>,
+) -> Result<(), NetlistError> {
+    // Reachable modules, indexed; deps point at instanced children.
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut deps: Vec<Vec<usize>> = Vec::new();
+    let mut queue: Vec<String> = Vec::new();
+    for inst in top.instances() {
+        if !index.contains_key(&inst.module) {
+            index.insert(inst.module.clone(), names.len());
+            names.push(inst.module.clone());
+            deps.push(Vec::new());
+            queue.push(inst.module.clone());
+        }
+    }
+    while let Some(name) = queue.pop() {
+        let def = design.module(&name).ok_or_else(|| NetlistError::Unknown {
+            what: "module",
+            name: name.clone(),
+        })?;
+        if let ModuleBody::Composite(c) = &def.body {
+            let me = index[&name];
+            for inst in c.instances() {
+                let child = match index.get(&inst.module) {
+                    Some(&i) => i,
+                    None => {
+                        let i = names.len();
+                        index.insert(inst.module.clone(), i);
+                        names.push(inst.module.clone());
+                        deps.push(Vec::new());
+                        queue.push(inst.module.clone());
+                        i
+                    }
+                };
+                deps[me].push(child);
+            }
+        }
+    }
+    for wave in hfta_sched::wavefronts(names.len(), |i| deps[i].clone()) {
+        // Split the wave: leaves fan out, composites compose in place.
+        let mut leaves: Vec<(String, hfta_netlist::Netlist)> = Vec::new();
+        let mut composites: Vec<&str> = Vec::new();
+        for &i in &wave {
+            let name = names[i].as_str();
+            if cache.contains_key(name) {
+                continue;
+            }
+            match &design.module(name).expect("indexed above").body {
+                ModuleBody::Leaf(nl) => leaves.push((name.to_string(), nl.clone())),
+                ModuleBody::Composite(_) => composites.push(name),
+            }
+        }
+        leaves.sort_by(|a, b| a.0.cmp(&b.0));
+        let hier = opts.hier;
+        let characterized: Vec<(String, Result<ModuleTiming, NetlistError>)> = match pool {
+            Some(pool) if leaves.len() > 1 => pool.run(leaves, move |(name, nl)| {
+                let r = ModuleTiming::characterize(&nl, hier.source, hier.characterize);
+                (name, r)
+            }),
+            _ => leaves
+                .into_iter()
+                .map(|(name, nl)| {
+                    let r = ModuleTiming::characterize(&nl, hier.source, hier.characterize);
+                    (name, r)
+                })
+                .collect(),
+        };
+        for (name, result) in characterized {
+            cache.insert(name, result?);
+        }
+        for name in composites {
+            let def = design.module(name).expect("indexed above");
+            let ModuleBody::Composite(c) = &def.body else {
+                unreachable!("partitioned as composite above");
+            };
+            let timing = compose_composite(c, opts, cache)?;
+            cache.insert(name.to_string(), timing);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -358,6 +521,37 @@ mod tests {
             .min()
             .unwrap();
         assert_eq!(min_cin_delay, t(8), "2 per block × 4 blocks");
+    }
+
+    /// Wavefront-parallel characterization is bit-identical to the
+    /// serial recursion — on an explicit pool and on the auto-pool
+    /// taken from the thread options.
+    #[test]
+    fn wavefront_parallel_matches_serial() {
+        let design = three_level_design();
+        let arrivals = vec![t(0); 33];
+        let serial =
+            analyze_multilevel(&design, "pair16", &arrivals, &ComposeOptions::default()).unwrap();
+
+        let pool = Scheduler::new(4);
+        let parallel = analyze_multilevel_with(
+            &design,
+            "pair16",
+            &arrivals,
+            &ComposeOptions::default(),
+            Some(&pool),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+
+        let opts = ComposeOptions {
+            hier: HierOptions::default()
+                .with_threads(4)
+                .with_thread_clamp(false),
+            ..ComposeOptions::default()
+        };
+        let auto = analyze_multilevel(&design, "pair16", &arrivals, &opts).unwrap();
+        assert_eq!(serial, auto);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hfta_fta::{AnalysisConfig, CharacterizeOptions, ConeSigCache, PhaseWall, StabilityStats};
-use hfta_netlist::{Composite, Design, NetlistError, Time};
+use hfta_netlist::{Composite, Design, Netlist, NetlistError, Time};
+use hfta_sched::Scheduler;
 use hfta_trace::{TraceSink, Tracer, Value};
 
 use crate::deadline::DeadlineToken;
@@ -38,9 +39,16 @@ pub struct HierOptions {
     pub characterize: CharacterizeOptions,
     /// Worker threads for step-1 characterization. `1` (the default)
     /// characterizes serially in instance order, sharing one signature
-    /// cache across modules; more threads fan distinct modules out to
-    /// scoped workers whose private caches merge back deterministically.
+    /// cache across modules; more threads fan distinct modules out as
+    /// per-module tasks on a persistent work-stealing pool, their
+    /// private caches merging back deterministically in name order.
     pub threads: usize,
+    /// Clamp [`HierOptions::threads`] to the machine's available
+    /// parallelism when the analyzer creates its pool (on by default).
+    /// A `threads_clamped` trace event records when the clamp bites.
+    /// Pools injected via [`HierAnalyzer::set_scheduler`] are used
+    /// as-is.
+    pub clamp_threads: bool,
 }
 
 impl Default for HierOptions {
@@ -49,6 +57,7 @@ impl Default for HierOptions {
             source: ModelSource::default(),
             characterize: CharacterizeOptions::default(),
             threads: 1,
+            clamp_threads: true,
         }
     }
 }
@@ -74,6 +83,14 @@ impl HierOptions {
         self.threads = threads.max(1);
         self
     }
+
+    /// Sets whether the thread count is clamped to the machine's
+    /// available parallelism (on by default).
+    #[must_use]
+    pub fn with_thread_clamp(mut self, clamp: bool) -> HierOptions {
+        self.clamp_threads = clamp;
+        self
+    }
 }
 
 impl From<&AnalysisConfig> for HierOptions {
@@ -82,6 +99,7 @@ impl From<&AnalysisConfig> for HierOptions {
             source: config.source,
             characterize: config.characterize_options(),
             threads: config.threads,
+            clamp_threads: config.clamp_threads,
         }
     }
 }
@@ -173,6 +191,12 @@ pub struct HierAnalyzer<'a> {
     /// Trace sink for `characterize_module` spans and `module_alias`
     /// events; disabled by default (zero-cost).
     trace: TraceSink,
+    /// Persistent worker pool for parallel characterization: created
+    /// once (first parallel phase) or injected, then reused across
+    /// `characterize_all`/`analyze` calls.
+    scheduler: Option<Scheduler>,
+    /// The `threads_clamped` event is emitted at most once.
+    clamp_reported: bool,
 }
 
 /// What characterizing one module produced.
@@ -229,6 +253,8 @@ impl<'a> HierAnalyzer<'a> {
             degraded: Vec::new(),
             wall: PhaseWall::default(),
             trace: TraceSink::disabled(),
+            scheduler: None,
+            clamp_reported: false,
         })
     }
 
@@ -246,7 +272,55 @@ impl<'a> HierAnalyzer<'a> {
     ) -> Result<HierAnalyzer<'a>, NetlistError> {
         let mut an = HierAnalyzer::new(design, top, HierOptions::from(config))?;
         an.set_trace(config.trace.clone());
+        if let Some(pool) = config.scheduler.get() {
+            an.set_scheduler(pool.clone());
+        }
         Ok(an)
+    }
+
+    /// Installs a shared worker pool for parallel characterization.
+    /// The pool is used as-is (no clamping — its size was decided by
+    /// whoever built it) and kept for the analyzer's whole life, so
+    /// several analyzers can share one set of workers.
+    pub fn set_scheduler(&mut self, pool: Scheduler) {
+        self.scheduler = Some(pool);
+    }
+
+    /// The worker pool parallel characterization runs on, if one
+    /// exists yet (injected or lazily created by the first parallel
+    /// phase).
+    #[must_use]
+    pub fn scheduler_handle(&self) -> Option<&Scheduler> {
+        self.scheduler.as_ref()
+    }
+
+    /// The pool a parallel phase runs on, or `None` to run serially.
+    /// An injected pool wins unchanged; otherwise the first parallel
+    /// phase creates one with `threads` workers — clamped to the
+    /// machine's parallelism unless [`HierOptions::clamp_threads`] is
+    /// off — and the analyzer keeps it from then on.
+    fn scheduler_for_phase(&mut self, threads: usize, tracer: &mut Tracer) -> Option<Scheduler> {
+        if self.scheduler.is_none() && threads > 1 {
+            let effective = hfta_sched::effective_parallelism(threads, self.opts.clamp_threads);
+            if effective < threads && tracer.is_enabled() && !self.clamp_reported {
+                self.clamp_reported = true;
+                tracer.event(
+                    "threads_clamped",
+                    vec![
+                        ("requested", Value::from(threads)),
+                        ("effective", Value::from(effective)),
+                        (
+                            "available",
+                            Value::from(hfta_sched::available_parallelism()),
+                        ),
+                    ],
+                );
+            }
+            if effective > 1 {
+                self.scheduler = Some(Scheduler::new(effective));
+            }
+        }
+        self.scheduler.clone().filter(|pool| pool.threads() > 1)
     }
 
     /// Installs a trace sink; subsequent characterizations record
@@ -301,7 +375,7 @@ impl<'a> HierAnalyzer<'a> {
     /// module to its topological model (counted per output in
     /// [`StabilityStats::degraded`]).
     fn characterize_one(
-        design: &Design,
+        nl: &Netlist,
         name: &str,
         opts: &HierOptions,
         token: &DeadlineToken,
@@ -311,8 +385,7 @@ impl<'a> HierAnalyzer<'a> {
         let span = tracer
             .is_enabled()
             .then(|| tracer.begin("characterize_module"));
-        let result =
-            HierAnalyzer::characterize_one_impl(design, name, opts, token, sig_cache, tracer);
+        let result = HierAnalyzer::characterize_one_impl(nl, opts, token, sig_cache, tracer);
         if let Some(span) = span {
             match &result {
                 Ok(outcome) => {
@@ -340,17 +413,13 @@ impl<'a> HierAnalyzer<'a> {
 
     /// The untraced characterization body of [`HierAnalyzer::characterize_one`].
     fn characterize_one_impl(
-        design: &Design,
-        name: &str,
+        nl: &Netlist,
         opts: &HierOptions,
         token: &DeadlineToken,
         sig_cache: &mut ConeSigCache,
         tracer: &mut Tracer,
     ) -> Result<CharOutcome, NetlistError> {
-        let nl = design.leaf(name).ok_or_else(|| NetlistError::Unknown {
-            what: "leaf module",
-            name: name.to_string(),
-        })?;
+        let name = nl.name();
         let wants_functional = opts.source == ModelSource::Functional;
         if wants_functional && token.expired() {
             let (timing, mut stats) = ModuleTiming::characterize_with_stats(
@@ -437,7 +506,12 @@ impl<'a> HierAnalyzer<'a> {
         self.characterize_parallel(threads)
     }
 
-    /// The parallel step-1 worker fan-out.
+    /// The parallel step-1 fan-out: one task per distinct uncached
+    /// module on the persistent pool. Each task owns a clone of its
+    /// leaf netlist (persistent workers need `'static` tasks), a
+    /// private signature cache and a forked tracer; caches and trace
+    /// buffers merge back deterministically in sorted-name order, so
+    /// the result is independent of how the pool schedules the tasks.
     fn characterize_parallel(&mut self, threads: usize) -> Result<(), NetlistError> {
         let mut names: Vec<&str> = self
             .top
@@ -451,57 +525,63 @@ impl<'a> HierAnalyzer<'a> {
         if names.is_empty() {
             return Ok(());
         }
-        let design = self.design;
         let opts = self.opts;
-        let token = &self.token;
         let mut tracer = self.trace.tracer();
+        let pool = self.scheduler_for_phase(threads, &mut tracer);
         let t0 = Instant::now();
-        // Each worker fills a private signature cache over its chunk
-        // (shared mutable state would make hit/miss counts racy); the
-        // caches merge back deterministically in chunk order below,
-        // along with each worker's trace buffer.
-        type WorkerOut<'n> = (
-            Vec<(&'n str, Result<CharOutcome, NetlistError>)>,
+        struct CharTask {
+            name: String,
+            nl: Netlist,
+            opts: HierOptions,
+            token: DeadlineToken,
+            tracer: Tracer,
+        }
+        type TaskOut = (
+            String,
+            Result<CharOutcome, NetlistError>,
             ConeSigCache,
             Tracer,
         );
-        let results: Vec<WorkerOut<'_>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (widx, chunk) in names.chunks(names.len().div_ceil(threads)).enumerate() {
-                let token = token.clone();
-                let mut worker_tracer = tracer.fork(widx as u32 + 1);
-                handles.push(scope.spawn(move || {
-                    let mut sig_cache = ConeSigCache::new();
-                    let outcomes = chunk
-                        .iter()
-                        .map(|&name| {
-                            let r = HierAnalyzer::characterize_one(
-                                design,
-                                name,
-                                &opts,
-                                &token,
-                                &mut sig_cache,
-                                &mut worker_tracer,
-                            );
-                            (name, r)
-                        })
-                        .collect::<Vec<_>>();
-                    (outcomes, sig_cache, worker_tracer)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("characterization worker panicked"))
-                .collect()
-        });
+        let run = |mut task: CharTask| -> TaskOut {
+            let mut sig_cache = ConeSigCache::new();
+            let r = HierAnalyzer::characterize_one(
+                &task.nl,
+                &task.name,
+                &task.opts,
+                &task.token,
+                &mut sig_cache,
+                &mut task.tracer,
+            );
+            (task.name, r, sig_cache, task.tracer)
+        };
+        let mut tasks = Vec::with_capacity(names.len());
+        for (i, &name) in names.iter().enumerate() {
+            let nl = self
+                .design
+                .leaf(name)
+                .ok_or_else(|| NetlistError::Unknown {
+                    what: "leaf module",
+                    name: name.to_string(),
+                })?
+                .clone();
+            tasks.push(CharTask {
+                name: name.to_string(),
+                nl,
+                opts,
+                token: self.token.clone(),
+                tracer: tracer.fork(i as u32 + 1),
+            });
+        }
+        let results: Vec<TaskOut> = match pool {
+            Some(pool) if tasks.len() > 1 => pool.run(tasks, run),
+            _ => tasks.into_iter().map(run).collect(),
+        };
         self.wall.characterize_micros += micros_since(t0);
-        for (outcomes, sig_cache, worker_tracer) in results {
-            tracer.absorb(worker_tracer);
+        for (name, result, sig_cache, task_tracer) in results {
+            tracer.absorb(task_tracer);
             self.sig_cache.merge(sig_cache);
-            for (name, result) in outcomes {
-                let outcome = result?;
-                self.record(name, outcome);
-            }
+            let outcome = result?;
+            self.record(&name, outcome);
         }
         self.trace.absorb(tracer);
         Ok(())
@@ -530,10 +610,17 @@ impl<'a> HierAnalyzer<'a> {
     /// Returns characterization errors.
     pub fn module_timing(&mut self, name: &str) -> Result<&ModuleTiming, NetlistError> {
         if !self.cache.contains_key(name) {
+            let nl = self
+                .design
+                .leaf(name)
+                .ok_or_else(|| NetlistError::Unknown {
+                    what: "leaf module",
+                    name: name.to_string(),
+                })?;
             let mut tracer = self.trace.tracer();
             let t0 = Instant::now();
             let outcome = HierAnalyzer::characterize_one(
-                self.design,
+                nl,
                 name,
                 &self.opts,
                 &self.token,
@@ -826,8 +913,12 @@ mod parallel_tests {
         let mut serial = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
         let s = serial.analyze(&arrivals).unwrap();
 
-        let mut parallel =
-            HierAnalyzer::new(&design, "mixed", HierOptions::default().with_threads(4)).unwrap();
+        // clamp off: the pool must really run multi-worker even on
+        // machines with fewer cores than requested threads.
+        let opts = HierOptions::default()
+            .with_threads(4)
+            .with_thread_clamp(false);
+        let mut parallel = HierAnalyzer::new(&design, "mixed", opts).unwrap();
         parallel.characterize_all().unwrap();
         let p = parallel.analyze(&arrivals).unwrap();
 
@@ -957,8 +1048,10 @@ mod parallel_tests {
         let mut serial = HierAnalyzer::new(&design, "rep", HierOptions::default()).unwrap();
         let s = serial.analyze(&arrivals).unwrap();
 
-        let mut parallel =
-            HierAnalyzer::new(&design, "rep", HierOptions::default().with_threads(4)).unwrap();
+        let opts = HierOptions::default()
+            .with_threads(4)
+            .with_thread_clamp(false);
+        let mut parallel = HierAnalyzer::new(&design, "rep", opts).unwrap();
         parallel.characterize_all().unwrap();
         let p = parallel.analyze(&arrivals).unwrap();
 

@@ -54,7 +54,9 @@ pub mod incremental;
 pub mod module_timing;
 pub mod naive;
 
-pub use compose::{analyze_multilevel, characterize_recursive, ComposeOptions};
+pub use compose::{
+    analyze_multilevel, analyze_multilevel_with, characterize_recursive, ComposeOptions,
+};
 pub use deadline::DeadlineToken;
 pub use demand::{DemandAnalysis, DemandDrivenAnalyzer, DemandOptions};
 pub use hier::{propagate, HierAnalysis, HierAnalyzer, HierOptions, HierStats};
@@ -66,6 +68,9 @@ pub use naive::{find_underapproximation, independent_relaxation_model, Underappr
 // configuration and trace types — so downstream users need only this
 // crate plus the netlist crate.
 pub use hfta_fta::{
-    AnalysisConfig, CharacterizeOptions, SolveBudget, TimingModel, TimingTuple, Trace, TraceSink,
-    Tracer,
+    AnalysisConfig, CharacterizeOptions, SchedulerSeat, SolveBudget, TimingModel, TimingTuple,
+    Trace, TraceSink, Tracer,
 };
+// The work-stealing pool parallel phases run on: build one, seat it in
+// an AnalysisConfig (or set_scheduler), and analyzers share workers.
+pub use hfta_sched::{SchedStats, Scheduler};

@@ -16,6 +16,7 @@
 //! bit-for-bit.
 
 use hfta_sat::{SolveBudget, SolveEpisode};
+use hfta_sched::Scheduler;
 use hfta_trace::{TraceSink, Value};
 
 use crate::required::CharacterizeOptions;
@@ -35,6 +36,59 @@ pub fn solve_episode_fields(ep: &SolveEpisode) -> Vec<(&'static str, Value)> {
         ("max_learnts", ep.max_learnts.into()),
         ("budgeted", ep.budgeted.into()),
     ]
+}
+
+/// An optional [`Scheduler`] handle riding inside [`AnalysisConfig`].
+///
+/// Like [`TraceSink`], the seat is an *observer-style* passenger:
+/// which worker pool executes an analysis cannot change its result
+/// (parallel analyses are bit-identical to serial ones), so the seat
+/// compares equal to any other seat — configs differing only in their
+/// scheduler are the same configuration.
+///
+/// Passing one pool to several analyzers (via
+/// [`AnalysisConfig::with_scheduler`]) is how `HierAnalyzer` and
+/// `DemandDrivenAnalyzer` calls share one set of persistent workers
+/// instead of each spawning their own.
+#[derive(Clone, Default)]
+pub struct SchedulerSeat(Option<Scheduler>);
+
+impl SchedulerSeat {
+    /// An empty seat (analyzers create their own pool on demand).
+    #[must_use]
+    pub fn none() -> SchedulerSeat {
+        SchedulerSeat(None)
+    }
+
+    /// A seat carrying `pool`.
+    #[must_use]
+    pub fn with(pool: Scheduler) -> SchedulerSeat {
+        SchedulerSeat(Some(pool))
+    }
+
+    /// The seated pool, if any.
+    #[must_use]
+    pub fn get(&self) -> Option<&Scheduler> {
+        self.0.as_ref()
+    }
+}
+
+impl PartialEq for SchedulerSeat {
+    /// All seats are equal: the executing pool is invisible in results.
+    fn eq(&self, _other: &SchedulerSeat) -> bool {
+        true
+    }
+}
+
+impl Eq for SchedulerSeat {}
+
+impl std::fmt::Debug for SchedulerSeat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(s) => write!(f, "SchedulerSeat({} threads)", s.threads()),
+            None => write!(f, "SchedulerSeat(none)"),
+        }
+    }
 }
 
 /// How hierarchical analysis obtains each module's timing model.
@@ -68,6 +122,19 @@ pub struct AnalysisConfig {
     /// Worker threads for characterization / refinement fan-out
     /// (1 = serial; results are bit-identical either way).
     pub threads: usize,
+    /// Clamp [`AnalysisConfig::threads`] to
+    /// [`hfta_sched::available_parallelism`] when the pool is created
+    /// (on by default — `--threads 64` on a 4-core box would otherwise
+    /// oversubscribe). Analyzers emit a `threads_clamped` trace event
+    /// when the clamp bites. Turn off only to *measure* oversubscription
+    /// or to exercise real multi-worker schedules on small machines.
+    pub clamp_threads: bool,
+    /// Worker pool to run parallel phases on. Empty by default — each
+    /// analyzer then lazily creates its own pool of
+    /// [`AnalysisConfig::threads`] workers and keeps it for its whole
+    /// life (across refinement rounds and `analyze` calls). Seat one
+    /// pool here to share workers across analyzers.
+    pub scheduler: SchedulerSeat,
     /// Per-query solver budget; analyses degrade soundly (never
     /// silently) when it runs out. Unlimited by default.
     pub budget: SolveBudget,
@@ -95,6 +162,8 @@ impl Default for AnalysisConfig {
         AnalysisConfig {
             source: ModelSource::Functional,
             threads: 1,
+            clamp_threads: true,
+            scheduler: SchedulerSeat::none(),
             budget: SolveBudget::UNLIMITED,
             cone_sig: true,
             reuse_oracle: true,
@@ -125,6 +194,22 @@ impl AnalysisConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables clamping of [`AnalysisConfig::threads`] to
+    /// the machine's available parallelism (on by default).
+    #[must_use]
+    pub fn with_thread_clamp(mut self, clamp: bool) -> Self {
+        self.clamp_threads = clamp;
+        self
+    }
+
+    /// Seats a worker pool for parallel phases, shared by every
+    /// analyzer built from this config.
+    #[must_use]
+    pub fn with_scheduler(mut self, pool: Scheduler) -> Self {
+        self.scheduler = SchedulerSeat::with(pool);
         self
     }
 

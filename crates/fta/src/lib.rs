@@ -57,7 +57,7 @@ pub mod stability;
 
 pub use boolalg::{BackendCounters, BddAlg, BoolAlg, SatAlg};
 pub use conditional::{ConditionalCase, ConditionalModel};
-pub use config::{solve_episode_fields, AnalysisConfig, ModelSource};
+pub use config::{solve_episode_fields, AnalysisConfig, ModelSource, SchedulerSeat};
 pub use delay::{functional_circuit_delay, DelayAnalyzer};
 pub use exact::{exact_model, exact_vector_relation, ExactError, ExactOptions};
 pub use false_pairs::{arrivals_with_declared_delays, derive_declared_delays, DeclaredDelays};

@@ -23,6 +23,13 @@
 //! **owns** its netlist, so it can be stored in long-lived per-module
 //! state (e.g. the demand-driven analyzer's per-output cones) without
 //! borrow gymnastics.
+//!
+//! The oracle is also `Send` (asserted at compile time below): parallel
+//! refinement checks whole cone states — oracle included — out to
+//! persistent pool workers and back every round, which is exactly how
+//! per-cone solver state gets *pooled* instead of rebuilt per round.
+//! Each oracle is only ever used by one worker at a time (cones are
+//! disjoint within a round), so no `Sync` is needed.
 
 use hfta_netlist::{NetId, Netlist, NetlistError, Time};
 use hfta_sat::SolveBudget;
@@ -173,6 +180,16 @@ mod tests {
 
     fn t(v: i64) -> Time {
         Time::new(v)
+    }
+
+    /// Compile-time guarantee: oracles can ride inside owned cone
+    /// tasks on pool worker threads. If a non-`Send` cell ever sneaks
+    /// into the solver stack, this stops the build rather than the
+    /// scheduler.
+    #[test]
+    fn oracle_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<StabilityOracle<SatAlg>>();
     }
 
     /// The oracle answers exactly like a fresh analyzer per condition,

@@ -5,9 +5,12 @@
 //! * [`random`] — seeded ISCAS-like random multilevel logic (the
 //!   Table 2 workload substitute; see DESIGN.md for the substitution
 //!   rationale).
+//! * [`modular`] — large layered hierarchical designs (many instances
+//!   of a few random leaf flavors) for parallel-scaling experiments.
 
 pub mod adders;
 pub mod arith;
+pub mod modular;
 pub mod random;
 
 pub use adders::{
@@ -16,4 +19,5 @@ pub use adders::{
 pub use arith::{
     array_multiplier, carry_lookahead_adder, carry_select_adder, kogge_stone_adder, parity_tree,
 };
+pub use modular::{modular_design, ModularDesignSpec};
 pub use random::{random_circuit, GateMix, RandomCircuitSpec};

@@ -1,0 +1,526 @@
+//! A zero-dependency work-stealing task scheduler.
+//!
+//! The analyzers in `hfta-core` fan independent cone-level work units
+//! (module characterizations, per-class refinement probes) out to
+//! threads. Doing that with `std::thread::scope` re-pays thread spawn
+//! and teardown on every call site — per refinement *round* in the
+//! demand-driven analyzer — and a static chunk partition lets one slow
+//! chunk stall the whole batch. [`Scheduler`] fixes both:
+//!
+//! * **Persistent workers.** `Scheduler::new(n)` spawns exactly `n` OS
+//!   threads, once. Every [`Scheduler::run`] batch reuses them; the
+//!   pool is dropped (and joined) when the last handle goes away.
+//!   [`Scheduler::workers_spawned`] exposes the lifetime spawn count so
+//!   tests can pin "O(threads), not O(rounds × threads)".
+//! * **Work stealing.** Each worker owns a deque; a batch's tasks are
+//!   dealt round-robin across the deques. A worker pops from the front
+//!   of its own deque and, when empty, steals from the *back* of a
+//!   sibling's — so a worker stuck on one long task (a hard SAT cone)
+//!   sheds its queued tasks to idle siblings instead of stalling the
+//!   batch.
+//! * **Deterministic results.** [`Scheduler::run`] returns outputs in
+//!   task-submission order, whatever order workers finished in. The
+//!   scheduler never makes ordering promises about *side effects* —
+//!   callers keep bit-identity by giving tasks disjoint state and
+//!   merging in submission order (see DESIGN.md).
+//!
+//! Tasks are coarse (a SAT probe or a whole-module characterization is
+//! micro- to milliseconds), so the deques use plain mutexes: the lock
+//! cost is noise next to the task cost, and the crate stays within the
+//! workspace's `#![forbid(unsafe_code)]` / zero-dependency rules.
+//!
+//! [`wavefronts`] is the companion layering helper: it levels a DAG of
+//! module dependencies so each wave's nodes are mutually independent
+//! and can be one `run` batch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, ignoring poisoning: the scheduler catches task
+/// panics, so a poisoned lock only means a panic payload is already on
+/// its way to the submitter.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The parallelism the platform actually offers
+/// (`std::thread::available_parallelism`, 1 when unknown).
+///
+/// Cached after the first call: the std query re-reads cgroup quota
+/// files on Linux, which costs tens of microseconds — callers probe
+/// this once per refinement round, so an uncached query would tax every
+/// clamped analysis.
+#[must_use]
+pub fn available_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count a `threads` request resolves to: at least 1, and —
+/// when `clamp` is set — at most [`available_parallelism`], so
+/// `--threads 64` on a 4-core box cannot oversubscribe. Callers that
+/// clamp should emit a trace event when the result differs from the
+/// request (the analyzers in `hfta-core` do).
+#[must_use]
+pub fn effective_parallelism(threads: usize, clamp: bool) -> usize {
+    let threads = threads.max(1);
+    if clamp {
+        threads.min(available_parallelism())
+    } else {
+        threads
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared by the worker threads and every [`Scheduler`] handle.
+struct Shared {
+    /// One deque per worker. Tasks are dealt round-robin at submission;
+    /// worker `i` pops `queues[i]` from the front and steals from the
+    /// back of the others.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake channel for idle workers; the guarded bool is the
+    /// shutdown flag.
+    idle: Mutex<bool>,
+    work_cv: Condvar,
+    /// Jobs pushed but not yet grabbed by any worker.
+    pending: AtomicUsize,
+    spawned: AtomicU64,
+    steals: AtomicU64,
+    executed: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl Shared {
+    /// Takes one job: own queue first (front — submission order), then
+    /// a sweep over the siblings' (back — the work they'd reach last).
+    fn grab(&self, me: usize) -> Option<Job> {
+        if let Some(job) = lock(&self.queues[me]).pop_front() {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            if let Some(job) = lock(&self.queues[(me + k) % n]).pop_back() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(self: &Arc<Shared>, me: usize) {
+        loop {
+            if let Some(job) = self.grab(me) {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                job();
+                continue;
+            }
+            let mut shutdown = lock(&self.idle);
+            loop {
+                if *shutdown {
+                    return;
+                }
+                if self.pending.load(Ordering::Acquire) > 0 {
+                    break;
+                }
+                shutdown = self
+                    .work_cv
+                    .wait(shutdown)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+/// Joins the workers when the last user-held [`Scheduler`] handle is
+/// dropped. Workers hold `Arc<Shared>` only, so this `Arc<Owner>`'s
+/// refcount counts exactly the user handles.
+struct Owner {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for Owner {
+    fn drop(&mut self) {
+        {
+            let mut shutdown = lock(&self.shared.idle);
+            *shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in std::mem::take(&mut *lock(&self.handles)) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Completion state of one [`Scheduler::run`] batch.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    remaining: usize,
+    panicked: bool,
+}
+
+/// A cloneable handle to a persistent work-stealing worker pool.
+///
+/// Cloning is an `Arc` bump — analyzers share one pool across
+/// refinement rounds and across `HierAnalyzer` / `DemandDrivenAnalyzer`
+/// instances by cloning the handle. The worker threads exit and are
+/// joined when the last handle drops (do not move the last handle into
+/// a task running *on* the pool).
+///
+/// ```
+/// use hfta_sched::Scheduler;
+///
+/// let pool = Scheduler::new(4);
+/// let squares = pool.run((0u64..8).collect(), |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// // A second batch reuses the same four workers.
+/// let sums = pool.run(vec![1u64, 2, 3], |x| x + 1);
+/// assert_eq!(sums, vec![2, 3, 4]);
+/// assert_eq!(pool.workers_spawned(), 4);
+/// ```
+#[derive(Clone)]
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    /// Held only for its `Drop`: the last handle joins the workers.
+    _owner: Arc<Owner>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("threads", &self.threads())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Lifetime work counters of a pool (all monotone).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SchedStats {
+    /// OS threads ever spawned — stays equal to the pool size however
+    /// many batches run (the churn regression guard).
+    pub workers_spawned: u64,
+    /// Tasks executed across all batches.
+    pub tasks_executed: u64,
+    /// Tasks a worker took from a sibling's deque instead of its own.
+    pub steals: u64,
+    /// [`Scheduler::run`] batches submitted.
+    pub batches: u64,
+}
+
+impl Scheduler {
+    /// Spawns a pool of `threads.max(1)` persistent workers.
+    #[must_use]
+    pub fn new(threads: usize) -> Scheduler {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(false),
+            work_cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            spawned: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                shared.spawned.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("hfta-sched-{me}"))
+                    .spawn(move || shared.worker_loop(me))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        let owner = Arc::new(Owner {
+            shared: Arc::clone(&shared),
+            handles: Mutex::new(handles),
+        });
+        Scheduler {
+            shared,
+            _owner: owner,
+        }
+    }
+
+    /// The pool size.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// OS threads this pool has ever spawned (== [`Scheduler::threads`]
+    /// for its whole life — the regression counter for per-round thread
+    /// churn).
+    #[must_use]
+    pub fn workers_spawned(&self) -> u64 {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime work counters.
+    #[must_use]
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            workers_spawned: self.shared.spawned.load(Ordering::Relaxed),
+            tasks_executed: self.shared.executed.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f` over every item on the pool and returns the results in
+    /// item order, blocking the caller until the batch completes.
+    ///
+    /// Items are dealt round-robin across the workers' deques, so the
+    /// initial assignment is deterministic; stealing then rebalances
+    /// dynamically. Result *order* is always submission order — callers
+    /// needing bit-identical side effects must keep task state disjoint
+    /// and merge in this order.
+    ///
+    /// Batches may overlap: `run` may be called from several threads
+    /// (or re-entered by a task, though tasks blocking on sub-batches
+    /// waste a worker and are better avoided).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked (after the whole batch has drained,
+    /// so the pool stays usable).
+    pub fn run<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+        F: Fn(I) -> T + Send + Sync + 'static,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        let f = Arc::new(f);
+        let batch = Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                remaining: items.len(),
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        });
+        let slots: Vec<Arc<Mutex<Option<T>>>> =
+            items.iter().map(|_| Arc::new(Mutex::new(None))).collect();
+        let workers = self.shared.queues.len();
+        for (k, item) in items.into_iter().enumerate() {
+            let slot = Arc::clone(&slots[k]);
+            let batch = Arc::clone(&batch);
+            let f = Arc::clone(&f);
+            let job: Job = Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                let mut st = lock(&batch.state);
+                match out {
+                    Ok(v) => *lock(&slot) = Some(v),
+                    Err(_) => st.panicked = true,
+                }
+                st.remaining -= 1;
+                if st.remaining == 0 {
+                    batch.done.notify_all();
+                }
+            });
+            lock(&self.shared.queues[k % workers]).push_back(job);
+            self.shared.pending.fetch_add(1, Ordering::Release);
+        }
+        {
+            // Wake sleepers under the idle lock so the wakeup cannot
+            // race a worker between its queue sweep and its wait.
+            let _guard = lock(&self.shared.idle);
+            self.shared.work_cv.notify_all();
+        }
+        let mut st = lock(&batch.state);
+        while st.remaining > 0 {
+            st = batch.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let panicked = st.panicked;
+        drop(st);
+        assert!(!panicked, "scheduler task panicked");
+        slots
+            .into_iter()
+            .map(|s| lock(&s).take().expect("completed task left no result"))
+            .collect()
+    }
+}
+
+/// Levels a DAG into wavefronts: `wavefronts(n, deps)[w]` holds the
+/// nodes (ascending) whose dependencies all lie in earlier waves, so
+/// each wave is an independent batch for [`Scheduler::run`]. `deps(i)`
+/// returns the direct dependencies of node `i` (each `< n`).
+///
+/// # Panics
+///
+/// Panics if the dependencies contain a cycle.
+pub fn wavefronts<F>(n: usize, deps: F) -> Vec<Vec<usize>>
+where
+    F: Fn(usize) -> Vec<usize>,
+{
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (i, indeg) in indegree.iter_mut().enumerate() {
+        for d in deps(i) {
+            assert!(d < n, "dependency {d} out of range for {n} nodes");
+            dependents[d].push(i);
+            *indeg += 1;
+        }
+    }
+    let mut wave: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut waves = Vec::new();
+    let mut placed = 0usize;
+    while !wave.is_empty() {
+        placed += wave.len();
+        let mut next = Vec::new();
+        for &i in &wave {
+            for &j in &dependents[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        waves.push(std::mem::take(&mut wave));
+        wave = next;
+    }
+    assert!(
+        placed == n,
+        "dependency cycle: {} of {n} nodes placed",
+        placed
+    );
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = Scheduler::new(4);
+        // Make later tasks finish first to exercise the reordering.
+        let out = pool.run((0u64..32).collect(), |i| {
+            std::thread::sleep(std::time::Duration::from_micros(400 - 12 * i));
+            i * 2
+        });
+        assert_eq!(out, (0u64..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        let pool = Scheduler::new(3);
+        for round in 0..50u64 {
+            let out = pool.run(vec![round; 5], |x| x + 1);
+            assert_eq!(out, vec![round + 1; 5]);
+        }
+        // 50 batches, still only the original 3 threads: no churn.
+        let stats = pool.stats();
+        assert_eq!(stats.workers_spawned, 3);
+        assert_eq!(stats.tasks_executed, 250);
+        assert_eq!(stats.batches, 50);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let pool = Scheduler::new(2);
+        let clone = pool.clone();
+        let a = pool.run(vec![1, 2], |x: i32| x);
+        let b = clone.run(vec![3, 4], |x: i32| x);
+        assert_eq!((a, b), (vec![1, 2], vec![3, 4]));
+        assert_eq!(clone.workers_spawned(), 2);
+    }
+
+    /// An uneven batch cannot be stalled by static partitioning: with 2
+    /// workers and one long task dealt to each... the short tasks all
+    /// land behind a long one unless someone steals. Assert the batch
+    /// finishes well under the serial sum, i.e. stealing rebalanced.
+    #[test]
+    fn stealing_rebalances_uneven_batches() {
+        let pool = Scheduler::new(2);
+        // Tasks 0 and 1 are long; 2..10 short. Round-robin deals the
+        // two long ones to *different* workers, so force the skew the
+        // other way: one long task plus many mediums.
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&counter);
+        pool.run((0u32..9).collect(), move |i| {
+            let ms = if i == 0 { 40 } else { 5 };
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 9);
+        // The short tasks 2,4,6,8 were dealt behind the 40 ms task on
+        // worker 0; finishing the batch at all without worker 1 idle
+        // requires steals (worker 1's own queue drains in ~20 ms).
+        assert!(pool.stats().steals > 0, "{:?}", pool.stats());
+    }
+
+    #[test]
+    fn task_panic_propagates_but_pool_survives() {
+        let pool = Scheduler::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![0u32, 1, 2], |i| {
+                assert!(i != 1, "boom");
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool still works after the panic.
+        let out = pool.run(vec![7u32], |x| x);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let pool = Scheduler::new(2);
+        let out: Vec<u32> = pool.run(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+        assert_eq!(pool.stats().batches, 0);
+    }
+
+    #[test]
+    fn effective_parallelism_clamps_only_when_asked() {
+        let avail = available_parallelism();
+        assert_eq!(effective_parallelism(0, true), 1);
+        assert_eq!(effective_parallelism(0, false), 1);
+        assert_eq!(effective_parallelism(avail + 7, false), avail + 7);
+        assert_eq!(effective_parallelism(avail + 7, true), avail);
+        assert_eq!(effective_parallelism(1, true), 1);
+    }
+
+    #[test]
+    fn wavefronts_layer_a_diamond() {
+        // 0 -> {1, 2} -> 3, plus isolated 4.
+        let deps = |i: usize| match i {
+            1 | 2 => vec![0],
+            3 => vec![1, 2],
+            _ => vec![],
+        };
+        assert_eq!(wavefronts(5, deps), vec![vec![0, 4], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn wavefronts_reject_cycles() {
+        let _ = wavefronts(2, |i| vec![1 - i]);
+    }
+}

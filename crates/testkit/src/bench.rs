@@ -197,11 +197,17 @@ impl Harness {
         self.records
     }
 
-    fn run_one<T>(&mut self, group: &str, id: &str, mut f: impl FnMut() -> T) -> Record {
+    fn run_one<T>(
+        &mut self,
+        group: &str,
+        id: &str,
+        iters: u32,
+        mut f: impl FnMut() -> T,
+    ) -> Record {
         for _ in 0..self.warmup {
             black_box(f());
         }
-        let mut samples: Vec<Duration> = (0..self.iters)
+        let mut samples: Vec<Duration> = (0..iters)
             .map(|_| {
                 let start = Instant::now();
                 black_box(f());
@@ -215,9 +221,9 @@ impl Harness {
             bench: self.name.clone(),
             group: group.to_string(),
             id: id.to_string(),
-            iters: self.iters,
+            iters,
             min: samples[0],
-            mean: total / self.iters,
+            mean: total / iters,
             median: samples[n / 2],
             p95: samples[(n * 95).div_ceil(100).saturating_sub(1).min(n - 1)],
             git_rev: self.git_rev.clone(),
@@ -246,7 +252,18 @@ impl Group<'_> {
     /// Times `f` and records the measurement under `id`.
     pub fn bench<T>(&mut self, id: &str, f: impl FnMut() -> T) -> Record {
         let group = self.group.clone();
-        self.harness.run_one(&group, id, f)
+        let iters = self.harness.iters;
+        self.harness.run_one(&group, id, iters, f)
+    }
+
+    /// Like [`bench`](Group::bench) but guarantees at least `min_iters`
+    /// timed iterations even when `HFTA_BENCH_ITERS` asks for fewer —
+    /// for measurements whose medians must be statistically meaningful
+    /// (e.g. CI gates comparing parallel against serial).
+    pub fn bench_at_least<T>(&mut self, id: &str, min_iters: u32, f: impl FnMut() -> T) -> Record {
+        let group = self.group.clone();
+        let iters = self.harness.iters.max(min_iters).max(1);
+        self.harness.run_one(&group, id, iters, f)
     }
 }
 
@@ -349,6 +366,21 @@ mod tests {
         }
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn bench_at_least_raises_iteration_floor() {
+        let mut h = Harness::new("selftest3");
+        h.warmup = 0;
+        h.iters = 2;
+        let r = h.group("floor").bench_at_least("x", 10, || 1 + 1);
+        assert_eq!(r.iters, 10);
+        // The floor never lowers a higher environment setting.
+        let mut h = Harness::new("selftest3");
+        h.warmup = 0;
+        h.iters = 12;
+        let r = h.group("floor").bench_at_least("x", 10, || 1 + 1);
+        assert_eq!(r.iters, 12);
     }
 
     #[test]

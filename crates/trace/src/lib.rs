@@ -567,6 +567,66 @@ impl Trace {
         }
         out
     }
+
+    /// Per-worker activity rollup, sorted by worker index: how many
+    /// spans/events each (logical) worker recorded and its *self* time
+    /// (span durations minus nested span durations, attributed to the
+    /// worker that recorded each span — so the busy times sum to total
+    /// span time without double counting). The scaling recipe in
+    /// EXPERIMENTS.md uses this to see how refinement work spreads over
+    /// pool workers.
+    pub fn worker_summary(&self) -> Vec<WorkerSummary> {
+        let mut map: BTreeMap<u32, WorkerSummary> = BTreeMap::new();
+        // (worker, dur, children_dur) — same depth-walk as
+        // folded_stacks.
+        let mut stack: Vec<(u32, u64, u64)> = Vec::new();
+        fn close(stack: &mut Vec<(u32, u64, u64)>, map: &mut BTreeMap<u32, WorkerSummary>) {
+            let (worker, dur, child_dur) = stack.pop().expect("summary stack underflow");
+            let entry = map.entry(worker).or_insert(WorkerSummary {
+                worker,
+                ..WorkerSummary::default()
+            });
+            entry.busy_micros += dur.saturating_sub(child_dur);
+            if let Some(top) = stack.last_mut() {
+                top.2 += dur;
+            }
+        }
+        for rec in &self.records {
+            let entry = map.entry(rec.worker).or_insert(WorkerSummary {
+                worker: rec.worker,
+                ..WorkerSummary::default()
+            });
+            match rec.kind {
+                Kind::Event => entry.events += 1,
+                Kind::Span { dur_micros } => {
+                    entry.spans += 1;
+                    while stack.len() > rec.depth as usize {
+                        close(&mut stack, &mut map);
+                    }
+                    stack.push((rec.worker, dur_micros, 0));
+                }
+            }
+        }
+        while !stack.is_empty() {
+            close(&mut stack, &mut map);
+        }
+        map.into_values().collect()
+    }
+}
+
+/// One worker's row in [`Trace::worker_summary`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WorkerSummary {
+    /// Logical worker index: 0 for the main thread, `>= 1` for forked
+    /// workers (class/task indices, not OS thread ids — stable across
+    /// schedules).
+    pub worker: u32,
+    /// Spans this worker recorded.
+    pub spans: u64,
+    /// Events this worker recorded.
+    pub events: u64,
+    /// Self time of this worker's spans, in microseconds.
+    pub busy_micros: u64,
 }
 
 #[cfg(test)]
@@ -605,6 +665,52 @@ mod tests {
         assert_eq!(recs[1].kind, Kind::Event);
         assert_eq!(recs[2].name, "inner");
         assert_eq!(recs[2].depth, 1);
+    }
+
+    #[test]
+    fn worker_summary_attributes_self_time() {
+        let mut t = Tracer::enabled();
+        let outer = t.begin("round");
+        let mut w1 = t.fork(1);
+        let s = w1.begin("class");
+        w1.event("probe", vec![]);
+        w1.end(s);
+        let mut w2 = t.fork(2);
+        w2.event("probe", vec![]);
+        t.absorb(w1);
+        t.absorb(w2);
+        t.end(outer);
+        let trace = t.finish();
+        let summary = trace.worker_summary();
+        assert_eq!(summary.len(), 3);
+        assert_eq!(
+            summary.iter().map(|w| w.worker).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(summary[0].spans, 1);
+        assert_eq!(summary[1].spans, 1);
+        assert_eq!(summary[1].events, 1);
+        assert_eq!(summary[2].spans, 0);
+        assert_eq!(summary[2].events, 1);
+        // Self time never double counts: workers sum to total span
+        // time.
+        let total: u64 = summary.iter().map(|w| w.busy_micros).sum();
+        let Kind::Span { dur_micros } = trace.records()[0].kind else {
+            panic!("outer span first");
+        };
+        let Kind::Span {
+            dur_micros: inner_d,
+        } = trace
+            .records()
+            .iter()
+            .find(|r| r.name == "class")
+            .unwrap()
+            .kind
+        else {
+            panic!("class span");
+        };
+        let _ = inner_d;
+        assert_eq!(total, dur_micros);
     }
 
     #[test]

@@ -38,4 +38,16 @@ echo "== ablation smoke (HFTA_ABLATION_SMOKE=1) =="
 HFTA_ABLATION_SMOKE=1 HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 \
     cargo run -q --offline -p hfta-bench --bin ablation
 
+echo "== parallel smoke + gate (HFTA_PARALLEL_SMOKE=1) =="
+# Parallel medians must not regress past serial; the parallel bench
+# also asserts bit-identical delays, including under a forced 4-worker
+# pool on machines with fewer cores.
+GATE_JSON="$(mktemp -t hfta_gate_XXXXXX.json)"
+trap 'rm -f "$GATE_JSON"' EXIT
+HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_ABLATION_SMOKE=1 \
+    cargo run -q --offline --release -p hfta-bench --bin ablation
+HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_PARALLEL_SMOKE=1 \
+    cargo run -q --offline --release -p hfta-bench --bin parallel
+cargo run -q --offline --release -p hfta-bench --bin trajectory_gate "$GATE_JSON"
+
 echo "All checks passed."

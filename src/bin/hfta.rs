@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]
-//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]
 //! hfta sim <file> --from BITS --to BITS
 //! hfta check <file> [--module NAME]
@@ -87,7 +87,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]\n  \
-     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]\n  \
      hfta sim <file> --from BITS --to BITS\n  \
      hfta check <file> [--module NAME]\n  \
@@ -381,6 +381,12 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --threads `{threads}` (want a number)"))?;
         config = config.with_threads(threads);
+    }
+    if opts.has_flag("--no-thread-clamp") {
+        // By default --threads clamps to the machine's available
+        // parallelism (a threads_clamped trace event records when it
+        // bites); this opt-out forces the requested pool width.
+        config = config.with_thread_clamp(false);
     }
     let (label, output_arrivals, delay) = match algo {
         "two-step" => {

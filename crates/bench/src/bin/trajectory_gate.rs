@@ -1,15 +1,18 @@
-//! CI gate: parallel analysis must not be slower than serial.
+//! CI gate: the "fast" variant of each gated pair must not be slower
+//! than its baseline.
 //!
 //! Reads a benchmark JSON-lines file (as written by
 //! [`hfta_testkit::Harness`] under `HFTA_BENCH_JSON`), takes the *last*
-//! record per `(bench, case)`, and asserts each gated parallel median
-//! stays within `HFTA_PAR_GATE_TOL` (default 1.25) of its serial
-//! counterpart:
+//! record per `(bench, case)`, and asserts each gated median stays
+//! within `HFTA_PAR_GATE_TOL` (default 1.25) of its baseline:
 //!
 //! * `parallel_scaling/hier_t4`   vs `parallel_scaling/hier_serial`
 //! * `parallel_scaling/demand_t4` vs `parallel_scaling/demand_serial`
 //! * `ablation_stability_oracle/persistent_oracle_4_threads` vs
 //!   `ablation_stability_oracle/persistent_oracle`
+//! * `warm_start/warm_from_db` vs `warm_start/cold_characterize`
+//!   (a model-database warm start that is not faster than
+//!   re-characterizing from scratch means persistence regressed)
 //!
 //! The tolerance absorbs timer noise on small medians (a 1-core CI
 //! runner measures parity, not speedup — requested threads clamp to
@@ -23,7 +26,12 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const GATES: [(&str, &str, &str); 3] = [
+const GATES: [(&str, &str, &str); 4] = [
+    (
+        "warm_start",
+        "warm_start/warm_from_db",
+        "warm_start/cold_characterize",
+    ),
     (
         "parallel",
         "parallel_scaling/hier_t4",

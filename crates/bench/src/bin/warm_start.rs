@@ -1,0 +1,96 @@
+//! Warm-start benchmark: cold characterization versus reloading models
+//! from a persistent on-disk database.
+//!
+//! The `cold_characterize` case runs a full two-step analysis of the
+//! generated modular design, emitting every (undegraded) model into a
+//! fresh model database. The `warm_from_db` case then analyzes the
+//! same design in a *new* analyzer that only reads that database —
+//! measuring what a cold process pays when an earlier run already did
+//! the solver work. The bench asserts the warm path performs **zero**
+//! characterizations, serves every module from disk (nonzero hit rate,
+//! aborting otherwise, like the cone-signature benches), and returns a
+//! bit-identical delay.
+//!
+//! Run with `cargo run --release -p hfta-bench --bin warm_start`; see
+//! [`hfta_testkit::Harness`] for the environment knobs. Setting
+//! `HFTA_WARMSTART_SMOKE` (or `HFTA_ABLATION_SMOKE`) shrinks the
+//! design to a seconds-long pass for `scripts/check.sh` and CI, whose
+//! `trajectory_gate` asserts the warm median never regresses past the
+//! cold one.
+
+use hfta_core::{AnalysisConfig, HierAnalyzer};
+use hfta_netlist::gen::{modular_design, ModularDesignSpec};
+use hfta_netlist::Time;
+use hfta_testkit::Harness;
+
+fn spec() -> ModularDesignSpec {
+    let smoke = std::env::var_os("HFTA_WARMSTART_SMOKE").is_some()
+        || std::env::var_os("HFTA_ABLATION_SMOKE").is_some();
+    if smoke {
+        ModularDesignSpec {
+            flavors: 4,
+            instances: 40,
+            gates_per_module: 60,
+            layers: 4,
+            seed: 41,
+            mix: Default::default(),
+        }
+    } else {
+        ModularDesignSpec::sized(20_000, 41)
+    }
+}
+
+fn main() {
+    let spec = spec();
+    let design = modular_design(spec);
+    let top = spec.top_name();
+    let n_inputs = design.composite(&top).expect("top exists").inputs().len();
+    let arrivals = vec![Time::ZERO; n_inputs];
+    let dir = std::env::temp_dir().join(format!("hfta-warm-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "design: {} ({} gates); model db: {}",
+        top,
+        spec.total_gates(),
+        dir.display()
+    );
+
+    let mut harness = Harness::new("warm_start");
+    let mut group = harness.group("warm_start");
+
+    // Cold: full characterization, models emitted to the database.
+    // Repeat iterations re-characterize (a fresh analyzer each time)
+    // but re-store nothing — existing records are skipped.
+    let emit_config = AnalysisConfig::default().with_emit_models(&dir);
+    let mut cold_delay = None;
+    group.bench_at_least("cold_characterize", 2, || {
+        let mut an = HierAnalyzer::with_config(&design, &top, &emit_config).expect("valid");
+        let r = an.analyze(&arrivals).expect("analyzes");
+        assert!(r.stats.modules_characterized > 0, "cold run did no work");
+        cold_delay = Some(r.delay);
+        r.delay
+    });
+    let cold_delay = cold_delay.expect("cold case ran");
+
+    // Warm: a brand-new analyzer whose only head start is the
+    // database on disk.
+    let use_config = AnalysisConfig::default().with_use_models(&dir);
+    let mut warm_hits = 0u64;
+    group.bench_at_least("warm_from_db", 2, || {
+        let mut an = HierAnalyzer::with_config(&design, &top, &use_config).expect("valid");
+        let r = an.analyze(&arrivals).expect("analyzes");
+        assert_eq!(
+            r.stats.modules_characterized, 0,
+            "warm start characterized modules"
+        );
+        assert_eq!(r.delay, cold_delay, "warm delay diverged from cold");
+        warm_hits = r.stats.stability.model_db_hits;
+        r.delay
+    });
+    drop(group);
+
+    assert!(warm_hits > 0, "warm start served nothing from the model db");
+    println!("\nmodel-reuse hits per warm analysis: {warm_hits}");
+    harness.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -53,6 +53,7 @@ use hfta_fta::{
     solve_episode_fields, AnalysisConfig, BoolAlg, PhaseWall, SatAlg, SolveBudget,
     StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta,
 };
+use hfta_modeldb::{ModelDb, ModelDbStats};
 use hfta_netlist::{
     cone_signature, Composite, ConeKey, Design, NetId, Netlist, NetlistError, Time,
 };
@@ -60,6 +61,7 @@ use hfta_sched::Scheduler;
 use hfta_trace::{TraceSink, Tracer, Value};
 
 use crate::deadline::DeadlineToken;
+use crate::hier::open_model_dbs;
 
 /// Options for the demand-driven analysis.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -291,6 +293,14 @@ pub struct DemandDrivenAnalyzer<'a> {
     /// by the canonical (slot-space) arrival vector. Persists across
     /// rounds and `analyze` calls, like the per-cone oracles.
     verdict_memo: HashMap<u128, HashMap<Vec<Time>, bool>>,
+    /// Persistent verdict store probed once per signature class (see
+    /// [`DemandDrivenAnalyzer::set_model_db_use`]).
+    db_use: Option<ModelDb>,
+    /// Persistent store the memo is flushed into after each `analyze`.
+    db_emit: Option<ModelDb>,
+    /// Signature classes whose persisted verdicts were already folded
+    /// into `verdict_memo` this session (one disk read per class).
+    verdicts_loaded: HashSet<u128>,
     opts: DemandOptions,
     checks: u64,
     refinements: u64,
@@ -365,6 +375,9 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             inst_module,
             modules,
             verdict_memo: HashMap::new(),
+            db_use: None,
+            db_emit: None,
+            verdicts_loaded: HashSet::new(),
             opts,
             checks: 0,
             refinements: 0,
@@ -392,7 +405,41 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         if let Some(pool) = config.scheduler.get() {
             an.set_scheduler(pool.clone());
         }
+        let (use_db, emit_db) = open_model_dbs(&config.model_db)?;
+        an.db_use = use_db;
+        an.db_emit = emit_db;
         Ok(an)
+    }
+
+    /// Attaches a persistent database to warm-start the verdict memo
+    /// from: each signature class's stored verdicts are folded in the
+    /// first time the class is probed. Stored verdicts are exact (only
+    /// unlimited-budget memos are ever persisted), so a warm run is
+    /// bit-identical to a cold one.
+    pub fn set_model_db_use(&mut self, db: ModelDb) {
+        self.db_use = Some(db);
+    }
+
+    /// Attaches a persistent database the verdict memo is flushed to
+    /// after every [`DemandDrivenAnalyzer::analyze`] (merged with
+    /// whatever is already on disk). Only active when verdict sharing
+    /// is — unlimited budget with [`DemandOptions::cone_sig`] on.
+    pub fn set_model_db_emit(&mut self, db: ModelDb) {
+        self.db_emit = Some(db);
+    }
+
+    /// Counters of the attached model-database handles, merged across
+    /// the read and emit sides (all zero when no database is attached).
+    #[must_use]
+    pub fn model_db_stats(&self) -> ModelDbStats {
+        let mut s = ModelDbStats::default();
+        if let Some(db) = &self.db_use {
+            s.merge(&db.stats());
+        }
+        if let Some(db) = &self.db_emit {
+            s.merge(&db.stats());
+        }
+        s
     }
 
     /// Installs a shared worker pool for parallel refinement rounds.
@@ -505,6 +552,15 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             rounds += 1;
         };
         self.trace.absorb(tracer);
+        // Flush decided verdicts to the persistent store (merged with
+        // whatever is already on disk). The memo only ever fills under
+        // an unlimited budget with sharing on, so everything flushed
+        // here is exact and safe to replay in any later session.
+        if let Some(db) = self.db_emit.as_mut() {
+            for (&sig, memo) in &self.verdict_memo {
+                db.store_verdicts(sig, memo);
+            }
+        }
         let output_arrivals: Vec<Time> = self
             .top
             .outputs()
@@ -829,11 +885,34 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             // index + 1); buffers merge back in class order below, so
             // the trace is identical however classes are scheduled.
             let class_tracer = tracer.fork(classes.len() as u32 + 1);
+            let mut memo = sig
+                .and_then(|s| self.verdict_memo.remove(&s))
+                .unwrap_or_default();
+            // First touch of this signature class: fold in persisted
+            // verdicts. They are exact (only unlimited-budget memos are
+            // stored), so a warm start answers the same probes the
+            // solver would — just without the solver.
+            if let (Some(s), Some(db)) = (sig, self.db_use.as_mut()) {
+                if self.verdicts_loaded.insert(s) {
+                    let stored = db.load_verdicts(s);
+                    let count = stored.len();
+                    for (k, v) in stored {
+                        memo.entry(k).or_insert(v);
+                    }
+                    if count > 0 && tracer.is_enabled() {
+                        tracer.event(
+                            "verdict_db_load",
+                            vec![
+                                ("sig", Value::from(format!("{s:032x}"))),
+                                ("verdicts", Value::from(count)),
+                            ],
+                        );
+                    }
+                }
+            }
             classes.push(ClassTask {
                 sig,
-                memo: sig
-                    .and_then(|s| self.verdict_memo.remove(&s))
-                    .unwrap_or_default(),
+                memo,
                 work: vec![(mi, o, st, edges)],
                 tracer: class_tracer,
             });
@@ -893,6 +972,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             }
         }
         self.verdict_memo.clear();
+        self.verdicts_loaded.clear();
         self.checks = 0;
         self.refinements = 0;
         self.wall = PhaseWall::default();
@@ -1585,6 +1665,43 @@ mod cone_sig_tests {
         assert_eq!(a, b);
         assert_eq!(serial.refinement_report(), parallel.refinement_report());
         assert!(a.stability.cone_sig_hits > 0);
+    }
+
+    /// Verdicts persisted by one session warm-start the next: a cold
+    /// analyzer answers probes from disk, bit-identically and with
+    /// strictly fewer SAT queries.
+    #[test]
+    fn persisted_verdicts_warm_start_a_cold_session() {
+        let dir = std::env::temp_dir().join(format!("hfta-demand-verdicts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (design, n) = replicated_design(4);
+        let arrivals = vec![Time::ZERO; n];
+
+        let mut emit = DemandDrivenAnalyzer::new(&design, "rep", Default::default()).unwrap();
+        emit.set_model_db_emit(ModelDb::open(&dir).unwrap());
+        let a = emit.analyze(&arrivals).unwrap();
+        assert!(emit.model_db_stats().verdicts_stored > 0, "nothing flushed");
+
+        let mut warm = DemandDrivenAnalyzer::new(&design, "rep", Default::default()).unwrap();
+        warm.set_model_db_use(ModelDb::open_read_only(&dir));
+        let b = warm.analyze(&arrivals).unwrap();
+        assert!(
+            warm.model_db_stats().verdicts_loaded > 0,
+            "no verdicts loaded: {:?}",
+            warm.model_db_stats()
+        );
+
+        // Bit-identical analysis; the warm run answers from disk what
+        // the cold run had to solve.
+        assert_eq!(a.delay, b.delay);
+        assert_eq!(a.net_arrivals, b.net_arrivals);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.refinements, b.refinements);
+        assert!(b.stability.sat_queries < a.stability.sat_queries);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A limited budget disables sharing: budgeted verdicts depend on

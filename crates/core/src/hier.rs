@@ -18,7 +18,10 @@ use std::hash::{BuildHasher, Hash};
 use std::sync::Arc;
 use std::time::Instant;
 
-use hfta_fta::{AnalysisConfig, CharacterizeOptions, ConeSigCache, PhaseWall, StabilityStats};
+use hfta_fta::{
+    AnalysisConfig, CharacterizeOptions, ConeSigCache, ModelDbSpec, PhaseWall, StabilityStats,
+};
+use hfta_modeldb::{ModelDb, ModelDbStats};
 use hfta_netlist::{Composite, Design, Netlist, NetlistError, Time};
 use hfta_sched::Scheduler;
 use hfta_trace::{TraceSink, Tracer, Value};
@@ -28,6 +31,28 @@ use crate::module_timing::{ModelSource, ModuleTiming};
 
 fn micros_since(t0: Instant) -> u64 {
     u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Opens the `(use, emit)` database handles named by a
+/// [`ModelDbSpec`]. The read handle tolerates a missing directory
+/// (probes miss); the write handle creates its directory, so creation
+/// failures surface as [`NetlistError::Io`].
+pub(crate) fn open_model_dbs(
+    spec: &ModelDbSpec,
+) -> Result<(Option<ModelDb>, Option<ModelDb>), NetlistError> {
+    let use_db = spec.read.as_ref().map(ModelDb::open_read_only);
+    let emit_db = match &spec.write {
+        Some(dir) => {
+            let mut db = ModelDb::open(dir).map_err(|e| NetlistError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            db.set_limit(spec.limit);
+            Some(db)
+        }
+        None => None,
+    };
+    Ok((use_db, emit_db))
 }
 
 /// Options for hierarchical analysis.
@@ -197,6 +222,13 @@ pub struct HierAnalyzer<'a> {
     scheduler: Option<Scheduler>,
     /// The `threads_clamped` event is emitted at most once.
     clamp_reported: bool,
+    /// Persistent model database probed before every characterization
+    /// (warm start); hits are booked without counting a
+    /// characterization.
+    db_use: Option<ModelDb>,
+    /// Persistent model database that freshly characterized,
+    /// undegraded models are stored into.
+    db_emit: Option<ModelDb>,
 }
 
 /// What characterizing one module produced.
@@ -255,6 +287,8 @@ impl<'a> HierAnalyzer<'a> {
             trace: TraceSink::disabled(),
             scheduler: None,
             clamp_reported: false,
+            db_use: None,
+            db_emit: None,
         })
     }
 
@@ -275,7 +309,87 @@ impl<'a> HierAnalyzer<'a> {
         if let Some(pool) = config.scheduler.get() {
             an.set_scheduler(pool.clone());
         }
+        let (use_db, emit_db) = open_model_dbs(&config.model_db)?;
+        an.db_use = use_db;
+        an.db_emit = emit_db;
         Ok(an)
+    }
+
+    /// Attaches a persistent model database to warm-start from: it is
+    /// probed before every characterization, and hits are installed
+    /// without counting as characterizations (an unchanged design
+    /// warm-starts with `modules_characterized == 0`).
+    pub fn set_model_db_use(&mut self, db: ModelDb) {
+        self.db_use = Some(db);
+    }
+
+    /// Attaches a persistent model database to store freshly
+    /// characterized models into. Degraded models are never stored
+    /// (see `hfta-modeldb`'s soundness rules).
+    pub fn set_model_db_emit(&mut self, db: ModelDb) {
+        self.db_emit = Some(db);
+    }
+
+    /// Counters of the attached model-database handles, merged across
+    /// the read and emit sides (all zero when no database is
+    /// attached). Hit/miss totals also flow into
+    /// [`StabilityStats::model_db_hits`]/[`StabilityStats::model_db_misses`].
+    #[must_use]
+    pub fn model_db_stats(&self) -> ModelDbStats {
+        let mut s = ModelDbStats::default();
+        if let Some(db) = &self.db_use {
+            s.merge(&db.stats());
+        }
+        if let Some(db) = &self.db_emit {
+            s.merge(&db.stats());
+        }
+        s
+    }
+
+    /// Probes the persistent database for `name`'s model. On a hit the
+    /// model is booked straight into the cache — no characterization
+    /// counted — and the hit lands in
+    /// [`StabilityStats::model_db_hits`].
+    fn db_probe(&mut self, nl: &Netlist, name: &str, tracer: &mut Tracer) -> bool {
+        let Some(db) = self.db_use.as_mut() else {
+            return false;
+        };
+        match db.probe(nl, self.opts.source, &self.opts.characterize) {
+            Some(timing) => {
+                self.stability.model_db_hits += 1;
+                if tracer.is_enabled() {
+                    tracer.event("model_db_hit", vec![("module", Value::from(name))]);
+                }
+                let key = self.intern(name);
+                self.cache.insert(key, timing);
+                true
+            }
+            None => {
+                self.stability.model_db_misses += 1;
+                if tracer.is_enabled() {
+                    tracer.event("model_db_miss", vec![("module", Value::from(name))]);
+                }
+                false
+            }
+        }
+    }
+
+    /// Offers a fresh characterization outcome to the emit database
+    /// (which refuses degraded models).
+    fn db_store(&mut self, nl: &Netlist, name: &str, outcome: &CharOutcome, tracer: &mut Tracer) {
+        let Some(db) = self.db_emit.as_mut() else {
+            return;
+        };
+        let stored = db.store(
+            nl,
+            self.opts.source,
+            &self.opts.characterize,
+            &outcome.timing,
+            outcome.why.is_some(),
+        );
+        if stored && tracer.is_enabled() {
+            tracer.event("model_db_store", vec![("module", Value::from(name))]);
+        }
     }
 
     /// Installs a shared worker pool for parallel characterization.
@@ -513,6 +627,7 @@ impl<'a> HierAnalyzer<'a> {
     /// buffers merge back deterministically in sorted-name order, so
     /// the result is independent of how the pool schedules the tasks.
     fn characterize_parallel(&mut self, threads: usize) -> Result<(), NetlistError> {
+        let design = self.design;
         let mut names: Vec<&str> = self
             .top
             .instances()
@@ -522,6 +637,24 @@ impl<'a> HierAnalyzer<'a> {
         names.sort_unstable();
         names.dedup();
         names.retain(|n| !self.cache.contains_key(*n));
+        // Warm start: serve what the persistent database already has
+        // (serially — probes are I/O + validation, far cheaper than
+        // characterization) and fan out only the true misses.
+        if self.db_use.is_some() && !names.is_empty() {
+            let mut tracer = self.trace.tracer();
+            let mut remaining = Vec::with_capacity(names.len());
+            for &name in &names {
+                let nl = design.leaf(name).ok_or_else(|| NetlistError::Unknown {
+                    what: "leaf module",
+                    name: name.to_string(),
+                })?;
+                if !self.db_probe(nl, name, &mut tracer) {
+                    remaining.push(name);
+                }
+            }
+            self.trace.absorb(tracer);
+            names = remaining;
+        }
         if names.is_empty() {
             return Ok(());
         }
@@ -556,8 +689,7 @@ impl<'a> HierAnalyzer<'a> {
         };
         let mut tasks = Vec::with_capacity(names.len());
         for (i, &name) in names.iter().enumerate() {
-            let nl = self
-                .design
+            let nl = design
                 .leaf(name)
                 .ok_or_else(|| NetlistError::Unknown {
                     what: "leaf module",
@@ -581,6 +713,11 @@ impl<'a> HierAnalyzer<'a> {
             tracer.absorb(task_tracer);
             self.sig_cache.merge(sig_cache);
             let outcome = result?;
+            if self.db_emit.is_some() {
+                if let Some(nl) = design.leaf(&name) {
+                    self.db_store(nl, &name, &outcome, &mut tracer);
+                }
+            }
             self.record(&name, outcome);
         }
         self.trace.absorb(tracer);
@@ -610,14 +747,16 @@ impl<'a> HierAnalyzer<'a> {
     /// Returns characterization errors.
     pub fn module_timing(&mut self, name: &str) -> Result<&ModuleTiming, NetlistError> {
         if !self.cache.contains_key(name) {
-            let nl = self
-                .design
-                .leaf(name)
-                .ok_or_else(|| NetlistError::Unknown {
-                    what: "leaf module",
-                    name: name.to_string(),
-                })?;
+            let design = self.design;
+            let nl = design.leaf(name).ok_or_else(|| NetlistError::Unknown {
+                what: "leaf module",
+                name: name.to_string(),
+            })?;
             let mut tracer = self.trace.tracer();
+            if self.db_probe(nl, name, &mut tracer) {
+                self.trace.absorb(tracer);
+                return Ok(&self.cache[name]);
+            }
             let t0 = Instant::now();
             let outcome = HierAnalyzer::characterize_one(
                 nl,
@@ -628,6 +767,9 @@ impl<'a> HierAnalyzer<'a> {
                 &mut tracer,
             );
             self.wall.characterize_micros += micros_since(t0);
+            if let Ok(outcome) = &outcome {
+                self.db_store(nl, name, outcome, &mut tracer);
+            }
             self.trace.absorb(tracer);
             self.record(name, outcome?);
         }

@@ -6,12 +6,28 @@
 //! top-level propagation. [`IncrementalAnalyzer`] owns the design and a
 //! content-hash-keyed model cache to deliver exactly that contract —
 //! compare with flat analysis, where any edit invalidates everything.
+//!
+//! Two soundness rules guard the cache:
+//!
+//! * **Degraded models are never cached.** A model produced under a
+//!   finite [`SolveBudget`](hfta_fta::SolveBudget) that actually
+//!   degraded is an artifact of that budget; replaying it in a later
+//!   run (possibly under a looser budget) would not be bit-identical
+//!   to a fresh analysis. Only undegraded — budget-independent —
+//!   models enter the cache, the structural signature cache, or the
+//!   persistent database.
+//! * **Per-run vs. session counters are distinct.** The
+//!   [`HierStats`] on each [`HierAnalysis`] report what *that call*
+//!   did; [`IncrementalAnalyzer::characterizations`] is the session
+//!   total the incremental contract keeps small.
 
 use std::collections::HashMap;
 
+use hfta_fta::{AnalysisConfig, ConeSigCache, SolveBudget, StabilityStats};
+use hfta_modeldb::{ModelDb, ModelDbStats};
 use hfta_netlist::{Design, Netlist, NetlistError, Time};
 
-use crate::hier::{propagate, HierAnalysis, HierOptions, HierStats};
+use crate::hier::{open_model_dbs, propagate, HierAnalysis, HierOptions, HierStats};
 use crate::module_timing::ModuleTiming;
 
 /// A session of repeated analyses over an evolving design.
@@ -30,6 +46,7 @@ use crate::module_timing::ModuleTiming;
 /// let again = session.analyze(&vec![Time::ZERO; 17])?;
 /// assert_eq!(first.delay, again.delay);
 /// assert_eq!(session.characterizations(), 1); // cache hit on re-run
+/// assert_eq!(again.stats.modules_characterized, 0); // per-run stats
 /// # Ok(())
 /// # }
 /// ```
@@ -38,9 +55,17 @@ pub struct IncrementalAnalyzer {
     design: Design,
     top: String,
     opts: HierOptions,
-    /// Model cache keyed by module name; the hash detects edits.
+    /// Model cache keyed by module name; the hash detects edits. Holds
+    /// only undegraded models (see the module docs).
     cache: HashMap<String, (u64, ModuleTiming)>,
+    /// Structural signature cache shared across modules and runs — the
+    /// same sig-sharing path [`crate::HierAnalyzer`] uses, so
+    /// isomorphic leaves characterize once.
+    sig_cache: ConeSigCache,
     characterizations: u64,
+    session_stability: StabilityStats,
+    db_use: Option<ModelDb>,
+    db_emit: Option<ModelDb>,
 }
 
 impl IncrementalAnalyzer {
@@ -77,8 +102,32 @@ impl IncrementalAnalyzer {
             top,
             opts,
             cache: HashMap::new(),
+            sig_cache: ConeSigCache::new(),
             characterizations: 0,
+            session_stability: StabilityStats::default(),
+            db_use: None,
+            db_emit: None,
         })
+    }
+
+    /// Creates a session from a unified [`AnalysisConfig`], opening any
+    /// model databases named in
+    /// [`AnalysisConfig::model_db`](hfta_fta::ModelDbSpec).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Self::new`], plus
+    /// [`NetlistError::Io`] when the emit directory cannot be created.
+    pub fn with_config(
+        design: Design,
+        top: impl Into<String>,
+        config: &AnalysisConfig,
+    ) -> Result<IncrementalAnalyzer, NetlistError> {
+        let mut an = IncrementalAnalyzer::new(design, top, HierOptions::from(config))?;
+        let (use_db, emit_db) = open_model_dbs(&config.model_db)?;
+        an.db_use = use_db;
+        an.db_emit = emit_db;
+        Ok(an)
     }
 
     /// The current design.
@@ -88,10 +137,60 @@ impl IncrementalAnalyzer {
     }
 
     /// Total characterizations performed across the session — the
-    /// number the incremental contract keeps small.
+    /// number the incremental contract keeps small. Per-run counts are
+    /// in each result's [`HierStats::modules_characterized`].
     #[must_use]
     pub fn characterizations(&self) -> u64 {
         self.characterizations
+    }
+
+    /// Cumulative stability/solver work across the session (per-run
+    /// figures are in each result's [`HierStats::stability`]).
+    #[must_use]
+    pub fn session_stability(&self) -> &StabilityStats {
+        &self.session_stability
+    }
+
+    /// Attaches a persistent model database to warm-start from: it is
+    /// probed before every characterization, and hits are installed
+    /// without counting as characterizations (a cold session on an
+    /// unchanged design analyzes with `modules_characterized == 0`).
+    pub fn set_model_db_use(&mut self, db: ModelDb) {
+        self.db_use = Some(db);
+    }
+
+    /// Attaches a persistent model database to store freshly
+    /// characterized models into. Degraded models are never stored
+    /// (see `hfta-modeldb`'s soundness rules).
+    pub fn set_model_db_emit(&mut self, db: ModelDb) {
+        self.db_emit = Some(db);
+    }
+
+    /// Counters of the attached model-database handles, merged across
+    /// the read and emit sides (all zero when no database is attached).
+    #[must_use]
+    pub fn model_db_stats(&self) -> ModelDbStats {
+        let mut s = ModelDbStats::default();
+        if let Some(db) = &self.db_use {
+            s.merge(&db.stats());
+        }
+        if let Some(db) = &self.db_emit {
+            s.merge(&db.stats());
+        }
+        s
+    }
+
+    /// Changes the per-query solve budget for subsequent analyses.
+    ///
+    /// The structural signature cache is cleared when the budget
+    /// actually changes: its entries replay outcomes of the budget
+    /// that filled them. The model cache survives — it only ever holds
+    /// undegraded, budget-independent models.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        if self.opts.characterize.budget != budget {
+            self.sig_cache = ConeSigCache::new();
+        }
+        self.opts.characterize.budget = budget;
     }
 
     /// Replaces the body of a leaf module (same name, same ports). Its
@@ -109,6 +208,9 @@ impl IncrementalAnalyzer {
     /// Analyzes the design under the given top-level arrivals, reusing
     /// every cached model whose module is unchanged.
     ///
+    /// The returned [`HierStats`] describe **this call only**; use
+    /// [`Self::characterizations`] for the session total.
+    ///
     /// # Errors
     ///
     /// Returns characterization or propagation errors.
@@ -122,6 +224,10 @@ impl IncrementalAnalyzer {
             .design
             .composite(&self.top)
             .expect("validated in constructor");
+        let mut run_characterized = 0u64;
+        let mut run_degraded = 0u64;
+        let mut run_aliased = 0u64;
+        let mut run_stability = StabilityStats::default();
         // Refresh stale / missing models.
         let mut fresh: HashMap<String, ModuleTiming> = HashMap::new();
         for inst in composite.instances() {
@@ -136,29 +242,68 @@ impl IncrementalAnalyzer {
                     name: inst.module.clone(),
                 })?;
             let hash = leaf.content_hash();
-            let cached = self
+            if let Some(m) = self
                 .cache
                 .get(&inst.module)
                 .filter(|(h, _)| *h == hash)
-                .map(|(_, m)| m.clone());
-            let timing = match cached {
-                Some(m) => m,
-                None => {
-                    let m =
-                        ModuleTiming::characterize(leaf, self.opts.source, self.opts.characterize)?;
-                    self.characterizations += 1;
+                .map(|(_, m)| m.clone())
+            {
+                fresh.insert(inst.module.clone(), m);
+                continue;
+            }
+            // Cold in this session: probe the persistent database
+            // before characterizing. A hit is exact by construction
+            // (the store refuses degraded models), so it enters the
+            // session cache like any undegraded fresh model.
+            if let Some(db) = self.db_use.as_mut() {
+                if let Some(m) = db.probe(leaf, self.opts.source, &self.opts.characterize) {
+                    run_stability.model_db_hits += 1;
                     self.cache.insert(inst.module.clone(), (hash, m.clone()));
-                    m
+                    fresh.insert(inst.module.clone(), m);
+                    continue;
                 }
-            };
-            fresh.insert(inst.module.clone(), timing);
+                run_stability.model_db_misses += 1;
+            }
+            let (m, stats, owners) = ModuleTiming::characterize_cached(
+                leaf,
+                self.opts.source,
+                self.opts.characterize,
+                &mut self.sig_cache,
+            )?;
+            self.characterizations += 1;
+            run_characterized += 1;
+            let degraded = stats.degraded > 0;
+            if degraded {
+                run_degraded += 1;
+            }
+            // The module is an alias when every output was replayed
+            // from one (other) module's characterization.
+            if let Some(Some(owner)) = owners.first() {
+                if owner != &inst.module && owners.iter().all(|o| o.as_deref() == Some(owner)) {
+                    run_aliased += 1;
+                }
+            }
+            run_stability.merge(&stats);
+            if !degraded {
+                // Degraded models are artifacts of the current budget
+                // and must never outlive this run (module docs); exact
+                // ones are cached and persisted.
+                self.cache.insert(inst.module.clone(), (hash, m.clone()));
+                if let Some(db) = self.db_emit.as_mut() {
+                    db.store(leaf, self.opts.source, &self.opts.characterize, &m, false);
+                }
+            }
+            fresh.insert(inst.module.clone(), m);
         }
+        self.session_stability.merge(&run_stability);
         let result = propagate(composite, &fresh, pi_arrivals)?;
         Ok(HierAnalysis {
             stats: HierStats {
-                modules_characterized: self.characterizations,
+                modules_characterized: run_characterized,
+                modules_degraded: run_degraded,
                 instances_propagated: result.stats.instances_propagated,
-                ..result.stats
+                modules_aliased: run_aliased,
+                stability: run_stability,
             },
             ..result
         })
@@ -191,6 +336,22 @@ mod tests {
     }
 
     #[test]
+    fn stats_are_per_run_not_cumulative() {
+        let design = carry_skip_adder(8, 2, CsaDelays::default());
+        let mut session =
+            IncrementalAnalyzer::new(design, "csa8.2", HierOptions::default()).unwrap();
+        let a = session.analyze(&[t(0); 17]).unwrap();
+        assert_eq!(a.stats.modules_characterized, 1);
+        let b = session.analyze(&[t(0); 17]).unwrap();
+        // Second run does no characterization work — its stats say so,
+        // while the session accessor keeps the cumulative count.
+        assert_eq!(b.stats.modules_characterized, 0);
+        assert_eq!(b.stats.stability, StabilityStats::default());
+        assert_eq!(session.characterizations(), 1);
+        assert_eq!(*session.session_stability(), a.stats.stability);
+    }
+
+    #[test]
     fn module_edit_recharacterizes_only_that_module() {
         let design = carry_skip_adder(4, 2, CsaDelays::default());
         let mut session =
@@ -213,6 +374,7 @@ mod tests {
             2,
             "exactly one re-characterization"
         );
+        assert_eq!(after.stats.modules_characterized, 1, "per-run count");
         assert!(after.delay > before.delay);
     }
 
@@ -229,6 +391,132 @@ mod tests {
         session.replace_module(block).unwrap();
         let _ = session.analyze(&[t(0); 9]).unwrap();
         assert_eq!(session.characterizations(), 1);
+    }
+
+    /// A depth-1 chain of 2-bit blocks. With one flavour the blocks
+    /// are structurally identical (shareable only through cone
+    /// signatures); with several, each has genuinely distinct delays.
+    fn block_chain(flavours: &[CsaDelays], top_name: &str) -> Design {
+        use hfta_netlist::Composite;
+        let mut design = Design::new();
+        let mut top = Composite::new(top_name);
+        let mut carry = top.add_input("c_in");
+        for (k, &d) in flavours.iter().enumerate() {
+            let mut block = carry_skip_block(2, d);
+            block.set_name(format!("blk{k}"));
+            design.add_leaf(block).unwrap();
+            let mut ins = vec![carry];
+            for i in 0..2 {
+                ins.push(top.add_input(format!("a{k}_{i}")));
+                ins.push(top.add_input(format!("b{k}_{i}")));
+            }
+            let s0 = top.add_net(format!("s{k}_0"));
+            let s1 = top.add_net(format!("s{k}_1"));
+            let c = top.add_net(format!("c{k}"));
+            top.add_instance(format!("u{k}"), format!("blk{k}"), &ins, &[s0, s1, c]);
+            top.mark_output(s0);
+            top.mark_output(s1);
+            carry = c;
+        }
+        top.mark_output(carry);
+        design.add_composite(top).unwrap();
+        design
+    }
+
+    fn mixed_flavours() -> Vec<CsaDelays> {
+        vec![
+            CsaDelays {
+                and_or: 1,
+                xor: 2,
+                mux: 2,
+            },
+            CsaDelays {
+                and_or: 1,
+                xor: 3,
+                mux: 2,
+            },
+            CsaDelays {
+                and_or: 2,
+                xor: 2,
+                mux: 3,
+            },
+            CsaDelays {
+                and_or: 1,
+                xor: 2,
+                mux: 4,
+            },
+        ]
+    }
+
+    /// Regression: a budget-degraded model must not be cached. Before
+    /// the fix, a budgeted first run poisoned the cache keyed only by
+    /// content hash, and an unlimited second run silently replayed the
+    /// degraded model instead of re-characterizing.
+    #[test]
+    fn budgeted_run_does_not_poison_unlimited_run() {
+        let mkdesign = || block_chain(&mixed_flavours(), "mixed");
+        let arrivals = vec![t(0); 17];
+
+        let mut opts = HierOptions::default();
+        opts.characterize.budget = SolveBudget::default().with_conflicts(0);
+        let mut session = IncrementalAnalyzer::new(mkdesign(), "mixed", opts).unwrap();
+        let capped = session.analyze(&arrivals).unwrap();
+        assert!(
+            capped.stats.modules_degraded > 0,
+            "zero-conflict budget must degrade something for this test to bite"
+        );
+
+        // Lift the budget: every degraded module re-characterizes and
+        // the result is bit-identical to a fresh unlimited session.
+        session.set_budget(SolveBudget::default());
+        let lifted = session.analyze(&arrivals).unwrap();
+        assert_eq!(
+            lifted.stats.modules_characterized, capped.stats.modules_degraded,
+            "exactly the degraded modules re-characterize"
+        );
+        assert_eq!(lifted.stats.modules_degraded, 0);
+
+        let mut fresh =
+            IncrementalAnalyzer::new(mkdesign(), "mixed", HierOptions::default()).unwrap();
+        let reference = fresh.analyze(&arrivals).unwrap();
+        assert_eq!(lifted.delay, reference.delay);
+        assert_eq!(lifted.output_arrivals, reference.output_arrivals);
+        assert_eq!(lifted.net_arrivals, reference.net_arrivals);
+
+        // And the exact models now in the cache are stable: a third
+        // run is free.
+        let third = session.analyze(&arrivals).unwrap();
+        assert_eq!(third.stats.modules_characterized, 0);
+    }
+
+    /// Regression: the incremental path shares characterizations
+    /// across isomorphic modules through the same structural signature
+    /// cache as `HierAnalyzer` (it previously ignored it).
+    #[test]
+    fn sig_cache_is_shared_across_isomorphic_modules() {
+        let copies = 4usize;
+        let replicated = || block_chain(&vec![CsaDelays::default(); copies], "rep");
+        let design = replicated();
+        let arrivals = vec![t(0); 4 * copies + 1];
+        let mut session = IncrementalAnalyzer::new(design, "rep", HierOptions::default()).unwrap();
+        let a = session.analyze(&arrivals).unwrap();
+        // Every copy counts as a characterization, but all after the
+        // first replay from the signature cache: per-output hits for
+        // the 3 outputs of each of the other copies.
+        assert_eq!(a.stats.modules_characterized, copies as u64);
+        assert_eq!(a.stats.modules_aliased, copies as u64 - 1);
+        assert_eq!(a.stats.stability.cone_sig_hits, 3 * (copies as u64 - 1));
+
+        // The result matches the one-copy-at-a-time reference analyzer.
+        let design = replicated();
+        let mut hier = crate::HierAnalyzer::new(&design, "rep", HierOptions::default()).unwrap();
+        let h = hier.analyze(&arrivals).unwrap();
+        assert_eq!(a.delay, h.delay);
+        assert_eq!(a.output_arrivals, h.output_arrivals);
+        assert_eq!(
+            h.stats.stability.cone_sig_hits,
+            a.stats.stability.cone_sig_hits
+        );
     }
 
     #[test]

@@ -68,9 +68,13 @@ pub use naive::{find_underapproximation, independent_relaxation_model, Underappr
 // configuration and trace types — so downstream users need only this
 // crate plus the netlist crate.
 pub use hfta_fta::{
-    AnalysisConfig, CharacterizeOptions, SchedulerSeat, SolveBudget, TimingModel, TimingTuple,
-    Trace, TraceSink, Tracer,
+    AnalysisConfig, CharacterizeOptions, ModelDbSpec, SchedulerSeat, SolveBudget, TimingModel,
+    TimingTuple, Trace, TraceSink, Tracer,
 };
+// The persistent model database analyzers warm-start from (attach one
+// via AnalysisConfig::with_use_models / with_emit_models or the
+// set_model_db_* methods).
+pub use hfta_modeldb::{ModelDb, ModelDbStats};
 // The work-stealing pool parallel phases run on: build one, seat it in
 // an AnalysisConfig (or set_scheduler), and analyzers share workers.
 pub use hfta_sched::{SchedStats, Scheduler};

@@ -15,6 +15,8 @@
 //! `AnalysisConfig::default()` reproduces existing behavior
 //! bit-for-bit.
 
+use std::path::PathBuf;
+
 use hfta_sat::{SolveBudget, SolveEpisode};
 use hfta_sched::Scheduler;
 use hfta_trace::{TraceSink, Value};
@@ -102,6 +104,37 @@ pub enum ModelSource {
     Topological,
 }
 
+/// Where a persistent model database lives, carried by
+/// [`AnalysisConfig`].
+///
+/// This is only a *specification* — directory paths plus an optional
+/// record limit. The analyzers (in `hfta-core`) open the actual
+/// `hfta_modeldb::ModelDb` handles from it, keeping this crate free of
+/// any on-disk dependency. `read` and `write` may name the same
+/// directory (the common warm-start setup) or different ones (e.g.
+/// consuming a vendor database while emitting to a local cache).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ModelDbSpec {
+    /// Directory to warm-start from (`--use-models DIR`). Probed
+    /// before every characterization; need not exist (all probes then
+    /// miss).
+    pub read: Option<PathBuf>,
+    /// Directory to store freshly characterized, undegraded models
+    /// into (`--emit-models DIR`). Created on first use.
+    pub write: Option<PathBuf>,
+    /// Cap on model records kept in the `write` directory;
+    /// least-recently-used records are evicted past it.
+    pub limit: Option<usize>,
+}
+
+impl ModelDbSpec {
+    /// Whether the spec names no database at all (the default).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.read.is_none() && self.write.is_none()
+    }
+}
+
 /// Unified, builder-style configuration for every HFTA analysis entry
 /// point.
 ///
@@ -155,6 +188,9 @@ pub struct AnalysisConfig {
     pub try_irrelevant: bool,
     /// Structured trace destination; disabled (free) by default.
     pub trace: TraceSink,
+    /// Persistent model database to warm-start from and/or emit to;
+    /// empty (no persistence) by default.
+    pub model_db: ModelDbSpec,
 }
 
 impl Default for AnalysisConfig {
@@ -172,6 +208,7 @@ impl Default for AnalysisConfig {
             lengths_cap: 32,
             try_irrelevant: true,
             trace: TraceSink::disabled(),
+            model_db: ModelDbSpec::default(),
         }
     }
 }
@@ -266,6 +303,30 @@ impl AnalysisConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceSink) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Warm-starts analyzers from the model database at `dir`
+    /// (probed before every characterization).
+    #[must_use]
+    pub fn with_use_models(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.model_db.read = Some(dir.into());
+        self
+    }
+
+    /// Stores freshly characterized, undegraded models into the model
+    /// database at `dir` (created on first use).
+    #[must_use]
+    pub fn with_emit_models(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.model_db.write = Some(dir.into());
+        self
+    }
+
+    /// Caps the records kept in the emit database (LRU eviction past
+    /// the cap).
+    #[must_use]
+    pub fn with_model_limit(mut self, limit: Option<usize>) -> Self {
+        self.model_db.limit = limit;
         self
     }
 

@@ -47,6 +47,7 @@ pub mod delay;
 pub mod exact;
 pub mod false_pairs;
 pub mod model;
+pub mod module_timing;
 pub mod oracle;
 pub mod paths;
 pub mod report;
@@ -57,13 +58,14 @@ pub mod stability;
 
 pub use boolalg::{BackendCounters, BddAlg, BoolAlg, SatAlg};
 pub use conditional::{ConditionalCase, ConditionalModel};
-pub use config::{solve_episode_fields, AnalysisConfig, ModelSource, SchedulerSeat};
+pub use config::{solve_episode_fields, AnalysisConfig, ModelDbSpec, ModelSource, SchedulerSeat};
 pub use delay::{functional_circuit_delay, DelayAnalyzer};
 pub use exact::{exact_model, exact_vector_relation, ExactError, ExactOptions};
 pub use false_pairs::{arrivals_with_declared_delays, derive_declared_delays, DeclaredDelays};
 pub use hfta_sat::{BudgetExhausted, SolveBudget, SolveEpisode};
 pub use hfta_trace::{Trace, TraceSink, Tracer};
 pub use model::{TimingModel, TimingTuple};
+pub use module_timing::{ModuleTiming, ParseModelError};
 pub use oracle::StabilityOracle;
 pub use paths::{longest_true_path, worst_paths, TimedPath};
 pub use report::{OutputReport, TimingReport};

@@ -122,7 +122,15 @@ impl CharacterizeOptions {
 /// * under a *limited* budget, additionally a verbatim structural match
 ///   ([`exact_fingerprint`]) — solver heuristics depend on clause
 ///   ordering, so only a literally identical cone (modulo names)
-///   guarantees identical budget outcomes.
+///   guarantees identical budget outcomes;
+/// * under an *unlimited* budget, never a budget-degraded entry — a
+///   fresh unlimited run never degrades, so replaying one would not be
+///   bit-identical (this matters when one cache outlives a budget
+///   change, as in incremental sessions).
+///
+/// The persistent on-disk model database (`hfta-modeldb`) enforces the
+/// same predicate, with "never degraded" strengthened to "never even
+/// stored".
 ///
 /// Entries produced under different [`CharacterizeOptions`] are not
 /// interchangeable; a cache must only be reused with the options that
@@ -447,7 +455,14 @@ impl<'a> Characterizer<'a> {
         if entry.crit_slots != crit_slots {
             return None;
         }
-        if !self.opts.budget.is_unlimited() && entry.exact_fp != exact_fingerprint(cone) {
+        if self.opts.budget.is_unlimited() {
+            // A fresh unlimited run never degrades, so replaying a
+            // budget-degraded entry (stored by a budgeted filler)
+            // would not be bit-identical — refuse it.
+            if entry.degraded {
+                return None;
+            }
+        } else if entry.exact_fp != exact_fingerprint(cone) {
             return None;
         }
         Some(entry)

@@ -95,6 +95,13 @@ pub struct StabilityStats {
     /// Signature-cache probes that missed and ran fresh analysis
     /// (seeding the cache). Zero when signature sharing is off.
     pub cone_sig_misses: u64,
+    /// Module models served from a persistent on-disk model database
+    /// instead of fresh characterization (see `hfta-modeldb`).
+    pub model_db_hits: u64,
+    /// Persistent-database probes that missed (or were invalidated)
+    /// and fell through to fresh characterization. Zero when no
+    /// database is attached.
+    pub model_db_misses: u64,
     /// Wall-clock per analysis phase (see [`PhaseWall`]). Excluded from
     /// equality: two analyses that agree on every deterministic
     /// observable compare equal even though their timings differ.
@@ -147,6 +154,8 @@ impl StabilityStats {
         self.degraded += other.degraded;
         self.cone_sig_hits += other.cone_sig_hits;
         self.cone_sig_misses += other.cone_sig_misses;
+        self.model_db_hits += other.model_db_hits;
+        self.model_db_misses += other.model_db_misses;
         self.wall.characterize_micros += other.wall.characterize_micros;
         self.wall.refine_micros += other.wall.refine_micros;
         self.wall.propagate_micros += other.wall.propagate_micros;
@@ -162,6 +171,7 @@ impl StabilityStats {
              {} learnt clauses\n\
              budget: {} exhausted queries, {} degraded to topological\n\
              cone signatures: {} hits, {} misses\n\
+             model db: {} hits, {} misses\n\
              wall: {}us characterize, {}us refine, {}us propagate",
             self.queries,
             self.topological_hits,
@@ -177,6 +187,8 @@ impl StabilityStats {
             self.degraded,
             self.cone_sig_hits,
             self.cone_sig_misses,
+            self.model_db_hits,
+            self.model_db_misses,
             self.wall.characterize_micros,
             self.wall.refine_micros,
             self.wall.propagate_micros,

@@ -59,6 +59,14 @@ pub enum NetlistError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// An I/O failure on an analysis resource (e.g. a model database
+    /// directory that cannot be created).
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -89,6 +97,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Io { path, message } => {
+                write!(f, "i/o error on `{path}`: {message}")
             }
         }
     }

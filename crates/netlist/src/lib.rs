@@ -58,5 +58,5 @@ pub use gate::{Gate, GateId, GateKind, NetId};
 pub use hier::{Composite, Design, Instance, ModuleBody, ModuleDef};
 pub use netlist::Netlist;
 pub use seq::{Register, SeqCircuit};
-pub use strash::{cone_signature, ConeKey, ConeSig};
+pub use strash::{cone_signature, exact_fingerprint, ConeKey, ConeSig};
 pub use time::Time;

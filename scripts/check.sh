@@ -48,6 +48,27 @@ HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_ABLATIO
     cargo run -q --offline --release -p hfta-bench --bin ablation
 HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_PARALLEL_SMOKE=1 \
     cargo run -q --offline --release -p hfta-bench --bin parallel
+HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_WARMSTART_SMOKE=1 \
+    cargo run -q --offline --release -p hfta-bench --bin warm_start
 cargo run -q --offline --release -p hfta-bench --bin trajectory_gate "$GATE_JSON"
+
+echo "== model-db corpus round-trip =="
+# Characterize the checked-in corpus into a fresh database, reload it
+# (every model must be reused, none re-solved), then warm-start a
+# two-step analysis from disk: zero characterizations, nonzero
+# model-reuse hits.
+MODELDB="$(mktemp -d -t hfta_modeldb_XXXXXX)"
+trap 'rm -f "$GATE_JSON"; rm -rf "$MODELDB"' EXIT
+./target/release/hfta characterize tests/corpus/csa_pair.hnl --emit-model "$MODELDB"
+./target/release/hfta characterize tests/corpus/c17.bench --emit-model "$MODELDB"
+./target/release/hfta characterize tests/corpus/csa_pair.hnl --emit-model "$MODELDB" \
+    | grep -F "0 characterized, 3 reused"
+./target/release/hfta characterize tests/corpus/c17.bench --emit-model "$MODELDB" \
+    | grep -F "0 characterized, 1 reused"
+WARM_OUT="$(./target/release/hfta hier tests/corpus/csa_pair.hnl --algo two-step \
+    --use-models "$MODELDB" --stats)"
+grep -F "0 modules characterized" <<<"$WARM_OUT"
+grep -F "model-db: 3 hits, 0 misses" <<<"$WARM_OUT"
+./target/release/hfta models "$MODELDB" | grep -F "3 valid record(s), 0 invalid"
 
 echo "All checks passed."

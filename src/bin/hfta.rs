@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]
-//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]
-//! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
+//! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]
+//! hfta models <DIR>
 //! hfta sim <file> --from BITS --to BITS
 //! hfta check <file> [--module NAME]
 //! hfta dot <file> [--module NAME] [-o GRAPH.dot]
@@ -31,6 +32,17 @@
 //! off; `--stats` shows its effect as `cone signatures: H hits, M
 //! misses` plus (two-step) the modules aliased to a structural twin.
 //!
+//! `--use-models DIR` warm-starts an analysis from a persistent model
+//! database: characterized models (and demand-driven stability
+//! verdicts) stored by an earlier run are reloaded, validated against
+//! the exact netlist structure, and served without re-characterizing.
+//! `--emit-models DIR` stores this run's fresh, undegraded results into
+//! the database (`--model-limit N` caps it, LRU). `hfta characterize
+//! --emit-model DIR` seeds a database from every leaf of a design, and
+//! `hfta models DIR` audits one. Warm-started results are bit-identical
+//! to cold ones — a record is only served when its structural
+//! signature, exact fingerprint and characterization options all match.
+//!
 //! `--trace` prints a human-readable span tree of the analysis to
 //! stderr; `--trace-json FILE` (or the `HFTA_TRACE_JSON` env var)
 //! writes the same structured trace as JSON Lines — one record per
@@ -47,8 +59,8 @@ use hfta::netlist::event_sim::simulate_transition;
 use hfta::netlist::stats::{to_dot, NetlistStats};
 use hfta::netlist::{bench_format, blif, hnl};
 use hfta::{
-    AnalysisConfig, CharacterizeOptions, DemandDrivenAnalyzer, Design, HierAnalyzer, ModelSource,
-    ModuleTiming, Netlist, SolveBudget, Time, TraceSink,
+    AnalysisConfig, CharacterizeOptions, DemandDrivenAnalyzer, Design, HierAnalyzer, ModelDb,
+    ModelSource, ModuleTiming, Netlist, SolveBudget, Time, TraceSink,
 };
 
 fn main() -> ExitCode {
@@ -70,6 +82,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "report" => cmd_report(rest),
         "hier" => cmd_hier(rest),
         "characterize" => cmd_characterize(rest),
+        "models" => cmd_models(rest),
         "sim" => cmd_sim(rest),
         "check" => cmd_check(rest),
         "dot" => cmd_dot(rest),
@@ -87,8 +100,9 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]\n  \
-     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--stats] [--trace] [--trace-json FILE]\n  \
-     hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta]\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]\n  \
+     hfta models <DIR>\n  \
      hfta sim <file> --from BITS --to BITS\n  \
      hfta check <file> [--module NAME]\n  \
      hfta dot <file> [--module NAME] [-o GRAPH.dot]\n  \
@@ -118,6 +132,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--budget-conflicts",
     "--budget-ms",
     "--trace-json",
+    "--use-models",
+    "--emit-models",
+    "--emit-model",
+    "--model-limit",
 ];
 
 /// How the user asked to observe the analysis: a shared sink (disabled
@@ -187,6 +205,24 @@ fn budget_from(opts: &Opts) -> Result<SolveBudget, String> {
         budget = budget.with_deadline(deadline);
     }
     Ok(budget)
+}
+
+/// Applies `--use-models DIR`, `--emit-models DIR` and `--model-limit
+/// N` to the analysis configuration.
+fn apply_model_db(mut config: AnalysisConfig, opts: &Opts) -> Result<AnalysisConfig, String> {
+    if let Some(dir) = opts.value("--use-models") {
+        config = config.with_use_models(dir);
+    }
+    if let Some(dir) = opts.value("--emit-models") {
+        config = config.with_emit_models(dir);
+    }
+    if let Some(n) = opts.value("--model-limit") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad --model-limit `{n}` (want a number)"))?;
+        config = config.with_model_limit(Some(n));
+    }
+    Ok(config)
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -372,10 +408,13 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
     let algo = opts.value("--algo").unwrap_or("demand");
     let want_stats = opts.has_flag("--stats");
     let tr = trace_setup(&opts);
-    let mut config = AnalysisConfig::default()
-        .with_budget(budget_from(&opts)?)
-        .with_cone_sig(!opts.has_flag("--no-cone-sig"))
-        .with_trace(tr.sink.clone());
+    let mut config = apply_model_db(
+        AnalysisConfig::default()
+            .with_budget(budget_from(&opts)?)
+            .with_cone_sig(!opts.has_flag("--no-cone-sig"))
+            .with_trace(tr.sink.clone()),
+        &opts,
+    )?;
     if let Some(threads) = opts.value("--threads") {
         let threads: usize = threads
             .parse()
@@ -401,6 +440,9 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
                     r.stats.modules_aliased
                 );
                 println!("{}", r.stats.stability.summary());
+                if !config.model_db.is_empty() {
+                    println!("{}", an.model_db_stats().summary());
+                }
                 for (alias, owner) in an.sig_aliases() {
                     println!("aliased module: {alias} -> {owner} (structurally identical)");
                 }
@@ -420,6 +462,9 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
             );
             if want_stats {
                 println!("{}", r.stability.summary());
+                if !config.model_db.is_empty() {
+                    println!("{}", an.model_db_stats().summary());
+                }
                 for (module, out, count) in an.degraded_cones() {
                     println!(
                         "degraded edges: {module} out{out} ({count} probe(s) stopped by budget/cap)"
@@ -443,12 +488,15 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let path = opts.positionals.first().ok_or_else(usage)?;
     let (design, default) = load(path)?;
-    let nl = pick_leaf(&design, &opts, default.as_deref())?;
     let source = if opts.has_flag("--topological") {
         ModelSource::Topological
     } else {
         ModelSource::Functional
     };
+    if let Some(dir) = opts.value("--emit-model") {
+        return emit_models(&design, &opts, dir, source);
+    }
+    let nl = pick_leaf(&design, &opts, default.as_deref())?;
     let timing = ModuleTiming::characterize(nl, source, CharacterizeOptions::default())
         .map_err(|e| e.to_string())?;
     let text = timing.to_text();
@@ -459,6 +507,87 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
         }
         None => print!("{text}"),
     }
+    Ok(())
+}
+
+/// Seeds a persistent model database: characterizes every leaf of the
+/// design (or just `--module NAME`) and stores the undegraded models
+/// under their sound cache key. Models already present — in the target
+/// database or in a `--use-models DIR` — are served without solver
+/// work, so re-seeding an unchanged design is cheap.
+fn emit_models(design: &Design, opts: &Opts, dir: &str, source: ModelSource) -> Result<(), String> {
+    use hfta::netlist::ModuleBody;
+
+    let copts = CharacterizeOptions::default();
+    let mut emit = ModelDb::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let mut probe = opts.value("--use-models").map(ModelDb::open_read_only);
+    let selected = opts.value("--module");
+    let (mut characterized, mut served) = (0usize, 0usize);
+    for def in design.modules() {
+        let ModuleBody::Leaf(nl) = &def.body else {
+            continue;
+        };
+        if selected.is_some_and(|m| m != def.name) {
+            continue;
+        }
+        let reused = emit
+            .probe(nl, source, &copts)
+            .or_else(|| probe.as_mut().and_then(|db| db.probe(nl, source, &copts)));
+        let timing = match reused {
+            Some(t) => {
+                served += 1;
+                t
+            }
+            None => {
+                characterized += 1;
+                ModuleTiming::characterize(nl, source, copts).map_err(|e| e.to_string())?
+            }
+        };
+        emit.store(nl, source, &copts, &timing, false);
+    }
+    if characterized + served == 0 {
+        return Err(match selected {
+            Some(m) => format!("no leaf module `{m}` in the design"),
+            None => "no leaf modules in the design".to_string(),
+        });
+    }
+    println!(
+        "model db `{dir}`: {characterized} characterized, {served} reused, {} record(s) total",
+        emit.model_count()
+    );
+    if opts.has_flag("--stats") {
+        println!("{}", emit.stats().summary());
+    }
+    Ok(())
+}
+
+/// Audits a model database directory: one line per record with the
+/// module name and entry count, or the validation error that makes the
+/// record unusable.
+fn cmd_models(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let dir = opts.positionals.first().ok_or_else(usage)?;
+    let db = ModelDb::open_read_only(dir);
+    let records = db.audit().map_err(|e| format!("{dir}: {e}"))?;
+    if records.is_empty() {
+        println!("model db `{dir}`: empty");
+        return Ok(());
+    }
+    let (mut ok, mut bad) = (0usize, 0usize);
+    for r in &records {
+        match &r.error {
+            Some(err) => {
+                bad += 1;
+                println!("  {:<40} INVALID: {err}", r.file);
+            }
+            None => {
+                ok += 1;
+                let what = r.module.as_deref().unwrap_or("(verdicts)");
+                println!("  {:<40} {what} ({} entries)", r.file, r.entries);
+            }
+        }
+    }
+    println!("model db `{dir}`: {ok} valid record(s), {bad} invalid");
     Ok(())
 }
 

@@ -520,6 +520,103 @@ fn trace_flag_prints_tree_and_leaves_stdout_alone() {
 }
 
 #[test]
+fn model_db_seed_and_warm_start_two_step() {
+    let path = write_temp("modeldb.hnl", HNL_TWINS);
+    let dir = std::env::temp_dir().join("hfta-cli-tests/modeldb-twostep");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // Seed the database from every leaf. blk and blk2 are structurally
+    // identical, so the second is reused from the record the first
+    // just stored — one characterization, one file.
+    let (ok, seeded, _) = run(&[
+        "characterize",
+        path.to_str().unwrap(),
+        "--emit-model",
+        &dir_s,
+    ]);
+    assert!(ok, "{seeded}");
+    assert!(
+        seeded.contains("1 characterized, 1 reused, 1 record(s)"),
+        "{seeded}"
+    );
+
+    // Re-seeding an unchanged design does no solver work at all.
+    let (ok, reseeded, _) = run(&[
+        "characterize",
+        path.to_str().unwrap(),
+        "--emit-model",
+        &dir_s,
+    ]);
+    assert!(ok, "{reseeded}");
+    assert!(
+        reseeded.contains("0 characterized, 2 reused, 1 record(s)"),
+        "{reseeded}"
+    );
+
+    // A cold process warm-starts from disk: zero characterizations,
+    // same answer as the reference run.
+    let (ok, cold, _) = run(&["hier", path.to_str().unwrap(), "--algo", "two-step"]);
+    assert!(ok, "{cold}");
+    let (ok, warm, _) = run(&[
+        "hier",
+        path.to_str().unwrap(),
+        "--algo",
+        "two-step",
+        "--use-models",
+        &dir_s,
+        "--stats",
+    ]);
+    assert!(ok, "{warm}");
+    assert!(warm.contains("0 modules characterized"), "{warm}");
+    assert!(warm.contains("model-db: 2 hits"), "{warm}");
+    assert!(cold.contains("estimated delay: 8"), "{cold}");
+    assert!(warm.contains("estimated delay: 8"), "{warm}");
+
+    // The audit subcommand sees one valid record.
+    let (ok, audit, _) = run(&["models", &dir_s]);
+    assert!(ok, "{audit}");
+    assert!(audit.contains("1 valid record(s), 0 invalid"), "{audit}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn model_db_persists_demand_verdicts() {
+    let path = write_temp("modeldb_demand.hnl", HNL_TWINS);
+    let dir = std::env::temp_dir().join("hfta-cli-tests/modeldb-demand");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // First demand-driven run stores its stability verdicts.
+    let (ok, first, _) = run(&[
+        "hier",
+        path.to_str().unwrap(),
+        "--emit-models",
+        &dir_s,
+        "--stats",
+    ]);
+    assert!(ok, "{first}");
+    assert!(first.contains("verdicts stored"), "{first}");
+    assert!(!first.contains("0 verdicts stored"), "{first}");
+
+    // A cold process answers those probes from disk, bit-identically.
+    let (ok, warm, _) = run(&[
+        "hier",
+        path.to_str().unwrap(),
+        "--use-models",
+        &dir_s,
+        "--stats",
+    ]);
+    assert!(ok, "{warm}");
+    assert!(warm.contains("verdicts loaded"), "{warm}");
+    assert!(!warm.contains("0 verdicts loaded"), "{warm}");
+    assert!(warm.contains("estimated delay: 8"), "{warm}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn flatten_and_convert() {
     let path = write_temp("flat.hnl", HNL);
     let out = std::env::temp_dir().join("hfta-cli-tests/flat.bench");

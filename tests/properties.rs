@@ -281,3 +281,71 @@ prop!(cases = 64, fn demand_driven_conservative(spec in spec_strategy()) {
     assert!(est >= exact, "optimistic: {est} < {exact}");
     assert!(est <= topo, "worse than topological: {est} > {topo}");
 });
+
+// A model stored to disk and probed back by a cold handle is
+// bit-identical to the in-memory characterization: the record survives
+// serialize -> checksum -> deserialize -> name rebinding unchanged.
+prop!(cases = 32, fn model_db_round_trip_is_bit_identical(spec in spec_strategy()) {
+    let nl = random_circuit("p", spec);
+    let source = hfta::ModelSource::Functional;
+    let opts = hfta::CharacterizeOptions::default();
+    let fresh = hfta::ModuleTiming::characterize(&nl, source, opts).expect("acyclic");
+
+    let dir = std::env::temp_dir().join(format!(
+        "hfta-prop-modeldb-{}-{:x}",
+        std::process::id(),
+        spec.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = hfta::ModelDb::open(&dir).expect("create db");
+        assert!(db.store(&nl, source, &opts, &fresh, false), "store refused");
+    }
+    // A separate handle — nothing shared in memory with the writer.
+    let mut cold = hfta::ModelDb::open_read_only(&dir);
+    let probed = cold.probe(&nl, source, &opts).expect("stored record must hit");
+    assert_eq!(probed, fresh, "disk round trip changed the model");
+    assert_eq!(cold.stats().hits, 1);
+    assert_eq!(cold.stats().invalidations, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+});
+
+// Warm-starting a hierarchical analysis from a persistent database is
+// bit-identical to the cold run that seeded it, with zero
+// characterizations.
+prop!(cases = 16, fn warm_start_analysis_is_bit_identical(spec in spec_strategy()) {
+    use hfta::{AnalysisConfig, HierAnalyzer};
+
+    let flat = random_circuit("p", spec);
+    if flat.gate_count() < 2 {
+        return Ok(());
+    }
+    let design = cascade_bipartition(&flat, 0.5).expect("partitions");
+    let arrivals = vec![Time::ZERO; flat.inputs().len()];
+
+    let dir = std::env::temp_dir().join(format!(
+        "hfta-prop-warmstart-{}-{:x}",
+        std::process::id(),
+        spec.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = AnalysisConfig::default().with_emit_models(&dir);
+    let mut cold = HierAnalyzer::with_config(&design, "p_top", &config).expect("valid");
+    let c = cold.analyze(&arrivals).expect("analyzes");
+
+    let config = AnalysisConfig::default().with_use_models(&dir);
+    let mut warm = HierAnalyzer::with_config(&design, "p_top", &config).expect("valid");
+    let w = warm.analyze(&arrivals).expect("analyzes");
+
+    assert_eq!(w.stats.modules_characterized, 0, "warm start characterized");
+    assert_eq!(w.delay, c.delay);
+    assert_eq!(w.output_arrivals, c.output_arrivals);
+    assert_eq!(w.net_arrivals, c.net_arrivals);
+    assert_eq!(
+        warm.model_db_stats().hits,
+        c.stats.modules_characterized,
+        "every module served from disk"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+});

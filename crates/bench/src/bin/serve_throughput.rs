@@ -1,0 +1,203 @@
+//! Daemon throughput benchmark: what keeping the analysis warm buys.
+//!
+//! Two gated comparisons on a ~20k-gate modular design:
+//!
+//! * `delay_batched` vs `delay_one_at_a_time` — the same delay-query
+//!   transcript answered by one daemon invocation (requests batched
+//!   through the transport loop, responses flushed per batch) versus
+//!   one transport invocation per request (per-request wakeup,
+//!   channel, flush). Batching amortizes the per-request transport
+//!   overhead; both paths produce byte-identical responses.
+//! * `whatif_oracle_rebind` vs `whatif_fresh_analysis` — a sweep of
+//!   what-if arrival changes against one leaf module, answered by the
+//!   warm session's persistent [`StabilityOracle`] (arrival rebind
+//!   keeps the SAT encoding and learnt clauses) versus a brand-new
+//!   `DelayAnalyzer` per request (re-encode, re-learn, every time).
+//!   The bench asserts both paths return identical arrivals;
+//!   `trajectory_gate` asserts the rebind median never regresses past
+//!   the fresh one — the whole point of running a daemon.
+//!
+//! Run with `cargo run --release -p hfta-bench --bin serve_throughput`;
+//! see [`hfta_testkit::Harness`] for the environment knobs. Setting
+//! `HFTA_SERVE_SMOKE` (or `HFTA_ABLATION_SMOKE`) shrinks the design to
+//! a seconds-long pass for `scripts/check.sh` and CI. Requests/second
+//! for each case print after the medians.
+//!
+//! [`StabilityOracle`]: hfta_fta::StabilityOracle
+
+use std::io::Cursor;
+
+use hfta_fta::{AnalysisConfig, DelayAnalyzer};
+use hfta_netlist::gen::{modular_design, ModularDesignSpec};
+use hfta_netlist::Time;
+use hfta_serve::protocol::time_to_json;
+use hfta_serve::{serve_lines, ServeSession};
+use hfta_testkit::{Harness, Record};
+use hfta_trace::TraceSink;
+
+fn spec() -> ModularDesignSpec {
+    let smoke = std::env::var_os("HFTA_SERVE_SMOKE").is_some()
+        || std::env::var_os("HFTA_ABLATION_SMOKE").is_some();
+    if smoke {
+        ModularDesignSpec {
+            flavors: 4,
+            instances: 40,
+            gates_per_module: 60,
+            layers: 4,
+            seed: 77,
+            mix: Default::default(),
+        }
+    } else {
+        ModularDesignSpec::sized(20_000, 77)
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var_os("HFTA_SERVE_SMOKE").is_some()
+        || std::env::var_os("HFTA_ABLATION_SMOKE").is_some()
+}
+
+/// A warm session over the benchmark design.
+fn warm_session(top: &str) -> ServeSession {
+    let design = modular_design(spec());
+    let mut session =
+        ServeSession::new(design, top, &AnalysisConfig::default()).expect("valid design");
+    session.warm().expect("warms");
+    session
+}
+
+fn requests_per_sec(n: usize, r: &Record) -> f64 {
+    n as f64 / r.median.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    let spec = spec();
+    let top = spec.top_name();
+    let design = modular_design(spec);
+    let composite = design.composite(&top).expect("top exists");
+    eprintln!("design: {top} ({} gates)", spec.total_gates());
+
+    // The delay transcript cycles over the design's primary outputs.
+    let n_delay = if smoke() { 24 } else { 192 };
+    let delay_lines: Vec<String> = (0..n_delay)
+        .map(|i| {
+            let po = composite.outputs()[i % composite.outputs().len()];
+            format!(
+                r#"{{"id":{i},"kind":"delay","output":"{}"}}"#,
+                composite.net_name(po)
+            )
+        })
+        .collect();
+
+    // The what-if sweep slides one pin's arrival over a window against
+    // the first instantiated leaf flavor.
+    let module = composite.instances()[0].module.clone();
+    let leaf = design.leaf(&module).expect("instantiated leaf").clone();
+    let pin = leaf.net_name(leaf.inputs()[0]).to_string();
+    let out_net = leaf.outputs()[0];
+    let out = leaf.net_name(out_net).to_string();
+    let n_whatif = if smoke() { 12 } else { 48 };
+    let whatif_lines: Vec<String> = (0..n_whatif)
+        .map(|i| {
+            format!(
+                r#"{{"id":{i},"kind":"whatif","module":"{module}","output":"{out}","arrivals":{{"{pin}":{}}}}}"#,
+                i % 7
+            )
+        })
+        .collect();
+
+    let mut harness = Harness::new("serve_throughput");
+    let mut group = harness.group("serve_throughput");
+
+    // One transport invocation per request: every query pays the full
+    // per-request wakeup (reader thread, channel, flush).
+    let mut session = warm_session(&top);
+    let one = group.bench_at_least("delay_one_at_a_time", 2, || {
+        let mut bytes = 0usize;
+        for line in &delay_lines {
+            let mut out = Vec::new();
+            serve_lines(
+                &mut session,
+                Cursor::new(format!("{line}\n").into_bytes()),
+                &mut out,
+                None,
+                &TraceSink::disabled(),
+            )
+            .expect("serves");
+            bytes += out.len();
+        }
+        bytes
+    });
+
+    // The same transcript in one invocation: the transport batches
+    // whatever is queued and flushes once per batch.
+    let mut session = warm_session(&top);
+    let transcript = format!("{}\n", delay_lines.join("\n"));
+    let mut batched_out = Vec::new();
+    let batched = group.bench_at_least("delay_batched", 2, || {
+        batched_out.clear();
+        serve_lines(
+            &mut session,
+            Cursor::new(transcript.clone().into_bytes()),
+            &mut batched_out,
+            None,
+            &TraceSink::disabled(),
+        )
+        .expect("serves");
+        batched_out.len()
+    });
+    assert_eq!(
+        batched_out.iter().filter(|&&b| b == b'\n').count(),
+        n_delay,
+        "batched run answered every request"
+    );
+
+    // Warm path: one persistent oracle, arrivals rebound per request.
+    let mut session = warm_session(&top);
+    let mut rebind_answers: Vec<String> = Vec::new();
+    let rebind = group.bench_at_least("whatif_oracle_rebind", 2, || {
+        rebind_answers.clear();
+        for line in &whatif_lines {
+            let (resp, _) = session.handle_line(line);
+            rebind_answers.push(resp.expect("whatif answers"));
+        }
+    });
+
+    // Cold path: a brand-new analyzer (fresh SAT encoding, no learnt
+    // clauses, no memo) per request — the daemonless cost.
+    let mut fresh_answers: Vec<Time> = Vec::new();
+    let fresh = group.bench_at_least("whatif_fresh_analysis", 2, || {
+        fresh_answers.clear();
+        for i in 0..n_whatif {
+            let mut arrivals = vec![Time::ZERO; leaf.inputs().len()];
+            arrivals[0] = Time::new((i % 7) as i64);
+            let mut an = DelayAnalyzer::new_sat(&leaf, &arrivals).expect("acyclic");
+            fresh_answers.push(an.output_arrival(out_net));
+        }
+    });
+    drop(group);
+
+    // Bit-identity: the warm rebind answers exactly what a fresh
+    // analysis answers, request by request.
+    assert_eq!(rebind_answers.len(), fresh_answers.len());
+    for (resp, want) in rebind_answers.iter().zip(&fresh_answers) {
+        let parsed = hfta_serve::json::parse(resp).expect("response is JSON");
+        assert_eq!(
+            parsed.get("arrival").map(ToString::to_string),
+            Some(time_to_json(*want).to_string()),
+            "oracle rebind diverged from fresh analysis: {resp}"
+        );
+    }
+
+    println!(
+        "\ndelay queries:  one-at-a-time {:.0} req/s, batched {:.0} req/s",
+        requests_per_sec(n_delay, &one),
+        requests_per_sec(n_delay, &batched),
+    );
+    println!(
+        "whatif queries: oracle rebind {:.0} req/s, fresh analysis {:.0} req/s",
+        requests_per_sec(n_whatif, &rebind),
+        requests_per_sec(n_whatif, &fresh),
+    );
+    harness.finish();
+}

@@ -13,6 +13,10 @@
 //! * `warm_start/warm_from_db` vs `warm_start/cold_characterize`
 //!   (a model-database warm start that is not faster than
 //!   re-characterizing from scratch means persistence regressed)
+//! * `serve_throughput/whatif_oracle_rebind` vs
+//!   `serve_throughput/whatif_fresh_analysis` (a warm daemon whose
+//!   persistent-oracle what-if path is not faster than re-encoding a
+//!   fresh analysis per request means the daemon's warmth regressed)
 //!
 //! The tolerance absorbs timer noise on small medians (a 1-core CI
 //! runner measures parity, not speedup — requested threads clamp to
@@ -26,11 +30,16 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const GATES: [(&str, &str, &str); 4] = [
+const GATES: [(&str, &str, &str); 5] = [
     (
         "warm_start",
         "warm_start/warm_from_db",
         "warm_start/cold_characterize",
+    ),
+    (
+        "serve_throughput",
+        "serve_throughput/whatif_oracle_rebind",
+        "serve_throughput/whatif_fresh_analysis",
     ),
     (
         "parallel",

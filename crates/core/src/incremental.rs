@@ -10,7 +10,7 @@
 //! Two soundness rules guard the cache:
 //!
 //! * **Degraded models are never cached.** A model produced under a
-//!   finite [`SolveBudget`](hfta_fta::SolveBudget) that actually
+//!   finite [`SolveBudget`] that actually
 //!   degraded is an artifact of that budget; replaying it in a later
 //!   run (possibly under a looser budget) would not be bit-identical
 //!   to a fresh analysis. Only undegraded — budget-independent —

@@ -15,7 +15,7 @@
 //! [`ConeSigCache`](hfta_fta::ConeSigCache) uses:
 //!
 //! 1. **Exact fingerprint.** The record's
-//!    [`exact_fingerprint`](hfta_netlist::exact_fingerprint) equals the
+//!    [`exact_fingerprint`] equals the
 //!    target's. The fingerprint is name-independent but verbatim —
 //!    gate kinds, delays, connectivity, and port order all match, so
 //!    characterization of the stored netlist and of the target are the

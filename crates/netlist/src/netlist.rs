@@ -194,6 +194,15 @@ impl Netlist {
         &self.gates[id.index()]
     }
 
+    /// Changes the propagation delay of one gate — the smallest
+    /// possible ECO (engineering change order) edit. Structure is
+    /// untouched, but the [`Netlist::content_hash`] (and the exact
+    /// structural fingerprint) change, so incremental sessions
+    /// re-characterize exactly this module.
+    pub fn set_gate_delay(&mut self, id: GateId, delay: u32) {
+        self.gates[id.index()].delay = delay;
+    }
+
     /// The name of a net.
     #[must_use]
     pub fn net_name(&self, net: NetId) -> &str {

@@ -1,0 +1,433 @@
+//! The daemon's I/O loop: newline-delimited JSON over any
+//! reader/writer pair (stdin/stdout or a unix-socket connection).
+//!
+//! A reader thread feeds lines into a channel; the serving loop blocks
+//! on the first line, then drains whatever else has already arrived —
+//! that drain is one *batch*. Within a batch, contiguous runs of
+//! what-if queries are grouped by module and sharded across the
+//! `hfta-sched` pool (each module's oracle rides out to exactly one
+//! worker, so per-module query order — and therefore every answer — is
+//! identical to serial execution). Responses are written in submission
+//! order; out-of-order completion stays an internal affair, which is
+//! what keeps golden transcripts byte-stable.
+//!
+//! A client disconnect (EOF, possibly mid-line) is a clean shutdown:
+//! any complete buffered lines are answered, a trailing partial line is
+//! answered with a structured error, and the loop returns.
+
+use std::io::{self, BufRead, Write};
+use std::sync::mpsc;
+
+use hfta_sched::Scheduler;
+use hfta_trace::{TraceSink, Value};
+
+use crate::json::Json;
+use crate::protocol::{error_response, parse_request, Request, RequestKind};
+use crate::session::{Action, ServeSession};
+
+/// Reads one line (up to `\n`, exclusive) without ever buffering more
+/// than `max + 1` bytes: an oversized line is discarded to its newline
+/// and reported as `Oversized`. `Eof` carries a final unterminated
+/// fragment, if any.
+enum CappedLine {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// A line longer than the cap (discarded; its length is unknown).
+    Oversized,
+    /// End of stream; the trailing unterminated fragment, if any.
+    Eof(Option<String>),
+}
+
+fn read_capped_line(reader: &mut impl BufRead, max: usize) -> io::Result<CappedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut dropping = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if dropping {
+                return Ok(CappedLine::Oversized);
+            }
+            if buf.is_empty() {
+                return Ok(CappedLine::Eof(None));
+            }
+            return Ok(CappedLine::Eof(Some(lossless_utf8(buf)?)));
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |p| p + 1);
+        if !dropping {
+            let line_bytes = newline.map_or(chunk.len(), |p| p);
+            if buf.len() + line_bytes > max {
+                dropping = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&chunk[..line_bytes]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            if dropping {
+                return Ok(CappedLine::Oversized);
+            }
+            return Ok(CappedLine::Line(lossless_utf8(buf)?));
+        }
+    }
+}
+
+fn lossless_utf8(bytes: Vec<u8>) -> io::Result<String> {
+    String::from_utf8(bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request line is not UTF-8"))
+}
+
+/// One unit the reader thread hands to the serving loop.
+enum Feed {
+    Line(String),
+    Oversized,
+    /// Final partial line (no trailing newline) before EOF.
+    Partial(String),
+}
+
+/// Runs the serving loop over `reader`/`writer` until the client
+/// disconnects or a `shutdown` request is answered. Returns the action
+/// that ended the loop (`Shutdown` or, on EOF, `Continue`).
+///
+/// `pool` enables batched what-if sharding; `None` serves strictly
+/// serially (bit-identical answers either way).
+///
+/// # Errors
+///
+/// Returns I/O errors from the transport. Protocol-level problems are
+/// answered in-band and never end the loop.
+pub fn serve_lines(
+    session: &mut ServeSession,
+    reader: impl BufRead + Send + 'static,
+    mut writer: impl Write,
+    pool: Option<&Scheduler>,
+    trace: &TraceSink,
+) -> io::Result<Action> {
+    let max_line = session.max_line();
+    let (tx, rx) = mpsc::channel::<io::Result<Feed>>();
+    // The reader thread ends at EOF or when the receiver hangs up
+    // (shutdown mid-stream); either way it needs no join handle.
+    std::thread::spawn(move || {
+        let mut reader = reader;
+        loop {
+            let item = read_capped_line(&mut reader, max_line);
+            let (feed, done) = match item {
+                Ok(CappedLine::Line(l)) => (Ok(Feed::Line(l)), false),
+                Ok(CappedLine::Oversized) => (Ok(Feed::Oversized), false),
+                Ok(CappedLine::Eof(Some(partial))) => (Ok(Feed::Partial(partial)), true),
+                Ok(CappedLine::Eof(None)) => break,
+                Err(e) => (Err(e), true),
+            };
+            if tx.send(feed).is_err() || done {
+                break;
+            }
+        }
+    });
+
+    loop {
+        // Block for the first request, then drain what else arrived:
+        // one batch.
+        let Ok(first) = rx.recv() else {
+            return Ok(Action::Continue); // EOF: clean shutdown
+        };
+        let mut batch = vec![first?];
+        while let Ok(more) = rx.try_recv() {
+            batch.push(more?);
+            if batch.len() >= 4096 {
+                break; // bound memory under a firehose client
+            }
+        }
+        if trace.is_enabled() {
+            let mut tracer = trace.tracer();
+            tracer.event(
+                "serve_batch",
+                vec![
+                    ("batch_size", Value::from(batch.len())),
+                    ("queue_depth", Value::from(batch.len())),
+                ],
+            );
+            trace.absorb(tracer);
+        }
+        let responses = serve_batch(session, batch, pool, trace);
+        for (response, action) in responses {
+            if let Some(line) = response {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            if action == Action::Shutdown {
+                writer.flush()?;
+                return Ok(Action::Shutdown);
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Serves one batch, in submission order. Contiguous runs of valid
+/// what-if requests are sharded across the pool; everything else runs
+/// serially (ECO and shutdown are natural barriers — they see every
+/// earlier answer's side effects, later requests see theirs).
+fn serve_batch(
+    session: &mut ServeSession,
+    batch: Vec<Feed>,
+    pool: Option<&Scheduler>,
+    trace: &TraceSink,
+) -> Vec<(Option<String>, Action)> {
+    let mut out: Vec<(Option<String>, Action)> = Vec::with_capacity(batch.len());
+    let mut i = 0;
+    while i < batch.len() {
+        // Gather a contiguous run of parallelizable what-if lines.
+        if let Some(pool) = pool {
+            let mut run: Vec<Request> = Vec::new();
+            let mut j = i;
+            while j < batch.len() {
+                let Feed::Line(line) = &batch[j] else { break };
+                if line.len() > session.max_line() {
+                    break;
+                }
+                let Ok(req) = parse_request(line.trim()) else {
+                    break;
+                };
+                if !matches!(req.kind, RequestKind::WhatIf { .. }) {
+                    break;
+                }
+                run.push(req);
+                j += 1;
+            }
+            if run.len() > 1 {
+                out.extend(serve_whatif_run(session, run, pool, trace));
+                i = j;
+                continue;
+            }
+        }
+        match &batch[i] {
+            Feed::Line(line) => out.push(session.handle_line(line)),
+            Feed::Oversized => out.push((
+                Some(error_response(
+                    &Json::Null,
+                    &format!("request line exceeds {} bytes", session.max_line()),
+                )),
+                Action::Continue,
+            )),
+            Feed::Partial(line) => {
+                // A truncated final line: answer it (usually a JSON
+                // error) and let the EOF that follows end the loop.
+                out.push(session.handle_line(line));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Shards a run of what-if requests across the pool: group by module,
+/// check each module's oracle out to exactly one task, run the module's
+/// queries in request order on a worker, check the oracles back in.
+/// Answers are bit-identical to serial execution (per-module order is
+/// preserved; modules are independent).
+fn serve_whatif_run(
+    session: &mut ServeSession,
+    run: Vec<Request>,
+    pool: &Scheduler,
+    trace: &TraceSink,
+) -> Vec<(Option<String>, Action)> {
+    // Prepare every query on this thread (needs the design); failures
+    // answer in place without joining the fan-out.
+    struct Task {
+        module: String,
+        oracle: crate::session::ModuleOracle,
+        queries: Vec<(usize, crate::session::PreparedWhatIf)>, // (slot, query)
+        tracer: hfta_trace::Tracer,
+    }
+    let mut slots: Vec<Option<String>> = vec![None; run.len()];
+    let mut tasks: Vec<Task> = Vec::new();
+    for (slot, req) in run.iter().enumerate() {
+        let RequestKind::WhatIf {
+            module,
+            output,
+            arrivals,
+        } = &req.kind
+        else {
+            unreachable!("run only holds what-if requests");
+        };
+        match session.prepare_whatif(req, module, output, arrivals) {
+            Ok(prepared) => {
+                if let Some(task) = tasks.iter_mut().find(|t| t.module == *module) {
+                    task.queries.push((slot, prepared));
+                    continue;
+                }
+                match session.checkout_oracle(module) {
+                    Ok(oracle) => tasks.push(Task {
+                        module: module.clone(),
+                        oracle,
+                        queries: vec![(slot, prepared)],
+                        tracer: trace.tracer().fork(tasks.len() as u32 + 1),
+                    }),
+                    Err(message) => {
+                        session.book_error();
+                        slots[slot] = Some(error_response(&req.id, &message));
+                    }
+                }
+            }
+            Err(message) => {
+                session.book_error();
+                slots[slot] = Some(error_response(&req.id, &message));
+            }
+        }
+    }
+    let results = pool.run(tasks, |mut task: Task| {
+        let answers: Vec<(usize, String)> = task
+            .queries
+            .iter()
+            .map(|(slot, q)| {
+                let span = task
+                    .tracer
+                    .is_enabled()
+                    .then(|| task.tracer.begin("serve_request"));
+                let line = q.run(&mut task.oracle);
+                if let Some(span) = span {
+                    task.tracer.end_with(
+                        span,
+                        vec![("kind", Value::from("whatif")), ("ok", Value::from(true))],
+                    );
+                }
+                (*slot, line)
+            })
+            .collect();
+        (task.module, task.oracle, answers, task.tracer)
+    });
+    for (module, oracle, answers, tracer) in results {
+        session.checkin_oracle(module, oracle);
+        trace.absorb(tracer);
+        for (slot, line) in answers {
+            session.book_whatif();
+            slots[slot] = Some(line);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|response| (response, Action::Continue))
+        .collect()
+}
+
+/// Serves connections on a unix socket, one at a time, until a
+/// `shutdown` request arrives. The socket file is removed first (stale
+/// sockets from a previous run) and on clean exit.
+///
+/// # Errors
+///
+/// Returns bind/accept/transport errors.
+#[cfg(unix)]
+pub fn serve_unix_socket(
+    session: &mut ServeSession,
+    path: &std::path::Path,
+    pool: Option<&Scheduler>,
+    trace: &TraceSink,
+) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    loop {
+        let (stream, _) = listener.accept()?;
+        let reader = io::BufReader::new(stream.try_clone()?);
+        let action = serve_lines(session, reader, &stream, pool, trace)?;
+        if action == Action::Shutdown {
+            let _ = std::fs::remove_file(path);
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_fta::AnalysisConfig;
+    use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+
+    fn session() -> ServeSession {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        ServeSession::new(design, "csa4.2", &AnalysisConfig::default()).unwrap()
+    }
+
+    fn serve(input: &str, pool: Option<&Scheduler>) -> (Vec<String>, Action) {
+        let mut s = session();
+        s.warm().unwrap();
+        let mut out: Vec<u8> = Vec::new();
+        let reader = io::BufReader::new(io::Cursor::new(input.as_bytes().to_vec()));
+        let action = serve_lines(&mut s, reader, &mut out, pool, &TraceSink::disabled()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(str::to_string).collect(), action)
+    }
+
+    #[test]
+    fn eof_is_clean_shutdown() {
+        let (lines, action) = serve("", None);
+        assert!(lines.is_empty());
+        assert_eq!(action, Action::Continue);
+    }
+
+    #[test]
+    fn partial_final_line_is_answered_then_eof() {
+        let (lines, action) = serve(r#"{"id":1,"kind":"report"#, None);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains(r#""ok":false"#), "{lines:?}");
+        assert_eq!(action, Action::Continue);
+    }
+
+    #[test]
+    fn shutdown_request_ends_the_loop() {
+        let input = "{\"id\":1,\"kind\":\"report\"}\n{\"id\":2,\"kind\":\"shutdown\"}\n{\"id\":3,\"kind\":\"report\"}\n";
+        let (lines, action) = serve(input, None);
+        assert_eq!(action, Action::Shutdown);
+        // The post-shutdown request is never answered.
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[1].contains("shutdown"));
+    }
+
+    #[test]
+    fn responses_preserve_submission_order_with_ids() {
+        let input = "{\"id\":10,\"kind\":\"report\"}\n{\"id\":11,\"kind\":\"stats\"}\n";
+        let (lines, _) = serve(input, None);
+        assert!(lines[0].contains(r#""id":10"#));
+        assert!(lines[1].contains(r#""id":11"#));
+    }
+
+    #[test]
+    fn sharded_whatifs_match_serial() {
+        let mut input = String::new();
+        for (i, c_in) in [0i64, 3, 5, 7, 5, 0].iter().enumerate() {
+            input.push_str(&format!(
+                "{{\"id\":{i},\"kind\":\"whatif\",\"module\":\"csa_block2\",\"output\":\"c_out\",\"arrivals\":{{\"c_in\":{c_in}}}}}\n"
+            ));
+        }
+        input.push_str("{\"id\":99,\"kind\":\"stats\"}\n");
+        let (serial, _) = serve(&input, None);
+        let pool = Scheduler::new(3);
+        let (sharded, _) = serve(&input, Some(&pool));
+        assert_eq!(serial, sharded, "sharding must be invisible in answers");
+        assert!(serial.last().unwrap().contains(r#""whatif_queries":6"#));
+    }
+
+    #[test]
+    fn oversized_line_is_skipped_without_buffering() {
+        let mut s = session();
+        s.set_max_line(128);
+        let huge = format!(
+            "{{\"id\":1,\"kind\":\"report\",\"pad\":\"{}\"}}\n{{\"id\":2,\"kind\":\"stats\"}}\n",
+            "x".repeat(1 << 16)
+        );
+        let mut out: Vec<u8> = Vec::new();
+        let reader = io::BufReader::new(io::Cursor::new(huge.into_bytes()));
+        serve_lines(&mut s, reader, &mut out, None, &TraceSink::disabled()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("exceeds 128 bytes"), "{lines:?}");
+        assert!(
+            lines[1].contains(r#""id":2"#),
+            "good query after bad: {lines:?}"
+        );
+    }
+}

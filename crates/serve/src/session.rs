@@ -1,0 +1,830 @@
+//! The warm analysis session behind the daemon.
+//!
+//! [`ServeSession`] owns an [`IncrementalAnalyzer`] (which owns the
+//! design, the content-hash-keyed model cache and the shared
+//! cone-signature cache) plus one persistent [`StabilityOracle`] per
+//! leaf module touched by a what-if query. Every request is one method
+//! call; every answer is a deterministic single-line JSON string.
+//!
+//! Cache-warmth invariants (also tabulated in DESIGN.md):
+//!
+//! * a malformed or semantically invalid request mutates **nothing** —
+//!   the next good request answers bit-identically to a fresh analysis;
+//! * a per-request deadline rides the solver budget: on expiry the
+//!   answer degrades soundly (`"degraded":true`) and, because degraded
+//!   models are never cached, later un-deadlined requests recompute
+//!   exactly;
+//! * an ECO edit invalidates exactly the edited module: its model
+//!   (by content hash) and its what-if oracle; all other warm state
+//!   survives.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use hfta_core::{HierAnalysis, IncrementalAnalyzer};
+use hfta_fta::sta::TopoSta;
+use hfta_fta::{AnalysisConfig, SolveBudget, StabilityOracle};
+use hfta_netlist::{bench_format, Design, NetId, Netlist, NetlistError, Time};
+use hfta_trace::{TraceSink, Value};
+
+use crate::json::{Json, ObjBuilder};
+use crate::protocol::{
+    error_response, ok_response, parse_request, time_to_json, Arrivals, EcoEdit, Request,
+    RequestKind,
+};
+
+/// Default cap on one request line (bytes). Oversized lines are
+/// answered with a structured error and skipped without buffering.
+pub const DEFAULT_MAX_LINE: usize = 1 << 20;
+
+/// What the server loop should do after a response.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Keep serving.
+    Continue,
+    /// Stop cleanly (a `shutdown` request was answered).
+    Shutdown,
+}
+
+/// A persistent per-module stability oracle plus the derived data the
+/// binary search needs. The netlist clone feeds [`TopoSta`] bounds
+/// while the oracle is mutably borrowed — split-borrow friendly.
+#[derive(Debug)]
+pub(crate) struct ModuleOracle {
+    netlist: Netlist,
+    oracle: StabilityOracle,
+    /// Content hash of the leaf this oracle encodes; an ECO bumps the
+    /// hash and retires the oracle.
+    hash: u64,
+}
+
+impl ModuleOracle {
+    fn new(leaf: &Netlist) -> Result<ModuleOracle, NetlistError> {
+        let zeros = vec![Time::ZERO; leaf.inputs().len()];
+        Ok(ModuleOracle {
+            netlist: leaf.clone(),
+            oracle: StabilityOracle::new_sat(leaf.clone(), &zeros)?,
+            hash: leaf.content_hash(),
+        })
+    }
+
+    /// The functional (XBD0) arrival of `net` under `arrivals`,
+    /// answered by rebinding the persistent oracle — the same binary
+    /// search as `DelayAnalyzer::output_arrival`, but over solver state
+    /// that survives across queries. Returns `(arrival, degraded)`;
+    /// a degraded answer is the (sound) topological arrival.
+    pub(crate) fn functional_arrival(
+        &mut self,
+        arrivals: &[Time],
+        net: NetId,
+        budget: SolveBudget,
+    ) -> (Time, bool) {
+        let sta = TopoSta::new(&self.netlist).expect("oracle construction validated acyclicity");
+        let topo = sta.arrival_times(arrivals)[net.index()];
+        let first = first_event(&self.netlist, arrivals, net);
+        if first == Time::POS_INF {
+            // No finite events reach the net: stability is
+            // time-independent and the topological bound is exact.
+            return (topo, false);
+        }
+        self.oracle.set_budget(budget);
+        self.oracle.set_arrivals(arrivals);
+        let lo = first.finite().expect("checked finite");
+        match self.oracle.try_is_stable_at(net, Time::new(lo - 1)) {
+            Some(true) => return (Time::NEG_INF, false),
+            Some(false) => {}
+            None => return (topo, true),
+        }
+        let hi = match topo.finite() {
+            Some(h) => h,
+            None => {
+                // Some arrivals are +∞: probe the latest finite event.
+                let hi = latest_finite_event(&sta, &self.netlist, arrivals);
+                match self.oracle.try_is_stable_at(net, Time::new(hi)) {
+                    Some(true) => hi,
+                    Some(false) => return (Time::POS_INF, false),
+                    None => return (topo, true),
+                }
+            }
+        };
+        let (mut lo, mut hi) = (lo - 1, hi);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            match self.oracle.try_is_stable_at(net, Time::new(mid)) {
+                Some(true) => hi = mid,
+                Some(false) => lo = mid,
+                None => return (topo, true),
+            }
+        }
+        (Time::new(hi), false)
+    }
+}
+
+/// Earliest finite event at `net`: min-propagation of finite arrivals
+/// only (mirrors `DelayAnalyzer`'s lower search bound).
+fn first_event(nl: &Netlist, arrivals: &[Time], net: NetId) -> Time {
+    let mut first = vec![Time::POS_INF; nl.net_count()];
+    for (k, &pi) in nl.inputs().iter().enumerate() {
+        if arrivals[k].is_finite() {
+            first[pi.index()] = arrivals[k];
+        }
+    }
+    for &g in &nl.topo_gates().expect("validated acyclic") {
+        let gate = nl.gate(g);
+        let best = gate
+            .inputs
+            .iter()
+            .map(|n| first[n.index()])
+            .fold(Time::POS_INF, Time::min);
+        if best != Time::POS_INF {
+            first[gate.output.index()] = best + Time::from(gate.delay);
+        }
+    }
+    first[net.index()]
+}
+
+/// Latest finite event reaching any net: max over finite-arrival inputs
+/// of (arrival + longest path to the target's cone). Mirrors
+/// `DelayAnalyzer::latest_finite_event` but conservatively uses the
+/// whole-netlist longest paths (only an upper search bound).
+fn latest_finite_event(sta: &TopoSta<'_>, nl: &Netlist, arrivals: &[Time]) -> i64 {
+    let mut latest = i64::MIN / 4;
+    for &out in nl.outputs() {
+        let long = sta.longest_to(out);
+        for (k, &pi) in nl.inputs().iter().enumerate() {
+            if let (Some(a), Some(d)) = (arrivals[k].finite(), long[pi.index()].finite()) {
+                latest = latest.max(a + d);
+            }
+        }
+    }
+    latest
+}
+
+/// A what-if query resolved to raw analyzer inputs, ready to run on
+/// any thread that holds the module's oracle.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct PreparedWhatIf {
+    pub(crate) id: Json,
+    pub(crate) module: String,
+    pub(crate) output: String,
+    pub(crate) net: NetId,
+    pub(crate) arrivals: Vec<Time>,
+    pub(crate) budget: SolveBudget,
+}
+
+impl PreparedWhatIf {
+    /// Runs the query against `oracle` and renders the response line.
+    pub(crate) fn run(&self, oracle: &mut ModuleOracle) -> String {
+        let (arrival, degraded) = oracle.functional_arrival(&self.arrivals, self.net, self.budget);
+        ok_response(&self.id, "whatif")
+            .field("module", Json::Str(self.module.clone()))
+            .field("output", Json::Str(self.output.clone()))
+            .field("arrival", time_to_json(arrival))
+            .field("degraded", Json::Bool(degraded))
+            .build()
+            .to_string()
+    }
+}
+
+/// Session counters reported by the `stats` request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServeCounters {
+    /// Requests answered (including errors).
+    pub requests: u64,
+    /// Requests answered with `"ok":false`.
+    pub errors: u64,
+    /// What-if queries served by persistent oracles.
+    pub whatif_queries: u64,
+    /// ECO edits applied.
+    pub eco_edits: u64,
+}
+
+/// One warm, long-lived analysis session: the daemon's state.
+#[derive(Debug)]
+pub struct ServeSession {
+    analyzer: IncrementalAnalyzer,
+    top: String,
+    /// Top-level primary-input names, in input order.
+    input_names: Vec<String>,
+    /// Top-level primary-output names, in output order.
+    output_names: Vec<String>,
+    base_budget: SolveBudget,
+    /// Deadline applied to requests that don't carry their own.
+    default_deadline_ms: Option<u64>,
+    oracles: HashMap<String, ModuleOracle>,
+    trace: TraceSink,
+    max_line: usize,
+    counters: ServeCounters,
+}
+
+impl ServeSession {
+    /// Builds a session for module `top` of `design`, wiring budgets,
+    /// model databases and the trace sink from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IncrementalAnalyzer::with_config`]: validation
+    /// failures, a missing/non-composite top, non-leaf instances, and
+    /// I/O errors opening the emit model database.
+    pub fn new(design: Design, top: &str, config: &AnalysisConfig) -> Result<Self, NetlistError> {
+        let analyzer = IncrementalAnalyzer::with_config(design, top, config)?;
+        let composite = analyzer
+            .design()
+            .composite(top)
+            .expect("validated by the analyzer constructor");
+        let input_names = composite
+            .inputs()
+            .iter()
+            .map(|&n| composite.net_name(n).to_string())
+            .collect();
+        let output_names = composite
+            .outputs()
+            .iter()
+            .map(|&n| composite.net_name(n).to_string())
+            .collect();
+        Ok(ServeSession {
+            analyzer,
+            top: top.to_string(),
+            input_names,
+            output_names,
+            base_budget: config.budget,
+            default_deadline_ms: None,
+            oracles: HashMap::new(),
+            trace: config.trace.clone(),
+            max_line: DEFAULT_MAX_LINE,
+            counters: ServeCounters::default(),
+        })
+    }
+
+    /// Sets the deadline applied to requests that don't carry their own
+    /// `deadline_ms` (the CLI's `--deadline-ms`).
+    pub fn set_default_deadline_ms(&mut self, ms: Option<u64>) {
+        self.default_deadline_ms = ms;
+    }
+
+    /// Sets the per-line byte cap (protocol hygiene; the server loop
+    /// also enforces it while streaming).
+    pub fn set_max_line(&mut self, max: usize) {
+        self.max_line = max.max(1);
+    }
+
+    /// The per-line byte cap.
+    #[must_use]
+    pub fn max_line(&self) -> usize {
+        self.max_line
+    }
+
+    /// Session counters so far.
+    #[must_use]
+    pub fn counters(&self) -> &ServeCounters {
+        &self.counters
+    }
+
+    /// Total characterizations across the session (the number a warm
+    /// start keeps at zero).
+    #[must_use]
+    pub fn characterizations(&self) -> u64 {
+        self.analyzer.characterizations()
+    }
+
+    /// Warms the session: characterizes (or loads from the model
+    /// database) every leaf model and runs one all-zero propagation.
+    /// The daemon calls this once before serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns characterization/propagation errors.
+    pub fn warm(&mut self) -> Result<HierAnalysis, NetlistError> {
+        let arrivals = vec![Time::ZERO; self.input_names.len()];
+        self.analyzer.analyze(&arrivals)
+    }
+
+    /// Handles one raw request line, returning the response line (no
+    /// trailing newline) and what the server loop should do next.
+    /// Empty lines yield no response (`None`).
+    pub fn handle_line(&mut self, line: &str) -> (Option<String>, Action) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return (None, Action::Continue);
+        }
+        if trimmed.len() > self.max_line {
+            return (
+                Some(self.booked_error(
+                    &Json::Null,
+                    &format!("request line exceeds {} bytes", self.max_line),
+                )),
+                Action::Continue,
+            );
+        }
+        let request = match parse_request(trimmed) {
+            Ok(r) => r,
+            Err((id, message)) => {
+                return (Some(self.booked_error(&id, &message)), Action::Continue)
+            }
+        };
+        let mut tracer = self.trace.tracer();
+        let span = tracer.is_enabled().then(|| tracer.begin("serve_request"));
+        let shutdown = matches!(request.kind, RequestKind::Shutdown);
+        let (response, ok) = match self.respond(&request) {
+            Ok(body) => (body.to_string(), true),
+            Err(message) => (error_response(&request.id, &message), false),
+        };
+        if let Some(span) = span {
+            tracer.end_with(
+                span,
+                vec![
+                    ("kind", Value::from(kind_name(&request.kind))),
+                    ("ok", Value::from(ok)),
+                ],
+            );
+        }
+        self.trace.absorb(tracer);
+        self.counters.requests += 1;
+        if !ok {
+            self.counters.errors += 1;
+        }
+        let action = if shutdown && ok {
+            Action::Shutdown
+        } else {
+            Action::Continue
+        };
+        (Some(response), action)
+    }
+
+    /// Books an error response into the counters.
+    fn booked_error(&mut self, id: &Json, message: &str) -> String {
+        self.counters.requests += 1;
+        self.counters.errors += 1;
+        error_response(id, message)
+    }
+
+    fn respond(&mut self, request: &Request) -> Result<Json, String> {
+        match &request.kind {
+            RequestKind::Report { arrivals } => self.do_report(request, arrivals.as_ref()),
+            RequestKind::Delay { output, arrivals } => {
+                self.do_delay(request, output, arrivals.as_ref())
+            }
+            RequestKind::Slack {
+                net,
+                required,
+                arrivals,
+            } => self.do_slack(request, net, *required, arrivals.as_ref()),
+            RequestKind::WhatIf {
+                module,
+                output,
+                arrivals,
+            } => self.do_whatif(request, module, output, arrivals),
+            RequestKind::Eco { module, edit } => self.do_eco(request, module, edit),
+            RequestKind::Stats => Ok(self.do_stats(request)),
+            RequestKind::Shutdown => Ok(ok_response(&request.id, "shutdown").build()),
+        }
+    }
+
+    /// Resolves the optional top-level arrival payload (default:
+    /// all-zero).
+    fn top_arrivals(&self, arrivals: Option<&Arrivals>) -> Result<Vec<Time>, String> {
+        resolve_arrivals(arrivals, &self.input_names, &self.top)
+    }
+
+    /// The budget one request runs under: the base budget, tightened by
+    /// the request's (or the session's default) deadline.
+    fn budget_for(&self, request: &Request) -> SolveBudget {
+        match request.deadline_ms.or(self.default_deadline_ms) {
+            Some(ms) => self
+                .base_budget
+                .with_deadline(Instant::now() + Duration::from_millis(ms)),
+            None => self.base_budget,
+        }
+    }
+
+    /// Runs one top-level analysis under the request's budget. A
+    /// deadline-tightened budget clears the signature cache (its
+    /// entries replay the outcomes of the budget that filled them) but
+    /// never the model cache — only undegraded models live there.
+    fn analyze(&mut self, request: &Request, arrivals: &[Time]) -> Result<HierAnalysis, String> {
+        let budget = self.budget_for(request);
+        self.analyzer.set_budget(budget);
+        let result = self.analyzer.analyze(arrivals);
+        self.analyzer.set_budget(self.base_budget);
+        result.map_err(|e| e.to_string())
+    }
+
+    fn do_report(
+        &mut self,
+        request: &Request,
+        arrivals: Option<&Arrivals>,
+    ) -> Result<Json, String> {
+        let arr = self.top_arrivals(arrivals)?;
+        let analysis = self.analyze(request, &arr)?;
+        let mut outputs = ObjBuilder::new();
+        for (name, &t) in self.output_names.iter().zip(&analysis.output_arrivals) {
+            outputs = outputs.field(name, time_to_json(t));
+        }
+        Ok(ok_response(&request.id, "report")
+            .field("delay", time_to_json(analysis.delay))
+            .field("outputs", outputs.build())
+            .field(
+                "characterized",
+                Json::Num(analysis.stats.modules_characterized as i64),
+            )
+            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
+            .build())
+    }
+
+    fn do_delay(
+        &mut self,
+        request: &Request,
+        output: &str,
+        arrivals: Option<&Arrivals>,
+    ) -> Result<Json, String> {
+        let pos = self
+            .output_names
+            .iter()
+            .position(|n| n == output)
+            .ok_or_else(|| format!("no primary output `{output}` in module `{}`", self.top))?;
+        let arr = self.top_arrivals(arrivals)?;
+        let analysis = self.analyze(request, &arr)?;
+        Ok(ok_response(&request.id, "delay")
+            .field("output", Json::Str(output.to_string()))
+            .field("arrival", time_to_json(analysis.output_arrivals[pos]))
+            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
+            .build())
+    }
+
+    fn do_slack(
+        &mut self,
+        request: &Request,
+        net: &str,
+        required: Option<Time>,
+        arrivals: Option<&Arrivals>,
+    ) -> Result<Json, String> {
+        let net_id = self
+            .analyzer
+            .design()
+            .composite(&self.top)
+            .expect("validated")
+            .find_net(net)
+            .ok_or_else(|| format!("no net `{net}` in module `{}`", self.top))?;
+        let arr = self.top_arrivals(arrivals)?;
+        let analysis = self.analyze(request, &arr)?;
+        let arrival = analysis.net_arrivals[net_id.index()];
+        let required = required.unwrap_or(analysis.delay);
+        Ok(ok_response(&request.id, "slack")
+            .field("net", Json::Str(net.to_string()))
+            .field("arrival", time_to_json(arrival))
+            .field("required", time_to_json(required))
+            .field("slack", time_to_json(required - arrival))
+            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
+            .build())
+    }
+
+    /// Resolves a what-if request against the named leaf module,
+    /// ready to run wherever its oracle is.
+    pub(crate) fn prepare_whatif(
+        &self,
+        request: &Request,
+        module: &str,
+        output: &str,
+        arrivals: &Arrivals,
+    ) -> Result<PreparedWhatIf, String> {
+        let leaf = self
+            .analyzer
+            .design()
+            .leaf(module)
+            .ok_or_else(|| format!("no leaf module `{module}` in the design"))?;
+        let input_names: Vec<String> = leaf
+            .inputs()
+            .iter()
+            .map(|&n| leaf.net_name(n).to_string())
+            .collect();
+        let times = resolve_arrivals(Some(arrivals), &input_names, module)?;
+        let net = leaf
+            .find_net(output)
+            .ok_or_else(|| format!("no net `{output}` in module `{module}`"))?;
+        Ok(PreparedWhatIf {
+            id: request.id.clone(),
+            module: module.to_string(),
+            output: output.to_string(),
+            net,
+            arrivals: times,
+            budget: self.budget_for(request),
+        })
+    }
+
+    /// Takes the named module's oracle out of the session (building it
+    /// on first use), e.g. to ship it to a pool worker.
+    pub(crate) fn checkout_oracle(&mut self, module: &str) -> Result<ModuleOracle, String> {
+        let leaf = self
+            .analyzer
+            .design()
+            .leaf(module)
+            .ok_or_else(|| format!("no leaf module `{module}` in the design"))?;
+        let hash = leaf.content_hash();
+        match self.oracles.remove(module) {
+            // A stale oracle (the module was ECO-edited while the
+            // oracle sat idle) is silently rebuilt.
+            Some(oracle) if oracle.hash == hash => Ok(oracle),
+            _ => ModuleOracle::new(leaf).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Returns an oracle after use.
+    pub(crate) fn checkin_oracle(&mut self, module: String, oracle: ModuleOracle) {
+        self.oracles.insert(module, oracle);
+    }
+
+    /// Number of live per-module oracles.
+    #[must_use]
+    pub fn oracle_count(&self) -> usize {
+        self.oracles.len()
+    }
+
+    fn do_whatif(
+        &mut self,
+        request: &Request,
+        module: &str,
+        output: &str,
+        arrivals: &Arrivals,
+    ) -> Result<Json, String> {
+        let prepared = self.prepare_whatif(request, module, output, arrivals)?;
+        let mut oracle = self.checkout_oracle(module)?;
+        let (arrival, degraded) =
+            oracle.functional_arrival(&prepared.arrivals, prepared.net, prepared.budget);
+        self.checkin_oracle(module.to_string(), oracle);
+        self.counters.whatif_queries += 1;
+        Ok(ok_response(&request.id, "whatif")
+            .field("module", Json::Str(module.to_string()))
+            .field("output", Json::Str(output.to_string()))
+            .field("arrival", time_to_json(arrival))
+            .field("degraded", Json::Bool(degraded))
+            .build())
+    }
+
+    /// Books a parallel-path what-if into the counters (the response
+    /// itself was rendered by the worker).
+    pub(crate) fn book_whatif(&mut self) {
+        self.counters.requests += 1;
+        self.counters.whatif_queries += 1;
+    }
+
+    /// Books a parallel-path error response into the counters.
+    pub(crate) fn book_error(&mut self) {
+        self.counters.requests += 1;
+        self.counters.errors += 1;
+    }
+
+    fn do_eco(&mut self, request: &Request, module: &str, edit: &EcoEdit) -> Result<Json, String> {
+        let old = self
+            .analyzer
+            .design()
+            .leaf(module)
+            .ok_or_else(|| format!("no leaf module `{module}` in the design"))?;
+        let edited = match edit {
+            EcoEdit::GateDelay { gate, delay } => {
+                let mut nl = old.clone();
+                let net = nl
+                    .find_net(gate)
+                    .ok_or_else(|| format!("no net `{gate}` in module `{module}`"))?;
+                let gid = nl
+                    .driver(net)
+                    .ok_or_else(|| format!("net `{gate}` has no driving gate (primary input?)"))?;
+                nl.set_gate_delay(gid, *delay);
+                nl
+            }
+            EcoEdit::Replace { bench } => {
+                let nl = bench_format::parse(bench, module)
+                    .map_err(|e| format!("bad `bench` body: {e}"))?;
+                check_same_ports(old, &nl)?;
+                nl
+            }
+        };
+        self.analyzer
+            .replace_module(edited)
+            .map_err(|e| e.to_string())?;
+        // The edited module's oracle encodes the old body; retire it.
+        self.oracles.remove(module);
+        self.counters.eco_edits += 1;
+        let arrivals = vec![Time::ZERO; self.input_names.len()];
+        let analysis = self.analyze(request, &arrivals)?;
+        Ok(ok_response(&request.id, "eco")
+            .field("module", Json::Str(module.to_string()))
+            .field(
+                "recharacterized",
+                Json::Num(analysis.stats.modules_characterized as i64),
+            )
+            .field("delay", time_to_json(analysis.delay))
+            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
+            .build())
+    }
+
+    fn do_stats(&mut self, request: &Request) -> Json {
+        let db = self.analyzer.model_db_stats();
+        ok_response(&request.id, "stats")
+            .field(
+                "characterized",
+                Json::Num(self.analyzer.characterizations() as i64),
+            )
+            .field("model_db_hits", Json::Num(db.hits as i64))
+            .field("model_db_misses", Json::Num(db.misses as i64))
+            .field("oracles", Json::Num(self.oracles.len() as i64))
+            .field("requests", Json::Num(self.counters.requests as i64))
+            .field("errors", Json::Num(self.counters.errors as i64))
+            .field(
+                "whatif_queries",
+                Json::Num(self.counters.whatif_queries as i64),
+            )
+            .field("eco_edits", Json::Num(self.counters.eco_edits as i64))
+            .build()
+    }
+}
+
+/// Resolves an arrival payload against `input_names` (default 0 for
+/// unnamed inputs; positional payloads must cover every input).
+fn resolve_arrivals(
+    arrivals: Option<&Arrivals>,
+    input_names: &[String],
+    module: &str,
+) -> Result<Vec<Time>, String> {
+    match arrivals {
+        None => Ok(vec![Time::ZERO; input_names.len()]),
+        Some(Arrivals::Named(named)) => {
+            let mut times = vec![Time::ZERO; input_names.len()];
+            for (name, t) in named {
+                let pos = input_names
+                    .iter()
+                    .position(|n| n == name)
+                    .ok_or_else(|| format!("no primary input `{name}` in module `{module}`"))?;
+                times[pos] = *t;
+            }
+            Ok(times)
+        }
+        Some(Arrivals::Positional(times)) => {
+            if times.len() != input_names.len() {
+                return Err(format!(
+                    "positional arrivals cover {} inputs, module `{module}` has {}",
+                    times.len(),
+                    input_names.len()
+                ));
+            }
+            Ok(times.clone())
+        }
+    }
+}
+
+/// The ports of an ECO replacement must match the old body exactly
+/// (same input/output names in the same order) — the top composite's
+/// instances bind by position.
+fn check_same_ports(old: &Netlist, new: &Netlist) -> Result<(), String> {
+    let names = |nl: &Netlist, nets: &[NetId]| -> Vec<String> {
+        nets.iter().map(|&n| nl.net_name(n).to_string()).collect()
+    };
+    let (oi, ni) = (names(old, old.inputs()), names(new, new.inputs()));
+    if oi != ni {
+        return Err(format!(
+            "replacement inputs {ni:?} do not match the module's {oi:?}"
+        ));
+    }
+    let (oo, no) = (names(old, old.outputs()), names(new, new.outputs()));
+    if oo != no {
+        return Err(format!(
+            "replacement outputs {no:?} do not match the module's {oo:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn kind_name(kind: &RequestKind) -> &'static str {
+    match kind {
+        RequestKind::Report { .. } => "report",
+        RequestKind::Delay { .. } => "delay",
+        RequestKind::Slack { .. } => "slack",
+        RequestKind::WhatIf { .. } => "whatif",
+        RequestKind::Eco { .. } => "eco",
+        RequestKind::Stats => "stats",
+        RequestKind::Shutdown => "shutdown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+
+    fn session() -> ServeSession {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        ServeSession::new(design, "csa4.2", &AnalysisConfig::default()).unwrap()
+    }
+
+    fn line(s: &mut ServeSession, req: &str) -> String {
+        let (resp, action) = s.handle_line(req);
+        assert_eq!(action, Action::Continue);
+        resp.expect("non-empty line gets a response")
+    }
+
+    #[test]
+    fn report_matches_direct_analysis() {
+        let mut s = session();
+        s.warm().unwrap();
+        let resp = line(&mut s, r#"{"id":1,"kind":"report"}"#);
+        // Section 4: c4 arrives at 10; the last sum bit s3 dominates
+        // the circuit delay at 12.
+        assert!(resp.contains(r#""delay":12"#), "{resp}");
+        assert!(resp.contains(r#""c4":10"#), "{resp}");
+        assert!(resp.contains(r#""s3":12"#), "{resp}");
+        assert!(resp.contains(r#""characterized":0"#), "warm: {resp}");
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+    }
+
+    #[test]
+    fn whatif_matches_fresh_delay_analyzer() {
+        use hfta_fta::DelayAnalyzer;
+
+        let mut s = session();
+        let resp = line(
+            &mut s,
+            r#"{"id":2,"kind":"whatif","module":"csa_block2","output":"c_out","arrivals":{"c_in":5}}"#,
+        );
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let leaf = design.leaf("csa_block2").unwrap();
+        let mut arrivals = vec![Time::ZERO; 5];
+        arrivals[0] = Time::new(5); // c_in is input 0
+        let mut fresh = DelayAnalyzer::new_sat(leaf, &arrivals).unwrap();
+        let want = fresh.output_arrival(leaf.find_net("c_out").unwrap());
+        assert_eq!(want, Time::new(8), "paper figure 5");
+        assert!(resp.contains(r#""arrival":8"#), "{resp}");
+        assert_eq!(s.oracle_count(), 1);
+        // Another condition reuses the same oracle.
+        let resp = line(
+            &mut s,
+            r#"{"id":3,"kind":"whatif","module":"csa_block2","output":"c_out","arrivals":{}}"#,
+        );
+        assert!(resp.contains(r#""arrival":8"#), "{resp}");
+        assert_eq!(s.oracle_count(), 1);
+    }
+
+    #[test]
+    fn eco_delay_edit_recharacterizes_one_module() {
+        let mut s = session();
+        s.warm().unwrap();
+        assert_eq!(s.characterizations(), 1);
+        let resp = line(
+            &mut s,
+            r#"{"id":4,"kind":"eco","module":"csa_block2","gate":"c_out","delay":9}"#,
+        );
+        assert!(resp.contains(r#""recharacterized":1"#), "{resp}");
+        assert_eq!(s.characterizations(), 2);
+        // The report is bit-identical to a cold analysis of the edited
+        // design.
+        let mut edited = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut block = edited.leaf("csa_block2").unwrap().clone();
+        let c_out = block.find_net("c_out").unwrap();
+        let gid = block.driver(c_out).unwrap();
+        block.set_gate_delay(gid, 9);
+        edited.replace_leaf(block).unwrap();
+        let mut cold = IncrementalAnalyzer::new(edited, "csa4.2", Default::default()).unwrap();
+        let want = cold.analyze(&[Time::ZERO; 9]).unwrap().delay;
+        let resp = line(&mut s, r#"{"id":5,"kind":"report"}"#);
+        assert!(
+            resp.contains(&format!(r#""delay":{}"#, want.raw())),
+            "want {want}, got {resp}"
+        );
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors_and_mutate_nothing() {
+        let mut s = session();
+        s.warm().unwrap();
+        let before = line(&mut s, r#"{"id":1,"kind":"report"}"#);
+        for bad in [
+            r#"{"id":2,"kind":"report""#,                  // truncated JSON
+            r#"{"id":3,"kind":"frobnicate"}"#,             // unknown kind
+            r#"{"id":4,"kind":"delay"}"#,                  // missing field
+            r#"{"id":5,"kind":"delay","output":"ghost"}"#, // unknown output
+            "[1,2,3]",                                     // not an object
+        ] {
+            let resp = line(&mut s, bad);
+            assert!(resp.contains(r#""ok":false"#), "{bad} -> {resp}");
+        }
+        let after = line(&mut s, r#"{"id":1,"kind":"report"}"#);
+        assert_eq!(before, after, "errors must not perturb the warm session");
+        assert_eq!(s.counters().errors, 5);
+    }
+
+    #[test]
+    fn shutdown_stops_the_loop() {
+        let mut s = session();
+        let (resp, action) = s.handle_line(r#"{"id":9,"kind":"shutdown"}"#);
+        assert_eq!(action, Action::Shutdown);
+        assert!(resp.unwrap().contains(r#""kind":"shutdown""#));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_structurally() {
+        let mut s = session();
+        s.set_max_line(64);
+        let huge = format!(r#"{{"id":1,"kind":"report","pad":"{}"}}"#, "x".repeat(256));
+        let (resp, action) = s.handle_line(&huge);
+        assert_eq!(action, Action::Continue);
+        assert!(resp.unwrap().contains("exceeds 64 bytes"));
+    }
+}

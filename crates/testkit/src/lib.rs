@@ -9,11 +9,11 @@
 //!   xoshiro256++ core) with `gen_range` / `gen_bool` / `shuffle`;
 //!   used by the netlist generators and the Monte-Carlo simulator, and
 //!   by every randomized test.
-//! * [`prop`] — a property-testing harness: [`check_named`] /
+//! * [`mod@prop`] — a property-testing harness: [`check_named`] /
 //!   [`check`] runners, the [`prop!`](crate::prop!) macro, and
 //!   [`Strategy`] combinators with input shrinking on failure.
 //!   Controlled by `HFTA_PROP_CASES` / `HFTA_PROP_SEED`.
-//! * [`bench`] — a micro-benchmark timer (warmup + timed iterations,
+//! * [`mod@bench`] — a micro-benchmark timer (warmup + timed iterations,
 //!   median/p95, JSON-lines `BENCH_*.json` reports). Controlled by
 //!   `HFTA_BENCH_ITERS` / `HFTA_BENCH_WARMUP` / `HFTA_BENCH_JSON`.
 //!

@@ -29,6 +29,10 @@ else
     echo "cargo-clippy not installed; skipping"
 fi
 
+echo "== docs (deny warnings) =="
+# Every public item documented, every intra-doc link resolving.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
 echo "== fast property pass (HFTA_PROP_CASES=16) =="
 HFTA_PROP_CASES=16 cargo test -q --offline --workspace
 
@@ -50,6 +54,8 @@ HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_PARALLE
     cargo run -q --offline --release -p hfta-bench --bin parallel
 HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_WARMSTART_SMOKE=1 \
     cargo run -q --offline --release -p hfta-bench --bin warm_start
+HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_SERVE_SMOKE=1 \
+    cargo run -q --offline --release -p hfta-bench --bin serve_throughput
 cargo run -q --offline --release -p hfta-bench --bin trajectory_gate "$GATE_JSON"
 
 echo "== model-db corpus round-trip =="
@@ -70,5 +76,21 @@ WARM_OUT="$(./target/release/hfta hier tests/corpus/csa_pair.hnl --algo two-step
 grep -F "0 modules characterized" <<<"$WARM_OUT"
 grep -F "model-db: 3 hits, 0 misses" <<<"$WARM_OUT"
 ./target/release/hfta models "$MODELDB" | grep -F "3 valid record(s), 0 invalid"
+
+echo "== serve end-to-end protocol gate =="
+# Start the daemon warm from the corpus-seeded database, pipe the
+# checked-in request transcript through it, and diff the response
+# stream byte-for-byte against the checked-in golden. A DB-warmed
+# daemon must characterize nothing at startup.
+SERVEDB="$(mktemp -d -t hfta_servedb_XXXXXX)"
+SERVE_OUT="$(mktemp -t hfta_serve_out_XXXXXX.ndjson)"
+SERVE_ERR="$(mktemp -t hfta_serve_err_XXXXXX.txt)"
+trap 'rm -f "$GATE_JSON" "$SERVE_OUT" "$SERVE_ERR"; rm -rf "$MODELDB" "$SERVEDB"' EXIT
+./target/release/hfta characterize tests/corpus/csa_pair.hnl --emit-model "$SERVEDB" >/dev/null
+./target/release/hfta serve tests/corpus/csa_pair.hnl --use-models "$SERVEDB" \
+    < tests/corpus/serve_transcript.ndjson > "$SERVE_OUT" 2> "$SERVE_ERR"
+diff -u tests/corpus/serve_transcript.golden "$SERVE_OUT"
+grep -F "0 modules characterized" "$SERVE_ERR"
+grep -F "exiting on shutdown request" "$SERVE_ERR"
 
 echo "All checks passed."

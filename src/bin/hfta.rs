@@ -3,6 +3,7 @@
 //! ```text
 //! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]
 //! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
+//! hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]
 //! hfta models <DIR>
 //! hfta sim <file> --from BITS --to BITS
@@ -50,6 +51,16 @@
 //! relaxation steps, refinement rounds and module characterizations.
 //! Tracing is an observer: results are bit-identical with it on or
 //! off, and stdout is unchanged.
+//!
+//! `serve` starts a long-lived daemon: the design is loaded and
+//! characterized once (warm-started from `--use-models DIR` when
+//! given), then newline-delimited JSON requests — full reports,
+//! per-output delays, slacks, what-if arrival changes, ECO edits —
+//! are answered from the warm caches on stdin/stdout (or `--socket
+//! PATH`). `--deadline-ms MS` gives every request a default QoS
+//! deadline: an expiring request degrades to the sound topological
+//! answer (`"degraded":true`) instead of blocking the queue. See the
+//! `hfta_serve` crate docs for the request/response schema.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -81,6 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "report" => cmd_report(rest),
         "hier" => cmd_hier(rest),
+        "serve" => cmd_serve(rest),
         "characterize" => cmd_characterize(rest),
         "models" => cmd_models(rest),
         "sim" => cmd_sim(rest),
@@ -101,6 +113,7 @@ fn usage() -> String {
     "usage:\n  \
      hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]\n  \
      hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]\n  \
      hfta models <DIR>\n  \
      hfta sim <file> --from BITS --to BITS\n  \
@@ -136,6 +149,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--emit-models",
     "--emit-model",
     "--model-limit",
+    "--socket",
+    "--deadline-ms",
+    "--max-line",
 ];
 
 /// How the user asked to observe the analysis: a shared sink (disabled
@@ -481,6 +497,119 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
         println!("  {:<20} {}", composite.net_name(po), output_arrivals[k]);
     }
     println!("estimated delay: {delay}");
+    Ok(())
+}
+
+/// `hfta serve`: load + characterize once, then answer timing queries
+/// from the warm caches until EOF or a `shutdown` request.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use hfta::sched::Scheduler;
+    use hfta::serve::{serve_lines, serve_unix_socket, wrap_flat, Action, ServeSession};
+
+    let opts = parse_opts(args)?;
+    let path = opts.positionals.first().ok_or_else(usage)?;
+    let (loaded, default_top) = load(path)?;
+    let top = opts
+        .value("--top")
+        .or_else(|| opts.value("--module"))
+        .map(str::to_string)
+        .or(default_top)
+        .ok_or("no top module; pass --top NAME")?;
+    // The daemon is hierarchy-shaped; a flat `.bench`/`.blif` input
+    // (one leaf, no composite) is wrapped into a depth-1 design.
+    let (design, top) = if loaded.composite(&top).is_some() {
+        (loaded, top)
+    } else {
+        let leaf = loaded
+            .leaf(&top)
+            .ok_or_else(|| format!("no module `{top}` in the design"))?;
+        wrap_flat(leaf.clone())
+    };
+
+    let threads = match opts.value("--threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|_| format!("bad --threads `{t}` (want a number)"))?
+            .max(1),
+        None => 1,
+    };
+    let tr = trace_setup(&opts);
+    let mut config = apply_model_db(
+        AnalysisConfig::default()
+            .with_budget(budget_from(&opts)?)
+            .with_trace(tr.sink.clone()),
+        &opts,
+    )?;
+    if threads > 1 {
+        config = config.with_threads(threads);
+    }
+    let mut session = ServeSession::new(design, &top, &config).map_err(|e| e.to_string())?;
+    if let Some(ms) = opts.value("--deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --deadline-ms `{ms}` (want milliseconds)"))?;
+        session.set_default_deadline_ms(Some(ms));
+    }
+    if let Some(max) = opts.value("--max-line") {
+        let max: usize = max
+            .parse()
+            .map_err(|_| format!("bad --max-line `{max}` (want bytes)"))?;
+        session.set_max_line(max);
+    }
+
+    // Warm start: every leaf model is characterized (or served from
+    // the model database) before the first request. The summary goes
+    // to stderr so stdout stays a pure response stream; CI asserts a
+    // DB-warmed daemon prints `0 modules characterized` here.
+    let started = std::time::Instant::now();
+    let warm = session.warm().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serve: `{top}` warm in {:.1?} — {} modules characterized, all-zero delay {}",
+        started.elapsed(),
+        warm.stats.modules_characterized,
+        warm.delay
+    );
+
+    let pool = (threads > 1).then(|| Scheduler::new(threads));
+    let action = match opts.value("--socket") {
+        Some(sock) => {
+            eprintln!("serve: listening on unix socket `{sock}`");
+            serve_unix_socket(
+                &mut session,
+                std::path::Path::new(sock),
+                pool.as_ref(),
+                &tr.sink,
+            )
+            .map_err(|e| format!("{sock}: {e}"))?;
+            Action::Shutdown
+        }
+        None => {
+            let reader = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout();
+            serve_lines(&mut session, reader, stdout.lock(), pool.as_ref(), &tr.sink)
+                .map_err(|e| format!("stdin: {e}"))?
+        }
+    };
+
+    let how = match action {
+        Action::Shutdown => "shutdown request",
+        Action::Continue => "end of input",
+    };
+    let c = session.counters();
+    eprintln!(
+        "serve: exiting on {how} — {} request(s), {} error(s)",
+        c.requests, c.errors
+    );
+    if opts.has_flag("--stats") {
+        eprintln!(
+            "serve: {} what-if quer(ies), {} ECO edit(s), {} live oracle(s), {} characterization(s) total",
+            c.whatif_queries,
+            c.eco_edits,
+            session.oracle_count(),
+            session.characterizations()
+        );
+    }
+    tr.emit()?;
     Ok(())
 }
 

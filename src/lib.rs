@@ -15,6 +15,8 @@
 //! | [`bdd`] | `hfta-bdd` | ROBDD package (exact engines, cross-checks) |
 //! | [`fta`] | `hfta-fta` | flat XBD0 analysis: STA, stability, delay, required times |
 //! | [`core`] | `hfta-core` | the paper's hierarchical, demand-driven and incremental analyses |
+//! | [`sched`] | `hfta-sched` | work-stealing thread pool used by the parallel analyses |
+//! | [`serve`] | `hfta-serve` | `hfta serve`: the warm, batched timing-query daemon |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -47,6 +49,8 @@ pub use hfta_core as core;
 pub use hfta_fta as fta;
 pub use hfta_netlist as netlist;
 pub use hfta_sat as sat;
+pub use hfta_sched as sched;
+pub use hfta_serve as serve;
 
 pub use hfta_core::{
     AnalysisConfig, CharacterizeOptions, DemandAnalysis, DemandDrivenAnalyzer, DemandOptions,

@@ -643,3 +643,174 @@ fn flatten_and_convert() {
     let (ok, stdout, _) = run(&["check", blif_out.to_str().unwrap()]);
     assert!(ok, "{stdout}");
 }
+
+/// Pipes `input` into the CLI's stdin and captures the full run.
+fn run_with_stdin(args: &[&str], input: &str) -> (bool, String, String) {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(hfta_bin())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn CLI");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write transcript");
+    // Dropping the handle closes stdin; the daemon sees EOF.
+    let out = child.wait_with_output().expect("wait for CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn serve_answers_the_whole_protocol_on_stdin() {
+    let path = write_temp("serve.hnl", HNL);
+    let transcript = concat!(
+        r#"{"id":1,"kind":"report"}"#,
+        "\n",
+        r#"{"id":2,"kind":"delay","output":"zout"}"#,
+        "\n",
+        r#"{"id":3,"kind":"slack","net":"mid"}"#,
+        "\n",
+        r#"{"id":4,"kind":"whatif","module":"blk","output":"z","arrivals":{"c":5}}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"id":5,"kind":"eco","module":"blk","gate":"p","delay":1}"#,
+        "\n",
+        r#"{"id":6,"kind":"stats"}"#,
+        "\n",
+        r#"{"id":7,"kind":"shutdown"}"#,
+        "\n",
+    );
+    let (ok, stdout, stderr) = run_with_stdin(&["serve", path.to_str().unwrap()], transcript);
+    assert!(ok, "serve exits 0 on shutdown: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "every line answered: {stdout}");
+    for (i, want) in [
+        r#""id":1,"ok":true,"kind":"report""#,
+        r#""id":2,"ok":true,"kind":"delay","output":"zout""#,
+        r#""id":3,"ok":true,"kind":"slack","net":"mid""#,
+        r#""id":4,"ok":true,"kind":"whatif","module":"blk","output":"z""#,
+        r#""id":null,"ok":false"#,
+        r#""id":5,"ok":true,"kind":"eco","module":"blk""#,
+        r#""id":6,"ok":true,"kind":"stats""#,
+        r#""id":7,"ok":true,"kind":"shutdown""#,
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert!(lines[i].contains(want), "line {i}: {} !~ {want}", lines[i]);
+    }
+    assert!(stderr.contains("modules characterized"), "{stderr}");
+    assert!(stderr.contains("shutdown request"), "{stderr}");
+}
+
+#[test]
+fn serve_mid_stream_disconnect_is_a_clean_exit() {
+    let path = write_temp("serve_eof.hnl", HNL);
+    // A good request, then the client dies mid-line (no newline, EOF).
+    let transcript = concat!(
+        r#"{"id":1,"kind":"delay","output":"zout"}"#,
+        "\n",
+        r#"{"id":2,"kind":"del"#,
+    );
+    let (ok, stdout, stderr) = run_with_stdin(&["serve", path.to_str().unwrap()], transcript);
+    assert!(ok, "disconnect is not an error: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains(r#""id":1,"ok":true"#), "{stdout}");
+    assert!(
+        lines[1].contains(r#""ok":false"#),
+        "partial line answered: {stdout}"
+    );
+    assert!(stderr.contains("end of input"), "{stderr}");
+}
+
+#[test]
+fn serve_warm_starts_from_a_model_db_without_characterizing() {
+    let path = write_temp("serve_warm.hnl", HNL);
+    let db = std::env::temp_dir().join("hfta-cli-tests/serve-warm-db");
+    let _ = std::fs::remove_dir_all(&db);
+    let (ok, _, _) = run(&[
+        "characterize",
+        path.to_str().unwrap(),
+        "--emit-model",
+        db.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let (ok, stdout, stderr) = run_with_stdin(
+        &[
+            "serve",
+            path.to_str().unwrap(),
+            "--use-models",
+            db.to_str().unwrap(),
+            "--stats",
+        ],
+        concat!(r#"{"id":1,"kind":"report"}"#, "\n"),
+    );
+    assert!(ok, "{stderr}");
+    assert!(
+        stderr.contains("0 modules characterized"),
+        "warm start must not characterize: {stderr}"
+    );
+    assert!(stdout.contains(r#""characterized":0"#), "{stdout}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_socket_mode_round_trips() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::process::Stdio;
+
+    let path = write_temp("serve_sock.hnl", HNL);
+    let sock = std::env::temp_dir().join("hfta-cli-tests/serve.sock");
+    let _ = std::fs::remove_file(&sock);
+    let mut child = Command::new(hfta_bin())
+        .args(["serve", path.to_str().unwrap(), "--socket"])
+        .arg(&sock)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    // Wait for the daemon to warm up and bind the socket.
+    let mut stream = None;
+    for _ in 0..200 {
+        if let Ok(s) = UnixStream::connect(&sock) {
+            stream = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let Some(mut stream) = stream else {
+        let _ = child.kill();
+        panic!("daemon never bound {}", sock.display());
+    };
+    stream
+        .write_all(b"{\"id\":1,\"kind\":\"report\"}\n{\"id\":2,\"kind\":\"shutdown\"}\n")
+        .expect("write requests");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(
+        line.contains(r#""id":1,"ok":true,"kind":"report""#),
+        "{line}"
+    );
+    line.clear();
+    reader.read_line(&mut line).expect("read response");
+    assert!(
+        line.contains(r#""id":2,"ok":true,"kind":"shutdown""#),
+        "{line}"
+    );
+    let status = child.wait().expect("daemon exits after shutdown");
+    assert!(status.success());
+    assert!(!sock.exists(), "socket removed on shutdown");
+}

@@ -17,12 +17,15 @@
 //!    replicated-block fixture (where sharing should approach the copy
 //!    count) and an ISCAS-like partition (where it usually cannot).
 //!
+//! 7. **Shared module-level SAT instance vs per-cone solvers** — see
+//!    [`bench_shared_solver`].
+//!
 //! Run with `cargo run --release -p hfta-bench --bin ablation`; see
 //! [`hfta_testkit::Harness`] for the environment knobs. Setting
-//! `HFTA_ABLATION_SMOKE` shrinks the workload and runs only the oracle
-//! and cone-signature ablations — a seconds-long sanity pass used by
-//! `scripts/check.sh` and CI, which also asserts the signature cache
-//! actually hits on the replicated fixture.
+//! `HFTA_ABLATION_SMOKE` shrinks the workload and runs only the
+//! oracle, cone-signature and shared-solver ablations — a seconds-long
+//! sanity pass used by `scripts/check.sh` and CI, which also asserts
+//! the signature cache actually hits on the replicated fixture.
 
 use hfta_bench::{build_iscas_like, IscasLike};
 use hfta_core::{
@@ -345,6 +348,83 @@ fn bench_cone_sig(harness: &mut Harness, trace: &TraceSink) {
     }
 }
 
+/// Shared module instance vs per-cone solvers: one incremental
+/// SAT instance per module answers every cone's stability queries,
+/// restricted to the cone's transitive-fanin variable domain, sharing
+/// learnt clauses across cones (and, in demand mode, across isomorphic
+/// cone classes via slot-permuted import) with between-query
+/// inprocessing. Measured on the flat XBD0 path of an ISCAS-like
+/// netlist and on demand refinement of the replicated cascade; the
+/// `trajectory_gate` asserts shared mode never regresses past the
+/// per-cone baseline.
+fn bench_shared_solver(harness: &mut Harness) {
+    use hfta_fta::DelayAnalyzer;
+
+    let mut group = harness.group("ablation_shared_solver");
+    use hfta_netlist::gen::{random_circuit, RandomCircuitSpec};
+    let spec = RandomCircuitSpec {
+        inputs: 40,
+        gates: if smoke() { 64 } else { 240 },
+        seed: 499,
+        locality: 12,
+        global_fanin_prob: 0.01,
+        mix: hfta_netlist::gen::GateMix::XorHeavy,
+    };
+    let flat = random_circuit("c499_like", spec);
+    let arr = vec![Time::ZERO; flat.inputs().len()];
+    // One reference answer so both cases can assert bit-identity.
+    let expected = {
+        let mut an = DelayAnalyzer::new_sat_shared(&flat, &arr).expect("valid");
+        an.circuit_delay()
+    };
+    // The per-cone baseline the shared instance replaces: a fresh
+    // solver and a fresh encoding for every output cone, re-deriving
+    // the overlap between cones from scratch each time.
+    group.bench_at_least("flat_xbd0_per_cone", 3, || {
+        let mut worst = Time::ZERO;
+        for &o in flat.outputs() {
+            let (cone, _pis) = flat.cone(o);
+            let cone_arr = vec![Time::ZERO; cone.inputs().len()];
+            let mut an = DelayAnalyzer::new_sat(&cone, &cone_arr).expect("valid");
+            worst = worst.max(an.circuit_delay());
+        }
+        assert_eq!(worst, expected, "per-cone delay diverges from shared");
+        worst
+    });
+    group.bench_at_least("flat_xbd0_shared", 3, || {
+        let mut an = DelayAnalyzer::new_sat_shared(&flat, &arr).expect("valid");
+        let d = an.circuit_delay();
+        assert_eq!(d, expected, "shared delay is not reproducible");
+        d
+    });
+
+    // Demand refinement on the replicated cascade: each signature
+    // class answers from one shared engine vs per-cone oracles. The
+    // verdict memo stays ON in both cases — what is measured is the
+    // solver-sharing delta, not the memo.
+    let (copies, bits) = if smoke() { (4usize, 2usize) } else { (8, 4) };
+    let (design, n_inputs) = replicated_blocks(copies, bits, true);
+    let arrivals = vec![Time::ZERO; n_inputs];
+    let per_cone = DemandOptions {
+        shared_solver: false,
+        ..DemandOptions::default()
+    };
+    group.bench_at_least("demand_cascade_per_cone", 5, || {
+        let mut an = DemandDrivenAnalyzer::new(&design, "replicated", per_cone).expect("valid");
+        an.analyze(&arrivals).expect("analyzes").delay
+    });
+    group.bench_at_least("demand_cascade_shared", 5, || {
+        let mut an = DemandDrivenAnalyzer::new(&design, "replicated", DemandOptions::default())
+            .expect("valid");
+        let r = an.analyze(&arrivals).expect("analyzes");
+        assert!(
+            r.stability.domains_built > 0,
+            "shared mode reported zero domains built on the cascade fixture"
+        );
+        r.delay
+    });
+}
+
 /// Write the accumulated trace to `HFTA_TRACE_JSON` (if set). CI's
 /// smoke run greps the file for `sat_episode` and `module_alias`
 /// records, pinning the tracing subsystem end to end.
@@ -366,6 +446,7 @@ fn main() {
     if smoke() {
         bench_stability_oracle(&mut harness);
         bench_cone_sig(&mut harness, &trace);
+        bench_shared_solver(&mut harness);
         harness.finish();
         emit_trace(&trace, trace_path.as_deref());
         return;
@@ -376,6 +457,7 @@ fn main() {
     bench_parallel_characterization(&mut harness);
     bench_stability_oracle(&mut harness);
     bench_cone_sig(&mut harness, &trace);
+    bench_shared_solver(&mut harness);
     harness.finish();
     emit_trace(&trace, trace_path.as_deref());
 }

@@ -17,6 +17,12 @@
 //!   `serve_throughput/whatif_fresh_analysis` (a warm daemon whose
 //!   persistent-oracle what-if path is not faster than re-encoding a
 //!   fresh analysis per request means the daemon's warmth regressed)
+//! * `ablation_shared_solver/flat_xbd0_shared` vs
+//!   `ablation_shared_solver/flat_xbd0_per_cone`, and
+//!   `ablation_shared_solver/demand_cascade_shared` vs
+//!   `ablation_shared_solver/demand_cascade_per_cone` (the shared
+//!   module-level SAT instance must not regress past fresh per-cone
+//!   solvers)
 //!
 //! The tolerance absorbs timer noise on small medians (a 1-core CI
 //! runner measures parity, not speedup — requested threads clamp to
@@ -30,7 +36,17 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const GATES: [(&str, &str, &str); 5] = [
+const GATES: [(&str, &str, &str); 7] = [
+    (
+        "ablation",
+        "ablation_shared_solver/flat_xbd0_shared",
+        "ablation_shared_solver/flat_xbd0_per_cone",
+    ),
+    (
+        "ablation",
+        "ablation_shared_solver/demand_cascade_shared",
+        "ablation_shared_solver/demand_cascade_per_cone",
+    ),
     (
         "warm_start",
         "warm_start/warm_from_db",

@@ -50,8 +50,8 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use hfta_fta::{
-    solve_episode_fields, AnalysisConfig, BoolAlg, PhaseWall, SatAlg, SolveBudget,
-    StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta,
+    solve_episode_fields, AnalysisConfig, BoolAlg, PhaseWall, SatAlg, SharedStabilityEngine,
+    SolveBudget, StabilityAnalyzer, StabilityOracle, StabilityStats, TopoSta,
 };
 use hfta_modeldb::{ModelDb, ModelDbStats};
 use hfta_netlist::{
@@ -106,6 +106,18 @@ pub struct DemandOptions {
     /// verdicts depend on solver heuristics, so sharing them could
     /// change what a budgeted run reports.
     pub cone_sig: bool,
+    /// Route the probes of a whole signature class through **one**
+    /// shared incremental SAT instance
+    /// ([`SharedStabilityEngine`]): the class's representative cone is
+    /// encoded once, each probe is domain-restricted to its transitive
+    /// fanin, learnt clauses are shared across all member cones, and
+    /// the learnt database is compacted by subsumption between probes.
+    /// On by default. Like [`DemandOptions::cone_sig`] (which it
+    /// requires), only active under an unlimited budget — budgeted
+    /// runs keep fresh per-cone solvers so degraded results stay
+    /// bit-identical to the baseline. Verdicts are bit-identical
+    /// either way.
+    pub shared_solver: bool,
 }
 
 impl Default for DemandOptions {
@@ -119,6 +131,7 @@ impl Default for DemandOptions {
             clamp_threads: true,
             budget: SolveBudget::UNLIMITED,
             cone_sig: true,
+            shared_solver: true,
         }
     }
 }
@@ -180,6 +193,14 @@ impl DemandOptions {
         self.cone_sig = on;
         self
     }
+
+    /// Sets whether a signature class's probes share one incremental
+    /// SAT instance (see [`DemandOptions::shared_solver`]).
+    #[must_use]
+    pub fn with_shared_solver(mut self, on: bool) -> DemandOptions {
+        self.shared_solver = on;
+        self
+    }
 }
 
 impl From<&AnalysisConfig> for DemandOptions {
@@ -193,6 +214,7 @@ impl From<&AnalysisConfig> for DemandOptions {
             clamp_threads: config.clamp_threads,
             budget: config.budget,
             cone_sig: config.cone_sig,
+            shared_solver: config.shared_solver,
         }
     }
 }
@@ -243,6 +265,9 @@ struct OutputState {
     /// Persistent stability oracle for this cone (lazily created on
     /// first probe when [`DemandOptions::reuse_oracle`] is set).
     oracle: Option<StabilityOracle<SatAlg>>,
+    /// Whether this cone identity has registered with its class's
+    /// [`SharedStabilityEngine`] (shared-solver mode only).
+    engine_attached: bool,
     /// Stability work of fresh (non-oracle) probes of this cone.
     fresh_stats: StabilityStats,
 }
@@ -293,6 +318,11 @@ pub struct DemandDrivenAnalyzer<'a> {
     /// by the canonical (slot-space) arrival vector. Persists across
     /// rounds and `analyze` calls, like the per-cone oracles.
     verdict_memo: HashMap<u128, HashMap<Vec<Time>, bool>>,
+    /// One shared incremental SAT instance per signature class
+    /// (shared-solver mode). Checked out to the class's worker for the
+    /// duration of a round, like the verdict memo; persists across
+    /// rounds and `analyze` calls, like the per-cone oracles.
+    class_engines: HashMap<u128, SharedStabilityEngine>,
     /// Persistent verdict store probed once per signature class (see
     /// [`DemandDrivenAnalyzer::set_model_db_use`]).
     db_use: Option<ModelDb>,
@@ -375,6 +405,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             inst_module,
             modules,
             verdict_memo: HashMap::new(),
+            class_engines: HashMap::new(),
             db_use: None,
             db_emit: None,
             verdicts_loaded: HashSet::new(),
@@ -551,6 +582,17 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             }
             rounds += 1;
         };
+        if tracer.is_enabled() && self.opts.shared_solver {
+            let s = self.stability_stats();
+            tracer.event(
+                "shared_solver_stats",
+                vec![
+                    ("domains_built", Value::from(s.domains_built)),
+                    ("clauses_subsumed", Value::from(s.clauses_subsumed)),
+                    ("learnts_imported", Value::from(s.learnts_imported)),
+                ],
+            );
+        }
         self.trace.absorb(tracer);
         // Flush decided verdicts to the persistent store (merged with
         // whatever is already on disk). The memo only ever fills under
@@ -594,6 +636,9 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                 }
                 total.merge(&st.fresh_stats);
             }
+        }
+        for engine in self.class_engines.values() {
+            total.merge(&engine.stats());
         }
         total.wall = self.wall;
         total
@@ -856,6 +901,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
         struct ClassTask {
             sig: Option<u128>,
             memo: HashMap<Vec<Time>, bool>,
+            engine: Option<SharedStabilityEngine>,
             work: Vec<(usize, usize, OutputState, Vec<usize>)>,
             tracer: Tracer,
         }
@@ -863,6 +909,7 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             outcome: Result<RoundWork, NetlistError>,
             sig: Option<u128>,
             memo: HashMap<Vec<Time>, bool>,
+            engine: Option<SharedStabilityEngine>,
             work: Vec<(usize, usize, OutputState, Vec<usize>)>,
             tracer: Tracer,
         }
@@ -910,19 +957,30 @@ impl<'a> DemandDrivenAnalyzer<'a> {
                     }
                 }
             }
+            // The class's shared engine travels with its memo (both are
+            // exclusive to the class's worker for the round).
+            let engine = sig.and_then(|s| self.class_engines.remove(&s));
             classes.push(ClassTask {
                 sig,
                 memo,
+                engine,
                 work: vec![(mi, o, st, edges)],
                 tracer: class_tracer,
             });
         }
         let run = move |mut class: ClassTask| -> ClassDone {
-            let outcome = refine_class(&mut class.work, &mut class.memo, &opts, &mut class.tracer);
+            let outcome = refine_class(
+                &mut class.work,
+                &mut class.memo,
+                &mut class.engine,
+                &opts,
+                &mut class.tracer,
+            );
             ClassDone {
                 outcome,
                 sig: class.sig,
                 memo: class.memo,
+                engine: class.engine,
                 work: class.work,
                 tracer: class.tracer,
             }
@@ -936,6 +994,9 @@ impl<'a> DemandDrivenAnalyzer<'a> {
             tracer.absorb(d.tracer);
             if let Some(sig) = d.sig {
                 self.verdict_memo.insert(sig, d.memo);
+                if let Some(engine) = d.engine {
+                    self.class_engines.insert(sig, engine);
+                }
             }
             // Restore the checked-out states — on the error path too,
             // so a failed round leaves the analyzer whole.
@@ -956,10 +1017,11 @@ impl<'a> DemandDrivenAnalyzer<'a> {
 
     /// Rewinds every edge to its topological weight and clears shared
     /// verdicts and counters, as if the analyzer were freshly built —
-    /// but keeps the expensive long-lived state: per-cone oracles
-    /// (learnt clauses included), cone signatures, and the worker
-    /// pool. Benchmarks use this to measure steady-state refinement
-    /// without paying construction on every iteration.
+    /// but keeps the expensive long-lived state: per-cone oracles and
+    /// per-class shared engines (learnt clauses included), cone
+    /// signatures, and the worker pool. Benchmarks use this to measure
+    /// steady-state refinement without paying construction on every
+    /// iteration.
     pub fn reset_refinement(&mut self) {
         for states in &mut self.modules {
             for st in states.iter_mut().flatten() {
@@ -980,17 +1042,19 @@ impl<'a> DemandDrivenAnalyzer<'a> {
 }
 
 /// Probes every `(cone, edges)` group of one signature class, in
-/// order, all sharing the class's verdict `memo`.
+/// order, all sharing the class's verdict `memo` and (in shared-solver
+/// mode) its one incremental SAT `engine`.
 fn refine_class(
     work: &mut [(usize, usize, OutputState, Vec<usize>)],
     memo: &mut HashMap<Vec<Time>, bool>,
+    engine: &mut Option<SharedStabilityEngine>,
     opts: &DemandOptions,
     tracer: &mut Tracer,
 ) -> Result<RoundWork, NetlistError> {
     let mut round = RoundWork::default();
     for (_, _, st, edges) in work.iter_mut() {
         for &j in edges.iter() {
-            st.refine_edge(j, opts, &mut round, memo, tracer)?;
+            st.refine_edge(j, opts, &mut round, memo, engine, tracer)?;
         }
     }
     Ok(round)
@@ -1037,6 +1101,7 @@ impl OutputState {
             sig: None,
             sig_done: false,
             oracle: None,
+            engine_attached: false,
             fresh_stats: StabilityStats::default(),
         })
     }
@@ -1060,6 +1125,7 @@ impl OutputState {
         opts: &DemandOptions,
         round: &mut RoundWork,
         memo: &mut HashMap<Vec<Time>, bool>,
+        engine: &mut Option<SharedStabilityEngine>,
         tracer: &mut Tracer,
     ) -> Result<(), NetlistError> {
         debug_assert!(!self.marked[in_idx]);
@@ -1122,7 +1188,35 @@ impl OutputState {
             }
             self.fresh_stats.cone_sig_misses += 1;
         }
-        let stable = if opts.reuse_oracle {
+        // Shared-solver mode: the whole signature class answers from
+        // one incremental instance. Eligibility matches the memo's
+        // (`memo_key` is `Some` exactly when the signature exists and
+        // the budget is unlimited), so budgeted runs never touch the
+        // engine and stay bit-identical to the per-cone baseline.
+        let stable = if opts.shared_solver && memo_key.is_some() {
+            let key = self.sig.as_ref().expect("memo_key implies signature");
+            if engine.is_none() {
+                let mut fresh =
+                    SharedStabilityEngine::new(self.cone.clone(), cone_out, key.clone())?;
+                fresh.set_budget(opts.budget);
+                *engine = Some(fresh);
+            }
+            let engine = engine.as_mut().expect("just created");
+            if !self.engine_attached {
+                self.engine_attached = true;
+                engine.attach();
+            }
+            if tracer.is_enabled() {
+                engine.set_episode_recording(true);
+            }
+            let stable = engine.query_budgeted(key, &cone_arrivals, Time::ZERO);
+            if tracer.is_enabled() {
+                for ep in engine.take_episodes() {
+                    tracer.event("sat_episode", solve_episode_fields(&ep));
+                }
+            }
+            stable
+        } else if opts.reuse_oracle {
             if self.oracle.is_none() {
                 let mut oracle = StabilityOracle::new_sat(self.cone.clone(), &cone_arrivals)?;
                 oracle.set_budget(opts.budget);

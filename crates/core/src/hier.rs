@@ -796,6 +796,19 @@ impl<'a> HierAnalyzer<'a> {
     /// count.
     pub fn analyze(&mut self, pi_arrivals: &[Time]) -> Result<HierAnalysis, NetlistError> {
         self.characterize_all()?;
+        if self.trace.is_enabled() && self.opts.characterize.shared_solver {
+            let s = self.stability_stats();
+            let mut tracer = self.trace.tracer();
+            tracer.event(
+                "shared_solver_stats",
+                vec![
+                    ("domains_built", Value::from(s.domains_built)),
+                    ("clauses_subsumed", Value::from(s.clauses_subsumed)),
+                    ("learnts_imported", Value::from(s.learnts_imported)),
+                ],
+            );
+            self.trace.absorb(tracer);
+        }
         let before = self.characterized;
         let t0 = Instant::now();
         let result = propagate(self.top, &self.cache, pi_arrivals)?;

@@ -27,6 +27,12 @@ pub struct BackendCounters {
     pub propagations: u64,
     /// Learnt clauses currently retained by the underlying solver.
     pub learnt_clauses: u64,
+    /// Per-query variable domains built in shared-solver mode (zero
+    /// when the backend runs one fresh encoding per cone).
+    pub domains_built: u64,
+    /// Learnt clauses removed or strengthened by between-query
+    /// inprocessing in shared-solver mode.
+    pub clauses_subsumed: u64,
 }
 
 /// A Boolean function store supporting construction and tautology
@@ -119,13 +125,47 @@ pub struct SatAlg {
     inputs: HashMap<usize, Lit>,
     and_cache: HashMap<(Lit, Lit), Lit>,
     tautology_queries: u64,
+    /// Shared-solver mode: answer each query under the variable
+    /// domain of its transitive support instead of letting the solver
+    /// roam the whole accumulated encoding.
+    shared: bool,
+    domains_built: u64,
+    /// Learnt-clause count right after the last inprocessing pass
+    /// (the between-query trigger fires on growth past a threshold).
+    last_inprocess_learnts: u64,
 }
+
+/// Learnt-clause growth (over the count at the last pass) that
+/// triggers another between-query inprocessing pass in shared mode.
+const INPROCESS_LEARNT_DELTA: u64 = 512;
 
 impl SatAlg {
     /// Creates an empty SAT algebra.
     #[must_use]
     pub fn new() -> SatAlg {
         SatAlg::default()
+    }
+
+    /// Creates an empty SAT algebra in shared-solver mode: the one
+    /// growing encoding is kept, but every tautology/countermodel
+    /// query is restricted to the variable [`hfta_sat::Domain`] of its
+    /// transitive support, and subsumption inprocessing runs between
+    /// queries. Verdicts are bit-identical to [`SatAlg::new`]'s —
+    /// domains are definition-closed and the encoding is purely
+    /// definitional — but a query no longer pays for unrelated logic
+    /// accumulated by earlier queries.
+    #[must_use]
+    pub fn new_shared() -> SatAlg {
+        let mut alg = SatAlg::default();
+        alg.cnf.set_dep_tracking(true);
+        alg.shared = true;
+        alg
+    }
+
+    /// Whether shared-solver (domain-restricted) mode is on.
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        self.shared
     }
 
     /// Number of tautology (SAT) queries issued so far.
@@ -138,6 +178,20 @@ impl SatAlg {
     #[must_use]
     pub fn cnf(&self) -> &CnfBuilder {
         &self.cnf
+    }
+
+    /// Runs a between-query inprocessing pass when the learnt database
+    /// has grown enough since the last one.
+    fn maybe_inprocess(&mut self) {
+        let learnts = self.cnf.solver().stats().learnt_clauses;
+        if learnts
+            >= self
+                .last_inprocess_learnts
+                .saturating_add(INPROCESS_LEARNT_DELTA)
+        {
+            self.cnf.solver_mut().inprocess();
+            self.last_inprocess_learnts = self.cnf.solver().stats().learnt_clauses;
+        }
     }
 }
 
@@ -195,6 +249,12 @@ impl BoolAlg for SatAlg {
 
     fn is_tautology(&mut self, a: Lit) -> bool {
         self.tautology_queries += 1;
+        if self.shared {
+            self.maybe_inprocess();
+            let dom = self.cnf.domain_of(&[a]);
+            self.domains_built += 1;
+            return self.cnf.is_implied_domain(a, &dom);
+        }
         self.cnf.is_implied(a)
     }
 
@@ -205,6 +265,17 @@ impl BoolAlg for SatAlg {
             return Some(self.is_tautology(a));
         }
         self.tautology_queries += 1;
+        if self.shared {
+            // Domain restriction stays sound under a budget: `Sat` and
+            // `Unsat` answers remain exact, `Unknown` degrades as
+            // usual. (Layers additionally prefer fresh per-cone
+            // solvers for budgeted runs — see `AnalysisConfig` — so
+            // budgeted results stay bit-identical to the baseline.)
+            self.maybe_inprocess();
+            let dom = self.cnf.domain_of(&[a]);
+            self.domains_built += 1;
+            return self.cnf.is_implied_domain_budgeted(a, budget, &dom);
+        }
         self.cnf.is_implied_budgeted(a, budget)
     }
 
@@ -215,6 +286,8 @@ impl BoolAlg for SatAlg {
             conflicts: s.conflicts,
             propagations: s.propagations,
             learnt_clauses: s.learnt_clauses,
+            domains_built: self.domains_built,
+            clauses_subsumed: s.clauses_subsumed + s.clauses_strengthened,
         }
     }
 
@@ -228,7 +301,21 @@ impl BoolAlg for SatAlg {
 
     fn countermodel(&mut self, a: Lit, num_inputs: usize) -> Option<Vec<bool>> {
         self.tautology_queries += 1;
-        match self.cnf.solve_with(&[!a]) {
+        let result = if self.shared {
+            self.maybe_inprocess();
+            // The domain must cover the queried inputs so the model
+            // assigns them (out-of-domain inputs default to `false`
+            // below, exactly as a fresh per-cone solver leaves
+            // never-encoded inputs unconstrained).
+            let mut roots = vec![a];
+            roots.extend((0..num_inputs).filter_map(|i| self.inputs.get(&i).copied()));
+            let dom = self.cnf.domain_of(&roots);
+            self.domains_built += 1;
+            self.cnf.solve_domain(&[!a], &dom)
+        } else {
+            self.cnf.solve_with(&[!a])
+        };
+        match result {
             hfta_sat::SatResult::Unsat => None,
             hfta_sat::SatResult::Sat => Some(
                 (0..num_inputs)

@@ -177,6 +177,14 @@ pub struct AnalysisConfig {
     /// Keep one persistent stability oracle per refined cone
     /// (demand-driven analysis only).
     pub reuse_oracle: bool,
+    /// Shared-solver mode: one incremental SAT instance per
+    /// module/signature class, with each stability query restricted to
+    /// the variable domain of its cone's transitive fanin, cross-cone
+    /// learnt sharing, and between-query inprocessing. On by default;
+    /// only unlimited-budget paths use it (budgeted runs fall back to
+    /// fresh per-cone solvers so degraded results stay bit-identical
+    /// to the baseline). Verdicts are bit-identical either way.
+    pub shared_solver: bool,
     /// Cap on demand-driven refinement rounds (`None` = run to
     /// fixpoint).
     pub max_rounds: Option<usize>,
@@ -203,6 +211,7 @@ impl Default for AnalysisConfig {
             budget: SolveBudget::UNLIMITED,
             cone_sig: true,
             reuse_oracle: true,
+            shared_solver: true,
             max_rounds: None,
             max_tuples: 4,
             lengths_cap: 32,
@@ -268,6 +277,15 @@ impl AnalysisConfig {
     #[must_use]
     pub fn with_reuse_oracle(mut self, on: bool) -> Self {
         self.reuse_oracle = on;
+        self
+    }
+
+    /// Turns shared-solver mode on or off (see
+    /// [`AnalysisConfig::shared_solver`]). Verdicts are bit-identical
+    /// either way; only the work to reach them changes.
+    #[must_use]
+    pub fn with_shared_solver(mut self, on: bool) -> Self {
+        self.shared_solver = on;
         self
     }
 
@@ -345,6 +363,7 @@ impl From<&AnalysisConfig> for CharacterizeOptions {
             .with_try_irrelevant(cfg.try_irrelevant)
             .with_budget(cfg.budget)
             .with_cone_sig(cfg.cone_sig)
+            .with_shared_solver(cfg.shared_solver)
     }
 }
 

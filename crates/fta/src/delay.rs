@@ -60,6 +60,23 @@ impl<'a> DelayAnalyzer<'a, SatAlg> {
     pub fn new_sat(netlist: &'a Netlist, pi_arrivals: &[Time]) -> Result<Self, NetlistError> {
         DelayAnalyzer::new(netlist, pi_arrivals, SatAlg::new())
     }
+
+    /// Like [`DelayAnalyzer::new_sat`], but the backend runs in
+    /// shared-solver mode ([`SatAlg::new_shared`]): the whole netlist's
+    /// stability probes go through one incremental SAT instance, each
+    /// query domain-restricted to the probed output's transitive fanin,
+    /// with subsumption inprocessing between queries. Arrivals and
+    /// verdicts are bit-identical to `new_sat`'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn new_sat_shared(
+        netlist: &'a Netlist,
+        pi_arrivals: &[Time],
+    ) -> Result<Self, NetlistError> {
+        DelayAnalyzer::new(netlist, pi_arrivals, SatAlg::new_shared())
+    }
 }
 
 impl<'a, A: BoolAlg> DelayAnalyzer<'a, A> {

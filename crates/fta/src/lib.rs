@@ -53,6 +53,7 @@ pub mod paths;
 pub mod report;
 pub mod required;
 pub mod sequential;
+pub mod shared;
 pub mod sta;
 pub mod stability;
 
@@ -75,5 +76,6 @@ pub use required::{
     CharacterizeOptions, Characterizer, ConeSigCache,
 };
 pub use sequential::{SequentialAnalysis, SequentialAnalyzer, SequentialEngine};
+pub use shared::SharedStabilityEngine;
 pub use sta::TopoSta;
 pub use stability::{PhaseWall, StabilityAnalyzer, StabilityStats};

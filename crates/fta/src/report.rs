@@ -86,7 +86,15 @@ impl TimingReport {
         let span = tracer.is_enabled().then(|| tracer.begin("timing_report"));
         let sta = TopoSta::new(netlist)?;
         let topo = sta.arrival_times(pi_arrivals);
-        let mut an = DelayAnalyzer::new_sat(netlist, pi_arrivals)?;
+        // Shared-solver mode answers every output's probes from one
+        // domain-restricted incremental instance; arrivals are
+        // bit-identical. Budgeted runs keep the plain backend so
+        // degradations match the baseline exactly.
+        let mut an = if config.shared_solver && config.budget.is_unlimited() {
+            DelayAnalyzer::new_sat_shared(netlist, pi_arrivals)?
+        } else {
+            DelayAnalyzer::new_sat(netlist, pi_arrivals)?
+        };
         an.set_budget(config.budget);
         if tracer.is_enabled() {
             an.alg_mut().set_episode_recording(true);

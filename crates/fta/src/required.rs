@@ -55,6 +55,13 @@ pub struct CharacterizeOptions {
     /// bit-identical to a fresh analysis). On by default; callers that
     /// pass no cache are unaffected.
     pub cone_sig: bool,
+    /// Shared-solver mode: validate every candidate tuple of every
+    /// cone against **one** incremental SAT instance per
+    /// characterization pass (each query domain-restricted to its
+    /// cone's transitive fanin), instead of a fresh solver per cone.
+    /// Verdicts are bit-identical; only unlimited-budget runs use it
+    /// (budgeted runs keep fresh per-cone solvers). On by default.
+    pub shared_solver: bool,
 }
 
 impl Default for CharacterizeOptions {
@@ -65,6 +72,7 @@ impl Default for CharacterizeOptions {
             try_irrelevant: true,
             budget: SolveBudget::UNLIMITED,
             cone_sig: true,
+            shared_solver: true,
         }
     }
 }
@@ -102,6 +110,14 @@ impl CharacterizeOptions {
     #[must_use]
     pub fn with_cone_sig(mut self, on: bool) -> Self {
         self.cone_sig = on;
+        self
+    }
+
+    /// Enables or disables shared-solver mode (see
+    /// [`CharacterizeOptions::shared_solver`]).
+    #[must_use]
+    pub fn with_shared_solver(mut self, on: bool) -> Self {
+        self.shared_solver = on;
         self
     }
 }
@@ -230,6 +246,12 @@ pub struct Characterizer<'a> {
     checks: u64,
     stability: StabilityStats,
     tracer: Tracer,
+    /// Shared-solver mode's one module-wide analyzer: every candidate
+    /// tuple of every cone is validated against this single incremental
+    /// SAT instance, each check domain-restricted to the queried
+    /// output's transitive fanin. Built lazily on the first
+    /// characterization; `None` when shared mode is off.
+    shared: Option<StabilityAnalyzer<'a, SatAlg>>,
 }
 
 impl<'a> Characterizer<'a> {
@@ -242,6 +264,7 @@ impl<'a> Characterizer<'a> {
             checks: 0,
             stability: StabilityStats::default(),
             tracer: Tracer::disabled(),
+            shared: None,
         }
     }
 
@@ -273,11 +296,16 @@ impl<'a> Characterizer<'a> {
 
     /// Stability/solver work accumulated over all characterizations so
     /// far. One persistent per-cone analyzer backs each
-    /// [`Characterizer::output_model`] call, so these counters reflect
-    /// the amortized (not per-probe) cost.
+    /// [`Characterizer::output_model`] call (or, in shared-solver mode,
+    /// one module-wide analyzer backs all of them), so these counters
+    /// reflect the amortized (not per-probe) cost.
     #[must_use]
     pub fn stability_stats(&self) -> StabilityStats {
-        self.stability
+        let mut s = self.stability;
+        if let Some(shared) = &self.shared {
+            s.merge(&shared.stats());
+        }
+        s
     }
 
     /// The timing model of one output over the module's full input
@@ -373,7 +401,7 @@ impl<'a> Characterizer<'a> {
             })
             .collect();
         let full_len = self.netlist.inputs().len();
-        let expand = move |tuples: Vec<TimingTuple>| {
+        let expand = |tuples: Vec<TimingTuple>| {
             let expanded = tuples
                 .into_iter()
                 .map(|t| {
@@ -417,8 +445,15 @@ impl<'a> Characterizer<'a> {
             if self.tracer.is_enabled() {
                 self.tracer.event("cone_sig_miss", vec![]);
             }
-            let (tuples, hit_budget) =
-                self.characterize_cone(&cone, cone_out, &lists, &topo, &by_criticality)?;
+            let (tuples, hit_budget) = self.characterize_cone(
+                &cone,
+                cone_out,
+                output,
+                &positions,
+                &lists,
+                &topo,
+                &by_criticality,
+            )?;
             let slot_tuples = tuples
                 .iter()
                 .map(|t| {
@@ -436,8 +471,15 @@ impl<'a> Characterizer<'a> {
             return Ok((expand(tuples), None));
         }
 
-        let (tuples, _) =
-            self.characterize_cone(&cone, cone_out, &lists, &topo, &by_criticality)?;
+        let (tuples, _) = self.characterize_cone(
+            &cone,
+            cone_out,
+            output,
+            &positions,
+            &lists,
+            &topo,
+            &by_criticality,
+        )?;
         Ok((expand(tuples), None))
     }
 
@@ -471,42 +513,86 @@ impl<'a> Characterizer<'a> {
     /// The uncached core: greedy relaxation passes plus the topological
     /// floor, returning the unpruned cone tuples and whether the budget
     /// interfered.
+    #[allow(clippy::too_many_arguments)]
     fn characterize_cone(
         &mut self,
         cone: &Netlist,
         cone_out: NetId,
+        output: NetId,
+        positions: &[usize],
+        lists: &[Vec<Time>],
+        topo: &[Time],
+        by_criticality: &[usize],
+    ) -> Result<(Vec<TimingTuple>, bool), NetlistError> {
+        if self.opts.shared_solver && self.opts.budget.is_unlimited() {
+            // Shared-solver mode: one module-wide analyzer validates
+            // every candidate tuple of every cone. Each check is
+            // domain-restricted to the queried output's transitive
+            // fanin, so cones don't pay for each other's logic, while
+            // learnt clauses, the Tseitin cache, and between-query
+            // inprocessing are shared across all of them. Both decision
+            // procedures are exact, so verdicts — and therefore tuples
+            // — are bit-identical to the per-cone path.
+            let mut analyzer = match self.shared.take() {
+                Some(a) => a,
+                None => {
+                    let far = vec![Time::POS_INF; self.netlist.inputs().len()];
+                    let mut a = StabilityAnalyzer::new(self.netlist, &far, SatAlg::new_shared())?;
+                    a.set_budget(self.opts.budget);
+                    a
+                }
+            };
+            if self.tracer.is_enabled() {
+                analyzer.alg_mut().set_episode_recording(true);
+            }
+            let query = QueryShape {
+                net: output,
+                map: Some((positions, self.netlist.inputs().len())),
+            };
+            let result = self.run_passes(&mut analyzer, &query, lists, topo, by_criticality);
+            // Cumulative shared-analyzer stats are folded in by
+            // `stability_stats` — merging per cone would double-count.
+            self.shared = Some(analyzer);
+            result
+        } else {
+            // One persistent analyzer validates every candidate tuple
+            // of this cone: each check rebinds the arrivals but keeps
+            // the SAT solver (learnt clauses, Tseitin cache) and the
+            // settled-function memo warm.
+            let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
+            let mut analyzer = StabilityAnalyzer::new(cone, &topo_arrivals, SatAlg::new())?;
+            analyzer.set_budget(self.opts.budget);
+            if self.tracer.is_enabled() {
+                analyzer.alg_mut().set_episode_recording(true);
+            }
+            let query = QueryShape {
+                net: cone_out,
+                map: None,
+            };
+            let result = self.run_passes(&mut analyzer, &query, lists, topo, by_criticality);
+            self.stability.merge(&analyzer.stats());
+            result
+        }
+    }
+
+    /// The greedy relaxation passes shared by both analyzer shapes.
+    fn run_passes(
+        &mut self,
+        analyzer: &mut StabilityAnalyzer<'_, SatAlg>,
+        query: &QueryShape<'_>,
         lists: &[Vec<Time>],
         topo: &[Time],
         by_criticality: &[usize],
     ) -> Result<(Vec<TimingTuple>, bool), NetlistError> {
         let n_cone = lists.len();
-        // One persistent analyzer validates every candidate tuple of
-        // this cone: each check rebinds the arrivals but keeps the SAT
-        // solver (learnt clauses, Tseitin cache) and the settled
-        // -function memo warm.
-        let topo_arrivals: Vec<Time> = topo.iter().map(|&d| -d).collect();
-        let mut analyzer = StabilityAnalyzer::new(cone, &topo_arrivals, SatAlg::new())?;
-        analyzer.set_budget(self.opts.budget);
-        if self.tracer.is_enabled() {
-            analyzer.alg_mut().set_episode_recording(true);
-        }
-
         let passes = self.opts.max_tuples.max(1).min(n_cone);
         let mut tuples = Vec::with_capacity(passes + 1);
         let mut hit_budget = false;
         for seed in 0..passes {
             let mut order = by_criticality.to_vec();
             order.rotate_left(seed);
-            tuples.push(self.greedy_pass(
-                &mut analyzer,
-                cone_out,
-                lists,
-                topo,
-                &order,
-                &mut hit_budget,
-            )?);
+            tuples.push(self.greedy_pass(analyzer, query, lists, topo, &order, &mut hit_budget)?);
         }
-        self.stability.merge(&analyzer.stats());
         if hit_budget {
             self.stability.degraded += 1;
         }
@@ -523,7 +609,7 @@ impl<'a> Characterizer<'a> {
     fn greedy_pass(
         &mut self,
         analyzer: &mut StabilityAnalyzer<'_, SatAlg>,
-        cone_out: NetId,
+        query: &QueryShape<'_>,
         lists: &[Vec<Time>],
         topo: &[Time],
         order: &[usize],
@@ -536,7 +622,7 @@ impl<'a> Characterizer<'a> {
             for &l in &list[1..] {
                 let mut candidate = delays.clone();
                 candidate[i] = l;
-                match self.tuple_is_valid(analyzer, cone_out, &candidate) {
+                match self.tuple_is_valid(analyzer, query, &candidate) {
                     Some(true) => {
                         delays[i] = l;
                         self.trace_relax(i, l, "ok");
@@ -556,7 +642,7 @@ impl<'a> Characterizer<'a> {
             if reached_bottom && self.opts.try_irrelevant {
                 let mut candidate = delays.clone();
                 candidate[i] = Time::NEG_INF;
-                match self.tuple_is_valid(analyzer, cone_out, &candidate) {
+                match self.tuple_is_valid(analyzer, query, &candidate) {
                     Some(true) => {
                         delays[i] = Time::NEG_INF;
                         self.trace_relax(i, Time::NEG_INF, "ok");
@@ -592,13 +678,25 @@ impl<'a> Characterizer<'a> {
     fn tuple_is_valid(
         &mut self,
         analyzer: &mut StabilityAnalyzer<'_, SatAlg>,
-        cone_out: NetId,
+        query: &QueryShape<'_>,
         delays: &[Time],
     ) -> Option<bool> {
         self.checks += 1;
-        let arrivals: Vec<Time> = delays.iter().map(|&d| -d).collect();
+        let arrivals: Vec<Time> = match query.map {
+            None => delays.iter().map(|&d| -d).collect(),
+            // Module-level check: cone inputs arrive at −delay; inputs
+            // outside the cone never arrive, which cannot change the
+            // verdict (they are outside the queried net's support).
+            Some((positions, full_len)) => {
+                let mut arrivals = vec![Time::POS_INF; full_len];
+                for (i, &p) in positions.iter().enumerate() {
+                    arrivals[p] = -delays[i];
+                }
+                arrivals
+            }
+        };
         analyzer.set_arrivals(&arrivals);
-        let verdict = analyzer.try_is_stable_at(cone_out, Time::ZERO);
+        let verdict = analyzer.try_is_stable_at(query.net, Time::ZERO);
         if self.tracer.is_enabled() {
             for ep in analyzer.alg_mut().take_episodes() {
                 self.tracer
@@ -607,6 +705,16 @@ impl<'a> Characterizer<'a> {
         }
         verdict
     }
+}
+
+/// Where a candidate tuple's validity check lands: the cone-local
+/// output of a per-cone analyzer (`map: None`), or a module-level net
+/// of the shared analyzer together with the cone→module input mapping
+/// needed to place the arrival condition (`map: Some((positions,
+/// module_input_count))`).
+struct QueryShape<'p> {
+    net: NetId,
+    map: Option<(&'p [usize], usize)>,
 }
 
 /// Convenience: characterizes every output of a module.

@@ -95,6 +95,20 @@ pub struct StabilityStats {
     /// Signature-cache probes that missed and ran fresh analysis
     /// (seeding the cache). Zero when signature sharing is off.
     pub cone_sig_misses: u64,
+    /// Per-query variable domains built by a shared solver (see
+    /// `hfta_sat::Domain`): each stability query restricted to its
+    /// cone's transitive-fanin variables instead of a fresh encoding.
+    /// Zero when shared-solver mode is off.
+    pub domains_built: u64,
+    /// Learnt clauses removed or strengthened by the shared solver's
+    /// between-query inprocessing (subsumption + self-subsuming
+    /// resolution). Zero when shared-solver mode is off.
+    pub clauses_subsumed: u64,
+    /// Learnt clauses already warm in a shared engine when a new cone
+    /// of the same signature class attached to it (cross-cone learnt
+    /// sharing via slot-permuted routing). Zero when shared-solver
+    /// mode is off.
+    pub learnts_imported: u64,
     /// Module models served from a persistent on-disk model database
     /// instead of fresh characterization (see `hfta-modeldb`).
     pub model_db_hits: u64,
@@ -154,6 +168,9 @@ impl StabilityStats {
         self.degraded += other.degraded;
         self.cone_sig_hits += other.cone_sig_hits;
         self.cone_sig_misses += other.cone_sig_misses;
+        self.domains_built += other.domains_built;
+        self.clauses_subsumed += other.clauses_subsumed;
+        self.learnts_imported += other.learnts_imported;
         self.model_db_hits += other.model_db_hits;
         self.model_db_misses += other.model_db_misses;
         self.wall.characterize_micros += other.wall.characterize_micros;
@@ -171,6 +188,8 @@ impl StabilityStats {
              {} learnt clauses\n\
              budget: {} exhausted queries, {} degraded to topological\n\
              cone signatures: {} hits, {} misses\n\
+             shared solver: {} domains built, {} clauses subsumed, \
+             {} learnts imported\n\
              model db: {} hits, {} misses\n\
              wall: {}us characterize, {}us refine, {}us propagate",
             self.queries,
@@ -187,6 +206,9 @@ impl StabilityStats {
             self.degraded,
             self.cone_sig_hits,
             self.cone_sig_misses,
+            self.domains_built,
+            self.clauses_subsumed,
+            self.learnts_imported,
             self.model_db_hits,
             self.model_db_misses,
             self.wall.characterize_micros,
@@ -338,6 +360,8 @@ impl<A: BoolAlg> Engine<A> {
             solver_conflicts: backend.conflicts,
             solver_propagations: backend.propagations,
             learnt_clauses: backend.learnt_clauses,
+            domains_built: backend.domains_built,
+            clauses_subsumed: backend.clauses_subsumed,
             ..self.stats
         }
     }

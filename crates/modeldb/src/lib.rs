@@ -48,7 +48,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 use hfta_fta::{CharacterizeOptions, ModelSource, ModuleTiming, TimingModel};
 use hfta_netlist::{cone_signature, exact_fingerprint, Netlist, Time};
@@ -430,6 +431,14 @@ impl ModelDb {
 
     fn evict_over_limit(&mut self) {
         let Some(limit) = self.limit else { return };
+        // Serialize eviction across writers sharing the directory: two
+        // concurrent LRU scans would each compute `excess` against the
+        // same listing and together delete twice as many records as
+        // intended. Losing the race is fine — eviction is opportunistic
+        // and the next over-limit store retries.
+        let Some(_lock) = self.try_lock_eviction() else {
+            return;
+        };
         let Ok(mut files) = self.model_files() else {
             return;
         };
@@ -446,6 +455,50 @@ impl ModelDb {
                 self.stats.evictions += 1;
             }
         }
+    }
+
+    /// Takes the advisory eviction lock (a `create_new` lock file in
+    /// the database directory), or returns `None` when another live
+    /// writer holds it. A lock older than [`EVICT_LOCK_STALE`] was
+    /// leaked by a crashed process and is broken and re-taken.
+    fn try_lock_eviction(&self) -> Option<EvictLock> {
+        let path = self.dir.join(EVICT_LOCK);
+        for _ in 0..2 {
+            match fs::File::options().write(true).create_new(true).open(&path) {
+                Ok(_) => return Some(EvictLock(path)),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| SystemTime::now().duration_since(m).ok())
+                        .is_some_and(|age| age > EVICT_LOCK_STALE);
+                    if !stale {
+                        return None;
+                    }
+                    let _ = fs::remove_file(&path);
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+/// Name of the advisory lock file that serializes LRU eviction among
+/// writers sharing a database directory.
+const EVICT_LOCK: &str = ".evict.lock";
+
+/// Age past which an eviction lock is presumed leaked by a dead
+/// process and taken over.
+const EVICT_LOCK_STALE: Duration = Duration::from_secs(10);
+
+/// RAII guard for the eviction lock file: dropping it releases the
+/// lock by deleting the file.
+struct EvictLock(PathBuf);
+
+impl Drop for EvictLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.0);
     }
 }
 
@@ -800,9 +853,18 @@ fn parse_hex128(tok: Option<&str>) -> Option<u128> {
 }
 
 fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    // A fixed temp name would let two concurrent writers interleave
+    // write/rename on the same temp file and publish a torn record.
+    // pid + a process-local counter make the temp path unique per
+    // in-flight store; the rename is then the only shared step, and
+    // rename is atomic.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
     fs::write(&tmp, contents)?;
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
 /// FNV-1a, the record checksum. Not cryptographic — it guards against
@@ -884,6 +946,97 @@ mod tests {
         }
         let mut db = ModelDb::open_read_only(&dir);
         assert_eq!(db.probe(&nl, ModelSource::Functional, &opts), Some(timing));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_writers_race_safely() {
+        let dir = temp_db_dir("race");
+        fs::create_dir_all(&dir).unwrap();
+        // 16 structurally distinct tiny blocks (delay is part of the
+        // exact fingerprint, so each gets its own record file).
+        let variants: Vec<Netlist> = (1..=16)
+            .map(|d| {
+                carry_skip_block(
+                    1,
+                    CsaDelays {
+                        and_or: d,
+                        xor: 2,
+                        mux: 2,
+                    },
+                )
+            })
+            .collect();
+        let timings: Vec<ModuleTiming> = variants.iter().map(characterized).collect();
+        let opts = CharacterizeOptions::default();
+        // Two writers share the directory, store the variants in
+        // opposite orders under a tight limit (every store races an
+        // eviction scan), and probe as they go.
+        std::thread::scope(|scope| {
+            for t in 0..2usize {
+                let (dir, variants, timings, opts) = (&dir, &variants, &timings, &opts);
+                scope.spawn(move || {
+                    let mut db = ModelDb::open(dir).unwrap();
+                    db.set_limit(Some(4));
+                    for _ in 0..3 {
+                        for i in 0..variants.len() {
+                            let idx = if t == 0 { i } else { variants.len() - 1 - i };
+                            db.store(
+                                &variants[idx],
+                                ModelSource::Functional,
+                                opts,
+                                &timings[idx],
+                                false,
+                            );
+                            db.probe(&variants[idx], ModelSource::Functional, opts);
+                        }
+                    }
+                });
+            }
+        });
+        // Every surviving record must parse cleanly — a torn write
+        // (shared temp file) or a double eviction scan would surface
+        // here as an audit error or an unreadable file.
+        let db = ModelDb::open_read_only(&dir);
+        for rec in db.audit().unwrap() {
+            assert!(
+                rec.error.is_none(),
+                "torn record {}: {:?}",
+                rec.file,
+                rec.error
+            );
+        }
+        // No stray temp files, and the advisory eviction lock was
+        // released.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(!name.contains("tmp"), "leftover temp file {name}");
+            assert_ne!(name, EVICT_LOCK, "leaked eviction lock");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_eviction_lock_is_broken() {
+        let dir = temp_db_dir("stalelock");
+        fs::create_dir_all(&dir).unwrap();
+        let lock = dir.join(EVICT_LOCK);
+        fs::write(&lock, "pid 0\n").unwrap();
+        // Backdate the lock past the stale horizon.
+        fs::File::options()
+            .write(true)
+            .open(&lock)
+            .unwrap()
+            .set_modified(SystemTime::now() - EVICT_LOCK_STALE - Duration::from_secs(5))
+            .unwrap();
+        let db = ModelDb::open(&dir).unwrap();
+        let held = db.try_lock_eviction();
+        assert!(held.is_some(), "stale lock must be broken and re-taken");
+        drop(held);
+        assert!(!lock.exists(), "lock released on drop");
+        // A fresh (live) lock is respected.
+        fs::write(&lock, "pid 0\n").unwrap();
+        assert!(db.try_lock_eviction().is_none(), "live lock must defer");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,4 +1,4 @@
-use crate::{BudgetedSatResult, Lit, SatResult, SolveBudget, Solver, Var};
+use crate::{BudgetedSatResult, Domain, Lit, SatResult, SolveBudget, Solver, Var};
 
 /// Incremental Tseitin-style CNF construction over a [`Solver`].
 ///
@@ -24,16 +24,109 @@ use crate::{BudgetedSatResult, Lit, SatResult, SolveBudget, Solver, Var};
 pub struct CnfBuilder {
     solver: Solver,
     const_true: Option<Lit>,
+    /// When on, every `emit_*` definition records which variables the
+    /// defined output depends on, enabling [`CnfBuilder::domain_of`].
+    track_deps: bool,
+    /// Per-variable `(start, len)` slice of `dep_arena`: the operand
+    /// variables of the gate defining this variable. `(0, 0)` for
+    /// leaves (inputs, constants).
+    dep_span: Vec<(u32, u32)>,
+    dep_arena: Vec<Var>,
+    /// Stamp-based visited marks for `domain_of`'s DFS (reused across
+    /// calls without clearing).
+    visit_stamp: Vec<u32>,
+    stamp: u32,
+    /// Set when a non-definitional constraint (`add_clause`,
+    /// `assert_lit`, `emit_equal`, `emit_implies`) was added while
+    /// tracking — such constraints void the domain soundness contract.
+    non_definitional: bool,
 }
 
 impl CnfBuilder {
     /// Creates an empty builder.
     #[must_use]
     pub fn new() -> CnfBuilder {
-        CnfBuilder {
-            solver: Solver::new(),
-            const_true: None,
+        CnfBuilder::default()
+    }
+
+    /// Turns operand-dependency tracking on, enabling
+    /// [`CnfBuilder::domain_of`]. Must be called before any variable
+    /// is allocated so every definition is covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder already holds variables.
+    pub fn set_dep_tracking(&mut self, on: bool) {
+        assert!(
+            self.solver.num_vars() == 0,
+            "dependency tracking must be enabled on an empty builder"
+        );
+        self.track_deps = on;
+    }
+
+    /// Whether operand-dependency tracking is on.
+    #[must_use]
+    pub fn dep_tracking(&self) -> bool {
+        self.track_deps
+    }
+
+    /// Records that `z`'s variable is defined in terms of `ops`.
+    fn record_def(&mut self, z: Lit, ops: &[Lit]) {
+        if !self.track_deps {
+            return;
         }
+        let vi = z.var().index();
+        if self.dep_span.len() <= vi {
+            self.dep_span.resize(vi + 1, (0, 0));
+        }
+        let start = u32::try_from(self.dep_arena.len()).expect("dep arena overflow");
+        self.dep_arena.extend(ops.iter().map(|l| l.var()));
+        self.dep_span[vi] = (start, u32::try_from(ops.len()).expect("operand count"));
+    }
+
+    /// The definition-closed variable domain of `roots`: every root
+    /// variable plus, transitively, the operand variables of each
+    /// defined variable reached (and the shared constant-true
+    /// variable, if allocated). Satisfies the [`Domain`] soundness
+    /// contract, so [`CnfBuilder::solve_domain`] on the result is
+    /// exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dependency tracking is off, or if a non-definitional
+    /// constraint (`add_clause`, `assert_lit`, `emit_equal`,
+    /// `emit_implies`) was added while tracking — those void the
+    /// contract.
+    pub fn domain_of(&mut self, roots: &[Lit]) -> Domain {
+        assert!(self.track_deps, "domain_of requires dependency tracking");
+        assert!(
+            !self.non_definitional,
+            "non-definitional constraints void the domain soundness contract"
+        );
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.visit_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+        if self.visit_stamp.len() < self.solver.num_vars() {
+            self.visit_stamp.resize(self.solver.num_vars(), 0);
+        }
+        let mut vars: Vec<Var> = Vec::new();
+        let mut stack: Vec<Var> = roots.iter().map(|l| l.var()).collect();
+        if let Some(t) = self.const_true {
+            stack.push(t.var());
+        }
+        while let Some(v) = stack.pop() {
+            let vi = v.index();
+            if self.visit_stamp[vi] == self.stamp {
+                continue;
+            }
+            self.visit_stamp[vi] = self.stamp;
+            vars.push(v);
+            let (start, len) = self.dep_span.get(vi).copied().unwrap_or((0, 0));
+            stack.extend_from_slice(&self.dep_arena[start as usize..(start + len) as usize]);
+        }
+        Domain::from_vars(vars)
     }
 
     /// Allocates a fresh variable.
@@ -62,8 +155,10 @@ impl CnfBuilder {
         !self.lit_true()
     }
 
-    /// Adds a raw clause.
+    /// Adds a raw clause. Voids the domain soundness contract when
+    /// dependency tracking is on (see [`CnfBuilder::domain_of`]).
     pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.non_definitional |= self.track_deps;
         self.solver.add_clause(lits);
     }
 
@@ -85,6 +180,7 @@ impl CnfBuilder {
                 let mut clause: Vec<Lit> = inputs.iter().map(|&i| !i).collect();
                 clause.push(z);
                 self.solver.add_clause(&clause);
+                self.record_def(z, inputs);
                 z
             }
         }
@@ -103,6 +199,7 @@ impl CnfBuilder {
         self.solver.add_clause(&[!z, !a, !b]);
         self.solver.add_clause(&[z, !a, b]);
         self.solver.add_clause(&[z, a, !b]);
+        self.record_def(z, &[a, b]);
         z
     }
 
@@ -116,22 +213,30 @@ impl CnfBuilder {
         // Redundant consensus clauses help propagation.
         self.solver.add_clause(&[!a, !b, z]);
         self.solver.add_clause(&[a, b, !z]);
+        self.record_def(z, &[s, a, b]);
         z
     }
 
-    /// Emits `a ⇔ b`.
+    /// Emits `a ⇔ b`. Voids the domain soundness contract when
+    /// dependency tracking is on (constrains rather than defines).
     pub fn emit_equal(&mut self, a: Lit, b: Lit) {
+        self.non_definitional |= self.track_deps;
         self.solver.add_clause(&[!a, b]);
         self.solver.add_clause(&[a, !b]);
     }
 
-    /// Emits `a ⇒ b`.
+    /// Emits `a ⇒ b`. Voids the domain soundness contract when
+    /// dependency tracking is on (constrains rather than defines).
     pub fn emit_implies(&mut self, a: Lit, b: Lit) {
+        self.non_definitional |= self.track_deps;
         self.solver.add_clause(&[!a, b]);
     }
 
-    /// Asserts that `l` holds.
+    /// Asserts that `l` holds. Voids the domain soundness contract
+    /// when dependency tracking is on (constrains rather than
+    /// defines).
     pub fn assert_lit(&mut self, l: Lit) {
+        self.non_definitional |= self.track_deps;
         self.solver.add_clause(&[l]);
     }
 
@@ -154,10 +259,49 @@ impl CnfBuilder {
         self.solver.solve_budgeted(assumptions, budget)
     }
 
+    /// Domain-restricted [`CnfBuilder::solve_with`] (see
+    /// [`Solver::solve_domain`]).
+    pub fn solve_domain(&mut self, assumptions: &[Lit], domain: &Domain) -> SatResult {
+        self.solver.solve_domain(assumptions, domain)
+    }
+
+    /// Domain-restricted [`CnfBuilder::solve_with_budget`].
+    pub fn solve_domain_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &SolveBudget,
+        domain: &Domain,
+    ) -> BudgetedSatResult {
+        self.solver
+            .solve_domain_budgeted(assumptions, budget, domain)
+    }
+
     /// Returns `true` if `l` holds in every satisfying assignment
     /// (decided by refuting `¬l`).
     pub fn is_implied(&mut self, l: Lit) -> bool {
         self.solver.solve_with(&[!l]) == SatResult::Unsat
+    }
+
+    /// [`CnfBuilder::is_implied`], restricted to `domain` (which must
+    /// contain `l`'s variable and satisfy the [`Domain`] contract —
+    /// `self.domain_of(&[l])` does).
+    pub fn is_implied_domain(&mut self, l: Lit, domain: &Domain) -> bool {
+        self.solver.solve_domain(&[!l], domain) == SatResult::Unsat
+    }
+
+    /// Budgeted [`CnfBuilder::is_implied_domain`]: `None` when the
+    /// budget ran out before the implication query was decided.
+    pub fn is_implied_domain_budgeted(
+        &mut self,
+        l: Lit,
+        budget: &SolveBudget,
+        domain: &Domain,
+    ) -> Option<bool> {
+        match self.solver.solve_domain_budgeted(&[!l], budget, domain) {
+            BudgetedSatResult::Unsat => Some(true),
+            BudgetedSatResult::Sat => Some(false),
+            BudgetedSatResult::Unknown(_) => None,
+        }
     }
 
     /// Budgeted [`CnfBuilder::is_implied`]: `None` when the budget ran
@@ -287,6 +431,94 @@ mod tests {
         let w = cnf.emit_and(&[a, na]);
         assert!(cnf.is_implied(!w));
         assert!(!cnf.is_implied(a));
+    }
+
+    /// Builds a deterministic pseudo-random gate network and checks
+    /// that every domain-restricted verdict equals the plain verdict.
+    #[test]
+    fn domain_restricted_matches_plain() {
+        let mut seed = 0x2545F491_4F6CDD1Du64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..8 {
+            let mut tracked = CnfBuilder::new();
+            tracked.set_dep_tracking(true);
+            let mut plain = CnfBuilder::new();
+            let n_inputs = 3 + (round % 3);
+            let mut t_pool: Vec<Lit> = (0..n_inputs).map(|_| tracked.new_lit()).collect();
+            let mut p_pool: Vec<Lit> = (0..n_inputs).map(|_| plain.new_lit()).collect();
+            for _ in 0..12 {
+                let r = rng();
+                let i = (r as usize) % t_pool.len();
+                let j = ((r >> 16) as usize) % t_pool.len();
+                let neg_i = r & (1 << 32) != 0;
+                let neg_j = r & (1 << 33) != 0;
+                let (ta, pa) = if neg_i {
+                    (!t_pool[i], !p_pool[i])
+                } else {
+                    (t_pool[i], p_pool[i])
+                };
+                let (tb, pb) = if neg_j {
+                    (!t_pool[j], !p_pool[j])
+                } else {
+                    (t_pool[j], p_pool[j])
+                };
+                let (tz, pz) = match (r >> 34) % 3 {
+                    0 => (tracked.emit_and(&[ta, tb]), plain.emit_and(&[pa, pb])),
+                    1 => (tracked.emit_or(&[ta, tb]), plain.emit_or(&[pa, pb])),
+                    _ => (tracked.emit_xor(ta, tb), plain.emit_xor(pa, pb)),
+                };
+                t_pool.push(tz);
+                p_pool.push(pz);
+            }
+            // Query every pool literal, positively and negatively, in
+            // the same order on both builders — the shared tracked
+            // solver accumulates learnt clauses across queries and
+            // must still agree everywhere.
+            for k in 0..t_pool.len() {
+                for sign in [false, true] {
+                    let tl = if sign { !t_pool[k] } else { t_pool[k] };
+                    let pl = if sign { !p_pool[k] } else { p_pool[k] };
+                    let dom = tracked.domain_of(&[tl]);
+                    assert_eq!(
+                        tracked.is_implied_domain(tl, &dom),
+                        plain.is_implied(pl),
+                        "round {round}, literal {k}, sign {sign}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domain_of_is_definition_closed() {
+        let mut cnf = CnfBuilder::new();
+        cnf.set_dep_tracking(true);
+        let a = cnf.new_lit();
+        let b = cnf.new_lit();
+        let c = cnf.new_lit();
+        let ab = cnf.emit_and(&[a, b]);
+        let abc = cnf.emit_and(&[ab, c]);
+        let other = cnf.emit_xor(a, c);
+        let dom = cnf.domain_of(&[abc]);
+        for l in [abc, ab, a, b, c] {
+            assert!(dom.contains(l.var()), "missing {l:?}");
+        }
+        assert!(!dom.contains(other.var()), "unrelated gate included");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain soundness")]
+    fn non_definitional_constraints_void_domains() {
+        let mut cnf = CnfBuilder::new();
+        cnf.set_dep_tracking(true);
+        let a = cnf.new_lit();
+        cnf.assert_lit(a);
+        let _ = cnf.domain_of(&[a]);
     }
 
     #[test]

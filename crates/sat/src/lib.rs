@@ -36,10 +36,13 @@
 
 mod cnf;
 pub mod dimacs;
+mod domain;
+mod simplify;
 mod solver;
 mod types;
 
 pub use cnf::CnfBuilder;
+pub use domain::{Domain, VarSet};
 pub use solver::{
     BudgetExhausted, BudgetedSatResult, SatResult, SolveBudget, SolveEpisode, Solver, SolverStats,
 };

@@ -1,5 +1,6 @@
 use std::time::Instant;
 
+use crate::domain::Domain;
 use crate::{Lit, Var};
 
 /// Result of a satisfiability query.
@@ -198,6 +199,18 @@ pub struct SolverStats {
     /// to the base infinitely often and the database stays bounded over
     /// arbitrarily long runs.
     pub max_learnts: u64,
+    /// Top-level solve calls answered under a variable [`Domain`]
+    /// watch (see [`Solver::solve_domain`]).
+    pub domain_solves: u64,
+    /// Between-query inprocessing passes run (see
+    /// [`Solver::inprocess`]).
+    pub inprocessings: u64,
+    /// Learnt clauses deleted by inprocessing because another (learnt)
+    /// clause subsumes them or a level-0 unit satisfies them.
+    pub clauses_subsumed: u64,
+    /// Learnt clauses shortened by inprocessing (self-subsuming
+    /// resolution or level-0 false-literal removal).
+    pub clauses_strengthened: u64,
 }
 
 /// Work performed by a single top-level solve call, recorded when
@@ -228,18 +241,18 @@ pub struct SolveEpisode {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum LBool {
+pub(crate) enum LBool {
     True,
     False,
     Undef,
 }
 
 #[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) activity: f64,
+    pub(crate) deleted: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -256,27 +269,42 @@ struct Watcher {
 /// workhorse of repeated stability queries in the timing engine.
 #[derive(Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    pub(crate) clauses: Vec<Clause>,
     watches: Vec<Vec<Watcher>>,
-    assign: Vec<LBool>,
+    pub(crate) assign: Vec<LBool>,
     phase: Vec<bool>,
-    reason: Vec<Option<u32>>,
+    pub(crate) reason: Vec<Option<u32>>,
     level: Vec<u32>,
     trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
+    pub(crate) trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
     heap: VarHeap,
     seen: Vec<bool>,
-    ok: bool,
+    pub(crate) ok: bool,
     model: Vec<LBool>,
-    stats: SolverStats,
+    pub(crate) stats: SolverStats,
     max_learnts: usize,
     max_learnts_base: usize,
     record_episodes: bool,
     episodes: Vec<SolveEpisode>,
+    /// Stamp-based domain membership: `domain_mark[v] == domain_stamp`
+    /// iff `v` is in the active domain. Avoids clearing a bitset per
+    /// query.
+    domain_mark: Vec<u32>,
+    domain_stamp: u32,
+    /// Whether the current solve has an active domain. A domain solve
+    /// runs the *same* search as an unrestricted one — same decisions,
+    /// same conflicts — but may stop early: the moment every domain
+    /// variable is assigned at a conflict-free propagation fixpoint,
+    /// the query is `Sat` (see [`Domain`] for why that is exact).
+    domain_active: bool,
+    /// How many domain variables are still unassigned; maintained by
+    /// `unchecked_enqueue`/`cancel_until` while `domain_active`, so the
+    /// early-`Sat` test is O(1) per decision.
+    domain_unassigned: usize,
 }
 
 impl Solver {
@@ -305,6 +333,10 @@ impl Solver {
             max_learnts_base: 4000,
             record_episodes: false,
             episodes: Vec::new(),
+            domain_mark: Vec::new(),
+            domain_stamp: 0,
+            domain_active: false,
+            domain_unassigned: 0,
         }
     }
 
@@ -419,7 +451,7 @@ impl Solver {
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
         let idx = u32::try_from(self.clauses.len()).expect("clause count overflow");
         let w0 = Watcher {
@@ -444,7 +476,7 @@ impl Solver {
         idx
     }
 
-    fn lit_value(&self, l: Lit) -> LBool {
+    pub(crate) fn lit_value(&self, l: Lit) -> LBool {
         match self.assign[l.var().index()] {
             LBool::Undef => LBool::Undef,
             LBool::True => {
@@ -468,7 +500,7 @@ impl Solver {
         u32::try_from(self.trail_lim.len()).expect("level overflow")
     }
 
-    fn unchecked_enqueue(&mut self, l: Lit, from: Option<u32>) {
+    pub(crate) fn unchecked_enqueue(&mut self, l: Lit, from: Option<u32>) {
         debug_assert_eq!(self.lit_value(l), LBool::Undef);
         let v = l.var().index();
         self.assign[v] = if l.is_positive() {
@@ -479,11 +511,17 @@ impl Solver {
         self.phase[v] = l.is_positive();
         self.reason[v] = from;
         self.level[v] = self.decision_level();
+        if self.domain_active && self.in_domain(l.var()) {
+            // Units learnt after the solve (while the encoding grows)
+            // can decrement a stale counter; saturate — `enter_mode`
+            // recounts at the next domain solve.
+            self.domain_unassigned = self.domain_unassigned.saturating_sub(1);
+        }
         self.trail.push(l);
     }
 
     /// Unit propagation; returns the index of a conflicting clause.
-    fn propagate(&mut self) -> Option<u32> {
+    pub(crate) fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -556,11 +594,54 @@ impl Solver {
             let v = self.trail[k].var();
             self.assign[v.index()] = LBool::Undef;
             self.reason[v.index()] = None;
+            if self.domain_active && self.in_domain(v) {
+                self.domain_unassigned += 1;
+            }
             self.heap.insert(v, &self.activity);
         }
         self.trail.truncate(lim);
         self.trail_lim.truncate(level as usize);
         self.qhead = self.trail.len();
+    }
+
+    fn in_domain(&self, v: Var) -> bool {
+        self.domain_mark.get(v.index()).copied() == Some(self.domain_stamp)
+    }
+
+    /// Arms (or disarms) the early-`Sat` domain watch for the upcoming
+    /// solve: marks the domain's variables and counts how many are
+    /// still unassigned. The decision heap is untouched — a domain
+    /// solve makes exactly the decisions an unrestricted solve would,
+    /// it just gets to stop sooner.
+    fn enter_mode(&mut self, domain: Option<&Domain>) {
+        match domain {
+            Some(d) => {
+                self.stats.domain_solves += 1;
+                self.domain_stamp = self.domain_stamp.wrapping_add(1);
+                if self.domain_stamp == 0 {
+                    // Stamp wrapped: old marks could alias the new
+                    // stamp, so wipe them and restart at 1.
+                    self.domain_mark.iter_mut().for_each(|m| *m = 0);
+                    self.domain_stamp = 1;
+                }
+                if self.domain_mark.len() < self.num_vars() {
+                    self.domain_mark.resize(self.num_vars(), 0);
+                }
+                let mut unassigned = 0usize;
+                for &v in d.vars() {
+                    debug_assert!(v.index() < self.num_vars(), "domain var unallocated");
+                    self.domain_mark[v.index()] = self.domain_stamp;
+                    if self.assign[v.index()] == LBool::Undef {
+                        unassigned += 1;
+                    }
+                }
+                self.domain_unassigned = unassigned;
+                self.domain_active = true;
+            }
+            None => {
+                self.domain_active = false;
+            }
+        }
     }
 
     fn var_bump(&mut self, v: Var) {
@@ -737,6 +818,25 @@ impl Solver {
     /// cheap. Returns [`SatResult::Unsat`] when the formula conjoined
     /// with the assumptions is unsatisfiable.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_inner(assumptions, None)
+    }
+
+    /// Like [`Solver::solve_with`], but answers under the early-`Sat`
+    /// domain watch: the search makes exactly the decisions an
+    /// unrestricted solve would, and declares `Sat` as soon as every
+    /// domain variable is assigned at a conflict-free propagation
+    /// fixpoint with all assumptions enqueued.
+    ///
+    /// Exact (same verdict as an unrestricted solve) only under the
+    /// definitional-extension contract documented on [`Domain`]; the
+    /// caller is responsible for supplying a definition-closed domain
+    /// containing every assumption variable
+    /// ([`crate::CnfBuilder::domain_of`] does both).
+    pub fn solve_domain(&mut self, assumptions: &[Lit], domain: &Domain) -> SatResult {
+        self.solve_inner(assumptions, Some(domain))
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit], domain: Option<&Domain>) -> SatResult {
         let before = self.stats;
         self.stats.solves += 1;
         if !self.ok {
@@ -746,6 +846,8 @@ impl Solver {
             return SatResult::Unsat;
         }
         debug_assert_eq!(self.decision_level(), 0);
+        debug_assert!(domain.is_none_or(|d| assumptions.iter().all(|a| d.contains(a.var()))));
+        self.enter_mode(domain);
         let mut restarts = 0u64;
         let result = loop {
             let budget = luby(restarts) * 256;
@@ -790,6 +892,26 @@ impl Solver {
         assumptions: &[Lit],
         budget: &SolveBudget,
     ) -> BudgetedSatResult {
+        self.solve_budgeted_inner(assumptions, budget, None)
+    }
+
+    /// Budgeted counterpart of [`Solver::solve_domain`]: the same
+    /// domain-watched search, interruptible by `budget`.
+    pub fn solve_domain_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &SolveBudget,
+        domain: &Domain,
+    ) -> BudgetedSatResult {
+        self.solve_budgeted_inner(assumptions, budget, Some(domain))
+    }
+
+    fn solve_budgeted_inner(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &SolveBudget,
+        domain: Option<&Domain>,
+    ) -> BudgetedSatResult {
         let before = self.stats;
         self.stats.solves += 1;
         if !self.ok {
@@ -801,6 +923,8 @@ impl Solver {
             return BudgetedSatResult::Unsat;
         }
         debug_assert_eq!(self.decision_level(), 0);
+        debug_assert!(domain.is_none_or(|d| assumptions.iter().all(|a| d.contains(a.var()))));
+        self.enter_mode(domain);
         let limits = Limits {
             conflicts: budget
                 .conflicts
@@ -941,6 +1065,13 @@ impl Solver {
                         }
                     }
                     continue;
+                }
+                // Domain watch: with every assumption enqueued and
+                // every domain variable assigned at a conflict-free
+                // fixpoint, the query is satisfiable — no need to
+                // extend the assignment over the rest of the formula.
+                if self.domain_active && self.domain_unassigned == 0 {
+                    return SearchOutcome::Done(SatResult::Sat);
                 }
                 let Some(v) = self.pick_branch_var() else {
                     return SearchOutcome::Done(SatResult::Sat);

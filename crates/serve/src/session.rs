@@ -59,11 +59,23 @@ pub(crate) struct ModuleOracle {
 }
 
 impl ModuleOracle {
-    fn new(leaf: &Netlist) -> Result<ModuleOracle, NetlistError> {
+    /// Builds the oracle; with `shared` the backend runs in
+    /// shared-solver mode (one incremental instance for the whole
+    /// module, each probe domain-restricted to its output's transitive
+    /// fanin — bit-identical answers, see
+    /// [`StabilityOracle::new_sat_shared`]). Sessions pass `shared`
+    /// when their base budget is unlimited; budgeted sessions keep the
+    /// plain backend so degradations match the baseline exactly.
+    fn new(leaf: &Netlist, shared: bool) -> Result<ModuleOracle, NetlistError> {
         let zeros = vec![Time::ZERO; leaf.inputs().len()];
+        let oracle = if shared {
+            StabilityOracle::new_sat_shared(leaf.clone(), &zeros)?
+        } else {
+            StabilityOracle::new_sat(leaf.clone(), &zeros)?
+        };
         Ok(ModuleOracle {
             netlist: leaf.clone(),
-            oracle: StabilityOracle::new_sat(leaf.clone(), &zeros)?,
+            oracle,
             hash: leaf.content_hash(),
         })
     }
@@ -197,6 +209,35 @@ pub struct ServeCounters {
     pub whatif_queries: u64,
     /// ECO edits applied.
     pub eco_edits: u64,
+    /// Query responses replayed from the arrivals-keyed response cache
+    /// (only unlimited-budget, deadline-free requests are eligible).
+    pub cache_hits: u64,
+    /// Eligible query responses that had to be computed.
+    pub cache_misses: u64,
+}
+
+/// Cap on the arrivals-keyed response cache — a full cache skips
+/// inserts (never evicts: hit entries stay bit-stable for the
+/// session's life).
+const RESPONSE_CACHE_CAP: usize = 4096;
+
+/// Key of one cached query response: the request kind plus every input
+/// that determines the answer (resolved arrival vectors, so named and
+/// positional payloads that mean the same condition share an entry).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum ResponseKey {
+    Report {
+        arrivals: Vec<Time>,
+    },
+    Delay {
+        output: String,
+        arrivals: Vec<Time>,
+    },
+    Slack {
+        net: String,
+        required: Option<Time>,
+        arrivals: Vec<Time>,
+    },
 }
 
 /// One warm, long-lived analysis session: the daemon's state.
@@ -212,6 +253,15 @@ pub struct ServeSession {
     /// Deadline applied to requests that don't carry their own.
     default_deadline_ms: Option<u64>,
     oracles: HashMap<String, ModuleOracle>,
+    /// Whether per-module oracles use shared-solver mode (from
+    /// [`AnalysisConfig::shared_solver`]).
+    shared_solver: bool,
+    /// Arrivals-keyed response cache: response fields (everything after
+    /// the echoed id) of previously answered queries. Only filled and
+    /// consulted for unlimited-budget, deadline-free requests — those
+    /// answers are deterministic functions of the key, so a replay is
+    /// byte-identical to a recompute. An ECO clears it wholesale.
+    response_cache: HashMap<ResponseKey, Vec<(String, Json)>>,
     trace: TraceSink,
     max_line: usize,
     counters: ServeCounters,
@@ -250,6 +300,8 @@ impl ServeSession {
             base_budget: config.budget,
             default_deadline_ms: None,
             oracles: HashMap::new(),
+            shared_solver: config.shared_solver,
+            response_cache: HashMap::new(),
             trace: config.trace.clone(),
             max_line: DEFAULT_MAX_LINE,
             counters: ServeCounters::default(),
@@ -386,6 +438,45 @@ impl ServeSession {
         resolve_arrivals(arrivals, &self.input_names, &self.top)
     }
 
+    /// Whether `request`'s response may come from (and feed) the
+    /// response cache: its effective budget must be unlimited and
+    /// deadline-free, so the answer is a pure function of the cache
+    /// key. Budgeted/deadlined answers can degrade and depend on solver
+    /// history — they are never cached or replayed.
+    fn cache_eligible(&self, request: &Request) -> bool {
+        self.base_budget.is_unlimited()
+            && request.deadline_ms.or(self.default_deadline_ms).is_none()
+    }
+
+    /// Cache probe for an eligible request (books a hit or miss);
+    /// ineligible requests bypass the cache without touching counters.
+    fn cache_lookup(
+        &mut self,
+        request: &Request,
+        key: &ResponseKey,
+    ) -> Option<Vec<(String, Json)>> {
+        if !self.cache_eligible(request) {
+            return None;
+        }
+        match self.response_cache.get(key) {
+            Some(fields) => {
+                self.counters.cache_hits += 1;
+                Some(fields.clone())
+            }
+            None => {
+                self.counters.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed response unless the cache is full.
+    fn cache_insert(&mut self, key: ResponseKey, fields: &[(String, Json)]) {
+        if self.response_cache.len() < RESPONSE_CACHE_CAP {
+            self.response_cache.insert(key, fields.to_vec());
+        }
+    }
+
     /// The budget one request runs under: the base budget, tightened by
     /// the request's (or the session's default) deadline.
     fn budget_for(&self, request: &Request) -> SolveBudget {
@@ -415,20 +506,35 @@ impl ServeSession {
         arrivals: Option<&Arrivals>,
     ) -> Result<Json, String> {
         let arr = self.top_arrivals(arrivals)?;
+        let key = ResponseKey::Report {
+            arrivals: arr.clone(),
+        };
+        if let Some(fields) = self.cache_lookup(request, &key) {
+            return Ok(assemble(&request.id, "report", fields));
+        }
         let analysis = self.analyze(request, &arr)?;
         let mut outputs = ObjBuilder::new();
         for (name, &t) in self.output_names.iter().zip(&analysis.output_arrivals) {
             outputs = outputs.field(name, time_to_json(t));
         }
-        Ok(ok_response(&request.id, "report")
-            .field("delay", time_to_json(analysis.delay))
-            .field("outputs", outputs.build())
-            .field(
-                "characterized",
+        let fields = vec![
+            ("delay".to_string(), time_to_json(analysis.delay)),
+            ("outputs".to_string(), outputs.build()),
+            (
+                "characterized".to_string(),
                 Json::Num(analysis.stats.modules_characterized as i64),
-            )
-            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
-            .build())
+            ),
+            (
+                "degraded".to_string(),
+                Json::Bool(analysis.stats.modules_degraded > 0),
+            ),
+        ];
+        // Only fully-warm answers are cached: a response that reports
+        // `characterized > 0` would replay that stale counter.
+        if self.cache_eligible(request) && analysis.stats.modules_characterized == 0 {
+            self.cache_insert(key, &fields);
+        }
+        Ok(assemble(&request.id, "report", fields))
     }
 
     fn do_delay(
@@ -443,12 +549,29 @@ impl ServeSession {
             .position(|n| n == output)
             .ok_or_else(|| format!("no primary output `{output}` in module `{}`", self.top))?;
         let arr = self.top_arrivals(arrivals)?;
+        let key = ResponseKey::Delay {
+            output: output.to_string(),
+            arrivals: arr.clone(),
+        };
+        if let Some(fields) = self.cache_lookup(request, &key) {
+            return Ok(assemble(&request.id, "delay", fields));
+        }
         let analysis = self.analyze(request, &arr)?;
-        Ok(ok_response(&request.id, "delay")
-            .field("output", Json::Str(output.to_string()))
-            .field("arrival", time_to_json(analysis.output_arrivals[pos]))
-            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
-            .build())
+        let fields = vec![
+            ("output".to_string(), Json::Str(output.to_string())),
+            (
+                "arrival".to_string(),
+                time_to_json(analysis.output_arrivals[pos]),
+            ),
+            (
+                "degraded".to_string(),
+                Json::Bool(analysis.stats.modules_degraded > 0),
+            ),
+        ];
+        if self.cache_eligible(request) && analysis.stats.modules_characterized == 0 {
+            self.cache_insert(key, &fields);
+        }
+        Ok(assemble(&request.id, "delay", fields))
     }
 
     fn do_slack(
@@ -466,16 +589,31 @@ impl ServeSession {
             .find_net(net)
             .ok_or_else(|| format!("no net `{net}` in module `{}`", self.top))?;
         let arr = self.top_arrivals(arrivals)?;
+        let key = ResponseKey::Slack {
+            net: net.to_string(),
+            required,
+            arrivals: arr.clone(),
+        };
+        if let Some(fields) = self.cache_lookup(request, &key) {
+            return Ok(assemble(&request.id, "slack", fields));
+        }
         let analysis = self.analyze(request, &arr)?;
         let arrival = analysis.net_arrivals[net_id.index()];
         let required = required.unwrap_or(analysis.delay);
-        Ok(ok_response(&request.id, "slack")
-            .field("net", Json::Str(net.to_string()))
-            .field("arrival", time_to_json(arrival))
-            .field("required", time_to_json(required))
-            .field("slack", time_to_json(required - arrival))
-            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
-            .build())
+        let fields = vec![
+            ("net".to_string(), Json::Str(net.to_string())),
+            ("arrival".to_string(), time_to_json(arrival)),
+            ("required".to_string(), time_to_json(required)),
+            ("slack".to_string(), time_to_json(required - arrival)),
+            (
+                "degraded".to_string(),
+                Json::Bool(analysis.stats.modules_degraded > 0),
+            ),
+        ];
+        if self.cache_eligible(request) && analysis.stats.modules_characterized == 0 {
+            self.cache_insert(key, &fields);
+        }
+        Ok(assemble(&request.id, "slack", fields))
     }
 
     /// Resolves a what-if request against the named leaf module,
@@ -524,7 +662,8 @@ impl ServeSession {
             // A stale oracle (the module was ECO-edited while the
             // oracle sat idle) is silently rebuilt.
             Some(oracle) if oracle.hash == hash => Ok(oracle),
-            _ => ModuleOracle::new(leaf).map_err(|e| e.to_string()),
+            _ => ModuleOracle::new(leaf, self.shared_solver && self.base_budget.is_unlimited())
+                .map_err(|e| e.to_string()),
         }
     }
 
@@ -539,6 +678,10 @@ impl ServeSession {
         self.oracles.len()
     }
 
+    // What-if answers are deliberately *not* response-cached: repeats
+    // are already served warm by the per-module oracle's memo, and the
+    // sharded batch path must stay byte-identical (counters included)
+    // to serial execution.
     fn do_whatif(
         &mut self,
         request: &Request,
@@ -603,6 +746,9 @@ impl ServeSession {
             .map_err(|e| e.to_string())?;
         // The edited module's oracle encodes the old body; retire it.
         self.oracles.remove(module);
+        // Every cached response may depend on the edited module —
+        // clear wholesale (cheap, and ECOs are rare next to queries).
+        self.response_cache.clear();
         self.counters.eco_edits += 1;
         let arrivals = vec![Time::ZERO; self.input_names.len()];
         let analysis = self.analyze(request, &arrivals)?;
@@ -634,8 +780,19 @@ impl ServeSession {
                 Json::Num(self.counters.whatif_queries as i64),
             )
             .field("eco_edits", Json::Num(self.counters.eco_edits as i64))
+            .field("cache_hits", Json::Num(self.counters.cache_hits as i64))
+            .field("cache_misses", Json::Num(self.counters.cache_misses as i64))
             .build()
     }
+}
+
+/// Renders a response from its kind and cached/computed fields.
+fn assemble(id: &Json, kind: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut b = ok_response(id, kind);
+    for (k, v) in fields {
+        b = b.field(&k, v);
+    }
+    b.build()
 }
 
 /// Resolves an arrival payload against `input_names` (default 0 for
@@ -826,5 +983,76 @@ mod tests {
         let (resp, action) = s.handle_line(&huge);
         assert_eq!(action, Action::Continue);
         assert!(resp.unwrap().contains("exceeds 64 bytes"));
+    }
+
+    #[test]
+    fn repeated_queries_replay_from_the_response_cache() {
+        let mut s = session();
+        s.warm().unwrap();
+        let first = line(&mut s, r#"{"id":1,"kind":"report"}"#);
+        let again = line(&mut s, r#"{"id":1,"kind":"report"}"#);
+        assert_eq!(first, again, "replay must be byte-identical");
+        assert_eq!(s.counters().cache_misses, 1);
+        assert_eq!(s.counters().cache_hits, 1);
+        // Same condition spelled differently (explicit zero arrivals)
+        // resolves to the same key.
+        let named = line(&mut s, r#"{"id":2,"kind":"report","arrivals":{"a0":0}}"#);
+        assert_eq!(s.counters().cache_hits, 2);
+        assert!(named.contains(r#""id":2"#), "{named}");
+        // Delay and slack are cached under their own keys.
+        line(&mut s, r#"{"id":3,"kind":"delay","output":"s3"}"#);
+        line(&mut s, r#"{"id":4,"kind":"delay","output":"s3"}"#);
+        line(
+            &mut s,
+            r#"{"id":5,"kind":"slack","net":"s3","required":15}"#,
+        );
+        line(
+            &mut s,
+            r#"{"id":6,"kind":"slack","net":"s3","required":15}"#,
+        );
+        assert_eq!(s.counters().cache_hits, 4);
+        assert_eq!(s.counters().cache_misses, 3);
+        let stats = line(&mut s, r#"{"id":7,"kind":"stats"}"#);
+        assert!(stats.contains(r#""cache_hits":4"#), "{stats}");
+        assert!(stats.contains(r#""cache_misses":3"#), "{stats}");
+    }
+
+    #[test]
+    fn deadline_requests_bypass_the_response_cache() {
+        let mut s = session();
+        s.warm().unwrap();
+        line(&mut s, r#"{"id":1,"kind":"report","deadline_ms":60000}"#);
+        line(&mut s, r#"{"id":1,"kind":"report","deadline_ms":60000}"#);
+        assert_eq!(s.counters().cache_hits, 0);
+        assert_eq!(s.counters().cache_misses, 0);
+        // A session-wide default deadline disables it too.
+        s.set_default_deadline_ms(Some(60_000));
+        line(&mut s, r#"{"id":2,"kind":"report"}"#);
+        assert_eq!(s.counters().cache_misses, 0);
+        s.set_default_deadline_ms(None);
+        line(&mut s, r#"{"id":3,"kind":"report"}"#);
+        assert_eq!(s.counters().cache_misses, 1);
+    }
+
+    #[test]
+    fn eco_clears_the_response_cache() {
+        let mut s = session();
+        s.warm().unwrap();
+        let before = line(&mut s, r#"{"id":1,"kind":"report"}"#);
+        assert_eq!(s.counters().cache_misses, 1);
+        line(
+            &mut s,
+            r#"{"id":2,"kind":"eco","module":"csa_block2","gate":"c_out","delay":9}"#,
+        );
+        // The edit invalidated every cached answer: the next report is a
+        // miss and reflects the new timing.
+        let after = line(&mut s, r#"{"id":3,"kind":"report"}"#);
+        assert_eq!(s.counters().cache_misses, 2);
+        assert_eq!(s.counters().cache_hits, 0);
+        assert_ne!(
+            before.replace(r#""id":1"#, r#""id":3"#),
+            after,
+            "stale answer replayed across an ECO"
+        );
     }
 }

@@ -1,9 +1,9 @@
 //! `hfta` — command-line hierarchical functional timing analysis.
 //!
 //! ```text
-//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]
-//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
-//! hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
+//! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-shared-solver] [--stats] [--trace] [--trace-json FILE]
+//! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
+//! hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]
 //! hfta models <DIR>
 //! hfta sim <file> --from BITS --to BITS
@@ -32,6 +32,18 @@
 //! verdicts across isomorphic cones. `--no-cone-sig` turns the sharing
 //! off; `--stats` shows its effect as `cone signatures: H hits, M
 //! misses` plus (two-step) the modules aliased to a structural twin.
+//!
+//! Unlimited-budget stability queries run by default in *shared-solver*
+//! mode: one incremental SAT instance per module answers every cone's
+//! queries, restricted to the cone's transitive-fanin variable domain,
+//! so learnt clauses transfer across cones and queries (see
+//! DESIGN.md, "Why domain-restricted sharing is sound"). Results are
+//! bit-identical either way; `--no-shared-solver` (or `--shared-solver`
+//! to spell the default) selects fresh per-cone solvers instead, and
+//! `--stats` reports the sharing as `shared solver: D domains built, S
+//! clauses subsumed, L learnts imported`. Budgeted runs always use
+//! per-cone solvers so degraded verdicts never contaminate shared
+//! state.
 //!
 //! `--use-models DIR` warm-starts an analysis from a persistent model
 //! database: characterized models (and demand-driven stability
@@ -111,9 +123,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--stats] [--trace] [--trace-json FILE]\n  \
-     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
-     hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-shared-solver] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]\n  \
      hfta models <DIR>\n  \
      hfta sim <file> --from BITS --to BITS\n  \
@@ -200,6 +212,14 @@ impl TraceSetup {
         }
         Ok(())
     }
+}
+
+/// Resolves the `--shared-solver` / `--no-shared-solver` pair. Shared
+/// mode is the default; the positive flag exists so scripts can spell
+/// the default explicitly. When both are given the negative wins (it
+/// is the conservative choice).
+fn shared_solver_from(opts: &Opts) -> bool {
+    !opts.has_flag("--no-shared-solver")
 }
 
 /// Builds the analysis budget from `--budget-conflicts N` (per-query
@@ -368,6 +388,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let tr = trace_setup(&opts);
     let config = AnalysisConfig::default()
         .with_budget(budget_from(&opts)?)
+        .with_shared_solver(shared_solver_from(&opts))
         .with_trace(tr.sink.clone());
     let (probe, probe_stats) =
         TimingReport::generate(nl, &arrivals, Time::ZERO, &config).map_err(|e| e.to_string())?;
@@ -428,6 +449,7 @@ fn cmd_hier(args: &[String]) -> Result<(), String> {
         AnalysisConfig::default()
             .with_budget(budget_from(&opts)?)
             .with_cone_sig(!opts.has_flag("--no-cone-sig"))
+            .with_shared_solver(shared_solver_from(&opts))
             .with_trace(tr.sink.clone()),
         &opts,
     )?;
@@ -537,6 +559,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = apply_model_db(
         AnalysisConfig::default()
             .with_budget(budget_from(&opts)?)
+            .with_shared_solver(shared_solver_from(&opts))
             .with_trace(tr.sink.clone()),
         &opts,
     )?;
@@ -607,6 +630,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             c.eco_edits,
             session.oracle_count(),
             session.characterizations()
+        );
+        eprintln!(
+            "serve: response cache {} hit(s), {} miss(es)",
+            c.cache_hits, c.cache_misses
         );
     }
     tr.emit()?;

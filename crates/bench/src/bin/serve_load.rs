@@ -1,0 +1,259 @@
+//! Multi-client daemon load benchmark: what the concurrent unix-socket
+//! path costs relative to one pipelined connection.
+//!
+//! One warm daemon serves a mixed read transcript (report, delay,
+//! slack, what-if) two ways:
+//!
+//! * `serial_1conn` — a single client pipelines the whole transcript
+//!   over one connection and reads every response back;
+//! * `concurrent_4conn` — four clients connect at once and each
+//!   replays a quarter of the transcript concurrently.
+//!
+//! The total query work is identical, so `trajectory_gate` asserts the
+//! concurrent median stays within tolerance of the serial one: the
+//! multiplexing machinery (bounded queue, per-connection reader/writer
+//! pairs, write barrier) must not make four clients slower than one.
+//! Before timing anything, the bench asserts both modes return
+//! byte-identical responses slice for slice.
+//!
+//! By default the daemon runs on a thread in this process. Set
+//! `HFTA_SERVE_BIN=/path/to/hfta` to exercise the real CLI instead:
+//! the design is written to a temp `.hnl` file and served by a child
+//! `hfta serve --socket` process — the mode CI's serve-load smoke job
+//! uses, driving the socket across a process boundary.
+//!
+//! Run with `cargo run --release -p hfta-bench --bin serve_load`; see
+//! [`hfta_testkit::Harness`] for the environment knobs. Setting
+//! `HFTA_SERVE_SMOKE` (or `HFTA_ABLATION_SMOKE`) shrinks the design to
+//! a seconds-long pass for `scripts/check.sh` and CI.
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("serve_load: requires unix sockets; skipping");
+}
+
+#[cfg(unix)]
+fn main() {
+    imp::main();
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::path::{Path, PathBuf};
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    use hfta_fta::AnalysisConfig;
+    use hfta_netlist::gen::{modular_design, ModularDesignSpec};
+    use hfta_netlist::{hnl, Design};
+    use hfta_sched::Scheduler;
+    use hfta_serve::{serve_unix_socket, ServeSession};
+    use hfta_testkit::{Harness, Record};
+    use hfta_trace::TraceSink;
+
+    const CLIENTS: usize = 4;
+    const THREADS: usize = 4;
+
+    fn smoke() -> bool {
+        std::env::var_os("HFTA_SERVE_SMOKE").is_some()
+            || std::env::var_os("HFTA_ABLATION_SMOKE").is_some()
+    }
+
+    fn spec() -> ModularDesignSpec {
+        if smoke() {
+            ModularDesignSpec {
+                flavors: 4,
+                instances: 40,
+                gates_per_module: 60,
+                layers: 4,
+                seed: 99,
+                mix: Default::default(),
+            }
+        } else {
+            ModularDesignSpec::sized(12_000, 99)
+        }
+    }
+
+    /// The daemon under load: either a thread in this process or (with
+    /// `HFTA_SERVE_BIN`) a real `hfta serve` child process.
+    enum Daemon {
+        Thread(thread::JoinHandle<()>),
+        Child(std::process::Child, PathBuf),
+    }
+
+    fn spawn_daemon(design: Design, top: &str, socket: &Path) -> Daemon {
+        if let Some(bin) = std::env::var_os("HFTA_SERVE_BIN") {
+            let file =
+                std::env::temp_dir().join(format!("hfta-serve-load-{}.hnl", std::process::id()));
+            std::fs::write(&file, hnl::write(&design, Some(top))).expect("design file writes");
+            let child = std::process::Command::new(bin)
+                .arg("serve")
+                .arg(&file)
+                .arg("--top")
+                .arg(top)
+                .arg("--socket")
+                .arg(socket)
+                .arg("--threads")
+                .arg(THREADS.to_string())
+                .stdin(std::process::Stdio::null())
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("HFTA_SERVE_BIN spawns");
+            Daemon::Child(child, file)
+        } else {
+            let top = top.to_string();
+            let socket = socket.to_path_buf();
+            Daemon::Thread(thread::spawn(move || {
+                let mut session = ServeSession::new(design, &top, &AnalysisConfig::default())
+                    .expect("valid design");
+                session.warm().expect("warms");
+                let pool = Scheduler::new(THREADS);
+                serve_unix_socket(&mut session, &socket, Some(&pool), &TraceSink::disabled())
+                    .expect("daemon serves");
+            }))
+        }
+    }
+
+    impl Daemon {
+        fn finish(self, socket: &Path) {
+            let mut conn = connect(socket);
+            writeln!(conn, r#"{{"id":"bye","kind":"shutdown"}}"#).expect("shutdown writes");
+            let mut line = String::new();
+            let _ = BufReader::new(&conn).read_line(&mut line);
+            match self {
+                Daemon::Thread(handle) => handle.join().expect("daemon thread panicked"),
+                Daemon::Child(mut child, file) => {
+                    let status = child.wait().expect("child waits");
+                    assert!(status.success(), "hfta serve exited with {status}");
+                    let _ = std::fs::remove_file(file);
+                }
+            }
+        }
+    }
+
+    /// Connects with retries: the daemon binds only after warming,
+    /// which for a child process includes loading + characterizing.
+    fn connect(socket: &Path) -> UnixStream {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            match UnixStream::connect(socket) {
+                Ok(stream) => return stream,
+                Err(_) if Instant::now() < deadline => thread::sleep(Duration::from_millis(5)),
+                Err(e) => panic!("daemon socket never came up: {e}"),
+            }
+        }
+    }
+
+    /// Pipelines the whole slice, then reads one response per request.
+    fn exchange(conn: &mut UnixStream, lines: &[String]) -> Vec<String> {
+        let mut reader = BufReader::new(conn.try_clone().expect("stream clones"));
+        for line in lines {
+            conn.write_all(line.as_bytes()).unwrap();
+            conn.write_all(b"\n").unwrap();
+        }
+        conn.flush().unwrap();
+        lines
+            .iter()
+            .map(|_| {
+                let mut resp = String::new();
+                let n = reader.read_line(&mut resp).expect("daemon answers");
+                assert!(n > 0, "daemon hung up before answering");
+                while resp.ends_with('\n') {
+                    resp.pop();
+                }
+                resp
+            })
+            .collect()
+    }
+
+    /// One full-transcript replay over `clients` concurrent
+    /// connections; returns the per-connection response streams.
+    fn concurrent_replay(socket: &Path, slices: &[Vec<String>]) -> Vec<Vec<String>> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = slices
+                .iter()
+                .map(|slice| scope.spawn(|| exchange(&mut connect(socket), slice)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        })
+    }
+
+    fn requests_per_sec(n: usize, r: &Record) -> f64 {
+        n as f64 / r.median.as_secs_f64().max(1e-12)
+    }
+
+    pub fn main() {
+        let spec = spec();
+        let top = spec.top_name();
+        let design = modular_design(spec);
+        let composite = design.composite(&top).expect("top exists");
+        eprintln!("design: {top} ({} gates)", spec.total_gates());
+
+        // A mixed read transcript cycling over every shardable kind.
+        let module = composite.instances()[0].module.clone();
+        let leaf = design.leaf(&module).expect("instantiated leaf");
+        let pin = leaf.net_name(leaf.inputs()[0]).to_string();
+        let whatif_out = leaf.net_name(leaf.outputs()[0]).to_string();
+        let in0 = composite.net_name(composite.inputs()[0]).to_string();
+        let outs = composite.outputs();
+        let n_requests = if smoke() { 32 } else { 160 };
+        let transcript: Vec<String> = (0..n_requests)
+            .map(|i| {
+                let po = composite.net_name(outs[i % outs.len()]);
+                match i % 4 {
+                    0 => format!(r#"{{"id":{i},"kind":"report","arrivals":{{"{in0}":{}}}}}"#, i % 5),
+                    1 => format!(r#"{{"id":{i},"kind":"delay","output":"{po}"}}"#),
+                    2 => format!(r#"{{"id":{i},"kind":"slack","net":"{po}","required":40}}"#),
+                    _ => format!(
+                        r#"{{"id":{i},"kind":"whatif","module":"{module}","output":"{whatif_out}","arrivals":{{"{pin}":{}}}}}"#,
+                        i % 7
+                    ),
+                }
+            })
+            .collect();
+        let slices: Vec<Vec<String>> = transcript
+            .chunks(n_requests / CLIENTS)
+            .map(<[String]>::to_vec)
+            .collect();
+
+        let socket =
+            std::env::temp_dir().join(format!("hfta-serve-load-{}.sock", std::process::id()));
+        let daemon = spawn_daemon(design, &top, &socket);
+
+        // Byte-identity first (and it warms the daemon's caches for
+        // both timed cases equally): each connection's concurrent
+        // stream must equal the matching chunk of the serial replay.
+        let expected = exchange(&mut connect(&socket), &transcript);
+        let concurrent = concurrent_replay(&socket, &slices);
+        for (k, (got, want)) in concurrent
+            .iter()
+            .zip(expected.chunks(n_requests / CLIENTS))
+            .enumerate()
+        {
+            assert_eq!(got, want, "connection {k} diverged from the serial replay");
+        }
+
+        let mut harness = Harness::new("serve_load");
+        let mut group = harness.group("serve_load");
+        let serial = group.bench_at_least("serial_1conn", 2, || {
+            exchange(&mut connect(&socket), &transcript).len()
+        });
+        let conc = group.bench_at_least("concurrent_4conn", 2, || {
+            concurrent_replay(&socket, &slices).len()
+        });
+        drop(group);
+
+        daemon.finish(&socket);
+        println!(
+            "\nmixed queries: 1 connection {:.0} req/s, {CLIENTS} connections {:.0} req/s",
+            requests_per_sec(n_requests, &serial),
+            requests_per_sec(n_requests, &conc),
+        );
+        harness.finish();
+    }
+}

@@ -23,6 +23,10 @@
 //!   `ablation_shared_solver/demand_cascade_per_cone` (the shared
 //!   module-level SAT instance must not regress past fresh per-cone
 //!   solvers)
+//! * `serve_load/concurrent_4conn` vs `serve_load/serial_1conn` (four
+//!   concurrent unix-socket clients replay the same transcript as one
+//!   pipelined connection; the multiplexing machinery must not make
+//!   them slower)
 //!
 //! The tolerance absorbs timer noise on small medians (a 1-core CI
 //! runner measures parity, not speedup — requested threads clamp to
@@ -36,7 +40,12 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const GATES: [(&str, &str, &str); 7] = [
+const GATES: [(&str, &str, &str); 8] = [
+    (
+        "serve_load",
+        "serve_load/concurrent_4conn",
+        "serve_load/serial_1conn",
+    ),
     (
         "ablation",
         "ablation_shared_solver/flat_xbd0_shared",

@@ -602,24 +602,6 @@ impl<'a> HierAnalyzer<'a> {
         Ok(())
     }
 
-    /// Step 1 in parallel with an explicit thread count.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first characterization error.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set HierOptions::threads (or AnalysisConfig::with_threads) and call characterize_all"
-    )]
-    pub fn characterize_all_parallel(&mut self, threads: usize) -> Result<(), NetlistError> {
-        assert!(threads > 0, "need at least one thread");
-        self.characterize_parallel(threads)
-    }
-
     /// The parallel step-1 fan-out: one task per distinct uncached
     /// module on the persistent pool. Each task owns a clone of its
     /// leaf netlist (persistent workers need `'static` tasks), a
@@ -1080,16 +1062,6 @@ mod parallel_tests {
         assert_eq!(s.delay, p.delay);
         assert_eq!(s.output_arrivals, p.output_arrivals);
         assert_eq!(p.stats.modules_characterized, 4);
-
-        // The deprecated explicit-threads entry point is a shim over
-        // the same fan-out: bit-identical analysis.
-        #[allow(deprecated)]
-        {
-            let mut shim = HierAnalyzer::new(&design, "mixed", HierOptions::default()).unwrap();
-            shim.characterize_all_parallel(4).unwrap();
-            let sh = shim.analyze(&arrivals).unwrap();
-            assert_eq!(sh, p);
-        }
     }
 
     /// An already-expired analysis deadline degrades every module to

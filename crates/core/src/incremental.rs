@@ -27,8 +27,53 @@ use hfta_fta::{AnalysisConfig, ConeSigCache, SolveBudget, StabilityStats};
 use hfta_modeldb::{ModelDb, ModelDbStats};
 use hfta_netlist::{Design, Netlist, NetlistError, Time};
 
+use hfta_netlist::Composite;
+
 use crate::hier::{open_model_dbs, propagate, HierAnalysis, HierOptions, HierStats};
 use crate::module_timing::ModuleTiming;
+
+/// An immutable snapshot of a fully-warm analysis session: the top
+/// composite plus every instantiated leaf's (undegraded, cached)
+/// timing model, detached from the analyzer that built it.
+///
+/// Once characterization has happened, a hierarchical query is nothing
+/// but the cheap top-level propagation — a pure function of the models
+/// and the arrival vector. A snapshot captures exactly that function,
+/// so any number of threads can answer queries concurrently while the
+/// owning [`IncrementalAnalyzer`] stays free for mutations (edits,
+/// re-characterization). [`WarmSnapshot::analyze`] is bit-identical to
+/// [`IncrementalAnalyzer::analyze`] on the warm session it was taken
+/// from: both run the same [`propagate`] over the same models.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WarmSnapshot {
+    composite: Composite,
+    models: HashMap<String, ModuleTiming>,
+}
+
+impl WarmSnapshot {
+    /// Propagates `pi_arrivals` through the snapshotted models. The
+    /// returned stats report zero characterizations — by construction
+    /// nothing is characterized here.
+    ///
+    /// # Errors
+    ///
+    /// Returns propagation errors (e.g. arity mismatches), which a
+    /// snapshot of a validated session cannot produce in practice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_arrivals.len()` differs from the top-level input
+    /// count.
+    pub fn analyze(&self, pi_arrivals: &[Time]) -> Result<HierAnalysis, NetlistError> {
+        propagate(&self.composite, &self.models, pi_arrivals)
+    }
+
+    /// The snapshotted top-level composite.
+    #[must_use]
+    pub fn composite(&self) -> &Composite {
+        &self.composite
+    }
+}
 
 /// A session of repeated analyses over an evolving design.
 ///
@@ -191,6 +236,40 @@ impl IncrementalAnalyzer {
             self.sig_cache = ConeSigCache::new();
         }
         self.opts.characterize.budget = budget;
+    }
+
+    /// Takes a read-only [`WarmSnapshot`] of the session, or `None`
+    /// unless **every** instantiated module's model is cached at its
+    /// current content hash (i.e. the session is fully warm — a cold
+    /// or partially-degraded session would have to characterize, which
+    /// a snapshot cannot).
+    ///
+    /// The snapshot is detached: later edits to this analyzer do not
+    /// invalidate it (it keeps answering for the design it captured),
+    /// so callers that must track edits should re-snapshot after every
+    /// [`Self::replace_module`].
+    #[must_use]
+    pub fn warm_snapshot(&self) -> Option<WarmSnapshot> {
+        let composite = self
+            .design
+            .composite(&self.top)
+            .expect("validated in constructor");
+        let mut models: HashMap<String, ModuleTiming> = HashMap::new();
+        for inst in composite.instances() {
+            if models.contains_key(&inst.module) {
+                continue;
+            }
+            let leaf = self.design.leaf(&inst.module)?;
+            let (hash, m) = self.cache.get(&inst.module)?;
+            if *hash != leaf.content_hash() {
+                return None;
+            }
+            models.insert(inst.module.clone(), m.clone());
+        }
+        Some(WarmSnapshot {
+            composite: composite.clone(),
+            models,
+        })
     }
 
     /// Replaces the body of a leaf module (same name, same ports). Its
@@ -517,6 +596,50 @@ mod tests {
             h.stats.stability.cone_sig_hits,
             a.stats.stability.cone_sig_hits
         );
+    }
+
+    /// A warm snapshot answers bit-identically to the session it came
+    /// from, only exists once the session is fully warm, and keeps
+    /// answering for the captured design after an edit.
+    #[test]
+    fn warm_snapshot_matches_session_and_tracks_warmth() {
+        let design = carry_skip_adder(4, 2, CsaDelays::default());
+        let mut session =
+            IncrementalAnalyzer::new(design, "csa4.2", HierOptions::default()).unwrap();
+        assert!(
+            session.warm_snapshot().is_none(),
+            "cold session has no snapshot"
+        );
+        let warm = session.analyze(&[t(0); 9]).unwrap();
+        let snap = session.warm_snapshot().expect("warm session snapshots");
+        let mut arrivals = vec![t(0); 9];
+        arrivals[0] = t(7);
+        let via_session = session.analyze(&arrivals).unwrap();
+        let via_snapshot = snap.analyze(&arrivals).unwrap();
+        assert_eq!(via_session, via_snapshot, "snapshot == session, bitwise");
+        assert_eq!(via_snapshot.stats.modules_characterized, 0);
+
+        // Edit the design: the old snapshot still answers for the old
+        // body; the analyzer only re-snapshots once warm again.
+        let slower = CsaDelays {
+            and_or: 1,
+            xor: 3,
+            mux: 3,
+        };
+        let mut block = carry_skip_block(2, slower);
+        block.set_name("csa_block2");
+        session.replace_module(block).unwrap();
+        assert!(
+            session.warm_snapshot().is_none(),
+            "stale model: no snapshot until re-characterized"
+        );
+        assert_eq!(snap.analyze(&[t(0); 9]).unwrap().delay, warm.delay);
+        let edited = session.analyze(&[t(0); 9]).unwrap();
+        let resnap = session.warm_snapshot().expect("warm again");
+        let via_resnap = resnap.analyze(&[t(0); 9]).unwrap();
+        assert_eq!(via_resnap.net_arrivals, edited.net_arrivals);
+        assert_eq!(via_resnap.output_arrivals, edited.output_arrivals);
+        assert_eq!(via_resnap.delay, edited.delay);
     }
 
     #[test]

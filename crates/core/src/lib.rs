@@ -60,7 +60,7 @@ pub use compose::{
 pub use deadline::DeadlineToken;
 pub use demand::{DemandAnalysis, DemandDrivenAnalyzer, DemandOptions};
 pub use hier::{propagate, HierAnalysis, HierAnalyzer, HierOptions, HierStats};
-pub use incremental::IncrementalAnalyzer;
+pub use incremental::{IncrementalAnalyzer, WarmSnapshot};
 pub use module_timing::{ModelSource, ModuleTiming, ParseModelError};
 pub use naive::{find_underapproximation, independent_relaxation_model, Underapproximation};
 

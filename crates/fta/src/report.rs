@@ -8,7 +8,6 @@
 use std::fmt;
 
 use hfta_netlist::{Netlist, NetlistError, Time};
-use hfta_sat::SolveBudget;
 
 use crate::boolalg::BoolAlg;
 use crate::config::{solve_episode_fields, AnalysisConfig};
@@ -167,56 +166,6 @@ impl TimingReport {
         Ok((report, an.stats()))
     }
 
-    /// Like [`TimingReport::generate`] with the default configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
-    /// netlists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pi_arrivals.len()` differs from the input count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `TimingReport::generate(&AnalysisConfig)`"
-    )]
-    pub fn generate_with_stats(
-        netlist: &Netlist,
-        pi_arrivals: &[Time],
-        required: Time,
-    ) -> Result<(TimingReport, StabilityStats), NetlistError> {
-        TimingReport::generate(netlist, pi_arrivals, required, &AnalysisConfig::default())
-    }
-
-    /// Like [`TimingReport::generate`] with only the budget configured.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
-    /// netlists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pi_arrivals.len()` differs from the input count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `TimingReport::generate(&AnalysisConfig)`"
-    )]
-    pub fn generate_budgeted(
-        netlist: &Netlist,
-        pi_arrivals: &[Time],
-        required: Time,
-        budget: SolveBudget,
-    ) -> Result<(TimingReport, StabilityStats), NetlistError> {
-        TimingReport::generate(
-            netlist,
-            pi_arrivals,
-            required,
-            &AnalysisConfig::default().with_budget(budget),
-        )
-    }
-
     /// Outputs sorted by ascending slack (most critical first).
     #[must_use]
     pub fn by_criticality(&self) -> Vec<&OutputReport> {
@@ -276,6 +225,7 @@ impl fmt::Display for TimingReport {
 mod tests {
     use super::*;
     use hfta_netlist::gen::{carry_skip_block, CsaDelays};
+    use hfta_sat::SolveBudget;
 
     fn t(v: i64) -> Time {
         Time::new(v)
@@ -358,33 +308,6 @@ mod tests {
         .unwrap();
         assert_eq!(same, exact);
         assert_eq!(same_stats, exact_stats);
-    }
-
-    /// The deprecated shims stay bit-identical to the unified
-    /// [`AnalysisConfig`] path.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_config_path() {
-        let nl = carry_skip_block(2, CsaDelays::default());
-        let arrivals = [t(5), t(0), t(0), t(0), t(0)];
-        let (new, new_stats) =
-            TimingReport::generate(&nl, &arrivals, t(8), &AnalysisConfig::default()).unwrap();
-        let (old, old_stats) = TimingReport::generate_with_stats(&nl, &arrivals, t(8)).unwrap();
-        assert_eq!(old, new);
-        assert_eq!(old_stats, new_stats);
-
-        let budget = SolveBudget::default().with_conflicts(0);
-        let (new_b, new_b_stats) = TimingReport::generate(
-            &nl,
-            &arrivals,
-            t(8),
-            &AnalysisConfig::default().with_budget(budget),
-        )
-        .unwrap();
-        let (old_b, old_b_stats) =
-            TimingReport::generate_budgeted(&nl, &arrivals, t(8), budget).unwrap();
-        assert_eq!(old_b, new_b);
-        assert_eq!(old_b_stats, new_b_stats);
     }
 
     /// A traced report returns bit-identical results to an untraced

@@ -15,10 +15,15 @@
 //!   ECO, stats, shutdown) as deterministic single-line JSON;
 //! * [`serve_lines`] is the transport loop: newline-delimited JSON
 //!   over any reader/writer pair, with reader-thread batching and
-//!   pool-sharded what-if runs; [`serve_unix_socket`] lifts the same
-//!   loop onto a unix socket;
+//!   pool-sharded read-only runs; [`serve_unix_socket`] lifts the same
+//!   loop onto a unix socket and accepts any number of concurrent
+//!   clients, multiplexed through a bounded queue with per-connection
+//!   FIFO responses and an ECO/shutdown write barrier;
 //! * [`json`] is the crate's hand-rolled (workspace-hermetic) JSON
 //!   codec — integer-only numbers, capped nesting, byte-stable output.
+//!   It is transport-only: the session's native API is the typed
+//!   [`protocol::Request`] → [`protocol::Response`] pair served by
+//!   [`ServeSession::dispatch`].
 //!
 //! Soundness stance: every answer is bit-identical to what a fresh
 //! analysis of the current design would produce, unless the response
@@ -39,6 +44,10 @@ mod session;
 
 pub use server::{serve_lines, serve_unix_socket};
 pub use session::{Action, ServeCounters, ServeSession, DEFAULT_MAX_LINE};
+
+// The typed request/response vocabulary at the top level, so embedders
+// can drive a session without touching the JSON transport.
+pub use protocol::{parse_request, Outcome, Request, RequestKind, Response};
 
 use hfta_netlist::{Composite, Design, Netlist};
 

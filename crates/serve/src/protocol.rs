@@ -272,6 +272,92 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
     })
 }
 
+/// How a typed [`Response`] answers: a successful payload of one
+/// request kind, or a structured error.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Outcome {
+    /// A successful answer: the echoed request kind plus the response
+    /// fields in the exact order [`Response::encode`] will emit them.
+    Ok {
+        /// The request kind this answers (echoed in the response).
+        kind: &'static str,
+        /// Ordered response fields after `id`/`ok`/`kind`.
+        fields: Vec<(String, Json)>,
+    },
+    /// A structured error (`"ok":false`).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// One typed response — the value [`dispatch`] computes and sharded
+/// workers/tests consume directly; the JSON codec only ever sees it at
+/// the transport edge, through [`Response::encode`].
+///
+/// [`dispatch`]: crate::ServeSession::dispatch
+#[derive(Clone, PartialEq, Debug)]
+pub struct Response {
+    /// The request id, echoed verbatim.
+    pub id: Json,
+    /// The answer.
+    pub outcome: Outcome,
+}
+
+impl Response {
+    /// A successful response of `kind` with `fields` (in emit order).
+    #[must_use]
+    pub fn ok(id: &Json, kind: &'static str, fields: Vec<(String, Json)>) -> Response {
+        Response {
+            id: id.clone(),
+            outcome: Outcome::Ok { kind, fields },
+        }
+    }
+
+    /// A structured error response.
+    #[must_use]
+    pub fn error(id: &Json, message: impl Into<String>) -> Response {
+        Response {
+            id: id.clone(),
+            outcome: Outcome::Error {
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Whether this is a successful (`"ok":true`) response.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, Outcome::Ok { .. })
+    }
+
+    /// Looks up a response field by name (`Ok` outcomes only).
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Json> {
+        match &self.outcome {
+            Outcome::Ok { fields, .. } => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            Outcome::Error { .. } => None,
+        }
+    }
+
+    /// Renders the single-line JSON wire form: byte-identical to what
+    /// the daemon has always emitted (`{"id":…,"ok":true,"kind":…,…}`
+    /// or `{"id":…,"ok":false,"error":…}`, fixed key order).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match &self.outcome {
+            Outcome::Ok { kind, fields } => {
+                let mut b = ok_response(&self.id, kind);
+                for (k, v) in fields {
+                    b = b.field(k, v.clone());
+                }
+                b.build().to_string()
+            }
+            Outcome::Error { message } => error_response(&self.id, message),
+        }
+    }
+}
+
 /// Starts an `ok` response: `{"id":…,"ok":true,"kind":…}` with the key
 /// order every response shares.
 #[must_use]

@@ -17,11 +17,23 @@
 //! * an ECO edit invalidates exactly the edited module: its model
 //!   (by content hash) and its what-if oracle; all other warm state
 //!   survives.
+//!
+//! The session splits along a read/write seam. Once every module model
+//! is warm, [`ServeSession::read_view`] hands out a [`ReadView`] —
+//! an `Arc`-shared, immutable core (a [`WarmSnapshot`] of the design
+//! plus the contention-safe response cache) that answers
+//! `report`/`delay`/`slack` byte-identically to the exclusive path
+//! from any thread. Everything that mutates (`eco`, oracle state,
+//! booked counters) stays on the exclusive writer half behind
+//! `&mut ServeSession`; an ECO drops the view and the next read
+//! rebuilds it from the re-warmed analyzer.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use hfta_core::{HierAnalysis, IncrementalAnalyzer};
+use hfta_core::{HierAnalysis, IncrementalAnalyzer, WarmSnapshot};
 use hfta_fta::sta::TopoSta;
 use hfta_fta::{AnalysisConfig, SolveBudget, StabilityOracle};
 use hfta_netlist::{bench_format, Design, NetId, Netlist, NetlistError, Time};
@@ -29,8 +41,7 @@ use hfta_trace::{TraceSink, Value};
 
 use crate::json::{Json, ObjBuilder};
 use crate::protocol::{
-    error_response, ok_response, parse_request, time_to_json, Arrivals, EcoEdit, Request,
-    RequestKind,
+    parse_request, time_to_json, Arrivals, EcoEdit, Request, RequestKind, Response,
 };
 
 /// Default cap on one request line (bytes). Oversized lines are
@@ -185,20 +196,24 @@ pub(crate) struct PreparedWhatIf {
 }
 
 impl PreparedWhatIf {
-    /// Runs the query against `oracle` and renders the response line.
-    pub(crate) fn run(&self, oracle: &mut ModuleOracle) -> String {
+    /// Runs the query against `oracle` and builds the typed response.
+    pub(crate) fn run(&self, oracle: &mut ModuleOracle) -> Response {
         let (arrival, degraded) = oracle.functional_arrival(&self.arrivals, self.net, self.budget);
-        ok_response(&self.id, "whatif")
-            .field("module", Json::Str(self.module.clone()))
-            .field("output", Json::Str(self.output.clone()))
-            .field("arrival", time_to_json(arrival))
-            .field("degraded", Json::Bool(degraded))
-            .build()
-            .to_string()
+        Response::ok(
+            &self.id,
+            "whatif",
+            vec![
+                ("module".to_string(), Json::Str(self.module.clone())),
+                ("output".to_string(), Json::Str(self.output.clone())),
+                ("arrival".to_string(), time_to_json(arrival)),
+                ("degraded".to_string(), Json::Bool(degraded)),
+            ],
+        )
     }
 }
 
-/// Session counters reported by the `stats` request.
+/// Session counters reported by the `stats` request (a point-in-time
+/// snapshot assembled by [`ServeSession::counters`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ServeCounters {
     /// Requests answered (including errors).
@@ -214,6 +229,42 @@ pub struct ServeCounters {
     pub cache_hits: u64,
     /// Eligible query responses that had to be computed.
     pub cache_misses: u64,
+    /// Unix-socket connections accepted over the daemon's life.
+    pub connections_accepted: u64,
+    /// Unix-socket connections currently open.
+    pub connections_active: u64,
+    /// High-water mark of the bounded multi-client request queue.
+    pub queue_depth_hwm: u64,
+    /// Mutating requests (`eco`/`shutdown`) that drained earlier
+    /// requests out of their batch before running (write barrier).
+    pub barrier_waits: u64,
+}
+
+/// The subset of counters booked serially on the writer half (one
+/// increment per answered request, on the dispatcher thread).
+#[derive(Clone, Copy, Debug, Default)]
+struct Booked {
+    requests: u64,
+    errors: u64,
+    whatif_queries: u64,
+    eco_edits: u64,
+}
+
+/// Connection/queue counters shared with the socket server's accept
+/// and reader threads (lock-free; exact totals, relaxed ordering).
+#[derive(Debug, Default)]
+pub(crate) struct ConnCounters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) queue_depth_hwm: AtomicU64,
+    pub(crate) barrier_waits: AtomicU64,
+}
+
+impl ConnCounters {
+    /// Raises the queue high-water mark to at least `depth`.
+    pub(crate) fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
 }
 
 /// Cap on the arrivals-keyed response cache — a full cache skips
@@ -240,6 +291,174 @@ enum ResponseKey {
     },
 }
 
+/// The arrivals-keyed response cache, contention-safe so sharded read
+/// workers and the exclusive writer half share one instance. Entries
+/// are deterministic functions of their key, so a racing double-insert
+/// stores the same bytes either way.
+#[derive(Debug, Default)]
+struct ResponseCache {
+    map: Mutex<HashMap<ResponseKey, Vec<(String, Json)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    /// Cache probe for an eligible request (books a hit or miss);
+    /// ineligible requests bypass the cache without touching counters.
+    fn lookup(&self, key: &ResponseKey, eligible: bool) -> Option<Vec<(String, Json)>> {
+        if !eligible {
+            return None;
+        }
+        let map = self.map.lock().expect("response cache poisoned");
+        match map.get(key) {
+            Some(fields) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(fields.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed response unless the cache is full.
+    fn insert(&self, key: ResponseKey, fields: &[(String, Json)]) {
+        let mut map = self.map.lock().expect("response cache poisoned");
+        if map.len() < RESPONSE_CACHE_CAP {
+            map.insert(key, fields.to_vec());
+        }
+    }
+
+    /// Drops every entry (ECO invalidation).
+    fn clear(&self) {
+        self.map.lock().expect("response cache poisoned").clear();
+    }
+}
+
+/// The shared read-only core of a fully-warm session: a detached
+/// [`WarmSnapshot`] plus everything needed to answer
+/// `report`/`delay`/`slack` byte-identically to the exclusive path —
+/// from any thread, concurrently. Handed out by
+/// [`ServeSession::read_view`] only when every module model is warm,
+/// which is exactly when those answers involve no solver work (pure
+/// propagation: `characterized` is 0 and nothing can degrade).
+#[derive(Debug)]
+pub(crate) struct ReadView {
+    top: String,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    snapshot: WarmSnapshot,
+    /// Whether the session's base budget is unlimited (the static half
+    /// of response-cache eligibility).
+    cache_base: bool,
+    default_deadline_ms: Option<u64>,
+    cache: Arc<ResponseCache>,
+}
+
+impl ReadView {
+    fn cache_eligible(&self, request: &Request) -> bool {
+        self.cache_base && request.deadline_ms.or(self.default_deadline_ms).is_none()
+    }
+
+    /// Answers one read-only request. Panics on any other kind — the
+    /// dispatcher routes only `report`/`delay`/`slack` here.
+    pub(crate) fn respond(&self, request: &Request) -> Response {
+        let result = match &request.kind {
+            RequestKind::Report { arrivals } => self.report(request, arrivals.as_ref()),
+            RequestKind::Delay { output, arrivals } => {
+                self.delay(request, output, arrivals.as_ref())
+            }
+            RequestKind::Slack {
+                net,
+                required,
+                arrivals,
+            } => self.slack(request, net, *required, arrivals.as_ref()),
+            _ => unreachable!("ReadView serves only report/delay/slack"),
+        };
+        result.unwrap_or_else(|message| Response::error(&request.id, message))
+    }
+
+    fn analyze(&self, arrivals: &[Time]) -> Result<HierAnalysis, String> {
+        self.snapshot.analyze(arrivals).map_err(|e| e.to_string())
+    }
+
+    fn report(&self, request: &Request, arrivals: Option<&Arrivals>) -> Result<Response, String> {
+        let arr = resolve_arrivals(arrivals, &self.input_names, &self.top)?;
+        let key = ResponseKey::Report {
+            arrivals: arr.clone(),
+        };
+        let eligible = self.cache_eligible(request);
+        if let Some(fields) = self.cache.lookup(&key, eligible) {
+            return Ok(Response::ok(&request.id, "report", fields));
+        }
+        let analysis = self.analyze(&arr)?;
+        let fields = report_fields(&self.output_names, &analysis);
+        if eligible {
+            self.cache.insert(key, &fields);
+        }
+        Ok(Response::ok(&request.id, "report", fields))
+    }
+
+    fn delay(
+        &self,
+        request: &Request,
+        output: &str,
+        arrivals: Option<&Arrivals>,
+    ) -> Result<Response, String> {
+        let pos = self
+            .output_names
+            .iter()
+            .position(|n| n == output)
+            .ok_or_else(|| format!("no primary output `{output}` in module `{}`", self.top))?;
+        let arr = resolve_arrivals(arrivals, &self.input_names, &self.top)?;
+        let key = ResponseKey::Delay {
+            output: output.to_string(),
+            arrivals: arr.clone(),
+        };
+        let eligible = self.cache_eligible(request);
+        if let Some(fields) = self.cache.lookup(&key, eligible) {
+            return Ok(Response::ok(&request.id, "delay", fields));
+        }
+        let analysis = self.analyze(&arr)?;
+        let fields = delay_fields(output, pos, &analysis);
+        if eligible {
+            self.cache.insert(key, &fields);
+        }
+        Ok(Response::ok(&request.id, "delay", fields))
+    }
+
+    fn slack(
+        &self,
+        request: &Request,
+        net: &str,
+        required: Option<Time>,
+        arrivals: Option<&Arrivals>,
+    ) -> Result<Response, String> {
+        let net_id = self
+            .snapshot
+            .composite()
+            .find_net(net)
+            .ok_or_else(|| format!("no net `{net}` in module `{}`", self.top))?;
+        let arr = resolve_arrivals(arrivals, &self.input_names, &self.top)?;
+        let key = ResponseKey::Slack {
+            net: net.to_string(),
+            required,
+            arrivals: arr.clone(),
+        };
+        let eligible = self.cache_eligible(request);
+        if let Some(fields) = self.cache.lookup(&key, eligible) {
+            return Ok(Response::ok(&request.id, "slack", fields));
+        }
+        let analysis = self.analyze(&arr)?;
+        let fields = slack_fields(net, net_id, required, &analysis);
+        if eligible {
+            self.cache.insert(key, &fields);
+        }
+        Ok(Response::ok(&request.id, "slack", fields))
+    }
+}
+
 /// One warm, long-lived analysis session: the daemon's state.
 #[derive(Debug)]
 pub struct ServeSession {
@@ -261,10 +480,17 @@ pub struct ServeSession {
     /// consulted for unlimited-budget, deadline-free requests — those
     /// answers are deterministic functions of the key, so a replay is
     /// byte-identical to a recompute. An ECO clears it wholesale.
-    response_cache: HashMap<ResponseKey, Vec<(String, Json)>>,
+    /// Shared (`Arc`) with every outstanding [`ReadView`].
+    cache: Arc<ResponseCache>,
+    /// Lazily built shared read core; dropped on anything that could
+    /// change read answers (ECO, default-deadline change) and rebuilt
+    /// from the analyzer the next time it is fully warm.
+    view: Option<Arc<ReadView>>,
+    /// Connection/queue counters shared with the socket server.
+    conn: Arc<ConnCounters>,
     trace: TraceSink,
     max_line: usize,
-    counters: ServeCounters,
+    booked: Booked,
 }
 
 impl ServeSession {
@@ -301,17 +527,21 @@ impl ServeSession {
             default_deadline_ms: None,
             oracles: HashMap::new(),
             shared_solver: config.shared_solver,
-            response_cache: HashMap::new(),
+            cache: Arc::new(ResponseCache::default()),
+            view: None,
+            conn: Arc::new(ConnCounters::default()),
             trace: config.trace.clone(),
             max_line: DEFAULT_MAX_LINE,
-            counters: ServeCounters::default(),
+            booked: Booked::default(),
         })
     }
 
     /// Sets the deadline applied to requests that don't carry their own
-    /// `deadline_ms` (the CLI's `--deadline-ms`).
+    /// `deadline_ms` (the CLI's `--deadline-ms`). Drops the shared read
+    /// view — cache eligibility depends on the default deadline.
     pub fn set_default_deadline_ms(&mut self, ms: Option<u64>) {
         self.default_deadline_ms = ms;
+        self.view = None;
     }
 
     /// Sets the per-line byte cap (protocol hygiene; the server loop
@@ -326,10 +556,49 @@ impl ServeSession {
         self.max_line
     }
 
-    /// Session counters so far.
+    /// Session counters so far (a point-in-time snapshot: the serially
+    /// booked request counters plus the shared cache and connection
+    /// atomics).
     #[must_use]
-    pub fn counters(&self) -> &ServeCounters {
-        &self.counters
+    pub fn counters(&self) -> ServeCounters {
+        ServeCounters {
+            requests: self.booked.requests,
+            errors: self.booked.errors,
+            whatif_queries: self.booked.whatif_queries,
+            eco_edits: self.booked.eco_edits,
+            cache_hits: self.cache.hits.load(Ordering::Relaxed),
+            cache_misses: self.cache.misses.load(Ordering::Relaxed),
+            connections_accepted: self.conn.accepted.load(Ordering::Relaxed),
+            connections_active: self.conn.active.load(Ordering::Relaxed),
+            queue_depth_hwm: self.conn.queue_depth_hwm.load(Ordering::Relaxed),
+            barrier_waits: self.conn.barrier_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The connection/queue counters shared with the socket server's
+    /// accept and reader threads.
+    pub(crate) fn conn_counters(&self) -> Arc<ConnCounters> {
+        Arc::clone(&self.conn)
+    }
+
+    /// The shared read-only core, built lazily whenever every module
+    /// model is warm (`None` on a cold or degraded session — callers
+    /// fall back to the exclusive path). Cloning the `Arc` is cheap;
+    /// the view answers read requests from any thread.
+    pub(crate) fn read_view(&mut self) -> Option<Arc<ReadView>> {
+        if self.view.is_none() {
+            let snapshot = self.analyzer.warm_snapshot()?;
+            self.view = Some(Arc::new(ReadView {
+                top: self.top.clone(),
+                input_names: self.input_names.clone(),
+                output_names: self.output_names.clone(),
+                snapshot,
+                cache_base: self.base_budget.is_unlimited(),
+                default_deadline_ms: self.default_deadline_ms,
+                cache: Arc::clone(&self.cache),
+            }));
+        }
+        self.view.clone()
     }
 
     /// Total characterizations across the session (the number a warm
@@ -353,34 +622,64 @@ impl ServeSession {
 
     /// Handles one raw request line, returning the response line (no
     /// trailing newline) and what the server loop should do next.
-    /// Empty lines yield no response (`None`).
+    /// Empty lines yield no response (`None`). A thin
+    /// parse→[`dispatch`](Self::dispatch)→encode wrapper: the JSON
+    /// codec lives only at this transport edge.
     pub fn handle_line(&mut self, line: &str) -> (Option<String>, Action) {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             return (None, Action::Continue);
         }
         if trimmed.len() > self.max_line {
-            return (
-                Some(self.booked_error(
-                    &Json::Null,
-                    &format!("request line exceeds {} bytes", self.max_line),
-                )),
-                Action::Continue,
+            let response = self.booked_error(
+                &Json::Null,
+                format!("request line exceeds {} bytes", self.max_line),
             );
+            return (Some(response.encode()), Action::Continue);
         }
         let request = match parse_request(trimmed) {
             Ok(r) => r,
             Err((id, message)) => {
-                return (Some(self.booked_error(&id, &message)), Action::Continue)
+                return (
+                    Some(self.booked_error(&id, message).encode()),
+                    Action::Continue,
+                )
             }
         };
+        let (response, action) = self.dispatch(&request);
+        (Some(response.encode()), action)
+    }
+
+    /// Books a protocol-level error (oversized/unparsable line) into
+    /// the counters and builds its typed response.
+    pub(crate) fn booked_error(&mut self, id: &Json, message: impl Into<String>) -> Response {
+        self.booked.requests += 1;
+        self.booked.errors += 1;
+        Response::error(id, message)
+    }
+
+    /// Answers one typed request: the core of the serve API. Read-only
+    /// kinds (`report`/`delay`/`slack`) route through the shared
+    /// `ReadView` whenever the session is fully warm — the same code
+    /// path sharded pool workers run — so serial and concurrent
+    /// execution produce byte-identical responses by construction.
+    /// Everything else (and every cold-session request) runs on the
+    /// exclusive writer half.
+    pub fn dispatch(&mut self, request: &Request) -> (Response, Action) {
         let mut tracer = self.trace.tracer();
         let span = tracer.is_enabled().then(|| tracer.begin("serve_request"));
         let shutdown = matches!(request.kind, RequestKind::Shutdown);
-        let (response, ok) = match self.respond(&request) {
-            Ok(body) => (body.to_string(), true),
-            Err(message) => (error_response(&request.id, &message), false),
+        let result = match &request.kind {
+            RequestKind::Report { .. } | RequestKind::Delay { .. } | RequestKind::Slack { .. } => {
+                match self.read_view() {
+                    Some(view) => Ok(view.respond(request)),
+                    None => self.respond_exclusive(request),
+                }
+            }
+            _ => self.respond_exclusive(request),
         };
+        let response = result.unwrap_or_else(|message| Response::error(&request.id, message));
+        let ok = response.is_ok();
         if let Some(span) = span {
             tracer.end_with(
                 span,
@@ -391,26 +690,21 @@ impl ServeSession {
             );
         }
         self.trace.absorb(tracer);
-        self.counters.requests += 1;
+        self.booked.requests += 1;
         if !ok {
-            self.counters.errors += 1;
+            self.booked.errors += 1;
         }
         let action = if shutdown && ok {
             Action::Shutdown
         } else {
             Action::Continue
         };
-        (Some(response), action)
+        (response, action)
     }
 
-    /// Books an error response into the counters.
-    fn booked_error(&mut self, id: &Json, message: &str) -> String {
-        self.counters.requests += 1;
-        self.counters.errors += 1;
-        error_response(id, message)
-    }
-
-    fn respond(&mut self, request: &Request) -> Result<Json, String> {
+    /// The writer-half request handlers (also the read fallback while
+    /// models are cold or degraded).
+    fn respond_exclusive(&mut self, request: &Request) -> Result<Response, String> {
         match &request.kind {
             RequestKind::Report { arrivals } => self.do_report(request, arrivals.as_ref()),
             RequestKind::Delay { output, arrivals } => {
@@ -428,7 +722,7 @@ impl ServeSession {
             } => self.do_whatif(request, module, output, arrivals),
             RequestKind::Eco { module, edit } => self.do_eco(request, module, edit),
             RequestKind::Stats => Ok(self.do_stats(request)),
-            RequestKind::Shutdown => Ok(ok_response(&request.id, "shutdown").build()),
+            RequestKind::Shutdown => Ok(Response::ok(&request.id, "shutdown", Vec::new())),
         }
     }
 
@@ -446,35 +740,6 @@ impl ServeSession {
     fn cache_eligible(&self, request: &Request) -> bool {
         self.base_budget.is_unlimited()
             && request.deadline_ms.or(self.default_deadline_ms).is_none()
-    }
-
-    /// Cache probe for an eligible request (books a hit or miss);
-    /// ineligible requests bypass the cache without touching counters.
-    fn cache_lookup(
-        &mut self,
-        request: &Request,
-        key: &ResponseKey,
-    ) -> Option<Vec<(String, Json)>> {
-        if !self.cache_eligible(request) {
-            return None;
-        }
-        match self.response_cache.get(key) {
-            Some(fields) => {
-                self.counters.cache_hits += 1;
-                Some(fields.clone())
-            }
-            None => {
-                self.counters.cache_misses += 1;
-                None
-            }
-        }
-    }
-
-    /// Inserts a computed response unless the cache is full.
-    fn cache_insert(&mut self, key: ResponseKey, fields: &[(String, Json)]) {
-        if self.response_cache.len() < RESPONSE_CACHE_CAP {
-            self.response_cache.insert(key, fields.to_vec());
-        }
     }
 
     /// The budget one request runs under: the base budget, tightened by
@@ -504,37 +769,23 @@ impl ServeSession {
         &mut self,
         request: &Request,
         arrivals: Option<&Arrivals>,
-    ) -> Result<Json, String> {
+    ) -> Result<Response, String> {
         let arr = self.top_arrivals(arrivals)?;
         let key = ResponseKey::Report {
             arrivals: arr.clone(),
         };
-        if let Some(fields) = self.cache_lookup(request, &key) {
-            return Ok(assemble(&request.id, "report", fields));
+        let eligible = self.cache_eligible(request);
+        if let Some(fields) = self.cache.lookup(&key, eligible) {
+            return Ok(Response::ok(&request.id, "report", fields));
         }
         let analysis = self.analyze(request, &arr)?;
-        let mut outputs = ObjBuilder::new();
-        for (name, &t) in self.output_names.iter().zip(&analysis.output_arrivals) {
-            outputs = outputs.field(name, time_to_json(t));
-        }
-        let fields = vec![
-            ("delay".to_string(), time_to_json(analysis.delay)),
-            ("outputs".to_string(), outputs.build()),
-            (
-                "characterized".to_string(),
-                Json::Num(analysis.stats.modules_characterized as i64),
-            ),
-            (
-                "degraded".to_string(),
-                Json::Bool(analysis.stats.modules_degraded > 0),
-            ),
-        ];
+        let fields = report_fields(&self.output_names, &analysis);
         // Only fully-warm answers are cached: a response that reports
         // `characterized > 0` would replay that stale counter.
-        if self.cache_eligible(request) && analysis.stats.modules_characterized == 0 {
-            self.cache_insert(key, &fields);
+        if eligible && analysis.stats.modules_characterized == 0 {
+            self.cache.insert(key, &fields);
         }
-        Ok(assemble(&request.id, "report", fields))
+        Ok(Response::ok(&request.id, "report", fields))
     }
 
     fn do_delay(
@@ -542,7 +793,7 @@ impl ServeSession {
         request: &Request,
         output: &str,
         arrivals: Option<&Arrivals>,
-    ) -> Result<Json, String> {
+    ) -> Result<Response, String> {
         let pos = self
             .output_names
             .iter()
@@ -553,25 +804,16 @@ impl ServeSession {
             output: output.to_string(),
             arrivals: arr.clone(),
         };
-        if let Some(fields) = self.cache_lookup(request, &key) {
-            return Ok(assemble(&request.id, "delay", fields));
+        let eligible = self.cache_eligible(request);
+        if let Some(fields) = self.cache.lookup(&key, eligible) {
+            return Ok(Response::ok(&request.id, "delay", fields));
         }
         let analysis = self.analyze(request, &arr)?;
-        let fields = vec![
-            ("output".to_string(), Json::Str(output.to_string())),
-            (
-                "arrival".to_string(),
-                time_to_json(analysis.output_arrivals[pos]),
-            ),
-            (
-                "degraded".to_string(),
-                Json::Bool(analysis.stats.modules_degraded > 0),
-            ),
-        ];
-        if self.cache_eligible(request) && analysis.stats.modules_characterized == 0 {
-            self.cache_insert(key, &fields);
+        let fields = delay_fields(output, pos, &analysis);
+        if eligible && analysis.stats.modules_characterized == 0 {
+            self.cache.insert(key, &fields);
         }
-        Ok(assemble(&request.id, "delay", fields))
+        Ok(Response::ok(&request.id, "delay", fields))
     }
 
     fn do_slack(
@@ -580,7 +822,7 @@ impl ServeSession {
         net: &str,
         required: Option<Time>,
         arrivals: Option<&Arrivals>,
-    ) -> Result<Json, String> {
+    ) -> Result<Response, String> {
         let net_id = self
             .analyzer
             .design()
@@ -594,26 +836,16 @@ impl ServeSession {
             required,
             arrivals: arr.clone(),
         };
-        if let Some(fields) = self.cache_lookup(request, &key) {
-            return Ok(assemble(&request.id, "slack", fields));
+        let eligible = self.cache_eligible(request);
+        if let Some(fields) = self.cache.lookup(&key, eligible) {
+            return Ok(Response::ok(&request.id, "slack", fields));
         }
         let analysis = self.analyze(request, &arr)?;
-        let arrival = analysis.net_arrivals[net_id.index()];
-        let required = required.unwrap_or(analysis.delay);
-        let fields = vec![
-            ("net".to_string(), Json::Str(net.to_string())),
-            ("arrival".to_string(), time_to_json(arrival)),
-            ("required".to_string(), time_to_json(required)),
-            ("slack".to_string(), time_to_json(required - arrival)),
-            (
-                "degraded".to_string(),
-                Json::Bool(analysis.stats.modules_degraded > 0),
-            ),
-        ];
-        if self.cache_eligible(request) && analysis.stats.modules_characterized == 0 {
-            self.cache_insert(key, &fields);
+        let fields = slack_fields(net, net_id, required, &analysis);
+        if eligible && analysis.stats.modules_characterized == 0 {
+            self.cache.insert(key, &fields);
         }
-        Ok(assemble(&request.id, "slack", fields))
+        Ok(Response::ok(&request.id, "slack", fields))
     }
 
     /// Resolves a what-if request against the named leaf module,
@@ -688,35 +920,34 @@ impl ServeSession {
         module: &str,
         output: &str,
         arrivals: &Arrivals,
-    ) -> Result<Json, String> {
+    ) -> Result<Response, String> {
         let prepared = self.prepare_whatif(request, module, output, arrivals)?;
         let mut oracle = self.checkout_oracle(module)?;
-        let (arrival, degraded) =
-            oracle.functional_arrival(&prepared.arrivals, prepared.net, prepared.budget);
+        let response = prepared.run(&mut oracle);
         self.checkin_oracle(module.to_string(), oracle);
-        self.counters.whatif_queries += 1;
-        Ok(ok_response(&request.id, "whatif")
-            .field("module", Json::Str(module.to_string()))
-            .field("output", Json::Str(output.to_string()))
-            .field("arrival", time_to_json(arrival))
-            .field("degraded", Json::Bool(degraded))
-            .build())
+        self.booked.whatif_queries += 1;
+        Ok(response)
     }
 
-    /// Books a parallel-path what-if into the counters (the response
-    /// itself was rendered by the worker).
-    pub(crate) fn book_whatif(&mut self) {
-        self.counters.requests += 1;
-        self.counters.whatif_queries += 1;
+    /// Books a sharded-path response into the counters (the response
+    /// itself was computed by a pool worker). Successful what-ifs pass
+    /// `whatif = true`.
+    pub(crate) fn book(&mut self, ok: bool, whatif: bool) {
+        self.booked.requests += 1;
+        if !ok {
+            self.booked.errors += 1;
+        }
+        if ok && whatif {
+            self.booked.whatif_queries += 1;
+        }
     }
 
-    /// Books a parallel-path error response into the counters.
-    pub(crate) fn book_error(&mut self) {
-        self.counters.requests += 1;
-        self.counters.errors += 1;
-    }
-
-    fn do_eco(&mut self, request: &Request, module: &str, edit: &EcoEdit) -> Result<Json, String> {
+    fn do_eco(
+        &mut self,
+        request: &Request,
+        module: &str,
+        edit: &EcoEdit,
+    ) -> Result<Response, String> {
         let old = self
             .analyzer
             .design()
@@ -746,53 +977,134 @@ impl ServeSession {
             .map_err(|e| e.to_string())?;
         // The edited module's oracle encodes the old body; retire it.
         self.oracles.remove(module);
-        // Every cached response may depend on the edited module —
-        // clear wholesale (cheap, and ECOs are rare next to queries).
-        self.response_cache.clear();
-        self.counters.eco_edits += 1;
+        // Invalidation order matters for concurrent readers: drop the
+        // view first (no new reads against the old design), then clear
+        // the cache (no stale replays), then re-analyze. Outstanding
+        // view clones on workers keep answering for the *old* design
+        // until the write barrier drains them — which is why the
+        // server serializes ECOs behind it.
+        self.view = None;
+        self.cache.clear();
+        self.booked.eco_edits += 1;
         let arrivals = vec![Time::ZERO; self.input_names.len()];
         let analysis = self.analyze(request, &arrivals)?;
-        Ok(ok_response(&request.id, "eco")
-            .field("module", Json::Str(module.to_string()))
-            .field(
-                "recharacterized",
-                Json::Num(analysis.stats.modules_characterized as i64),
-            )
-            .field("delay", time_to_json(analysis.delay))
-            .field("degraded", Json::Bool(analysis.stats.modules_degraded > 0))
-            .build())
+        Ok(Response::ok(
+            &request.id,
+            "eco",
+            vec![
+                ("module".to_string(), Json::Str(module.to_string())),
+                (
+                    "recharacterized".to_string(),
+                    Json::Num(analysis.stats.modules_characterized as i64),
+                ),
+                ("delay".to_string(), time_to_json(analysis.delay)),
+                (
+                    "degraded".to_string(),
+                    Json::Bool(analysis.stats.modules_degraded > 0),
+                ),
+            ],
+        ))
     }
 
-    fn do_stats(&mut self, request: &Request) -> Json {
+    fn do_stats(&self, request: &Request) -> Response {
         let db = self.analyzer.model_db_stats();
-        ok_response(&request.id, "stats")
-            .field(
-                "characterized",
-                Json::Num(self.analyzer.characterizations() as i64),
-            )
-            .field("model_db_hits", Json::Num(db.hits as i64))
-            .field("model_db_misses", Json::Num(db.misses as i64))
-            .field("oracles", Json::Num(self.oracles.len() as i64))
-            .field("requests", Json::Num(self.counters.requests as i64))
-            .field("errors", Json::Num(self.counters.errors as i64))
-            .field(
-                "whatif_queries",
-                Json::Num(self.counters.whatif_queries as i64),
-            )
-            .field("eco_edits", Json::Num(self.counters.eco_edits as i64))
-            .field("cache_hits", Json::Num(self.counters.cache_hits as i64))
-            .field("cache_misses", Json::Num(self.counters.cache_misses as i64))
-            .build()
+        let c = self.counters();
+        Response::ok(
+            &request.id,
+            "stats",
+            vec![
+                (
+                    "characterized".to_string(),
+                    Json::Num(self.analyzer.characterizations() as i64),
+                ),
+                ("model_db_hits".to_string(), Json::Num(db.hits as i64)),
+                ("model_db_misses".to_string(), Json::Num(db.misses as i64)),
+                ("oracles".to_string(), Json::Num(self.oracles.len() as i64)),
+                ("requests".to_string(), Json::Num(c.requests as i64)),
+                ("errors".to_string(), Json::Num(c.errors as i64)),
+                (
+                    "whatif_queries".to_string(),
+                    Json::Num(c.whatif_queries as i64),
+                ),
+                ("eco_edits".to_string(), Json::Num(c.eco_edits as i64)),
+                ("cache_hits".to_string(), Json::Num(c.cache_hits as i64)),
+                ("cache_misses".to_string(), Json::Num(c.cache_misses as i64)),
+                (
+                    "connections_accepted".to_string(),
+                    Json::Num(c.connections_accepted as i64),
+                ),
+                (
+                    "connections_active".to_string(),
+                    Json::Num(c.connections_active as i64),
+                ),
+                (
+                    "queue_depth_hwm".to_string(),
+                    Json::Num(c.queue_depth_hwm as i64),
+                ),
+                (
+                    "barrier_waits".to_string(),
+                    Json::Num(c.barrier_waits as i64),
+                ),
+            ],
+        )
     }
 }
 
-/// Renders a response from its kind and cached/computed fields.
-fn assemble(id: &Json, kind: &str, fields: Vec<(String, Json)>) -> Json {
-    let mut b = ok_response(id, kind);
-    for (k, v) in fields {
-        b = b.field(&k, v);
+/// `report` response fields, shared verbatim by the exclusive path and
+/// [`ReadView`] so both render byte-identical answers.
+fn report_fields(output_names: &[String], analysis: &HierAnalysis) -> Vec<(String, Json)> {
+    let mut outputs = ObjBuilder::new();
+    for (name, &t) in output_names.iter().zip(&analysis.output_arrivals) {
+        outputs = outputs.field(name, time_to_json(t));
     }
-    b.build()
+    vec![
+        ("delay".to_string(), time_to_json(analysis.delay)),
+        ("outputs".to_string(), outputs.build()),
+        (
+            "characterized".to_string(),
+            Json::Num(analysis.stats.modules_characterized as i64),
+        ),
+        (
+            "degraded".to_string(),
+            Json::Bool(analysis.stats.modules_degraded > 0),
+        ),
+    ]
+}
+
+/// `delay` response fields (see [`report_fields`]).
+fn delay_fields(output: &str, pos: usize, analysis: &HierAnalysis) -> Vec<(String, Json)> {
+    vec![
+        ("output".to_string(), Json::Str(output.to_string())),
+        (
+            "arrival".to_string(),
+            time_to_json(analysis.output_arrivals[pos]),
+        ),
+        (
+            "degraded".to_string(),
+            Json::Bool(analysis.stats.modules_degraded > 0),
+        ),
+    ]
+}
+
+/// `slack` response fields (see [`report_fields`]).
+fn slack_fields(
+    net: &str,
+    net_id: NetId,
+    required: Option<Time>,
+    analysis: &HierAnalysis,
+) -> Vec<(String, Json)> {
+    let arrival = analysis.net_arrivals[net_id.index()];
+    let required = required.unwrap_or(analysis.delay);
+    vec![
+        ("net".to_string(), Json::Str(net.to_string())),
+        ("arrival".to_string(), time_to_json(arrival)),
+        ("required".to_string(), time_to_json(required)),
+        ("slack".to_string(), time_to_json(required - arrival)),
+        (
+            "degraded".to_string(),
+            Json::Bool(analysis.stats.modules_degraded > 0),
+        ),
+    ]
 }
 
 /// Resolves an arrival payload against `input_names` (default 0 for
@@ -850,7 +1162,7 @@ fn check_same_ports(old: &Netlist, new: &Netlist) -> Result<(), String> {
     Ok(())
 }
 
-fn kind_name(kind: &RequestKind) -> &'static str {
+pub(crate) fn kind_name(kind: &RequestKind) -> &'static str {
     match kind {
         RequestKind::Report { .. } => "report",
         RequestKind::Delay { .. } => "delay",

@@ -1,0 +1,85 @@
+//! Write-through model persistence: with the model database attached
+//! for both use *and* emit (the CLI's `--use-models` default), every
+//! model the daemon characterizes — including ECO recharacterizations
+//! — lands back in the store, so a restarted daemon over the edited
+//! design warm-starts with zero characterizations and byte-identical
+//! answers.
+
+use hfta_fta::AnalysisConfig;
+use hfta_netlist::gen::{carry_skip_adder, CsaDelays};
+use hfta_netlist::GateId;
+use hfta_serve::ServeSession;
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hfta-write-through-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn restart_after_eco_warms_from_write_through_store() {
+    let dir = unique_dir("store");
+    let design = carry_skip_adder(4, 2, CsaDelays::default());
+
+    // The edit the daemon will absorb, mirrored onto a cold copy so
+    // the "restarted" session loads the post-ECO design from scratch.
+    let mut leaf = design.leaf("csa_block2").unwrap().clone();
+    let gid = GateId::from_index(0);
+    let gate_net = leaf.net_name(leaf.gate(gid).output).to_string();
+    leaf.set_gate_delay(gid, 7);
+    let mut edited = design.clone();
+    edited.replace_leaf(leaf).unwrap();
+
+    let write_through = AnalysisConfig::default()
+        .with_use_models(&dir)
+        .with_emit_models(&dir);
+
+    // First daemon lifetime: the store is cold, so warming
+    // characterizes, and the ECO recharacterizes the edited module;
+    // write-through persists both models.
+    let mut first = ServeSession::new(design, "csa4.2", &write_through).unwrap();
+    first.warm().unwrap();
+    assert!(
+        first.characterizations() > 0,
+        "cold store must characterize"
+    );
+    let eco =
+        format!(r#"{{"id":"e","kind":"eco","module":"csa_block2","gate":"{gate_net}","delay":7}}"#);
+    let (resp, _) = first.handle_line(&eco);
+    assert!(resp.unwrap().contains(r#""ok":true"#));
+    let (want, _) = first.handle_line(r#"{"id":"r","kind":"report"}"#);
+    let want = want.unwrap();
+    drop(first);
+
+    // Restarted daemon over the edited design: every model — including
+    // the post-ECO one — comes from the store.
+    let mut second = ServeSession::new(edited.clone(), "csa4.2", &write_through).unwrap();
+    second.warm().unwrap();
+    assert_eq!(
+        second.characterizations(),
+        0,
+        "restart must warm-start from the write-through store"
+    );
+    let (got, _) = second.handle_line(r#"{"id":"r","kind":"report"}"#);
+    assert_eq!(
+        got.unwrap(),
+        want,
+        "warm-started answers are byte-identical"
+    );
+    drop(second);
+
+    // Control: against a fresh, empty store the edited module has
+    // nowhere to warm-start from.
+    let empty = unique_dir("empty");
+    let read_only = AnalysisConfig::default().with_use_models(&empty);
+    let mut control = ServeSession::new(edited, "csa4.2", &read_only).unwrap();
+    control.warm().unwrap();
+    assert!(
+        control.characterizations() > 0,
+        "an empty store cannot warm-start"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}

@@ -56,6 +56,8 @@ HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_WARMSTA
     cargo run -q --offline --release -p hfta-bench --bin warm_start
 HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_SERVE_SMOKE=1 \
     cargo run -q --offline --release -p hfta-bench --bin serve_throughput
+HFTA_BENCH_JSON="$GATE_JSON" HFTA_BENCH_WARMUP=0 HFTA_BENCH_ITERS=1 HFTA_SERVE_SMOKE=1 \
+    cargo run -q --offline --release -p hfta-bench --bin serve_load
 cargo run -q --offline --release -p hfta-bench --bin trajectory_gate "$GATE_JSON"
 
 echo "== model-db corpus round-trip =="

@@ -3,7 +3,7 @@
 //! ```text
 //! hfta report <file.bench|file.hnl> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-shared-solver] [--stats] [--trace] [--trace-json FILE]
 //! hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
-//! hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
+//! hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--no-shared-solver] [--use-models DIR] [--no-write-through] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]
 //! hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]
 //! hfta models <DIR>
 //! hfta sim <file> --from BITS --to BITS
@@ -71,7 +71,14 @@
 //! are answered from the warm caches on stdin/stdout (or `--socket
 //! PATH`). `--deadline-ms MS` gives every request a default QoS
 //! deadline: an expiring request degrades to the sound topological
-//! answer (`"degraded":true`) instead of blocking the queue. See the
+//! answer (`"degraded":true`) instead of blocking the queue. With
+//! `--socket PATH` any number of clients may connect concurrently:
+//! responses stay in per-connection FIFO order and ECO edits run
+//! behind a write barrier. A daemon started with `--use-models DIR`
+//! also *writes through* to that database (fresh undegraded models —
+//! e.g. ECO recharacterizations — are persisted, so a restart warm
+//! starts with 0 characterizations even after edits); `--emit-models`
+//! redirects the writes, `--no-write-through` disables them. See the
 //! `hfta_serve` crate docs for the request/response schema.
 
 use std::collections::HashMap;
@@ -125,7 +132,7 @@ fn usage() -> String {
     "usage:\n  \
      hfta report <file> [--module NAME] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-shared-solver] [--stats] [--trace] [--trace-json FILE]\n  \
      hfta hier <file.hnl> --top NAME [--algo two-step|demand] [--threads N] [--no-thread-clamp] [--arrival PIN=T]... [--budget-conflicts N] [--budget-ms MS] [--no-cone-sig] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
-     hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--no-shared-solver] [--use-models DIR] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
+     hfta serve <file> [--top NAME] [--socket PATH] [--threads N] [--deadline-ms MS] [--budget-conflicts N] [--max-line BYTES] [--no-shared-solver] [--use-models DIR] [--no-write-through] [--emit-models DIR] [--model-limit N] [--stats] [--trace] [--trace-json FILE]\n  \
      hfta characterize <file> [--module NAME] [--topological] [-o MODEL.hfta] [--emit-model DIR] [--use-models DIR]\n  \
      hfta models <DIR>\n  \
      hfta sim <file> --from BITS --to BITS\n  \
@@ -566,6 +573,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if threads > 1 {
         config = config.with_threads(threads);
     }
+    // Write-through model store: a daemon started from `--use-models`
+    // persists its own fresh (ECO-recharacterized, undegraded) models
+    // back into that database, so a restart after edits warm-starts
+    // with 0 characterizations. `--emit-models` still redirects the
+    // writes elsewhere; `--no-write-through` keeps the database
+    // read-only.
+    if let (Some(dir), None, false) = (
+        opts.value("--use-models"),
+        opts.value("--emit-models"),
+        opts.has_flag("--no-write-through"),
+    ) {
+        config = config.with_emit_models(dir);
+    }
     let mut session = ServeSession::new(design, &top, &config).map_err(|e| e.to_string())?;
     if let Some(ms) = opts.value("--deadline-ms") {
         let ms: u64 = ms
@@ -634,6 +654,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         eprintln!(
             "serve: response cache {} hit(s), {} miss(es)",
             c.cache_hits, c.cache_misses
+        );
+        eprintln!(
+            "serve: {} connection(s) accepted ({} still active), queue depth high-water {}, {} barrier wait(s)",
+            c.connections_accepted, c.connections_active, c.queue_depth_hwm, c.barrier_waits
         );
     }
     tr.emit()?;

@@ -56,6 +56,7 @@ pub use hfta_core::{
     AnalysisConfig, CharacterizeOptions, DemandAnalysis, DemandDrivenAnalyzer, DemandOptions,
     HierAnalysis, HierAnalyzer, HierOptions, IncrementalAnalyzer, ModelDb, ModelDbSpec,
     ModelDbStats, ModelSource, ModuleTiming, TimingModel, TimingTuple, Trace, TraceSink, Tracer,
+    WarmSnapshot,
 };
 pub use hfta_fta::{functional_circuit_delay, DelayAnalyzer, StabilityAnalyzer, TopoSta};
 pub use hfta_netlist::{Composite, Design, GateKind, NetId, Netlist, NetlistError, Time};
